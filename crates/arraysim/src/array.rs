@@ -1,0 +1,308 @@
+//! The byte-level storage array: devices × stripes of STAIR-coded sectors.
+
+use std::collections::BTreeSet;
+
+use stair::{Config, StairCodec, Stripe};
+
+use crate::Error;
+
+/// Result of a scrub or repair pass.
+#[derive(Clone, Copy, Debug, Default, Eq, PartialEq)]
+pub struct ScrubReport {
+    /// Stripes that needed repair.
+    pub stripes_repaired: usize,
+    /// Individual sectors reconstructed.
+    pub sectors_repaired: usize,
+    /// Stripes that could not be repaired (data loss).
+    pub stripes_lost: usize,
+}
+
+/// An array of `n` devices, each holding one chunk of every stripe, coded
+/// with a STAIR code.
+///
+/// The array tracks *known* damage (failed devices, reported latent sector
+/// errors) the way a real system would via I/O errors and checksums;
+/// [`StorageArray::repair_all`] replays that damage through the codec.
+#[derive(Clone, Debug)]
+pub struct StorageArray {
+    codec: StairCodec,
+    stripes: Vec<Stripe>,
+    /// Devices currently failed (whole chunks unreadable in every stripe).
+    failed_devices: BTreeSet<usize>,
+    /// Known latent sector errors: (stripe, row, col).
+    latent: BTreeSet<(usize, usize, usize)>,
+}
+
+impl StorageArray {
+    /// Builds an array of `stripes` STAIR stripes with the given sector
+    /// size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParams`] for a zero stripe count and
+    /// propagates codec construction failures.
+    pub fn new(config: Config, symbol_size: usize, stripes: usize) -> Result<Self, Error> {
+        if stripes == 0 {
+            return Err(Error::InvalidParams("need at least one stripe".into()));
+        }
+        let codec = StairCodec::new(config.clone())?;
+        let stripes = (0..stripes)
+            .map(|_| Stripe::new(config.clone(), symbol_size))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(StorageArray {
+            codec,
+            stripes,
+            failed_devices: BTreeSet::new(),
+            latent: BTreeSet::new(),
+        })
+    }
+
+    /// The array's STAIR configuration.
+    pub fn config(&self) -> &Config {
+        self.codec.config()
+    }
+
+    /// Number of stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Devices currently failed.
+    pub fn failed_devices(&self) -> Vec<usize> {
+        self.failed_devices.iter().copied().collect()
+    }
+
+    /// Known latent sector errors.
+    pub fn latent_errors(&self) -> usize {
+        self.latent.len()
+    }
+
+    /// Fills every stripe with a deterministic payload derived from `tag`
+    /// and encodes it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec errors (none expected for a valid array).
+    pub fn write_blocks(&mut self, tag: u8) -> Result<(), Error> {
+        for (idx, stripe) in self.stripes.iter_mut().enumerate() {
+            stripe.fill_pattern(tag.wrapping_add(idx as u8));
+            self.codec.encode(stripe)?;
+        }
+        Ok(())
+    }
+
+    /// Verifies every stripe's payload against the `tag` pattern written by
+    /// [`StorageArray::write_blocks`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] on the first mismatching stripe.
+    pub fn verify_blocks(&self, tag: u8) -> Result<(), Error> {
+        for (idx, stripe) in self.stripes.iter().enumerate() {
+            let mut expect = Stripe::new(self.config().clone(), stripe.symbol_size())?;
+            expect.fill_pattern(tag.wrapping_add(idx as u8));
+            if stripe.read_data()? != expect.read_data()? {
+                return Err(Error::Corrupt(format!("stripe {idx} payload mismatch")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Marks a device failed: every sector of its chunk is lost in every
+    /// stripe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device ≥ n`.
+    pub fn fail_device(&mut self, device: usize) {
+        assert!(device < self.config().n(), "device {device} out of range");
+        self.failed_devices.insert(device);
+        // Physically clobber the data to model the loss.
+        for stripe in &mut self.stripes {
+            for row in 0..self.codec.config().r() {
+                stripe.cell_mut(row, device).fill(0);
+            }
+        }
+    }
+
+    /// Injects a latent error at one sector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range coordinates.
+    pub fn inject_sector_failure(&mut self, stripe: usize, device: usize, row: usize) {
+        assert!(stripe < self.stripes.len(), "stripe {stripe} out of range");
+        assert!(
+            device < self.config().n() && row < self.config().r(),
+            "sector out of range"
+        );
+        self.stripes[stripe].cell_mut(row, device).fill(0);
+        self.latent.insert((stripe, row, device));
+    }
+
+    /// Injects a burst of `len` contiguous failed sectors in one chunk
+    /// (§7.1.2's correlated failure mode), clipped at the chunk end per the
+    /// paper's assumption that bursts do not span chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range coordinates.
+    pub fn inject_burst(&mut self, stripe: usize, device: usize, start_row: usize, len: usize) {
+        let r = self.config().r();
+        assert!(start_row < r, "burst start out of range");
+        for row in start_row..(start_row + len).min(r) {
+            self.inject_sector_failure(stripe, device, row);
+        }
+    }
+
+    /// Repairs all known damage: every stripe with failed-device chunks or
+    /// latent errors is decoded, then the failed-device set and the latent
+    /// list are cleared (modeling replacement + rebuild).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DataLoss`] if any stripe's damage exceeds the
+    /// code's coverage; the report inside describes how far repair got.
+    pub fn repair_all(&mut self) -> Result<ScrubReport, Error> {
+        let mut report = ScrubReport::default();
+        let r = self.config().r();
+        for idx in 0..self.stripes.len() {
+            let mut erased: Vec<(usize, usize)> = Vec::new();
+            for &d in &self.failed_devices {
+                erased.extend((0..r).map(|row| (row, d)));
+            }
+            erased.extend(
+                self.latent
+                    .iter()
+                    .filter(|&&(s, _, _)| s == idx)
+                    .map(|&(_, row, col)| (row, col))
+                    // A latent error inside an already-failed device would
+                    // duplicate the device's erasures.
+                    .filter(|&(_, col)| !self.failed_devices.contains(&col)),
+            );
+            if erased.is_empty() {
+                continue;
+            }
+            match self.codec.decode(&mut self.stripes[idx], &erased) {
+                Ok(()) => {
+                    report.stripes_repaired += 1;
+                    report.sectors_repaired += erased.len();
+                }
+                Err(stair::Error::Unrecoverable { .. }) => {
+                    report.stripes_lost += 1;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        if report.stripes_lost > 0 {
+            return Err(Error::DataLoss(format!(
+                "{} of {} stripes unrecoverable",
+                report.stripes_lost,
+                self.stripes.len()
+            )));
+        }
+        self.failed_devices.clear();
+        self.latent.clear();
+        Ok(report)
+    }
+
+    /// Scrub: repair only the latent sector errors (no failed devices),
+    /// modeling a periodic background scrub [29, 41, 43].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DataLoss`] if a stripe's latent errors alone exceed
+    /// coverage.
+    pub fn scrub(&mut self) -> Result<ScrubReport, Error> {
+        let mut report = ScrubReport::default();
+        let latent: Vec<(usize, usize, usize)> = self.latent.iter().copied().collect();
+        let mut by_stripe: std::collections::BTreeMap<usize, Vec<(usize, usize)>> =
+            Default::default();
+        for (s, row, col) in latent {
+            if !self.failed_devices.contains(&col) {
+                by_stripe.entry(s).or_default().push((row, col));
+            }
+        }
+        for (idx, erased) in by_stripe {
+            match self.codec.decode(&mut self.stripes[idx], &erased) {
+                Ok(()) => {
+                    report.stripes_repaired += 1;
+                    report.sectors_repaired += erased.len();
+                    for (row, col) in erased {
+                        self.latent.remove(&(idx, row, col));
+                    }
+                }
+                Err(stair::Error::Unrecoverable { .. }) => report.stripes_lost += 1,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        if report.stripes_lost > 0 {
+            return Err(Error::DataLoss(format!(
+                "{} stripes unscrubbable",
+                report.stripes_lost
+            )));
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn array() -> StorageArray {
+        let config = Config::new(8, 4, 2, &[1, 1, 2]).unwrap();
+        let mut a = StorageArray::new(config, 16, 8).unwrap();
+        a.write_blocks(5).unwrap();
+        a
+    }
+
+    #[test]
+    fn clean_array_verifies() {
+        let a = array();
+        a.verify_blocks(5).unwrap();
+        assert!(matches!(a.verify_blocks(6), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn device_failures_and_bursts_repair() {
+        let mut a = array();
+        a.fail_device(0);
+        a.fail_device(6);
+        a.inject_burst(3, 4, 2, 2);
+        a.inject_sector_failure(5, 2, 0);
+        let report = a.repair_all().unwrap();
+        assert_eq!(report.stripes_repaired, 8);
+        a.verify_blocks(5).unwrap();
+        assert!(a.failed_devices().is_empty());
+    }
+
+    #[test]
+    fn scrub_repairs_latent_errors_only() {
+        let mut a = array();
+        a.inject_sector_failure(0, 1, 2);
+        a.inject_sector_failure(4, 3, 3);
+        let report = a.scrub().unwrap();
+        assert_eq!(report.sectors_repaired, 2);
+        assert_eq!(a.latent_errors(), 0);
+        a.verify_blocks(5).unwrap();
+    }
+
+    #[test]
+    fn damage_beyond_coverage_is_data_loss() {
+        let mut a = array();
+        a.fail_device(0);
+        a.fail_device(1);
+        a.fail_device(2);
+        assert!(matches!(a.repair_all(), Err(Error::DataLoss(_))));
+    }
+
+    #[test]
+    fn burst_clipped_at_chunk_end() {
+        let mut a = array();
+        a.inject_burst(0, 2, 3, 5); // only row 3 exists from start 3
+        assert_eq!(a.latent_errors(), 1);
+        a.scrub().unwrap();
+        a.verify_blocks(5).unwrap();
+    }
+}

@@ -1,0 +1,47 @@
+//! Error type for the array simulator.
+
+use core::fmt;
+
+/// Errors returned by the simulator.
+#[derive(Clone, Debug, Eq, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Invalid simulator parameters.
+    InvalidParams(String),
+    /// The requested device/stripe/sector does not exist.
+    OutOfRange(String),
+    /// A repair failed: the accumulated damage exceeds the code's coverage
+    /// (a data-loss event).
+    DataLoss(String),
+    /// Stored data failed post-repair verification.
+    Corrupt(String),
+    /// Underlying STAIR codec error.
+    Stair(stair::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidParams(m) => write!(f, "invalid parameters: {m}"),
+            Error::OutOfRange(m) => write!(f, "out of range: {m}"),
+            Error::DataLoss(m) => write!(f, "data loss: {m}"),
+            Error::Corrupt(m) => write!(f, "corruption detected: {m}"),
+            Error::Stair(e) => write!(f, "codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Stair(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<stair::Error> for Error {
+    fn from(e: stair::Error) -> Self {
+        Error::Stair(e)
+    }
+}

@@ -1,0 +1,156 @@
+//! Samplers for the paper's sector-failure models (§7.1.2), used to drive
+//! the byte-level array and the Monte-Carlo estimators.
+
+// Coordinate-indexed loops mirror the paper's (row, column) notation and
+// stay symmetric with the write side; iterator adaptors would obscure that.
+#![allow(clippy::needless_range_loop)]
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use stair_reliability::BurstModel;
+
+/// Samples sector failures for chunks of `r` sectors.
+///
+/// Under the independent model each sector fails with probability `p_sec`;
+/// under the correlated model each sector *starts* a failure burst with
+/// probability `p_sec / B` and the burst length is drawn from the fitted
+/// `(b1, α)` distribution (clipped at the chunk end, matching the paper's
+/// assumption that bursts do not span chunks).
+#[derive(Clone, Debug)]
+pub struct FailureInjector {
+    r: usize,
+    p_sec: f64,
+    burst: Option<BurstModel>,
+    rng: SmallRng,
+}
+
+impl FailureInjector {
+    /// Independent sector failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p_sec ≤ 1` and `r ≥ 1`.
+    pub fn independent(r: usize, p_sec: f64, seed: u64) -> Self {
+        assert!(r >= 1 && (0.0..=1.0).contains(&p_sec));
+        FailureInjector {
+            r,
+            p_sec,
+            burst: None,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Correlated bursts with the given length distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p_sec ≤ 1` and the burst model matches `r`.
+    pub fn correlated(r: usize, p_sec: f64, burst: BurstModel, seed: u64) -> Self {
+        assert!(r >= 1 && (0.0..=1.0).contains(&p_sec));
+        assert_eq!(burst.max_len(), r, "burst model truncation must equal r");
+        FailureInjector {
+            r,
+            p_sec,
+            burst: Some(burst),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Samples the failed-sector rows of one chunk.
+    pub fn sample_chunk(&mut self) -> Vec<usize> {
+        let mut failed = vec![false; self.r];
+        match &self.burst {
+            None => {
+                for f in failed.iter_mut() {
+                    if self.rng.gen::<f64>() < self.p_sec {
+                        *f = true;
+                    }
+                }
+            }
+            Some(burst) => {
+                let start_p = self.p_sec / burst.mean();
+                for row in 0..self.r {
+                    if self.rng.gen::<f64>() < start_p {
+                        let len = sample_length(burst, &mut self.rng);
+                        for k in row..(row + len).min(self.r) {
+                            failed[k] = true;
+                        }
+                    }
+                }
+            }
+        }
+        failed
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &f)| f.then_some(i))
+            .collect()
+    }
+
+    /// Samples per-chunk failure *counts* for `chunks` chunks (what the
+    /// stripe-level reliability model consumes).
+    pub fn sample_counts(&mut self, chunks: usize) -> Vec<usize> {
+        (0..chunks).map(|_| self.sample_chunk().len()).collect()
+    }
+}
+
+fn sample_length(burst: &BurstModel, rng: &mut SmallRng) -> usize {
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    for len in 1..=burst.max_len() {
+        acc += burst.fraction(len);
+        if u < acc {
+            return len;
+        }
+    }
+    burst.max_len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_rate_matches() {
+        let mut inj = FailureInjector::independent(16, 0.05, 42);
+        let mut total = 0usize;
+        let trials = 20_000;
+        for _ in 0..trials {
+            total += inj.sample_chunk().len();
+        }
+        let rate = total as f64 / (trials * 16) as f64;
+        assert!((rate - 0.05).abs() < 0.005, "rate {rate}");
+    }
+
+    #[test]
+    fn bursts_produce_contiguous_runs() {
+        let burst = BurstModel::from_pareto(0.5, 1.0, 16);
+        let mut inj = FailureInjector::correlated(16, 0.02, burst, 7);
+        let mut saw_multi = false;
+        for _ in 0..5_000 {
+            let rows = inj.sample_chunk();
+            if rows.len() >= 2 {
+                // Rows from a single burst are contiguous; multiple bursts
+                // may merge, but at this rate most multi-failures are one
+                // burst.
+                saw_multi = true;
+            }
+        }
+        assert!(
+            saw_multi,
+            "correlated model should produce multi-sector chunks"
+        );
+    }
+
+    #[test]
+    fn correlated_overall_rate_tracks_p_sec() {
+        let burst = BurstModel::from_pareto(0.98, 1.79, 16);
+        let mut inj = FailureInjector::correlated(16, 0.02, burst, 11);
+        let mut total = 0usize;
+        let trials = 20_000;
+        for _ in 0..trials {
+            total += inj.sample_chunk().len();
+        }
+        let rate = total as f64 / (trials * 16) as f64;
+        // Clipping at chunk ends loses a little mass; allow a wide band.
+        assert!((rate - 0.02).abs() < 0.004, "rate {rate}");
+    }
+}

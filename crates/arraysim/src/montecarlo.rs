@@ -1,0 +1,199 @@
+//! Monte-Carlo estimation of stripe-loss probabilities, cross-validating
+//! the analytical `P_str` enumerator of `stair-reliability` (§7, Appendix
+//! B) against sampled failures.
+
+use parking_lot::Mutex;
+use stair_reliability::{Scheme, SectorModel};
+
+use crate::FailureInjector;
+
+/// A Monte-Carlo estimate with its standard error.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Estimate {
+    /// Estimated probability.
+    pub p: f64,
+    /// Number of trials.
+    pub trials: u64,
+    /// Binomial standard error `√(p(1−p)/trials)`.
+    pub std_err: f64,
+}
+
+impl Estimate {
+    fn from_hits(hits: u64, trials: u64) -> Self {
+        let p = hits as f64 / trials as f64;
+        Estimate {
+            p,
+            trials,
+            std_err: (p * (1.0 - p) / trials as f64).sqrt(),
+        }
+    }
+}
+
+/// Estimates `P_str` for a scheme by sampling per-chunk failures for the
+/// `n − m` non-failed chunks of a critical-mode stripe and testing the
+/// scheme's coverage, sharded across `threads` worker threads.
+///
+/// # Panics
+///
+/// Panics if `trials` or `threads` is zero, or on invalid model parameters
+/// (propagated from [`FailureInjector`]).
+#[allow(clippy::too_many_arguments)] // experiment knobs are clearest flat
+pub fn estimate_p_str(
+    scheme: &Scheme,
+    n: usize,
+    m: usize,
+    r: usize,
+    p_sec: f64,
+    model: &SectorModel,
+    trials: u64,
+    threads: usize,
+    seed: u64,
+) -> Estimate {
+    assert!(
+        trials > 0 && threads > 0,
+        "need positive trials and threads"
+    );
+    assert!(n > m, "need n > m");
+    let chunks = n - m;
+    let hits = Mutex::new(0u64);
+    crossbeam::thread::scope(|scope| {
+        for t in 0..threads {
+            let share = trials / threads as u64
+                + if (t as u64) < trials % threads as u64 {
+                    1
+                } else {
+                    0
+                };
+            let hits = &hits;
+            let scheme = scheme.clone();
+            let model = model.clone();
+            scope.spawn(move |_| {
+                let mut inj = match &model {
+                    SectorModel::Independent => {
+                        FailureInjector::independent(r, p_sec, seed ^ ((t as u64 + 1) * 0x9E37))
+                    }
+                    SectorModel::Correlated(b) => FailureInjector::correlated(
+                        r,
+                        p_sec,
+                        b.clone(),
+                        seed ^ ((t as u64 + 1) * 0x9E37),
+                    ),
+                };
+                let mut local = 0u64;
+                for _ in 0..share {
+                    let counts = inj.sample_counts(chunks);
+                    if !scheme.covers_counts(&counts) {
+                        local += 1;
+                    }
+                }
+                *hits.lock() += local;
+            });
+        }
+    })
+    .expect("monte-carlo worker panicked");
+    Estimate::from_hits(hits.into_inner(), trials)
+}
+
+#[cfg(test)]
+mod tests {
+    use stair_reliability::{p_chk, p_str, BurstModel};
+
+    use super::*;
+
+    /// The Monte-Carlo estimate must agree with the analytical enumerator
+    /// within a few standard errors (independent model).
+    #[test]
+    fn monte_carlo_matches_analytic_independent() {
+        let (n, m, r) = (8, 1, 8);
+        let p_sec = 0.02; // inflated so events are observable
+        let scheme = Scheme::stair(&[1, 2]);
+        let est = estimate_p_str(
+            &scheme,
+            n,
+            m,
+            r,
+            p_sec,
+            &SectorModel::Independent,
+            400_000,
+            4,
+            0xFEED,
+        );
+        let pchk = p_chk(&SectorModel::Independent, p_sec, r);
+        let analytic = p_str(&scheme, n, m, &pchk);
+        assert!(
+            (est.p - analytic).abs() < 5.0 * est.std_err.max(1e-6),
+            "MC {} ± {} vs analytic {analytic}",
+            est.p,
+            est.std_err
+        );
+    }
+
+    /// Correlated model: the sampler (bursts started per sector, clipped at
+    /// chunk ends, possibly overlapping) is *more* detailed than the
+    /// paper's first-order Eq. (15)–(17); they must still agree closely at
+    /// realistic rates.
+    #[test]
+    fn monte_carlo_matches_analytic_correlated() {
+        let (n, m, r) = (8, 1, 16);
+        let p_sec = 0.01;
+        let burst = BurstModel::from_pareto(0.9, 1.0, r);
+        let scheme = Scheme::stair(&[2]);
+        let est = estimate_p_str(
+            &scheme,
+            n,
+            m,
+            r,
+            p_sec,
+            &SectorModel::Correlated(burst.clone()),
+            400_000,
+            4,
+            0xBEEF,
+        );
+        let pchk = p_chk(&SectorModel::Correlated(burst), p_sec, r);
+        let analytic = p_str(&scheme, n, m, &pchk);
+        // First-order model vs exact sampling: allow 10% relative slack
+        // plus sampling noise.
+        let tol = 0.1 * analytic + 5.0 * est.std_err;
+        assert!(
+            (est.p - analytic).abs() < tol,
+            "MC {} ± {} vs analytic {analytic}",
+            est.p,
+            est.std_err
+        );
+    }
+
+    /// RS vs STAIR ordering must hold in sampled form too.
+    #[test]
+    fn sampled_ordering_rs_vs_stair() {
+        let (n, m, r) = (6, 1, 8);
+        let p_sec = 0.03;
+        let rs = estimate_p_str(
+            &Scheme::reed_solomon(),
+            n,
+            m,
+            r,
+            p_sec,
+            &SectorModel::Independent,
+            200_000,
+            2,
+            7,
+        );
+        let st = estimate_p_str(
+            &Scheme::stair(&[1, 1]),
+            n,
+            m,
+            r,
+            p_sec,
+            &SectorModel::Independent,
+            200_000,
+            2,
+            7,
+        );
+        assert!(
+            rs.p > st.p,
+            "RS {} must lose more stripes than STAIR {}",
+            rs.p,
+            st.p
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Criterion benches behind Fig. 13: worst-case decode throughput, plus
+//! the §4.3 practical-decoding ablation (local row repair vs global
+//! upstairs decoding).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use stair::{Config, StairCodec, Stripe};
+use stair_bench::{worst_case_e, AnySd, StairBench};
+
+fn bench_decode_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_stair_vs_sd");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let stripe_size = 2 * 1024 * 1024;
+    let (n, r, m) = (16usize, 16usize, 2usize);
+    let symbol = stripe_size / (n * r);
+    group.throughput(Throughput::Bytes((symbol * n * r) as u64));
+    for s in 1..=3usize {
+        let e = worst_case_e(n, r, m, s).expect("feasible e");
+        let mut bench = StairBench::new(n, r, m, &e, stripe_size);
+        bench.codec.encode(&mut bench.stripe).expect("encode");
+        let erased = bench.worst_case_erasures();
+        let plan = bench.codec.plan_decode(&erased).expect("plan");
+        group.bench_function(BenchmarkId::new("stair", s), |b| {
+            b.iter(|| {
+                bench
+                    .codec
+                    .apply_plan(&plan, &mut bench.stripe)
+                    .expect("decode")
+            });
+        });
+
+        let sd = AnySd::new(n, r, m, s).expect("sd construction");
+        let mut sd_stripe = sd.stripe(symbol);
+        sd_stripe.fill_pattern(1);
+        sd.encode(&mut sd_stripe).expect("encode");
+        let sd_erased = sd.worst_case_erasures(r);
+        group.bench_function(BenchmarkId::new("sd", s), |b| {
+            b.iter(|| sd.decode(&mut sd_stripe, &sd_erased).expect("decode"));
+        });
+    }
+    group.finish();
+}
+
+/// §4.3 ablation: a failure pattern repairable row-locally (≤ m per row)
+/// vs the same number of lost sectors concentrated to force global
+/// (upstairs) decoding.
+fn bench_practical_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("practical_vs_global_decode");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let (n, r, m) = (16usize, 16usize, 2usize);
+    let symbol = 8192usize;
+    let config = Config::new(n, r, m, &[1, 1, 2]).expect("config");
+    let codec: StairCodec = StairCodec::new(config.clone()).expect("codec");
+    let mut stripe = Stripe::new(config, symbol).expect("stripe");
+    stripe.fill_pattern(1);
+    codec.encode(&mut stripe).expect("encode");
+    group.throughput(Throughput::Bytes((symbol * n * r) as u64));
+
+    // 4 sectors scattered over 4 rows: pure row-local repair.
+    let local: Vec<(usize, usize)> = vec![(0, 0), (1, 3), (2, 5), (3, 9)];
+    let local_plan = codec.plan_decode(&local).expect("plan");
+    group.bench_function("local_rows", |b| {
+        b.iter(|| codec.apply_plan(&local_plan, &mut stripe).expect("decode"));
+    });
+
+    // 4 sectors in the (1,1,2) worst-case shape: needs global parities.
+    let global: Vec<(usize, usize)> = vec![(15, 0), (15, 1), (14, 2), (15, 2)];
+    let global_plan = codec.plan_decode(&global).expect("plan");
+    group.bench_function("global_upstairs", |b| {
+        b.iter(|| codec.apply_plan(&global_plan, &mut stripe).expect("decode"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decode_sweep, bench_practical_decode);
+criterion_main!(benches);

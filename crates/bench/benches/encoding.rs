@@ -1,0 +1,71 @@
+//! Criterion benches behind Fig. 9 / Fig. 11: the three STAIR encoding
+//! methods, and STAIR-vs-SD encode throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use stair::{Config, EncodingMethod, StairCodec, Stripe};
+use stair_bench::{worst_case_e, AnySd};
+
+/// Upstairs vs downstairs vs standard on configurations chosen to favour
+/// each method (§5.3's crossover in m').
+fn bench_encoding_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoding_methods");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let stripe_size = 2 * 1024 * 1024;
+    for e in [vec![4], vec![2, 2], vec![1, 1, 1, 1]] {
+        let (n, r, m) = (8usize, 16usize, 2usize);
+        let config = Config::new(n, r, m, &e).expect("config");
+        let symbol = stripe_size / (n * r);
+        let codec: StairCodec = StairCodec::new(config.clone()).expect("codec");
+        let mut stripe = Stripe::new(config, symbol).expect("stripe");
+        stripe.fill_pattern(1);
+        group.throughput(Throughput::Bytes((symbol * n * r) as u64));
+        for method in [
+            EncodingMethod::Upstairs,
+            EncodingMethod::Downstairs,
+            EncodingMethod::Standard,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{method:?}"), format!("e={e:?}")),
+                &method,
+                |b, &method| {
+                    b.iter(|| codec.encode_with(method, &mut stripe).expect("encode"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// STAIR vs SD encode at the paper's central configuration n = r = 16.
+fn bench_encode_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode_stair_vs_sd");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let stripe_size = 2 * 1024 * 1024;
+    let (n, r, m) = (16usize, 16usize, 2usize);
+    let symbol = stripe_size / (n * r);
+    group.throughput(Throughput::Bytes((symbol * n * r) as u64));
+    for s in 1..=3usize {
+        let e = worst_case_e(n, r, m, s).expect("feasible e");
+        let config = Config::new(n, r, m, &e).expect("config");
+        let codec: StairCodec = StairCodec::new(config.clone()).expect("codec");
+        let mut stripe = Stripe::new(config, symbol).expect("stripe");
+        stripe.fill_pattern(1);
+        group.bench_function(BenchmarkId::new("stair", s), |b| {
+            b.iter(|| codec.encode(&mut stripe).expect("encode"));
+        });
+        let sd = AnySd::new(n, r, m, s).expect("sd construction");
+        let mut sd_stripe = sd.stripe(symbol);
+        sd_stripe.fill_pattern(1);
+        group.bench_function(BenchmarkId::new("sd", s), |b| {
+            b.iter(|| sd.encode(&mut sd_stripe).expect("encode"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding_methods, bench_encode_sweep);
+criterion_main!(benches);

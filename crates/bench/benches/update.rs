@@ -1,0 +1,46 @@
+//! Criterion bench behind Fig. 14's operational meaning: the latency of an
+//! in-place data-sector update scales with the configuration's update
+//! penalty, which for fixed s grows with e_max (§6.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use stair::{Config, StairCodec, Stripe};
+
+fn bench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sector_update");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let (n, r, m) = (16usize, 16usize, 2usize);
+    let symbol = 4096usize;
+    group.throughput(Throughput::Bytes(symbol as u64));
+    for e in [
+        vec![1, 1, 1, 1],
+        vec![1, 1, 2],
+        vec![2, 2],
+        vec![1, 3],
+        vec![4],
+    ] {
+        let config = Config::new(n, r, m, &e).expect("config");
+        let codec: StairCodec = StairCodec::new(config.clone()).expect("codec");
+        let mut stripe = Stripe::new(config, symbol).expect("stripe");
+        stripe.fill_pattern(1);
+        codec.encode(&mut stripe).expect("encode");
+        let new_contents = vec![0xD7u8; symbol];
+        let penalty = codec.relations().update_penalty().average;
+        group.bench_with_input(
+            BenchmarkId::new("update", format!("e={e:?} penalty={penalty:.1}")),
+            &e,
+            |b, _| {
+                b.iter(|| {
+                    codec
+                        .update_data(&mut stripe, 0, 0, &new_contents)
+                        .expect("update");
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update);
+criterion_main!(benches);

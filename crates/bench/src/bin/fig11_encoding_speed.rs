@@ -1,0 +1,49 @@
+//! Regenerates **Fig. 11**: encoding speed of STAIR vs SD codes.
+//!
+//! (a) varying n with r = 16;  (b) varying r with n = 16;
+//! m ∈ {1, 2, 3}, STAIR s ∈ {1..4} (worst-case e per s), SD s ∈ {1..3}.
+//!
+//! Set `STAIR_BENCH_STRIPE_MB=32` to match the paper's stripe size.
+
+use stair_bench::{print_row, sd_encode_speed, stair_encode_speed, stripe_bytes, worst_case_e};
+
+fn main() {
+    let stripe = stripe_bytes();
+    println!(
+        "Fig. 11: encoding speed (MB/s), stripe = {} MB, worst-case e per s\n",
+        stripe / (1024 * 1024)
+    );
+
+    println!("(a) varying n, r = 16");
+    sweep(&[4, 8, 12, 16, 20, 24, 28, 32], |n| (n, 16), stripe);
+
+    println!("\n(b) varying r, n = 16");
+    sweep(&[4, 8, 12, 16, 20, 24, 28, 32], |r| (16, r), stripe);
+
+    println!("\n(paper: STAIR beats SD by ~106% on average through parity reuse; speed");
+    println!(" increases with n and r as the parity fraction shrinks — §6.2.1)");
+}
+
+fn sweep(xs: &[usize], to_nr: impl Fn(usize) -> (usize, usize), stripe: usize) {
+    for m in 1..=3usize {
+        println!("  m = {m}:");
+        for &x in xs {
+            let (n, r) = to_nr(x);
+            if m >= n {
+                continue;
+            }
+            let mut row: Vec<(String, f64)> = Vec::new();
+            for s in 1..=3usize {
+                if let Some(v) = sd_encode_speed(n, r, m, s, stripe) {
+                    row.push((format!("SD{s}"), v));
+                }
+            }
+            for s in 1..=4usize {
+                if let Some(e) = worst_case_e(n, r, m, s) {
+                    row.push((format!("ST{s}"), stair_encode_speed(n, r, m, &e, stripe)));
+                }
+            }
+            print_row(&format!("    n={n} r={r}"), &row);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Regenerates **Fig. 13**: worst-case decoding speed of STAIR vs SD codes
+//! (the m leftmost chunks plus s further sectors lost), plus the §6.2.2
+//! pure-device-failure (s = 0) comparison.
+
+use stair::{Config, StairCodec, Stripe};
+use stair_bench::{
+    print_row, reps, sd_decode_speed, stair_decode_speed, stripe_bytes, throughput_mbps,
+    worst_case_e,
+};
+
+fn main() {
+    let stripe = stripe_bytes();
+    println!(
+        "Fig. 13: worst-case decoding speed (MB/s), stripe = {} MB\n",
+        stripe / (1024 * 1024)
+    );
+
+    println!("(a) varying n, r = 16");
+    sweep(&[4, 8, 12, 16, 20, 24, 28, 32], |n| (n, 16), stripe);
+
+    println!("\n(b) varying r, n = 16");
+    sweep(&[4, 8, 12, 16, 20, 24, 28, 32], |r| (16, r), stripe);
+
+    println!("\n§6.2.2: decoding with only device failures (s = 0) vs worst case, n = r = 16");
+    for m in 1..=3usize {
+        let e = worst_case_e(16, 16, m, 1).expect("feasible");
+        let worst = stair_decode_speed(16, 16, m, &e, stripe);
+        let device_only = stair_device_only_decode_speed(16, 16, m, &e, stripe);
+        println!(
+            "  m={m}: device-only {device_only:.0} MB/s vs worst-case(s=1) {worst:.0} MB/s \
+             (+{:.1}%)",
+            (device_only / worst - 1.0) * 100.0
+        );
+    }
+}
+
+fn sweep(xs: &[usize], to_nr: impl Fn(usize) -> (usize, usize), stripe: usize) {
+    for m in 1..=3usize {
+        println!("  m = {m}:");
+        for &x in xs {
+            let (n, r) = to_nr(x);
+            if m >= n {
+                continue;
+            }
+            let mut row: Vec<(String, f64)> = Vec::new();
+            for s in 1..=3usize {
+                if let Some(v) = sd_decode_speed(n, r, m, s, stripe) {
+                    row.push((format!("SD{s}"), v));
+                }
+            }
+            for s in 1..=4usize {
+                if let Some(e) = worst_case_e(n, r, m, s) {
+                    row.push((format!("ST{s}"), stair_decode_speed(n, r, m, &e, stripe)));
+                }
+            }
+            print_row(&format!("    n={n} r={r}"), &row);
+        }
+    }
+}
+
+/// Decode speed when only the m leftmost devices failed (identical to
+/// Reed-Solomon decoding; §6.2.2).
+fn stair_device_only_decode_speed(
+    n: usize,
+    r: usize,
+    m: usize,
+    e: &[usize],
+    stripe_size: usize,
+) -> f64 {
+    let config = Config::new(n, r, m, e).expect("config");
+    let symbol = (stripe_size / (n * r)).max(16) & !15;
+    let codec: StairCodec = StairCodec::new(config.clone()).expect("codec");
+    let mut stripe = Stripe::new(config, symbol).expect("stripe");
+    stripe.fill_pattern(9);
+    codec.encode(&mut stripe).expect("encode");
+    let erased: Vec<(usize, usize)> = (0..m)
+        .flat_map(|c| (0..r).map(move |row| (row, c)))
+        .collect();
+    let plan = codec.plan_decode(&erased).expect("plan");
+    throughput_mbps(symbol * n * r, reps(), move || {
+        codec.apply_plan(&plan, &mut stripe).expect("decode");
+    })
+}

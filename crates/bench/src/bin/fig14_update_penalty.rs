@@ -1,0 +1,31 @@
+//! Regenerates **Fig. 14**: update penalty of STAIR codes for different e
+//! with n = 16, s = 4, r ∈ {8, 16, 24, 32}, m ∈ {1, 2, 3}.
+
+use stair::{Config, StairCodec};
+use stair_bench::partitions;
+
+fn main() {
+    let (n, s) = (16usize, 4usize);
+    println!("Fig. 14: average update penalty, n={n} s={s}");
+    println!(
+        "{:>12} {:>4} {:>8} {:>8} {:>8}",
+        "e", "r", "m=1", "m=2", "m=3"
+    );
+    for r in [8usize, 16, 24, 32] {
+        for e in partitions(s) {
+            print!("{:>12} {r:>4}", format!("{e:?}"));
+            for m in 1..=3usize {
+                match Config::new(n, r, m, &e) {
+                    Ok(config) => {
+                        let codec: StairCodec = StairCodec::new(config).expect("codec");
+                        print!(" {:>8.2}", codec.relations().update_penalty().average);
+                    }
+                    Err(_) => print!(" {:>8}", "-"),
+                }
+            }
+            println!();
+        }
+        println!();
+    }
+    println!("(paper: penalty increases with m, and for fixed s grows with e_max — §6.3)");
+}

@@ -1,0 +1,68 @@
+//! Regenerates **Fig. 15**: update penalty of STAIR (min/avg/max over all
+//! feasible e) vs SD vs Reed–Solomon, for n = r = 16, m ∈ {1, 2, 3}.
+
+use stair::{Config, StairCodec};
+use stair_bench::{feasible_es, AnySd};
+use stair_gf::Field;
+
+fn main() {
+    let (n, r) = (16usize, 16usize);
+    println!("Fig. 15: update penalty, n = r = 16\n");
+    for m in 1..=3usize {
+        println!("  m = {m}:");
+        println!("    RS: {m}.00 (each data symbol updates its m row parities)");
+        for s in 1..=4usize {
+            // STAIR: range over all feasible e.
+            let mut penalties: Vec<f64> = Vec::new();
+            for e in feasible_es(n, r, m, s) {
+                let config = Config::new(n, r, m, &e).expect("feasible");
+                let codec: StairCodec = StairCodec::new(config).expect("codec");
+                penalties.push(codec.relations().update_penalty().average);
+            }
+            penalties.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            let avg = penalties.iter().sum::<f64>() / penalties.len() as f64;
+            print!(
+                "    s={s}: STAIR min/avg/max = {:.2}/{avg:.2}/{:.2}",
+                penalties.first().expect("non-empty"),
+                penalties.last().expect("non-empty"),
+            );
+            if s <= 3 {
+                match AnySd::new(n, r, m, s) {
+                    Ok(code) => print!("   SD = {:.2}", sd_update_penalty(&code)),
+                    Err(_) => print!("   SD = (no construction)"),
+                }
+            } else {
+                print!("   SD = (no construction for s > 3)");
+            }
+            println!();
+        }
+    }
+    println!("\n(paper: STAIR's range covers SD's value; both exceed RS — suited to");
+    println!(" systems with rare updates or full-stripe writes — §6.3)");
+}
+
+/// Average number of parity sectors touched when one SD data sector is
+/// updated (non-zero columns of the dense encoding matrix).
+fn sd_update_penalty(code: &AnySd) -> f64 {
+    match code {
+        AnySd::G8(c) => dense_penalty(c),
+        AnySd::G16(c) => dense_penalty(c),
+    }
+}
+
+fn dense_penalty<F: Field>(code: &stair_sd::SdCode<F>) -> f64 {
+    // encode matrix is parity × data; penalty of data symbol d = number of
+    // parities with a non-zero coefficient on d.
+    let data = code.data_positions().len();
+    let mut total = 0usize;
+    for d in 0..data {
+        let mut touched = 0usize;
+        for p in 0..code.parity_positions().len() {
+            if code.encode_coefficient(p, d) != F::zero() {
+                touched += 1;
+            }
+        }
+        total += touched;
+    }
+    total as f64 / data as f64
+}

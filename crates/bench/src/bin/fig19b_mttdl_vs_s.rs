@@ -1,0 +1,37 @@
+//! Regenerates **Fig. 19(b)**: MTTDL_sys of STAIR with e = (s) vs
+//! e = (1, s−1) as s grows, for four (b1, α) burstiness levels and
+//! P_bit ∈ {1e-14, 1e-12, 1e-10}.
+
+use stair_reliability::{BurstModel, Scheme, SectorModel, SystemParams};
+
+fn main() {
+    let params = SystemParams::paper_defaults();
+    let pairs = [(0.9, 1.0), (0.99, 2.0), (0.999, 3.0), (0.9999, 4.0)];
+    println!("Fig. 19(b): MTTDL_sys (hours) vs s for e=(s) and e=(1,s−1)\n");
+    for pb in [1e-14, 1e-12, 1e-10] {
+        println!("P_bit = {pb:.0e}:");
+        print!("{:>4}", "s");
+        for (b1, a) in pairs {
+            print!("  (s)@{b1}/{a:<4}  (1,s-1)@{b1}/{a:<4}");
+        }
+        println!();
+        for s in 1..=12usize {
+            print!("{s:>4}");
+            for (b1, a) in pairs {
+                let model = SectorModel::Correlated(BurstModel::from_pareto(b1, a, params.r));
+                let es = params.mttdl_sys(&Scheme::stair(&[s]), &model, pb);
+                let e1s = if s >= 2 {
+                    params.mttdl_sys(&Scheme::stair(&[1, s - 1]), &model, pb)
+                } else {
+                    es
+                };
+                print!("  {es:>12.3e}  {e1s:>16.3e}");
+            }
+            println!();
+        }
+        println!();
+    }
+    println!("(paper: under bursty failures e=(s) pulls away as s grows — the case for");
+    println!(" supporting s beyond SD's s ≤ 3; under near-independent failures the");
+    println!(" ordering can invert — §7.2.2)");
+}

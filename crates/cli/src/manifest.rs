@@ -1,0 +1,136 @@
+//! The plain-text archive manifest (`manifest.txt`): enough metadata to
+//! reopen and repair an archive with no external dependencies.
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// Archive metadata.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct Manifest {
+    /// Devices (chunk files).
+    pub n: usize,
+    /// Sectors per chunk per stripe.
+    pub r: usize,
+    /// Tolerated device failures.
+    pub m: usize,
+    /// Sector-failure coverage vector.
+    pub e: Vec<usize>,
+    /// Sector size in bytes.
+    pub symbol: usize,
+    /// Number of stripes.
+    pub stripes: usize,
+    /// Original file length in bytes (payload is zero-padded to stripe
+    /// boundaries).
+    pub file_len: u64,
+}
+
+impl fmt::Display for Manifest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "format=stair-archive-v1")?;
+        writeln!(f, "n={}", self.n)?;
+        writeln!(f, "r={}", self.r)?;
+        writeln!(f, "m={}", self.m)?;
+        let e: Vec<String> = self.e.iter().map(usize::to_string).collect();
+        writeln!(f, "e={}", e.join(","))?;
+        writeln!(f, "symbol={}", self.symbol)?;
+        writeln!(f, "stripes={}", self.stripes)?;
+        writeln!(f, "file_len={}", self.file_len)
+    }
+}
+
+impl Manifest {
+    /// Writes `manifest.txt` into `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, dir: &Path) -> io::Result<()> {
+        std::fs::write(dir.join("manifest.txt"), self.to_string())
+    }
+
+    /// Loads `manifest.txt` from `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::InvalidData`] for malformed manifests, and
+    /// propagates I/O errors.
+    pub fn load(dir: &Path) -> io::Result<Self> {
+        let text = std::fs::read_to_string(dir.join("manifest.txt"))?;
+        Self::parse(&text)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed manifest"))
+    }
+
+    /// Parses the manifest text format.
+    pub fn parse(text: &str) -> Option<Self> {
+        let mut n = None;
+        let mut r = None;
+        let mut m = None;
+        let mut e: Option<Vec<usize>> = None;
+        let mut symbol = None;
+        let mut stripes = None;
+        let mut file_len = None;
+        let mut format_ok = false;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line.split_once('=')?;
+            match key {
+                "format" => format_ok = value == "stair-archive-v1",
+                "n" => n = value.parse().ok(),
+                "r" => r = value.parse().ok(),
+                "m" => m = value.parse().ok(),
+                "e" => {
+                    e = value
+                        .split(',')
+                        .map(|v| v.trim().parse::<usize>().ok())
+                        .collect::<Option<Vec<_>>>()
+                }
+                "symbol" => symbol = value.parse().ok(),
+                "stripes" => stripes = value.parse().ok(),
+                "file_len" => file_len = value.parse().ok(),
+                _ => return None,
+            }
+        }
+        if !format_ok {
+            return None;
+        }
+        Some(Manifest {
+            n: n?,
+            r: r?,
+            m: m?,
+            e: e?,
+            symbol: symbol?,
+            stripes: stripes?,
+            file_len: file_len?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let m = Manifest {
+            n: 8,
+            r: 16,
+            m: 2,
+            e: vec![1, 2],
+            symbol: 512,
+            stripes: 7,
+            file_len: 123_456,
+        };
+        assert_eq!(Manifest::parse(&m.to_string()), Some(m));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(Manifest::parse("hello"), None);
+        assert_eq!(Manifest::parse("format=other\nn=8"), None);
+        assert_eq!(Manifest::parse("format=stair-archive-v1\nn=8"), None);
+    }
+}

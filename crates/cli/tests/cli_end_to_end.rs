@@ -1,0 +1,93 @@
+//! End-to-end test of the `stair` binary: encode a file, destroy two
+//! devices and a burst, verify/repair/extract through the CLI surface.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> PathBuf {
+    // target/debug/stair next to the test executable's directory.
+    let mut path = std::env::current_exe().expect("test exe path");
+    path.pop(); // deps/
+    path.pop(); // debug/
+    path.push(format!("stair{}", std::env::consts::EXE_SUFFIX));
+    path
+}
+
+fn run(args: &[&str]) -> (bool, String) {
+    let out = Command::new(bin())
+        .args(args)
+        .output()
+        .expect("spawn stair binary");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn full_cli_session() {
+    let work = std::env::temp_dir().join(format!("stair-cli-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&work);
+    std::fs::create_dir_all(&work).unwrap();
+    let input = work.join("input.bin");
+    let payload: Vec<u8> = (0..250_000).map(|i| (i * 13 % 241) as u8).collect();
+    std::fs::write(&input, &payload).unwrap();
+    let dir = work.join("archive");
+    let dir_s = dir.to_str().unwrap();
+
+    let (ok, out) = run(&[
+        "encode",
+        "--input",
+        input.to_str().unwrap(),
+        "--out",
+        dir_s,
+        "--e",
+        "1,2",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("encoded 250000 bytes"), "{out}");
+
+    let (ok, out) = run(&["verify", "--dir", dir_s]);
+    assert!(ok && out.contains("healthy"), "{out}");
+
+    // Lose two devices and a 2-sector burst.
+    assert!(run(&["corrupt", "--dir", dir_s, "--device", "0"]).0);
+    assert!(run(&["corrupt", "--dir", dir_s, "--device", "4"]).0);
+    assert!(
+        run(&[
+            "corrupt", "--dir", dir_s, "--device", "6", "--stripe", "1", "--sector", "3", "--len",
+            "2"
+        ])
+        .0
+    );
+
+    let (ok, out) = run(&["verify", "--dir", dir_s]);
+    assert!(ok && out.contains("damaged"), "{out}");
+
+    let (ok, out) = run(&["repair", "--dir", dir_s]);
+    assert!(ok, "{out}");
+    assert!(out.contains("rebuilt 2 device(s)"), "{out}");
+    assert!(out.contains("repaired 2 latent sector(s)"), "{out}");
+
+    let restored = work.join("restored.bin");
+    let (ok, out) = run(&[
+        "extract",
+        "--dir",
+        dir_s,
+        "--output",
+        restored.to_str().unwrap(),
+    ]);
+    assert!(ok, "{out}");
+    assert_eq!(std::fs::read(&restored).unwrap(), payload);
+
+    let (ok, out) = run(&["info", "--n", "8", "--r", "16", "--m", "2", "--e", "1,2"]);
+    assert!(ok && out.contains("storage efficiency"), "{out}");
+
+    // Unknown command and bad flags fail cleanly.
+    assert!(!run(&["frobnicate"]).0);
+    assert!(!run(&["encode", "--out", dir_s]).0);
+
+    std::fs::remove_dir_all(&work).unwrap();
+}

@@ -1,0 +1,51 @@
+//! Galois Field arithmetic substrate for the STAIR codes reproduction.
+//!
+//! STAIR codes (Li & Lee, FAST '14) perform all coding arithmetic over a
+//! binary extension field GF(2^w). The paper builds on the GF-Complete
+//! library; this crate is a from-scratch portable replacement providing:
+//!
+//! * single-element arithmetic (add/mul/div/inv/pow) via log/exp tables for
+//!   GF(2^4), GF(2^8), and GF(2^16) — see [`Gf4`], [`Gf8`], [`Gf16`];
+//! * *region* kernels operating on whole sectors of bytes, most importantly
+//!   [`Field::mult_xor_region`], the paper's `Mult_XOR(R1, R2, a)` primitive
+//!   (§5.3): multiply region `R1` by constant `a` and XOR the product into
+//!   `R2`. Region kernels use per-constant split nibble tables, the same
+//!   algorithmic structure as GF-Complete's SPLIT tables;
+//! * global [`counters`] tracking how many `Mult_XOR` operations were
+//!   executed, so measured operation counts can be checked against the
+//!   paper's analytical formulas (Eq. 5 and Eq. 6).
+//!
+//! # Example
+//!
+//! ```
+//! use stair_gf::{Field, Gf8};
+//!
+//! let a = Gf8::elem(0x53);
+//! let b = Gf8::elem(0xca);
+//! let p = Gf8::mul(a, b);
+//! // Multiplication forms a group on non-zero elements: division undoes it.
+//! assert_eq!(Gf8::div(p, b), Some(a));
+//!
+//! // Region form: dst ^= 0x53 * src, one sector at a time.
+//! let src = [0xca_u8; 512];
+//! let mut dst = [0u8; 512];
+//! Gf8::mult_xor_region(&mut dst, &src, a);
+//! assert!(dst.iter().all(|&x| x == Gf8::value(p) as u8));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitmatrix;
+pub mod counters;
+mod field;
+mod gf16;
+mod gf4;
+mod gf8;
+mod tables;
+
+pub use bitmatrix::BitMatrix8;
+pub use field::Field;
+pub use gf16::Gf16;
+pub use gf4::Gf4;
+pub use gf8::Gf8;

@@ -1,0 +1,73 @@
+//! Shared log/exp table construction for all GF(2^w) widths.
+
+/// Discrete log / antilog tables for one field.
+///
+/// `exp` is doubled (length `2·(order−1)`) so that `exp[log a + log b]` never
+/// needs an explicit modulo in the multiplication hot path.
+pub(crate) struct Tables {
+    /// `log[v]` = discrete log of the element with integer value `v`
+    /// (`v ≥ 1`); entry 0 is a sentinel and must never be read.
+    pub log: Box<[u32]>,
+    /// `exp[i]` = integer value of `α^i`, for `i` in `0..2·(order−1)`.
+    pub exp: Box<[u32]>,
+}
+
+/// Builds the tables for GF(2^w) with the given primitive polynomial, using
+/// the standard LFSR walk `x ← x·α` with reduction by `poly`.
+///
+/// `poly` must be primitive so that `α = 2` generates the whole
+/// multiplicative group; this is checked by a debug assertion (the walk must
+/// visit every non-zero value exactly once).
+pub(crate) fn build(w: u32, poly: usize) -> Tables {
+    let order = 1usize << w;
+    let group = order - 1;
+    let mut log = vec![u32::MAX; order].into_boxed_slice();
+    let mut exp = vec![0u32; 2 * group].into_boxed_slice();
+
+    let mut x = 1usize;
+    for i in 0..group {
+        debug_assert_eq!(
+            log[x],
+            u32::MAX,
+            "polynomial {poly:#x} is not primitive for w={w}"
+        );
+        exp[i] = x as u32;
+        exp[i + group] = x as u32;
+        log[x] = i as u32;
+        x <<= 1;
+        if x & order != 0 {
+            x ^= poly;
+        }
+    }
+    debug_assert_eq!(x, 1, "generator walk must return to 1 after {group} steps");
+    Tables { log, exp }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gf8_walk_covers_group_and_wraps() {
+        let t = build(8, 0x11d);
+        assert_eq!(t.exp[0], 1);
+        assert_eq!(t.exp[1], 2);
+        assert_eq!(t.exp[255], 1, "doubled table repeats from the group order");
+        // Every non-zero value appears exactly once in the first period.
+        let mut seen = [false; 256];
+        for i in 0..255 {
+            let v = t.exp[i] as usize;
+            assert!(!seen[v]);
+            seen[v] = true;
+        }
+        assert!(!seen[0]);
+    }
+
+    #[test]
+    fn log_exp_are_inverse_permutations() {
+        let t = build(4, 0x13);
+        for v in 1..16usize {
+            assert_eq!(t.exp[t.log[v] as usize] as usize, v);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for matrix operations.
+
+use core::fmt;
+
+/// Errors returned by matrix constructors and solvers.
+#[derive(Clone, Debug, Eq, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Two operands had incompatible shapes for the requested operation.
+    DimensionMismatch {
+        /// Shape of the left/first operand as `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right/second operand as `(rows, cols)`.
+        right: (usize, usize),
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+    /// The matrix is singular (or the system has no unique solution).
+    Singular,
+    /// A linear system had fewer independent equations than unknowns.
+    Underdetermined {
+        /// Rank found during elimination.
+        rank: usize,
+        /// Number of unknowns requested.
+        unknowns: usize,
+    },
+    /// An inconsistent linear system (no solution exists).
+    Inconsistent,
+    /// A structured constructor received invalid points (duplicates, or more
+    /// points than the field has elements).
+    InvalidPoints(String),
+    /// A matrix constructor received rows of unequal length or zero size.
+    InvalidShape(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimensionMismatch { left, right, op } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            Error::Singular => write!(f, "matrix is singular"),
+            Error::Underdetermined { rank, unknowns } => {
+                write!(
+                    f,
+                    "underdetermined system: rank {rank} < {unknowns} unknowns"
+                )
+            }
+            Error::Inconsistent => write!(f, "inconsistent linear system"),
+            Error::InvalidPoints(msg) => write!(f, "invalid construction points: {msg}"),
+            Error::InvalidShape(msg) => write!(f, "invalid matrix shape: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,571 @@
+//! Dense row-major matrices over a GF(2^w) field.
+
+// Coordinate-indexed loops mirror the paper's (row, column) notation and
+// stay symmetric with the write side; iterator adaptors would obscure that.
+#![allow(clippy::needless_range_loop)]
+use core::fmt;
+
+use stair_gf::Field;
+
+use crate::Error;
+
+/// A dense matrix over the field `F`, stored row-major.
+///
+/// All arithmetic is exact field arithmetic; there is no rounding and no
+/// pivoting-for-stability concern, so Gaussian elimination only needs to find
+/// *any* non-zero pivot.
+///
+/// # Example
+///
+/// ```
+/// use stair_gf::{Field, Gf8};
+/// use stair_gfmatrix::Matrix;
+///
+/// let m: Matrix<Gf8> = Matrix::from_fn(2, 2, |r, c| Gf8::elem(r * 2 + c + 1));
+/// let inv = m.inverted()?;
+/// assert!(m.mul(&inv)?.is_identity());
+/// # Ok::<(), stair_gfmatrix::Error>(())
+/// ```
+#[derive(Clone, Eq, Hash, PartialEq)]
+pub struct Matrix<F: Field> {
+    rows: usize,
+    cols: usize,
+    data: Vec<F::Elem>,
+}
+
+impl<F: Field> fmt::Debug for Matrix<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix<GF(2^{})> {}x{} [", F::W, self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  [")?;
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:>3}", F::value(self.get(r, c)))?;
+            }
+            writeln!(f, "]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl<F: Field> Matrix<F> {
+    /// Creates a `rows × cols` matrix of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![F::zero(); rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, F::one());
+        }
+        m
+    }
+
+    /// Creates a matrix whose `(r, c)` entry is `f(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> F::Elem) -> Self {
+        let mut m = Self::zero(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, f(r, c));
+            }
+        }
+        m
+    }
+
+    /// Creates a matrix from rows of equal length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidShape`] if there are no rows, a row is empty,
+    /// or rows have different lengths.
+    pub fn from_rows(rows: Vec<Vec<F::Elem>>) -> Result<Self, Error> {
+        let nrows = rows.len();
+        let ncols = rows.first().map(Vec::len).unwrap_or(0);
+        if nrows == 0 || ncols == 0 {
+            return Err(Error::InvalidShape("matrix must be non-empty".into()));
+        }
+        if rows.iter().any(|r| r.len() != ncols) {
+            return Err(Error::InvalidShape("rows must have equal length".into()));
+        }
+        Ok(Matrix {
+            rows: nrows,
+            cols: ncols,
+            data: rows.into_iter().flatten().collect(),
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the `(r, c)` entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> F::Elem {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the `(r, c)` entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: F::Elem) {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[F::Elem] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] unless `self.cols == rhs.rows`.
+    pub fn mul(&self, rhs: &Self) -> Result<Self, Error> {
+        if self.cols != rhs.rows {
+            return Err(Error::DimensionMismatch {
+                left: (self.rows, self.cols),
+                right: (rhs.rows, rhs.cols),
+                op: "mul",
+            });
+        }
+        let mut out = Self::zero(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == F::zero() {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    let cur = out.get(r, c);
+                    out.set(r, c, F::add(cur, F::mul(a, rhs.get(k, c))));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self · v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] unless `v.len() == self.cols`.
+    pub fn mul_vec(&self, v: &[F::Elem]) -> Result<Vec<F::Elem>, Error> {
+        if v.len() != self.cols {
+            return Err(Error::DimensionMismatch {
+                left: (self.rows, self.cols),
+                right: (v.len(), 1),
+                op: "mul_vec",
+            });
+        }
+        Ok((0..self.rows)
+            .map(|r| {
+                let mut acc = F::zero();
+                for c in 0..self.cols {
+                    acc = F::add(acc, F::mul(self.get(r, c), v[c]));
+                }
+                acc
+            })
+            .collect())
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Returns a new matrix keeping only the given rows, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is empty or contains an out-of-bounds row.
+    pub fn select_rows(&self, idx: &[usize]) -> Self {
+        assert!(!idx.is_empty(), "row selection must be non-empty");
+        Self::from_fn(idx.len(), self.cols, |r, c| self.get(idx[r], c))
+    }
+
+    /// Returns a new matrix keeping only the given columns, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is empty or contains an out-of-bounds column.
+    pub fn select_cols(&self, idx: &[usize]) -> Self {
+        assert!(!idx.is_empty(), "column selection must be non-empty");
+        Self::from_fn(self.rows, idx.len(), |r, c| self.get(r, idx[c]))
+    }
+
+    /// Horizontal concatenation `[self | rhs]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] unless row counts agree.
+    pub fn hstack(&self, rhs: &Self) -> Result<Self, Error> {
+        if self.rows != rhs.rows {
+            return Err(Error::DimensionMismatch {
+                left: (self.rows, self.cols),
+                right: (rhs.rows, rhs.cols),
+                op: "hstack",
+            });
+        }
+        Ok(Self::from_fn(self.rows, self.cols + rhs.cols, |r, c| {
+            if c < self.cols {
+                self.get(r, c)
+            } else {
+                rhs.get(r, c - self.cols)
+            }
+        }))
+    }
+
+    /// Vertical concatenation (`self` on top of `rhs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] unless column counts agree.
+    pub fn vstack(&self, rhs: &Self) -> Result<Self, Error> {
+        if self.cols != rhs.cols {
+            return Err(Error::DimensionMismatch {
+                left: (self.rows, self.cols),
+                right: (rhs.rows, rhs.cols),
+                op: "vstack",
+            });
+        }
+        Ok(Self::from_fn(self.rows + rhs.rows, self.cols, |r, c| {
+            if r < self.rows {
+                self.get(r, c)
+            } else {
+                rhs.get(r - self.rows, c)
+            }
+        }))
+    }
+
+    /// True if this is a square identity matrix.
+    pub fn is_identity(&self) -> bool {
+        self.rows == self.cols
+            && (0..self.rows).all(|r| {
+                (0..self.cols).all(|c| self.get(r, c) == if r == c { F::one() } else { F::zero() })
+            })
+    }
+
+    /// Computes the inverse by Gauss–Jordan elimination.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Singular`] if the matrix is not square or not
+    /// invertible.
+    pub fn inverted(&self) -> Result<Self, Error> {
+        if self.rows != self.cols {
+            return Err(Error::Singular);
+        }
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Self::identity(n);
+        for col in 0..n {
+            // Find a pivot; any non-zero entry works in exact arithmetic.
+            let pivot = (col..n)
+                .find(|&r| a.get(r, col) != F::zero())
+                .ok_or(Error::Singular)?;
+            a.swap_rows(col, pivot);
+            inv.swap_rows(col, pivot);
+            let p = a.get(col, col);
+            let pinv = F::inv(p).expect("pivot is non-zero");
+            a.scale_row(col, pinv);
+            inv.scale_row(col, pinv);
+            for r in 0..n {
+                if r != col {
+                    let factor = a.get(r, col);
+                    if factor != F::zero() {
+                        a.add_scaled_row(r, col, factor);
+                        inv.add_scaled_row(r, col, factor);
+                    }
+                }
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Rank via row reduction.
+    pub fn rank(&self) -> usize {
+        let mut a = self.clone();
+        let mut rank = 0;
+        for col in 0..self.cols {
+            if rank == self.rows {
+                break;
+            }
+            if let Some(pivot) = (rank..self.rows).find(|&r| a.get(r, col) != F::zero()) {
+                a.swap_rows(rank, pivot);
+                let pinv = F::inv(a.get(rank, col)).expect("pivot is non-zero");
+                a.scale_row(rank, pinv);
+                for r in 0..self.rows {
+                    if r != rank {
+                        let factor = a.get(r, col);
+                        if factor != F::zero() {
+                            a.add_scaled_row(r, rank, factor);
+                        }
+                    }
+                }
+                rank += 1;
+            }
+        }
+        rank
+    }
+
+    /// Solves `self · X = rhs` for `X` when the system has a unique solution.
+    ///
+    /// `self` may be rectangular (more equations than unknowns); elimination
+    /// proceeds on the augmented system.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::DimensionMismatch`] if `rhs.rows != self.rows`;
+    /// * [`Error::Underdetermined`] if `rank < self.cols`;
+    /// * [`Error::Inconsistent`] if the equations contradict each other.
+    pub fn solve(&self, rhs: &Self) -> Result<Self, Error> {
+        if rhs.rows != self.rows {
+            return Err(Error::DimensionMismatch {
+                left: (self.rows, self.cols),
+                right: (rhs.rows, rhs.cols),
+                op: "solve",
+            });
+        }
+        let mut a = self.clone();
+        let mut b = rhs.clone();
+        let unknowns = self.cols;
+        let mut rank = 0;
+        for col in 0..unknowns {
+            if rank == self.rows {
+                break;
+            }
+            let Some(pivot) = (rank..self.rows).find(|&r| a.get(r, col) != F::zero()) else {
+                continue;
+            };
+            a.swap_rows(rank, pivot);
+            b.swap_rows(rank, pivot);
+            let pinv = F::inv(a.get(rank, col)).expect("pivot is non-zero");
+            a.scale_row(rank, pinv);
+            b.scale_row(rank, pinv);
+            for r in 0..self.rows {
+                if r != rank {
+                    let factor = a.get(r, col);
+                    if factor != F::zero() {
+                        a.add_scaled_row(r, rank, factor);
+                        b.add_scaled_row(r, rank, factor);
+                    }
+                }
+            }
+            rank += 1;
+        }
+        if rank < unknowns {
+            return Err(Error::Underdetermined { rank, unknowns });
+        }
+        // Check remaining equations are consistent (all-zero rows of `a`
+        // must map to all-zero rows of `b`).
+        for r in rank..self.rows {
+            let zero_row = (0..unknowns).all(|c| a.get(r, c) == F::zero());
+            debug_assert!(zero_row, "rows beyond the rank must have been eliminated");
+            if (0..b.cols).any(|c| b.get(r, c) != F::zero()) {
+                return Err(Error::Inconsistent);
+            }
+        }
+        // After Gauss–Jordan with full rank, rows 0..unknowns of `a` hold the
+        // identity (columns were visited in order), so `b`'s top block is X.
+        let mut x = Self::zero(unknowns, b.cols);
+        for r in 0..unknowns {
+            for c in 0..b.cols {
+                x.set(r, c, b.get(r, c));
+            }
+        }
+        Ok(x)
+    }
+
+    fn swap_rows(&mut self, r1: usize, r2: usize) {
+        if r1 == r2 {
+            return;
+        }
+        for c in 0..self.cols {
+            let t = self.get(r1, c);
+            self.set(r1, c, self.get(r2, c));
+            self.set(r2, c, t);
+        }
+    }
+
+    fn scale_row(&mut self, r: usize, factor: F::Elem) {
+        for c in 0..self.cols {
+            self.set(r, c, F::mul(self.get(r, c), factor));
+        }
+    }
+
+    /// `row[r] ^= factor · row[src]` — in GF(2^w) addition and subtraction
+    /// coincide, so this both introduces and eliminates entries.
+    fn add_scaled_row(&mut self, r: usize, src: usize, factor: F::Elem) {
+        for c in 0..self.cols {
+            let v = F::add(self.get(r, c), F::mul(factor, self.get(src, c)));
+            self.set(r, c, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stair_gf::{Field, Gf8};
+
+    type M = Matrix<Gf8>;
+
+    #[test]
+    fn identity_multiplication_is_neutral() {
+        let a = M::from_fn(3, 3, |r, c| Gf8::elem((r * 7 + c * 3 + 1) % 256));
+        assert_eq!(a.mul(&M::identity(3)).unwrap(), a);
+        assert_eq!(M::identity(3).mul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        // A Cauchy-like matrix is guaranteed invertible.
+        let a = M::from_fn(4, 4, |r, c| {
+            Gf8::inv(Gf8::add(Gf8::elem(r), Gf8::elem(c + 4))).unwrap()
+        });
+        let inv = a.inverted().unwrap();
+        assert!(a.mul(&inv).unwrap().is_identity());
+        assert!(inv.mul(&a).unwrap().is_identity());
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        // Two equal rows.
+        let a = M::from_rows(vec![vec![1, 2], vec![1, 2]]).unwrap();
+        assert_eq!(a.inverted(), Err(Error::Singular));
+        assert_eq!(a.rank(), 1);
+    }
+
+    #[test]
+    fn solve_square_system() {
+        let a = M::from_fn(3, 3, |r, c| {
+            Gf8::inv(Gf8::add(Gf8::elem(r), Gf8::elem(c + 3))).unwrap()
+        });
+        let x = M::from_rows(vec![vec![5], vec![7], vec![11]]).unwrap();
+        let b = a.mul(&x).unwrap();
+        assert_eq!(a.solve(&b).unwrap(), x);
+    }
+
+    #[test]
+    fn solve_overdetermined_consistent_system() {
+        let a = M::from_fn(3, 3, |r, c| {
+            Gf8::inv(Gf8::add(Gf8::elem(r), Gf8::elem(c + 3))).unwrap()
+        });
+        let x = M::from_rows(vec![vec![1], vec![2], vec![3]]).unwrap();
+        let b = a.mul(&x).unwrap();
+        // Duplicate the system: 6 equations, 3 unknowns, still consistent.
+        let a2 = a.vstack(&a).unwrap();
+        let b2 = b.vstack(&b).unwrap();
+        assert_eq!(a2.solve(&b2).unwrap(), x);
+    }
+
+    #[test]
+    fn solve_detects_inconsistency_and_underdetermination() {
+        // Full column rank but contradictory equations: x = 1 and x = 2.
+        let a1 = M::from_rows(vec![vec![1], vec![1]]).unwrap();
+        let b_bad = M::from_rows(vec![vec![1], vec![2]]).unwrap();
+        assert_eq!(a1.solve(&b_bad), Err(Error::Inconsistent));
+        // Rank-deficient column: reported as underdetermined (even though
+        // this particular right-hand side is also contradictory).
+        let a2 = M::from_rows(vec![vec![1, 0], vec![1, 0]]).unwrap();
+        let b = M::from_rows(vec![vec![1], vec![1]]).unwrap();
+        assert_eq!(
+            a2.solve(&b),
+            Err(Error::Underdetermined {
+                rank: 1,
+                unknowns: 2
+            })
+        );
+    }
+
+    #[test]
+    fn stacking_and_selection() {
+        let a = M::from_rows(vec![vec![1, 2], vec![3, 4]]).unwrap();
+        let b = M::from_rows(vec![vec![5, 6], vec![7, 8]]).unwrap();
+        let h = a.hstack(&b).unwrap();
+        assert_eq!(h.row(0), &[1, 2, 5, 6]);
+        let v = a.vstack(&b).unwrap();
+        assert_eq!(v.rows(), 4);
+        assert_eq!(v.row(3), &[7, 8]);
+        assert_eq!(h.select_cols(&[3, 0]).row(0), &[6, 1]);
+        assert_eq!(v.select_rows(&[2]).row(0), &[5, 6]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = M::from_fn(2, 5, |r, c| Gf8::elem(r * 5 + c));
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn mul_vec_matches_mul() {
+        let a = M::from_fn(3, 4, |r, c| Gf8::elem((r + 2 * c + 1) % 256));
+        let v = vec![9u8, 8, 7, 6];
+        let col = M::from_rows(v.iter().map(|&x| vec![x]).collect()).unwrap();
+        let prod = a.mul(&col).unwrap();
+        let got = a.mul_vec(&v).unwrap();
+        for r in 0..3 {
+            assert_eq!(got[r], prod.get(r, 0));
+        }
+    }
+
+    #[test]
+    fn from_rows_validates_shape() {
+        assert!(matches!(
+            M::from_rows(vec![vec![1, 2], vec![3]]),
+            Err(Error::InvalidShape(_))
+        ));
+        assert!(matches!(M::from_rows(vec![]), Err(Error::InvalidShape(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let a = M::identity(2);
+        let _ = a.get(2, 0);
+    }
+}

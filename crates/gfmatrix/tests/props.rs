@@ -1,0 +1,67 @@
+//! Property tests for matrix algebra over GF(2^8).
+
+use proptest::prelude::*;
+use stair_gf::Gf8;
+use stair_gfmatrix::{cauchy_parity, Matrix};
+
+type M = Matrix<Gf8>;
+
+fn square(n: usize) -> impl Strategy<Value = M> {
+    proptest::collection::vec(any::<u8>(), n * n)
+        .prop_map(move |v| M::from_fn(n, n, |r, c| v[r * n + c]))
+}
+
+proptest! {
+    /// (A·B)·C = A·(B·C)
+    #[test]
+    fn mul_is_associative(a in square(4), b in square(4), c in square(4)) {
+        let lhs = a.mul(&b).unwrap().mul(&c).unwrap();
+        let rhs = a.mul(&b.mul(&c).unwrap()).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// If A is invertible then A·A⁻¹ = I and (A⁻¹)⁻¹ = A.
+    #[test]
+    fn inverse_round_trips_when_invertible(a in square(5)) {
+        if let Ok(inv) = a.inverted() {
+            prop_assert!(a.mul(&inv).unwrap().is_identity());
+            prop_assert_eq!(inv.inverted().unwrap(), a);
+        } else {
+            prop_assert!(a.rank() < 5);
+        }
+    }
+
+    /// rank(A) == rank(Aᵀ)
+    #[test]
+    fn rank_invariant_under_transpose(a in square(4)) {
+        prop_assert_eq!(a.rank(), a.transpose().rank());
+    }
+
+    /// Solving A·x = A·x0 recovers x0 for invertible A.
+    #[test]
+    fn solve_recovers_known_solution(
+        a in square(4),
+        x in proptest::collection::vec(any::<u8>(), 4)
+    ) {
+        if a.rank() == 4 {
+            let xm = M::from_rows(x.iter().map(|&v| vec![v]).collect()).unwrap();
+            let b = a.mul(&xm).unwrap();
+            prop_assert_eq!(a.solve(&b).unwrap(), xm);
+        }
+    }
+
+    /// Any k×k selection of a systematic Cauchy generator's columns is
+    /// invertible — the MDS property the whole workspace rests on.
+    #[test]
+    fn systematic_cauchy_generator_is_mds(
+        cols in proptest::collection::btree_set(0usize..10, 6)
+    ) {
+        let k = 6;
+        let p = 4;
+        let a = cauchy_parity::<Gf8>(k, p).unwrap();
+        let gen = M::identity(k).hstack(&a).unwrap();
+        let idx: Vec<usize> = cols.into_iter().collect();
+        let sub = gen.select_cols(&idx);
+        prop_assert!(sub.inverted().is_ok(), "column subset {:?} must be invertible", idx);
+    }
+}

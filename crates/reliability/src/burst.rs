@@ -1,0 +1,141 @@
+//! Sector-failure burst-length distributions (§7.1.2, Fig. 19(a)).
+//!
+//! Schroeder et al. [41] found that burst lengths follow a distribution
+//! well described by a pair `(b1, α)`: a fraction `b1` of bursts have
+//! length one, and lengths greater than one follow a Pareto distribution
+//! with tail index `α`. We discretize that fit as
+//!
+//! ```text
+//! P(L ≥ i | L ≥ 2) = (i / 2)^(−α)   for i ≥ 2,
+//! ```
+//!
+//! truncated at the chunk size `r` (the paper's simplifying assumption that
+//! a burst never exceeds one chunk) and renormalized.
+
+use serde::{Deserialize, Serialize};
+
+/// A discrete burst-length distribution `b_1 .. b_r` with `Σ b_i = 1`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BurstModel {
+    b: Vec<f64>,
+}
+
+impl BurstModel {
+    /// Builds the `(b1, α)` Pareto-tail model truncated at length `max_len`
+    /// (the chunk size `r`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < b1 ≤ 1`, `α > 0`, and `max_len ≥ 1`.
+    pub fn from_pareto(b1: f64, alpha: f64, max_len: usize) -> Self {
+        assert!(b1 > 0.0 && b1 <= 1.0, "b1 must be in (0, 1]");
+        assert!(alpha > 0.0, "alpha must be positive");
+        assert!(max_len >= 1, "max_len must be at least 1");
+        let mut b = vec![0.0; max_len];
+        b[0] = b1;
+        if max_len > 1 {
+            let tail = |i: f64| (i / 2.0).powf(-alpha);
+            // Truncate P(L = i | L ≥ 2) ∝ tail(i) − tail(i+1) at max_len.
+            let mut probs: Vec<f64> = (2..=max_len)
+                .map(|i| tail(i as f64) - tail(i as f64 + 1.0))
+                .collect();
+            // Fold the chopped-off tail mass into the last bucket so the
+            // distribution sums to one.
+            let cut = tail(max_len as f64 + 1.0);
+            if let Some(last) = probs.last_mut() {
+                *last += cut;
+            }
+            let scale = (1.0 - b1) / probs.iter().sum::<f64>();
+            for (i, p) in probs.into_iter().enumerate() {
+                b[i + 1] = p * scale;
+            }
+        }
+        BurstModel { b }
+    }
+
+    /// A degenerate model where every burst has length one (equivalent to
+    /// independent single-sector failures at the chunk level).
+    pub fn single_sector(max_len: usize) -> Self {
+        let mut b = vec![0.0; max_len.max(1)];
+        b[0] = 1.0;
+        BurstModel { b }
+    }
+
+    /// `b_i`: the fraction of bursts with length `i` (1-based; zero beyond
+    /// the truncation point).
+    pub fn fraction(&self, len: usize) -> f64 {
+        if len == 0 || len > self.b.len() {
+            0.0
+        } else {
+            self.b[len - 1]
+        }
+    }
+
+    /// The truncation length (chunk size `r`).
+    pub fn max_len(&self) -> usize {
+        self.b.len()
+    }
+
+    /// The mean burst length `B = Σ i · b_i` (Eq. 14).
+    pub fn mean(&self) -> f64 {
+        self.b
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (i + 1) as f64 * p)
+            .sum()
+    }
+
+    /// The cumulative distribution `P(L ≤ i)` (Fig. 19(a)).
+    pub fn cdf(&self, len: usize) -> f64 {
+        self.b.iter().take(len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_sums_to_one_and_b1_is_exact() {
+        for &(b1, a) in &[(0.9, 1.0), (0.98, 1.79), (0.99, 2.0), (0.9999, 4.0)] {
+            let m = BurstModel::from_pareto(b1, a, 16);
+            assert!((m.cdf(16) - 1.0).abs() < 1e-12, "({b1},{a})");
+            assert!((m.fraction(1) - b1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mean_burst_length_is_close_to_one_for_field_fits() {
+        // §7.1.2: "the average length B is close to one sector
+        // (e.g., B = 1.0291)". The D-2 fit (b1=0.98, α=1.79) should give a
+        // mean just above 1.
+        let m = BurstModel::from_pareto(0.98, 1.79, 16);
+        let b = m.mean();
+        assert!(b > 1.0 && b < 1.2, "B = {b}");
+    }
+
+    #[test]
+    fn smaller_b1_and_alpha_mean_burstier() {
+        // Fig. 19(a): (0.9, 1) is the burstiest of the plotted pairs.
+        let bursty = BurstModel::from_pareto(0.9, 1.0, 16);
+        let mild = BurstModel::from_pareto(0.9999, 4.0, 16);
+        for i in 1..16 {
+            assert!(bursty.cdf(i) <= mild.cdf(i) + 1e-12, "i={i}");
+        }
+        assert!(bursty.mean() > mild.mean());
+    }
+
+    #[test]
+    fn single_sector_model() {
+        let m = BurstModel::single_sector(8);
+        assert_eq!(m.fraction(1), 1.0);
+        assert_eq!(m.fraction(2), 0.0);
+        assert_eq!(m.mean(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn pareto_validation() {
+        let _ = BurstModel::from_pareto(0.9, 0.0, 8);
+    }
+}

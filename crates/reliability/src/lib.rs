@@ -1,0 +1,47 @@
+//! Analytical reliability models for STAIR, SD, and Reed–Solomon codes —
+//! a reproduction of §7 and Appendix B of the STAIR paper.
+//!
+//! The model chain (Table 4 / Eqs. 7–17):
+//!
+//! 1. an unrecoverable bit-error rate `P_bit` gives a sector-failure
+//!    probability `P_sec` (Eq. 12);
+//! 2. a sector-failure model — [`SectorModel::Independent`] or
+//!    [`SectorModel::Correlated`] with a Pareto burst-length distribution
+//!    fitted by `(b1, α)` (Schroeder et al., the paper's ref. 41) — gives
+//!    the per-chunk failure distribution
+//!    `P_chk(i)` (Eqs. 13–17);
+//! 3. a scheme's sector-failure coverage gives `P_str`, the probability
+//!    that a stripe in critical mode is unrecoverable (Appendix B);
+//! 4. `P_arr` (Eq. 11), a Markov model (Fig. 16, Eq. 10), and the array
+//!    count `N_arr` (Eq. 7) give the system MTTDL (Eq. 9).
+//!
+//! `P_str` is computed by a *general enumerator* over per-chunk failure
+//! counts, so any coverage vector `e` is supported; the closed forms of
+//! Appendix B are also provided and tested against the enumerator.
+//!
+//! # Example
+//!
+//! ```
+//! use stair_reliability::{Scheme, SectorModel, SystemParams};
+//!
+//! let params = SystemParams::paper_defaults();
+//! let rs = params.mttdl_sys(&Scheme::reed_solomon(), &SectorModel::Independent, 1e-14);
+//! let stair = params.mttdl_sys(&Scheme::stair(&[1]), &SectorModel::Independent, 1e-14);
+//! // Fig. 17(a): one extra parity sector buys > two orders of magnitude.
+//! assert!(stair > 100.0 * rs);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod burst;
+mod closed_forms;
+mod configure;
+mod model;
+mod pstr;
+
+pub use burst::BurstModel;
+pub use closed_forms::{pstr_rs_closed, pstr_sd_closed, pstr_stair_closed};
+pub use configure::{rank_coverages, recommend_e, Recommendation};
+pub use model::{narr, storage_efficiency, SystemParams};
+pub use pstr::{p_chk, p_sec, p_str, Scheme, SectorModel};

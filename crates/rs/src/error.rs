@@ -1,0 +1,94 @@
+//! Error type for MDS code construction and use.
+
+use core::fmt;
+
+/// Errors returned by [`crate::MdsCode`] operations.
+#[derive(Clone, Debug, Eq, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The requested `(η, κ)` pair is invalid (κ = 0, κ ≥ η, or η exceeds
+    /// the field order).
+    InvalidParams {
+        /// Total codeword length η requested.
+        total: usize,
+        /// Data length κ requested.
+        data: usize,
+        /// Explanation of the violation.
+        reason: &'static str,
+    },
+    /// Fewer than κ symbols are available, so decoding cannot proceed.
+    NotEnoughSymbols {
+        /// How many symbols were available.
+        available: usize,
+        /// How many are needed (κ).
+        needed: usize,
+    },
+    /// An input slice had the wrong number of symbols for this code.
+    WrongSymbolCount {
+        /// Symbols provided.
+        got: usize,
+        /// Symbols expected.
+        expected: usize,
+    },
+    /// A symbol index was out of range for this code.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The codeword length η.
+        total: usize,
+    },
+    /// The same symbol index was supplied twice.
+    DuplicateIndex(usize),
+    /// Region buffers had mismatched or invalid lengths.
+    RegionMismatch(String),
+    /// An underlying linear-algebra failure (should not occur for valid
+    /// Cauchy constructions; surfaced rather than panicking).
+    Matrix(stair_gfmatrix::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidParams {
+                total,
+                data,
+                reason,
+            } => {
+                write!(f, "invalid ({total},{data})-code: {reason}")
+            }
+            Error::NotEnoughSymbols { available, needed } => {
+                write!(
+                    f,
+                    "not enough symbols: {available} available, {needed} needed"
+                )
+            }
+            Error::WrongSymbolCount { got, expected } => {
+                write!(f, "wrong symbol count: got {got}, expected {expected}")
+            }
+            Error::IndexOutOfRange { index, total } => {
+                write!(
+                    f,
+                    "symbol index {index} out of range for codeword length {total}"
+                )
+            }
+            Error::DuplicateIndex(i) => write!(f, "symbol index {i} supplied twice"),
+            Error::RegionMismatch(msg) => write!(f, "region mismatch: {msg}"),
+            Error::Matrix(e) => write!(f, "matrix error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Matrix(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<stair_gfmatrix::Error> for Error {
+    fn from(e: stair_gfmatrix::Error) -> Self {
+        Error::Matrix(e)
+    }
+}

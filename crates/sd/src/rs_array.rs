@@ -1,0 +1,178 @@
+//! Plain Reed–Solomon array coding: `m` parity devices, no sector-level
+//! protection. The paper's "traditional erasure code" baseline (§6.1, §7).
+
+use stair_gf::Field;
+use stair_rs::MdsCode;
+
+use crate::Error;
+
+/// An `r × n` array protected row-wise by an `(n, n−m)` MDS code.
+///
+/// # Example
+///
+/// ```
+/// use stair_gf::Gf8;
+/// use stair_sd::RsArrayCode;
+///
+/// let code: RsArrayCode<Gf8> = RsArrayCode::new(8, 16, 2)?;
+/// let mut chunks: Vec<Vec<u8>> = (0..8).map(|c| vec![c as u8; 16 * 4]).collect();
+/// code.encode_chunks(&mut chunks)?;
+/// # Ok::<(), stair_sd::Error>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct RsArrayCode<F: Field> {
+    n: usize,
+    r: usize,
+    m: usize,
+    code: MdsCode<F>,
+}
+
+impl<F: Field> RsArrayCode<F> {
+    /// Builds the code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParams`] for degenerate shapes.
+    pub fn new(n: usize, r: usize, m: usize) -> Result<Self, Error> {
+        if n < 2 || r == 0 || m == 0 || m >= n {
+            return Err(Error::InvalidParams(format!(
+                "need n ≥ 2, r ≥ 1, 0 < m < n (got n={n}, r={r}, m={m})"
+            )));
+        }
+        Ok(RsArrayCode {
+            n,
+            r,
+            m,
+            code: MdsCode::new(n, n - m)?,
+        })
+    }
+
+    /// Devices per stripe.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sectors per chunk.
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
+    /// Parity devices.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Encodes whole chunks: `chunks[0..n−m]` are data, the last `m` are
+    /// overwritten with parity. Each chunk is one contiguous buffer of
+    /// `r · sector` bytes (row interleaving is irrelevant to RS coding).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] on wrong chunk count or sizes.
+    pub fn encode_chunks(&self, chunks: &mut [Vec<u8>]) -> Result<(), Error> {
+        if chunks.len() != self.n {
+            return Err(Error::ShapeMismatch(format!(
+                "expected {} chunks, got {}",
+                self.n,
+                chunks.len()
+            )));
+        }
+        let len = chunks[0].len();
+        if chunks.iter().any(|c| c.len() != len) {
+            return Err(Error::ShapeMismatch("chunks must have equal length".into()));
+        }
+        let (data, parity) = chunks.split_at_mut(self.n - self.m);
+        let data_refs: Vec<&[u8]> = data.iter().map(|c| c.as_slice()).collect();
+        let mut parity_refs: Vec<&mut [u8]> = parity.iter_mut().map(|c| c.as_mut_slice()).collect();
+        self.code.encode_regions(&data_refs, &mut parity_refs)?;
+        Ok(())
+    }
+
+    /// Recovers up to `m` lost chunks from the survivors.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::Unrecoverable`] if more than `m` chunks are lost;
+    /// * [`Error::ShapeMismatch`] / [`Error::InvalidPattern`] on malformed
+    ///   input.
+    pub fn decode_chunks(&self, chunks: &mut [Vec<u8>], lost: &[usize]) -> Result<(), Error> {
+        if chunks.len() != self.n {
+            return Err(Error::ShapeMismatch(format!(
+                "expected {} chunks, got {}",
+                self.n,
+                chunks.len()
+            )));
+        }
+        if lost.iter().any(|&c| c >= self.n) {
+            return Err(Error::InvalidPattern(
+                "lost chunk index out of range".into(),
+            ));
+        }
+        if lost.len() > self.m {
+            return Err(Error::Unrecoverable(format!(
+                "{} chunks lost, only {} tolerated",
+                lost.len(),
+                self.m
+            )));
+        }
+        let survivors: Vec<usize> = (0..self.n)
+            .filter(|c| !lost.contains(c))
+            .take(self.n - self.m)
+            .collect();
+        let available: Vec<(usize, &[u8])> = survivors
+            .iter()
+            .map(|&c| (c, chunks[c].as_slice()))
+            .collect();
+        let coeff = self.code.recovery_coefficients(&survivors, lost)?;
+        let len = chunks[0].len();
+        let mut outs: Vec<Vec<u8>> = lost.iter().map(|_| vec![0u8; len]).collect();
+        {
+            let avail_refs: Vec<&[u8]> = available.iter().map(|&(_, r)| r).collect();
+            let mut out_refs: Vec<&mut [u8]> = outs.iter_mut().map(Vec::as_mut_slice).collect();
+            self.code
+                .apply_coefficients(&coeff, &avail_refs, &mut out_refs)?;
+        }
+        for (&c, buf) in lost.iter().zip(outs) {
+            chunks[c] = buf;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stair_gf::Gf8;
+
+    #[test]
+    fn chunk_round_trip() {
+        let code: RsArrayCode<Gf8> = RsArrayCode::new(6, 4, 2).unwrap();
+        let mut chunks: Vec<Vec<u8>> = (0..6)
+            .map(|c| (0..32).map(|b| (c * 31 + b) as u8).collect())
+            .collect();
+        code.encode_chunks(&mut chunks).unwrap();
+        let pristine = chunks.clone();
+        chunks[1].fill(0);
+        chunks[5].fill(0);
+        code.decode_chunks(&mut chunks, &[1, 5]).unwrap();
+        assert_eq!(chunks, pristine);
+    }
+
+    #[test]
+    fn too_many_losses_rejected() {
+        let code: RsArrayCode<Gf8> = RsArrayCode::new(4, 2, 1).unwrap();
+        let mut chunks: Vec<Vec<u8>> = (0..4).map(|_| vec![0u8; 8]).collect();
+        code.encode_chunks(&mut chunks).unwrap();
+        assert!(matches!(
+            code.decode_chunks(&mut chunks, &[0, 1]),
+            Err(Error::Unrecoverable(_))
+        ));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(RsArrayCode::<Gf8>::new(4, 0, 1).is_err());
+        assert!(RsArrayCode::<Gf8>::new(4, 2, 4).is_err());
+        assert!(RsArrayCode::<Gf8>::new(4, 2, 0).is_err());
+    }
+}

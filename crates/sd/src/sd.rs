@@ -1,0 +1,549 @@
+//! Sector-disk (SD) codes, after Plank & Blaum [32, 33].
+//!
+//! An SD code with parameters `(n, r, m, s)` devotes `m` entire devices and
+//! `s` additional sectors to parity, and tolerates the failure of any `m`
+//! devices plus any `s` further sectors. The construction here is the
+//! algebraic candidate family of Blaum & Plank: the stripe symbols
+//! (indexed `q = i·n + c` for sector `i` of device `c`) satisfy
+//!
+//! * `Σ_c α^(l·c) · x[i,c] = 0`  for every row `i` and `l ∈ 0..m`, and
+//! * `Σ_q α^((m+l)·q) · x[q] = 0` for `l ∈ 0..s`,
+//!
+//! over GF(2^w). Such constructions are *proven* SD only for limited
+//! parameter ranges (`s ≤ 3` and bounded `n`, `r` — the paper's motivation
+//! for STAIR); [`SdCode::verify_fault_tolerance`] checks the property
+//! exhaustively for small stripes.
+//!
+//! Encoding deliberately has **no parity reuse**: every parity symbol is a
+//! dense combination of the data symbols ("the open-source implementation
+//! of SD codes encodes stripes in a decoding manner", §6.2 of the STAIR
+//! paper) — this is the property the paper's speed comparison measures.
+
+use stair_gf::Field;
+use stair_gfmatrix::{Error as MatrixError, Matrix};
+
+use crate::Error;
+
+/// An SD code over the field `F`; see the module documentation for the
+/// construction.
+#[derive(Clone, Debug)]
+pub struct SdCode<F: Field> {
+    n: usize,
+    r: usize,
+    m: usize,
+    s: usize,
+    /// Parity-check matrix, `(m·r + s) × (r·n)`.
+    check: Matrix<F>,
+    /// Symbol indices (q = i·n + c) of the parity positions.
+    parity_pos: Vec<usize>,
+    /// Symbol indices of the data positions.
+    data_pos: Vec<usize>,
+    /// Dense encoding matrix: `parity = encode · data`.
+    encode: Matrix<F>,
+}
+
+/// A plain `r × n` stripe of sector buffers for [`SdCode`].
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct SdStripe {
+    n: usize,
+    r: usize,
+    symbol: usize,
+    cells: Vec<Vec<u8>>,
+    parity_pos: Vec<usize>,
+}
+
+impl<F: Field> SdCode<F> {
+    /// Builds the code and its dense encoder.
+    ///
+    /// Parity layout: the last `m` devices, plus the `s` sectors of the
+    /// bottom row of devices `n−m−s .. n−m`.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidParams`] for impossible shapes (`m = 0` is allowed
+    ///   — a pure-PMDS-style sector-only code — but `m + ⌈s/r⌉ ≥ n` is not);
+    /// * [`Error::ConstructionFailed`] if the candidate check matrix cannot
+    ///   be solved for the parity positions (the construction does not
+    ///   exist at these parameters over this field).
+    pub fn new(n: usize, r: usize, m: usize, s: usize) -> Result<Self, Error> {
+        if n < 2 || r == 0 {
+            return Err(Error::InvalidParams(format!(
+                "need n ≥ 2, r ≥ 1 (got n={n}, r={r})"
+            )));
+        }
+        if m >= n {
+            return Err(Error::InvalidParams(format!("m = {m} must be < n = {n}")));
+        }
+        if s > (n - m).saturating_sub(1) {
+            return Err(Error::InvalidParams(format!(
+                "s = {s} parity sectors must fit in one row of the n−m−1 = {} remaining data \
+                 devices",
+                n - m - 1
+            )));
+        }
+        if m == 0 && s == 0 {
+            return Err(Error::InvalidParams(
+                "m = s = 0 provides no redundancy".into(),
+            ));
+        }
+        if r * n > F::ORDER - 1 {
+            return Err(Error::ConstructionFailed(format!(
+                "stripe has {} symbols but the global-check coefficients α^q only take {} \
+                 distinct values; use a wider field",
+                r * n,
+                F::ORDER - 1
+            )));
+        }
+
+        let total = r * n;
+        let rows = m * r + s;
+        let mut check = Matrix::<F>::zero(rows.max(1), total);
+        // Row checks: Σ_c α^(l·c) x[i,c] = 0.
+        for i in 0..r {
+            for l in 0..m {
+                for c in 0..n {
+                    check.set(i * m + l, i * n + c, F::exp(l * c));
+                }
+            }
+        }
+        // Global checks: Σ_q α^((m+l)·q) x[q] = 0.
+        for l in 0..s {
+            for q in 0..total {
+                check.set(m * r + l, q, F::exp((m + l) * q));
+            }
+        }
+
+        let mut parity_pos: Vec<usize> = Vec::with_capacity(rows);
+        for c in n - m..n {
+            for i in 0..r {
+                parity_pos.push(i * n + c);
+            }
+        }
+        for k in 0..s {
+            parity_pos.push((r - 1) * n + (n - m - s + k));
+        }
+        parity_pos.sort_unstable();
+        let data_pos: Vec<usize> = (0..total).filter(|q| !parity_pos.contains(q)).collect();
+
+        let h_p = check.select_cols(&parity_pos);
+        let h_d = check.select_cols(&data_pos);
+        let encode = match h_p.solve(&h_d) {
+            Ok(e) => e,
+            Err(MatrixError::Singular | MatrixError::Underdetermined { .. }) => {
+                return Err(Error::ConstructionFailed(format!(
+                    "parity submatrix is singular for (n={n}, r={r}, m={m}, s={s}) over \
+                     GF(2^{})",
+                    F::W
+                )));
+            }
+            Err(e) => return Err(e.into()),
+        };
+        Ok(SdCode {
+            n,
+            r,
+            m,
+            s,
+            check,
+            parity_pos,
+            data_pos,
+            encode,
+        })
+    }
+
+    /// Devices per stripe.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sectors per chunk.
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
+    /// Parity devices.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Parity sectors beyond the parity devices.
+    pub fn s(&self) -> usize {
+        self.s
+    }
+
+    /// Symbol indices (`q = i·n + c`) of parity positions.
+    pub fn parity_positions(&self) -> &[usize] {
+        &self.parity_pos
+    }
+
+    /// Symbol indices of data positions, in payload order.
+    pub fn data_positions(&self) -> &[usize] {
+        &self.data_pos
+    }
+
+    /// The dense-encoding coefficient of data symbol `data_idx` (index into
+    /// [`SdCode::data_positions`]) in parity symbol `parity_idx` (index
+    /// into [`SdCode::parity_positions`]). Non-zero entries determine the
+    /// update penalty (§6.3 of the STAIR paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn encode_coefficient(&self, parity_idx: usize, data_idx: usize) -> F::Elem {
+        self.encode.get(parity_idx, data_idx)
+    }
+
+    /// `Mult_XOR` cost of one stripe encode (dense, no reuse): the number of
+    /// non-zero entries of the encoding matrix.
+    pub fn encode_mult_xors(&self) -> usize {
+        let mut count = 0;
+        for p in 0..self.encode.rows() {
+            for d in 0..self.encode.cols() {
+                if self.encode.get(p, d) != F::zero() {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Encodes a stripe in place (recomputes every parity sector).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if the stripe shape differs.
+    pub fn encode(&self, stripe: &mut SdStripe) -> Result<(), Error> {
+        self.check_stripe(stripe)?;
+        for (p, &ppos) in self.parity_pos.iter().enumerate() {
+            let mut buf = std::mem::take(&mut stripe.cells[ppos]);
+            buf.fill(0);
+            for (d, &dpos) in self.data_pos.iter().enumerate() {
+                let coeff = self.encode.get(p, d);
+                if coeff != F::zero() {
+                    F::mult_xor_region(&mut buf, &stripe.cells[dpos], coeff);
+                }
+            }
+            stripe.cells[ppos] = buf;
+        }
+        Ok(())
+    }
+
+    /// Repairs the erased sectors in place by solving the check equations.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidPattern`] for malformed patterns;
+    /// * [`Error::Unrecoverable`] if the pattern exceeds the code's
+    ///   capability (`> m` devices, `> s` extra sectors, or an admissible
+    ///   pattern at parameters where the construction is simply not SD —
+    ///   the situation STAIR codes eliminate).
+    pub fn decode(&self, stripe: &mut SdStripe, erased: &[(usize, usize)]) -> Result<(), Error> {
+        self.check_stripe(stripe)?;
+        let coeff = self.recovery_matrix(erased)?;
+        let erased_q: Vec<usize> = erased.iter().map(|&(i, c)| i * self.n + c).collect();
+        let known_q: Vec<usize> = (0..self.r * self.n)
+            .filter(|q| !erased_q.contains(q))
+            .collect();
+        for (x, &q) in erased_q.iter().enumerate() {
+            let mut buf = std::mem::take(&mut stripe.cells[q]);
+            buf.fill(0);
+            for (k, &kq) in known_q.iter().enumerate() {
+                let c = coeff.get(x, k);
+                if c != F::zero() {
+                    F::mult_xor_region(&mut buf, &stripe.cells[kq], c);
+                }
+            }
+            stripe.cells[q] = buf;
+        }
+        Ok(())
+    }
+
+    /// Solves the check equations symbolically for an erasure pattern,
+    /// returning the `|erased| × |known|` recovery matrix.
+    ///
+    /// # Errors
+    ///
+    /// See [`SdCode::decode`].
+    pub fn recovery_matrix(&self, erased: &[(usize, usize)]) -> Result<Matrix<F>, Error> {
+        let total = self.r * self.n;
+        let mut seen = vec![false; total];
+        for &(i, c) in erased {
+            if i >= self.r || c >= self.n {
+                return Err(Error::InvalidPattern(format!("({i},{c}) out of range")));
+            }
+            if seen[i * self.n + c] {
+                return Err(Error::InvalidPattern(format!("duplicate ({i},{c})")));
+            }
+            seen[i * self.n + c] = true;
+        }
+        if erased.is_empty() {
+            return Err(Error::InvalidPattern("empty erasure pattern".into()));
+        }
+        let erased_q: Vec<usize> = erased.iter().map(|&(i, c)| i * self.n + c).collect();
+        let known_q: Vec<usize> = (0..total).filter(|&q| !seen[q]).collect();
+        let h_x = self.check.select_cols(&erased_q);
+        let h_k = self.check.select_cols(&known_q);
+        match h_x.solve(&h_k) {
+            Ok(m) => Ok(m),
+            Err(MatrixError::Singular | MatrixError::Underdetermined { .. }) => {
+                Err(Error::Unrecoverable(format!(
+                    "{} erasures exceed this SD code's capability",
+                    erased.len()
+                )))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// True if the pattern is within the *claimed* SD coverage: at most `m`
+    /// whole devices plus at most `s` further sectors.
+    pub fn covers(&self, erased: &[(usize, usize)]) -> bool {
+        let mut per_dev = vec![0usize; self.n];
+        for &(_, c) in erased {
+            if c >= self.n {
+                return false;
+            }
+            per_dev[c] += 1;
+        }
+        let mut counts: Vec<usize> = per_dev.into_iter().filter(|&c| c > 0).collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let extra: usize = counts.iter().skip(self.m).sum();
+        let full_ok = counts.iter().take(self.m).all(|&c| c <= self.r);
+        full_ok && extra <= self.s
+    }
+
+    /// Exhaustively verifies the SD property: every pattern of `m` failed
+    /// devices plus `s` sectors anywhere else must be solvable. Exponential
+    /// in stripe size — intended for the small configurations used in tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ConstructionFailed`] with the first failing pattern.
+    pub fn verify_fault_tolerance(&self) -> Result<(), Error> {
+        let device_sets = combinations(self.n, self.m);
+        for devs in &device_sets {
+            let dev_erased: Vec<(usize, usize)> = devs
+                .iter()
+                .flat_map(|&c| (0..self.r).map(move |i| (i, c)))
+                .collect();
+            let rest: Vec<(usize, usize)> = (0..self.r * self.n)
+                .map(|q| (q / self.n, q % self.n))
+                .filter(|&(_, c)| !devs.contains(&c))
+                .collect();
+            for extra in combinations(rest.len(), self.s) {
+                let mut pattern = dev_erased.clone();
+                pattern.extend(extra.iter().map(|&k| rest[k]));
+                if pattern.is_empty() {
+                    continue;
+                }
+                let erased_q: Vec<usize> = pattern.iter().map(|&(i, c)| i * self.n + c).collect();
+                let h_x = self.check.select_cols(&erased_q);
+                if h_x.rank() < erased_q.len() {
+                    return Err(Error::ConstructionFailed(format!(
+                        "pattern {pattern:?} is not recoverable: construction is not SD at \
+                         (n={}, r={}, m={}, s={})",
+                        self.n, self.r, self.m, self.s
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_stripe(&self, stripe: &SdStripe) -> Result<(), Error> {
+        if stripe.n != self.n || stripe.r != self.r {
+            return Err(Error::ShapeMismatch(format!(
+                "stripe is {}x{}, code needs {}x{}",
+                stripe.r, stripe.n, self.r, self.n
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl SdStripe {
+    /// Allocates a zeroed stripe matching `code`.
+    pub fn new<F: Field>(code: &SdCode<F>, symbol_size: usize) -> Self {
+        assert!(symbol_size > 0, "symbol size must be positive");
+        assert!(
+            symbol_size.is_multiple_of(F::ELEM_BYTES),
+            "symbol size must be a multiple of the field element size"
+        );
+        SdStripe {
+            n: code.n(),
+            r: code.r(),
+            symbol: symbol_size,
+            cells: vec![vec![0u8; symbol_size]; code.n() * code.r()],
+            parity_pos: code.parity_positions().to_vec(),
+        }
+    }
+
+    /// Bytes per sector.
+    pub fn symbol_size(&self) -> usize {
+        self.symbol
+    }
+
+    /// Borrows sector `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn cell(&self, row: usize, col: usize) -> &[u8] {
+        assert!(row < self.r && col < self.n, "cell out of range");
+        &self.cells[row * self.n + col]
+    }
+
+    /// Mutably borrows sector `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn cell_mut(&mut self, row: usize, col: usize) -> &mut [u8] {
+        assert!(row < self.r && col < self.n, "cell out of range");
+        &mut self.cells[row * self.n + col]
+    }
+
+    /// Fills every *data* sector with a deterministic pattern.
+    pub fn fill_pattern(&mut self, seed: u8) {
+        for q in 0..self.r * self.n {
+            if self.parity_pos.contains(&q) {
+                continue;
+            }
+            let base = (q as u8).wrapping_mul(37).wrapping_add(seed);
+            for (b, byte) in self.cells[q].iter_mut().enumerate() {
+                *byte = base.wrapping_add((b as u8).wrapping_mul(11));
+            }
+        }
+    }
+
+    /// Zero-fills the listed sectors (simulated loss).
+    pub fn erase(&mut self, erased: &[(usize, usize)]) {
+        for &(row, col) in erased {
+            self.cell_mut(row, col).fill(0);
+        }
+    }
+}
+
+/// All `k`-element subsets of `0..n`, lexicographic. `k = 0` yields one
+/// empty subset.
+fn combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::with_capacity(k);
+    fn rec(start: usize, n: usize, k: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == k {
+            out.push(cur.clone());
+            return;
+        }
+        for i in start..n {
+            if n - i < k - cur.len() {
+                break;
+            }
+            cur.push(i);
+            rec(i + 1, n, k, cur, out);
+            cur.pop();
+        }
+    }
+    rec(0, n, k, &mut cur, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stair_gf::{Gf16, Gf8};
+
+    #[test]
+    fn construction_and_shapes() {
+        let code: SdCode<Gf8> = SdCode::new(6, 4, 1, 2).unwrap();
+        assert_eq!(code.parity_positions().len(), 4 + 2);
+        assert_eq!(code.data_positions().len(), 24 - 6);
+        // Parity sectors live in the bottom row next to the parity device.
+        assert!(code.parity_positions().contains(&(3 * 6 + 3)));
+        assert!(code.parity_positions().contains(&(3 * 6 + 4)));
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(matches!(
+            SdCode::<Gf8>::new(1, 4, 0, 1),
+            Err(Error::InvalidParams(_))
+        ));
+        assert!(matches!(
+            SdCode::<Gf8>::new(6, 4, 6, 1),
+            Err(Error::InvalidParams(_))
+        ));
+        assert!(matches!(
+            SdCode::<Gf8>::new(6, 4, 1, 5),
+            Err(Error::InvalidParams(_))
+        ));
+        assert!(matches!(
+            SdCode::<Gf8>::new(6, 4, 0, 0),
+            Err(Error::InvalidParams(_))
+        ));
+        // 16 × 16 = 256 symbols exceed GF(2^8)'s 255 distinct coefficients.
+        assert!(matches!(
+            SdCode::<Gf8>::new(16, 16, 1, 1),
+            Err(Error::ConstructionFailed(_))
+        ));
+        assert!(SdCode::<Gf16>::new(16, 16, 1, 1).is_ok());
+    }
+
+    #[test]
+    fn encode_then_checks_hold() {
+        let code: SdCode<Gf8> = SdCode::new(5, 3, 1, 1).unwrap();
+        let mut stripe = SdStripe::new(&code, 2);
+        stripe.fill_pattern(9);
+        code.encode(&mut stripe).unwrap();
+        // Verify every check equation over the first byte of each sector.
+        for row in 0..code.check.rows() {
+            let mut acc = 0u8;
+            for q in 0..15 {
+                let x = stripe.cells[q][0];
+                acc ^= Gf8::mul(code.check.get(row, q), x);
+            }
+            assert_eq!(acc, 0, "check {row} violated");
+        }
+    }
+
+    #[test]
+    fn device_plus_sector_failures_decode() {
+        let code: SdCode<Gf8> = SdCode::new(6, 4, 1, 2).unwrap();
+        let mut stripe = SdStripe::new(&code, 8);
+        stripe.fill_pattern(17);
+        code.encode(&mut stripe).unwrap();
+        let pristine = stripe.clone();
+        let erased = vec![(0, 2), (1, 2), (2, 2), (3, 2), (0, 0), (3, 5)];
+        assert!(code.covers(&erased));
+        stripe.erase(&erased);
+        code.decode(&mut stripe, &erased).unwrap();
+        assert_eq!(stripe, pristine);
+    }
+
+    /// Exhaustive SD-property verification on a small configuration.
+    #[test]
+    fn small_config_is_fully_sd() {
+        let code: SdCode<Gf8> = SdCode::new(4, 3, 1, 1).unwrap();
+        code.verify_fault_tolerance().unwrap();
+    }
+
+    #[test]
+    fn beyond_coverage_fails_cleanly() {
+        let code: SdCode<Gf8> = SdCode::new(6, 4, 1, 1).unwrap();
+        let mut stripe = SdStripe::new(&code, 4);
+        stripe.fill_pattern(3);
+        code.encode(&mut stripe).unwrap();
+        // Two full devices exceed m = 1 by far.
+        let erased: Vec<(usize, usize)> = (0..4).flat_map(|i| [(i, 0), (i, 1)]).collect();
+        assert!(!code.covers(&erased));
+        assert!(matches!(
+            code.decode(&mut stripe, &erased),
+            Err(Error::Unrecoverable(_))
+        ));
+    }
+
+    #[test]
+    fn combinations_enumerates_correctly() {
+        assert_eq!(combinations(4, 2).len(), 6);
+        assert_eq!(combinations(5, 0), vec![Vec::<usize>::new()]);
+        assert_eq!(combinations(3, 3), vec![vec![0, 1, 2]]);
+    }
+}

@@ -1,0 +1,235 @@
+//! The peeling scheduler: builds upstairs/downstairs schedules by
+//! iteratively finding rows/columns of the canonical stripe with enough
+//! available cells to recover the rest.
+//!
+//! This single engine generalizes all three schedule shapes of the paper:
+//!
+//! * **upstairs decoding** (§4.2): columns left→right, then augmented rows,
+//!   with whole stored-row `C_row` recovery as the last resort — exactly the
+//!   order of the worked example in Fig. 4 / Table 2;
+//! * **upstairs encoding** (§5.1.1): the same order, with the parity cells
+//!   declared "erased" and the outside globals pinned to zero;
+//! * **downstairs encoding** (§5.1.2): stored rows top→bottom, then
+//!   intermediate columns right→left — the order of Fig. 6 / Table 3.
+//!
+//! The raw schedule recovers *every* recoverable cell it encounters; a
+//! final backwards [`Schedule::prune`] pass keeps only what the requested
+//! targets need, which reproduces the paper's "recover only the symbols
+//! that will later be used" optimization.
+
+use stair_gf::Field;
+use stair_rs::MdsCode;
+
+use crate::layout::{Cell, Layout};
+use crate::schedule::{Schedule, Step, StepCode};
+use crate::Error;
+
+/// Pass ordering for the peeler.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub(crate) enum PeelOrder {
+    /// Columns left→right, augmented rows top→bottom; whole stored rows only
+    /// when nothing else makes progress (upstairs, §4.2).
+    Upstairs,
+    /// Stored rows top→bottom, then intermediate columns right→left
+    /// (downstairs, §5.1.2). Never uses augmented rows of the first `n`
+    /// columns.
+    Downstairs,
+}
+
+pub(crate) struct Peeler<'a, F: Field> {
+    layout: &'a Layout,
+    crow: &'a MdsCode<F>,
+    ccol: &'a MdsCode<F>,
+    available: Vec<bool>,
+    /// Columns excluded from `C_col` recovery. The paper always recovers the
+    /// `m` "failed" chunks row-by-row *last* (§4.2.2 step 3); modelling that
+    /// exclusion keeps schedule costs exactly on the Eq. (5) formula.
+    no_col: Vec<bool>,
+    steps: Vec<Step<F>>,
+}
+
+impl<'a, F: Field> Peeler<'a, F> {
+    pub(crate) fn new(
+        layout: &'a Layout,
+        crow: &'a MdsCode<F>,
+        ccol: &'a MdsCode<F>,
+        available: Vec<bool>,
+    ) -> Self {
+        debug_assert_eq!(
+            available.len(),
+            layout.canonical_rows() * layout.canonical_cols()
+        );
+        let no_col = vec![false; layout.canonical_cols()];
+        Peeler {
+            layout,
+            crow,
+            ccol,
+            available,
+            no_col,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Marks columns that must be recovered by `C_row` steps only (the
+    /// designated "failed chunks").
+    pub(crate) fn with_excluded_cols(mut self, cols: &[usize]) -> Self {
+        for &c in cols {
+            self.no_col[c] = true;
+        }
+        self
+    }
+
+    fn idx(&self, cell: Cell) -> usize {
+        cell.0 * self.layout.canonical_cols() + cell.1
+    }
+
+    /// Builds the full schedule, then prunes it to the targets.
+    pub(crate) fn build(
+        mut self,
+        targets: &[Cell],
+        order: PeelOrder,
+    ) -> Result<Schedule<F>, Error> {
+        #[cfg(debug_assertions)]
+        let initial = self.available.clone();
+        match order {
+            PeelOrder::Upstairs => self.run_upstairs()?,
+            PeelOrder::Downstairs => self.run_downstairs()?,
+        }
+        let remaining = targets
+            .iter()
+            .filter(|&&t| !self.available[self.idx(t)])
+            .count();
+        if remaining > 0 {
+            return Err(Error::Unrecoverable { remaining });
+        }
+        let mut schedule = Schedule { steps: self.steps };
+        schedule.prune(self.layout, targets);
+        #[cfg(debug_assertions)]
+        schedule
+            .check_dataflow(self.layout, |c| {
+                initial[c.0 * self.layout.canonical_cols() + c.1]
+            })
+            .expect("pruned schedule must remain topologically valid");
+        Ok(schedule)
+    }
+
+    fn run_upstairs(&mut self) -> Result<(), Error> {
+        let r = self.layout.r();
+        let crows = self.layout.canonical_rows();
+        let ccols = self.layout.canonical_cols();
+        loop {
+            let mut progress = false;
+            for j in 0..ccols {
+                progress |= self.try_col(j)?;
+            }
+            for i in r..crows {
+                progress |= self.try_row(i)?;
+            }
+            if !progress {
+                let mut last_resort = false;
+                for i in 0..r {
+                    last_resort |= self.try_row(i)?;
+                }
+                if !last_resort {
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn run_downstairs(&mut self) -> Result<(), Error> {
+        let r = self.layout.r();
+        let n = self.layout.n();
+        let ccols = self.layout.canonical_cols();
+        loop {
+            let mut progress = false;
+            for i in 0..r {
+                progress |= self.try_row_stored_span(i)?;
+            }
+            for j in (n..ccols).rev() {
+                progress |= self.try_col(j)?;
+            }
+            if !progress {
+                return Ok(());
+            }
+        }
+    }
+
+    /// `C_row` recovery on canonical row `i`: needs `n − m` available cells.
+    fn try_row(&mut self, i: usize) -> Result<bool, Error> {
+        let ccols = self.layout.canonical_cols();
+        let k = self.crow.data_len();
+        let avail: Vec<usize> = (0..ccols)
+            .filter(|&j| self.available[self.idx((i, j))])
+            .collect();
+        let unknown: Vec<usize> = (0..ccols)
+            .filter(|&j| !self.available[self.idx((i, j))])
+            .collect();
+        if avail.len() < k || unknown.is_empty() {
+            return Ok(false);
+        }
+        let inputs = &avail[..k];
+        let coeff = self.crow.recovery_coefficients(inputs, &unknown)?;
+        self.push_step(
+            StepCode::Row(i),
+            inputs.iter().map(|&j| (i, j)).collect(),
+            unknown.iter().map(|&j| (i, j)).collect(),
+            coeff,
+        );
+        Ok(true)
+    }
+
+    /// Downstairs row step: identical to [`Self::try_row`], but only cells
+    /// in stored rows are ever produced by the downstairs order, so this is
+    /// just `try_row` restricted to `i < r` call sites.
+    fn try_row_stored_span(&mut self, i: usize) -> Result<bool, Error> {
+        self.try_row(i)
+    }
+
+    /// `C_col` recovery on canonical column `j`: needs `r` available cells.
+    fn try_col(&mut self, j: usize) -> Result<bool, Error> {
+        if self.no_col[j] {
+            return Ok(false);
+        }
+        let crows = self.layout.canonical_rows();
+        let k = self.ccol.data_len();
+        let avail: Vec<usize> = (0..crows)
+            .filter(|&i| self.available[self.idx((i, j))])
+            .collect();
+        let unknown: Vec<usize> = (0..crows)
+            .filter(|&i| !self.available[self.idx((i, j))])
+            .collect();
+        if avail.len() < k || unknown.is_empty() {
+            return Ok(false);
+        }
+        let inputs = &avail[..k];
+        let coeff = self.ccol.recovery_coefficients(inputs, &unknown)?;
+        self.push_step(
+            StepCode::Col(j),
+            inputs.iter().map(|&i| (i, j)).collect(),
+            unknown.iter().map(|&i| (i, j)).collect(),
+            coeff,
+        );
+        Ok(true)
+    }
+
+    fn push_step(
+        &mut self,
+        code: StepCode,
+        inputs: Vec<Cell>,
+        outputs: Vec<Cell>,
+        coeff: stair_gfmatrix::Matrix<F>,
+    ) {
+        for &o in &outputs {
+            let oi = self.idx(o);
+            debug_assert!(!self.available[oi]);
+            self.available[oi] = true;
+        }
+        self.steps.push(Step {
+            code,
+            inputs,
+            outputs,
+            coeff,
+        });
+    }
+}

@@ -1,0 +1,372 @@
+//! Coding schedules: precomputed sequences of `C_row`/`C_col` steps.
+//!
+//! Every STAIR operation — upstairs decoding (§4), upstairs encoding,
+//! downstairs encoding (§5.1) — is expressed as a [`Schedule`]: an ordered
+//! list of [`Step`]s, each of which recovers some cells of the canonical
+//! stripe as a linear combination of already-available cells of one row
+//! (via `C_row`) or one column (via `C_col`).
+//!
+//! Schedules are built once per configuration (or per erasure pattern),
+//! carry their Galois-field coefficient matrices, and are then *executed*
+//! against sector-sized byte regions using the `Mult_XOR` kernel. The
+//! planned `Mult_XOR` count of a schedule (`Σ |inputs|·|outputs|`) is the
+//! quantity the paper's Eq. (5)/(6) predict.
+
+use core::fmt::Write as _;
+
+use stair_gf::Field;
+use stair_gfmatrix::Matrix;
+
+use crate::layout::{Cell, CellKind, Layout};
+use crate::stripe::Stripe;
+use crate::{Error, GlobalPlacement};
+
+/// Which constituent code a step applies, and to which row/column.
+#[derive(Clone, Copy, Debug, Eq, Hash, PartialEq)]
+pub enum StepCode {
+    /// A `C_row` step on canonical row `i` (an original row if `i < r`, an
+    /// augmented row otherwise).
+    Row(usize),
+    /// A `C_col` step on canonical column `j`.
+    Col(usize),
+}
+
+/// One step of a schedule: `outputs = inputs · coeff` over byte regions.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct Step<F: Field> {
+    /// Which code is applied, and where.
+    pub code: StepCode,
+    /// Cells read by this step (exactly κ of the applied code).
+    pub inputs: Vec<Cell>,
+    /// Cells produced by this step.
+    pub outputs: Vec<Cell>,
+    pub(crate) coeff: Matrix<F>,
+}
+
+impl<F: Field> Step<F> {
+    /// `Mult_XOR` operations this step performs: `|inputs| · |outputs|`.
+    pub fn mult_xors(&self) -> usize {
+        self.inputs.len() * self.outputs.len()
+    }
+}
+
+/// An ordered list of steps which, executed in order, computes every
+/// output cell from initially-available cells.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct Schedule<F: Field> {
+    pub(crate) steps: Vec<Step<F>>,
+}
+
+impl<F: Field> Schedule<F> {
+    /// The steps, in execution order.
+    pub fn steps(&self) -> &[Step<F>] {
+        &self.steps
+    }
+
+    /// Total planned `Mult_XOR` operations (the paper's cost metric, §5.3).
+    pub fn mult_xors(&self) -> usize {
+        self.steps.iter().map(Step::mult_xors).sum()
+    }
+
+    /// Removes every output (and every step) not needed to produce the
+    /// `targets`, walking the schedule backwards. This implements the
+    /// paper's "we only need to recover the symbols that will later be
+    /// used" optimization (§4.2.1).
+    pub(crate) fn prune(&mut self, layout: &Layout, targets: &[Cell]) {
+        let ccols = layout.canonical_cols();
+        let idx = |c: Cell| c.0 * ccols + c.1;
+        let mut needed = vec![false; layout.canonical_rows() * ccols];
+        for &t in targets {
+            needed[idx(t)] = true;
+        }
+        let mut kept_steps = Vec::with_capacity(self.steps.len());
+        for mut step in std::mem::take(&mut self.steps).into_iter().rev() {
+            let keep: Vec<usize> = (0..step.outputs.len())
+                .filter(|&j| needed[idx(step.outputs[j])])
+                .collect();
+            if keep.is_empty() {
+                continue;
+            }
+            if keep.len() != step.outputs.len() {
+                step.outputs = keep.iter().map(|&j| step.outputs[j]).collect();
+                step.coeff = step.coeff.select_cols(&keep);
+            }
+            for &i in &step.inputs {
+                needed[idx(i)] = true;
+            }
+            kept_steps.push(step);
+        }
+        kept_steps.reverse();
+        self.steps = kept_steps;
+    }
+
+    /// Executes the schedule over the byte regions of a [`Canvas`].
+    pub(crate) fn execute(&self, canvas: &mut Canvas<'_>) {
+        for step in &self.steps {
+            let mut outs: Vec<(Cell, Vec<u8>)> =
+                step.outputs.iter().map(|&c| (c, canvas.take(c))).collect();
+            for (j, (_, buf)) in outs.iter_mut().enumerate() {
+                buf.fill(0);
+                for (i, &ic) in step.inputs.iter().enumerate() {
+                    F::mult_xor_region(buf, canvas.get(ic), step.coeff.get(i, j));
+                }
+            }
+            for (c, buf) in outs {
+                canvas.put(c, buf);
+            }
+        }
+    }
+
+    /// Renders the schedule in the style of the paper's Tables 2–3, e.g.
+    ///
+    /// ```text
+    /// 1  d0,0, d1,0, d2,0, d3,0 => d*0,0, d*1,0   [Ccol]
+    /// ```
+    pub fn render(&self, layout: &Layout) -> String {
+        let mut out = String::new();
+        for (i, step) in self.steps.iter().enumerate() {
+            let ins: Vec<String> = step.inputs.iter().map(|&c| cell_name(layout, c)).collect();
+            let outs: Vec<String> = step.outputs.iter().map(|&c| cell_name(layout, c)).collect();
+            let code = match step.code {
+                StepCode::Row(_) => "Crow",
+                StepCode::Col(_) => "Ccol",
+            };
+            let _ = writeln!(
+                out,
+                "{:>3}  {} => {}   [{}]",
+                i + 1,
+                ins.join(", "),
+                outs.join(", "),
+                code
+            );
+        }
+        out
+    }
+}
+
+/// Formats a canonical cell with the paper's symbol names: `d_{i,j}` data,
+/// `p_{i,k}` row parity, `p'_{i,l}` intermediate, `g_{h,l}` outside global,
+/// `g^_{h,l}` inside global, `d*`/`p*` virtual, `*` dummy.
+pub(crate) fn cell_name(layout: &Layout, cell: Cell) -> String {
+    let (row, col) = cell;
+    let (r, n, m) = (layout.r(), layout.n(), layout.m());
+    let data_cols = n - m;
+    match layout.kind(cell) {
+        CellKind::Data => format!("d{row},{col}"),
+        CellKind::RowParity => format!("p{row},{}", col - data_cols),
+        CellKind::InsideGlobal { h, l } => format!("g^{h},{l}"),
+        CellKind::Intermediate => format!("p'{row},{}", col - n),
+        CellKind::OutsideGlobal { h, l } => format!("g{h},{l}"),
+        CellKind::Virtual => {
+            if col < data_cols {
+                format!("d*{},{col}", row - r)
+            } else if col < n {
+                format!("p*{},{}", row - r, col - data_cols)
+            } else {
+                format!("*{},{}", row - r, col - n)
+            }
+        }
+    }
+}
+
+/// The byte-region workspace for one stripe: stored cells live in the
+/// borrowed [`Stripe`]; virtual cells (augmented rows, intermediate chunks,
+/// and the global-parity corner) are freshly allocated.
+pub(crate) struct Canvas<'a> {
+    ccols: usize,
+    r: usize,
+    n: usize,
+    stripe: &'a mut Stripe,
+    /// Augmented rows of the first `n` columns: `e_max × n`.
+    aug: Vec<Vec<u8>>,
+    /// Intermediate parity cells in stored rows: `r × m'`.
+    inter: Vec<Vec<u8>>,
+    /// The augmented-row part of the intermediate chunks (real and dummy
+    /// global positions): `e_max × m'`.
+    glob: Vec<Vec<u8>>,
+}
+
+impl<'a> Canvas<'a> {
+    /// Builds a canvas over a stripe, zero-initializing all virtual cells.
+    /// For outside placement, copies the stripe's global buffers into the
+    /// global corner (they may be decode inputs).
+    pub(crate) fn new(layout: &Layout, stripe: &'a mut Stripe) -> Self {
+        let symbol = stripe.symbol_size();
+        let crows = layout.canonical_rows();
+        let ccols = layout.canonical_cols();
+        let n = stripe.config().n();
+        let r = stripe.config().r();
+        let m_prime = stripe.config().m_prime();
+        let e_max = crows - r;
+        let mut glob = vec![vec![0u8; symbol]; e_max * m_prime];
+        if stripe.config().placement() == GlobalPlacement::Outside {
+            for (g, &(row, col)) in stripe
+                .outside_globals()
+                .iter()
+                .zip(layout.outside_global_cells().iter())
+            {
+                glob[(row - r) * m_prime + (col - n)].copy_from_slice(g);
+            }
+        }
+        Canvas {
+            ccols,
+            r,
+            n,
+            aug: vec![vec![0u8; symbol]; e_max * n],
+            inter: vec![vec![0u8; symbol]; r * m_prime],
+            glob,
+            stripe,
+        }
+    }
+
+    /// Copies the global corner back into the stripe's outside-global
+    /// buffers (used after outside-placement encoding).
+    pub(crate) fn export_outside_globals(&mut self, layout: &Layout) {
+        let m_prime = self.ccols - self.n;
+        let cells = layout.outside_global_cells();
+        for (idx, &(row, col)) in cells.iter().enumerate() {
+            let src = self.glob[(row - self.r) * m_prime + (col - self.n)].clone();
+            self.stripe.outside_globals_mut()[idx].copy_from_slice(&src);
+        }
+    }
+
+    fn slot(&self, cell: Cell) -> (u8, usize) {
+        let (row, col) = cell;
+        let m_prime = self.ccols - self.n;
+        if row < self.r {
+            if col < self.n {
+                (0, row * self.n + col)
+            } else {
+                (2, row * m_prime + (col - self.n))
+            }
+        } else if col < self.n {
+            (1, (row - self.r) * self.n + col)
+        } else {
+            (3, (row - self.r) * m_prime + (col - self.n))
+        }
+    }
+
+    pub(crate) fn get(&self, cell: Cell) -> &[u8] {
+        let (kind, i) = self.slot(cell);
+        match kind {
+            0 => &self.stripe.cells_ref()[i],
+            1 => &self.aug[i],
+            2 => &self.inter[i],
+            _ => &self.glob[i],
+        }
+    }
+
+    fn take(&mut self, cell: Cell) -> Vec<u8> {
+        let (kind, i) = self.slot(cell);
+        let buf = match kind {
+            0 => std::mem::take(&mut self.stripe.cells_mut()[i]),
+            1 => std::mem::take(&mut self.aug[i]),
+            2 => std::mem::take(&mut self.inter[i]),
+            _ => std::mem::take(&mut self.glob[i]),
+        };
+        debug_assert!(!buf.is_empty(), "cell {cell:?} taken twice within a step");
+        buf
+    }
+
+    /// Take/put for the standard encoder, which is not a [`Schedule`] but
+    /// needs the same disjoint-borrow pattern.
+    pub(crate) fn take_for_standard(&mut self, cell: Cell) -> Vec<u8> {
+        self.take(cell)
+    }
+
+    /// See [`Canvas::take_for_standard`].
+    pub(crate) fn put_for_standard(&mut self, cell: Cell, buf: Vec<u8>) {
+        self.put(cell, buf)
+    }
+
+    fn put(&mut self, cell: Cell, buf: Vec<u8>) {
+        let (kind, i) = self.slot(cell);
+        match kind {
+            0 => self.stripe.cells_mut()[i] = buf,
+            1 => self.aug[i] = buf,
+            2 => self.inter[i] = buf,
+            _ => self.glob[i] = buf,
+        }
+    }
+}
+
+impl<F: Field> Schedule<F> {
+    /// Executes the schedule *symbolically*: every canonical cell holds a
+    /// dense coefficient vector over the `basis` cells, and each step
+    /// propagates those vectors instead of bytes. Used to derive the
+    /// standard-encoding generator (and from it, update penalties and the
+    /// uneven parity relations of §5.2).
+    ///
+    /// `init(cell)` must return `Some(vector)` for every initially-available
+    /// cell (unit vectors for data cells, zero vectors for pinned-zero
+    /// globals) and `None` for cells this schedule will produce.
+    pub(crate) fn execute_symbolic(
+        &self,
+        layout: &Layout,
+        basis_len: usize,
+        init: impl Fn(Cell) -> Option<Vec<F::Elem>>,
+    ) -> std::collections::HashMap<Cell, Vec<F::Elem>> {
+        let mut values: std::collections::HashMap<Cell, Vec<F::Elem>> = Default::default();
+        for row in 0..layout.canonical_rows() {
+            for col in 0..layout.canonical_cols() {
+                if let Some(v) = init((row, col)) {
+                    assert_eq!(v.len(), basis_len, "init vector length mismatch");
+                    values.insert((row, col), v);
+                }
+            }
+        }
+        for step in &self.steps {
+            for (j, &out) in step.outputs.iter().enumerate() {
+                let mut acc = vec![F::zero(); basis_len];
+                for (i, &ic) in step.inputs.iter().enumerate() {
+                    let c = step.coeff.get(i, j);
+                    if c == F::zero() {
+                        continue;
+                    }
+                    let src = values
+                        .get(&ic)
+                        .unwrap_or_else(|| panic!("step input {ic:?} not yet available"));
+                    for (a, &s) in acc.iter_mut().zip(src) {
+                        *a = F::add(*a, F::mul(c, s));
+                    }
+                }
+                values.insert(out, acc);
+            }
+        }
+        values
+    }
+
+    /// Validates internal consistency: every step's inputs must be available
+    /// before the step runs (initially-available cells or prior outputs).
+    /// Exercised by debug builds only (see `Peeler::build`).
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    pub(crate) fn check_dataflow(
+        &self,
+        layout: &Layout,
+        initially_available: impl Fn(Cell) -> bool,
+    ) -> Result<(), Error> {
+        let ccols = layout.canonical_cols();
+        let idx = |c: Cell| c.0 * ccols + c.1;
+        let mut avail = vec![false; layout.canonical_rows() * ccols];
+        for row in 0..layout.canonical_rows() {
+            for col in 0..ccols {
+                if initially_available((row, col)) {
+                    avail[idx((row, col))] = true;
+                }
+            }
+        }
+        for (k, step) in self.steps.iter().enumerate() {
+            for &i in &step.inputs {
+                if !avail[idx(i)] {
+                    return Err(Error::InvalidPattern(format!(
+                        "step {k} reads unavailable cell {i:?}"
+                    )));
+                }
+            }
+            for &o in &step.outputs {
+                avail[idx(o)] = true;
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,112 @@
+//! Storage-space accounting (§6.1, Fig. 10; storage efficiency Eq. 8).
+
+use crate::Config;
+
+/// Devices saved per system by a STAIR code over a traditional erasure code
+/// with the same failure coverage: `m' − s/r` (§6.1).
+///
+/// A traditional MDS code needs `m + m'` whole parity chunks to cover the
+/// same failures; STAIR needs `m` chunks plus `s` sectors.
+///
+/// # Example
+///
+/// ```
+/// use stair::devices_saved;
+///
+/// // s = 4, m' = 4, r = 32 saves nearly four devices.
+/// assert!((devices_saved(4, 4, 32) - 3.875).abs() < 1e-12);
+/// ```
+pub fn devices_saved(s: usize, m_prime: usize, r: usize) -> f64 {
+    assert!(
+        m_prime >= 1 && r >= 1 && s >= m_prime,
+        "need s ≥ m' ≥ 1 and r ≥ 1"
+    );
+    m_prime as f64 - s as f64 / r as f64
+}
+
+/// Storage efficiency `E = (r·(n−m) − s) / (r·n)` (Eq. 8). Setting `s = 0`
+/// gives the Reed–Solomon efficiency; SD codes with the same `s` have the
+/// same efficiency.
+pub fn storage_efficiency(n: usize, r: usize, m: usize, s: usize) -> f64 {
+    assert!(n > m, "need n > m");
+    assert!(r * (n - m) >= s, "s cannot exceed the non-failed capacity");
+    (r * (n - m) - s) as f64 / (r * n) as f64
+}
+
+/// Side-by-side redundancy accounting for one failure scenario `(m, e)`
+/// across the schemes the paper compares (§2, §6.1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpaceComparison {
+    /// Redundant sectors per stripe for STAIR: `m·r + s`.
+    pub stair_sectors: usize,
+    /// Redundant sectors per stripe for a traditional erasure code
+    /// (whole-chunk redundancy): `(m + m')·r`.
+    pub traditional_sectors: usize,
+    /// Redundant sectors per stripe for the IDR scheme protecting against
+    /// `e_max`-sector bursts: `m·r + (n−m)·e_max` (§2).
+    pub idr_sectors: usize,
+    /// Redundant sectors per stripe for an SD code with the same `s`:
+    /// `m·r + s` (identical to STAIR; SD is just restricted to `s ≤ 3`).
+    pub sd_sectors: usize,
+}
+
+impl SpaceComparison {
+    /// Computes the comparison for a configuration.
+    pub fn for_config(config: &Config) -> Self {
+        let (n, r, m) = (config.n(), config.r(), config.m());
+        let (m_prime, s, e_max) = (config.m_prime(), config.s(), config.e_max());
+        SpaceComparison {
+            stair_sectors: m * r + s,
+            traditional_sectors: (m + m_prime) * r,
+            idr_sectors: m * r + (n - m) * e_max,
+            sd_sectors: m * r + s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saving_approaches_m_prime_as_r_grows() {
+        // Fig. 10: as r increases the saving approaches m'.
+        let small = devices_saved(4, 4, 8);
+        let large = devices_saved(4, 4, 1024);
+        assert!(small < large && large < 4.0);
+        assert!((4.0 - large) < 0.01);
+    }
+
+    #[test]
+    fn saving_is_maximal_when_m_prime_equals_s() {
+        // For fixed s and r, saving grows with m'.
+        let r = 16;
+        assert!(devices_saved(4, 1, r) < devices_saved(4, 2, r));
+        assert!(devices_saved(4, 3, r) < devices_saved(4, 4, r));
+    }
+
+    #[test]
+    fn efficiency_matches_equation_8() {
+        // n=8, r=16, m=1, s=3 → (16·7 − 3)/128.
+        assert!((storage_efficiency(8, 16, 1, 3) - 109.0 / 128.0).abs() < 1e-12);
+        // s = 0 is Reed-Solomon: (n−m)/n.
+        assert!((storage_efficiency(8, 16, 1, 0) - 7.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_intro_example_beta_4() {
+        // §2: n=8, m=2, burst β=4 → IDR needs 24 redundant sectors beyond
+        // the parity chunks; STAIR with e=(1,4) needs only five.
+        let cfg = Config::new(8, 16, 2, &[1, 4]).unwrap();
+        let cmp = SpaceComparison::for_config(&cfg);
+        assert_eq!(cmp.idr_sectors - 2 * 16, 24);
+        assert_eq!(cmp.stair_sectors - 2 * 16, 5);
+        assert_eq!(cmp.sd_sectors, cmp.stair_sectors);
+    }
+
+    #[test]
+    #[should_panic(expected = "s ≥ m'")]
+    fn devices_saved_validates() {
+        let _ = devices_saved(2, 3, 8);
+    }
+}

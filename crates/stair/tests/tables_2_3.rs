@@ -1,0 +1,69 @@
+//! Golden tests: the generated schedules must reproduce the paper's worked
+//! examples — Table 2 (upstairs decoding) and Table 3 (downstairs encoding)
+//! for the running configuration n = 8, r = 4, m = 2, e = (1, 1, 2) —
+//! step for step, symbol for symbol.
+
+use stair::{Config, EncodingMethod, GlobalPlacement, StairCodec};
+
+/// Table 2 of the paper: upstairs decoding of the Fig. 4 worst case
+/// (outside globals; chunks 6 and 7 failed; sector failures at the bottom
+/// of chunks 3, 4, and 5).
+#[test]
+fn table_2_upstairs_decoding_schedule() {
+    let config = Config::with_placement(8, 4, 2, &[1, 1, 2], GlobalPlacement::Outside).unwrap();
+    let codec: StairCodec = StairCodec::new(config).unwrap();
+    let erased: Vec<(usize, usize)> = (0..4)
+        .flat_map(|i| [(i, 6), (i, 7)])
+        .chain([(3, 3), (3, 4), (2, 5), (3, 5)])
+        .collect();
+    let plan = codec.plan_decode(&erased).unwrap();
+    let rendered = plan.schedule().render(codec.layout());
+    let expected = "  1  d0,0, d1,0, d2,0, d3,0 => d*0,0, d*1,0   [Ccol]
+  2  d0,1, d1,1, d2,1, d3,1 => d*0,1, d*1,1   [Ccol]
+  3  d0,2, d1,2, d2,2, d3,2 => d*0,2, d*1,2   [Ccol]
+  4  d*0,0, d*0,1, d*0,2, g0,0, g0,1, g0,2 => d*0,3, d*0,4, d*0,5   [Crow]
+  5  d0,3, d1,3, d2,3, d*0,3 => d3,3, d*1,3   [Ccol]
+  6  d0,4, d1,4, d2,4, d*0,4 => d3,4, d*1,4   [Ccol]
+  7  d*1,0, d*1,1, d*1,2, d*1,3, d*1,4, g1,2 => d*1,5   [Crow]
+  8  d0,5, d1,5, d*0,5, d*1,5 => d2,5, d3,5   [Ccol]
+  9  d0,0, d0,1, d0,2, d0,3, d0,4, d0,5 => p0,0, p0,1   [Crow]
+ 10  d1,0, d1,1, d1,2, d1,3, d1,4, d1,5 => p1,0, p1,1   [Crow]
+ 11  d2,0, d2,1, d2,2, d2,3, d2,4, d2,5 => p2,0, p2,1   [Crow]
+ 12  d3,0, d3,1, d3,2, d3,3, d3,4, d3,5 => p3,0, p3,1   [Crow]
+";
+    assert_eq!(rendered, expected, "got:\n{rendered}");
+    // The paper's Table 2 lists 12 steps; the decode cost follows.
+    assert_eq!(plan.schedule().steps().len(), 12);
+}
+
+/// Table 3 of the paper: downstairs encoding with inside global parities.
+#[test]
+fn table_3_downstairs_encoding_schedule() {
+    let config = Config::new(8, 4, 2, &[1, 1, 2]).unwrap();
+    let codec: StairCodec = StairCodec::new(config).unwrap();
+    let schedule = codec.encode_schedule(EncodingMethod::Downstairs).unwrap();
+    let rendered = schedule.render(codec.layout());
+    let expected =
+        "  1  d0,0, d0,1, d0,2, d0,3, d0,4, d0,5 => p0,0, p0,1, p'0,0, p'0,1, p'0,2   [Crow]
+  2  d1,0, d1,1, d1,2, d1,3, d1,4, d1,5 => p1,0, p1,1, p'1,0, p'1,1, p'1,2   [Crow]
+  3  p'0,2, p'1,2, g0,2, g1,2 => p'2,2, p'3,2   [Ccol]
+  4  d2,0, d2,1, d2,2, d2,3, d2,4, p'2,2 => g^0,2, p2,0, p2,1, p'2,0, p'2,1   [Crow]
+  5  p'0,1, p'1,1, p'2,1, g0,1 => p'3,1   [Ccol]
+  6  p'0,0, p'1,0, p'2,0, g0,0 => p'3,0   [Ccol]
+  7  d3,0, d3,1, d3,2, p'3,0, p'3,1, p'3,2 => g^0,0, g^0,1, g^1,2, p3,0, p3,1   [Crow]
+";
+    assert_eq!(rendered, expected, "got:\n{rendered}");
+    // Table 3 lists 7 steps; the total matches Eq. (6): 136 Mult_XORs.
+    assert_eq!(schedule.steps().len(), 7);
+    assert_eq!(schedule.mult_xors(), 136);
+}
+
+/// The upstairs encoding schedule must cost exactly Eq. (5)'s 120
+/// Mult_XORs for the running example.
+#[test]
+fn upstairs_encoding_cost_matches_eq_5() {
+    let config = Config::new(8, 4, 2, &[1, 1, 2]).unwrap();
+    let codec: StairCodec = StairCodec::new(config).unwrap();
+    let schedule = codec.encode_schedule(EncodingMethod::Upstairs).unwrap();
+    assert_eq!(schedule.mult_xors(), 120);
+}

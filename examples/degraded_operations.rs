@@ -1,0 +1,57 @@
+//! Operating a degraded array: incremental sector updates, degraded reads
+//! that reconstruct only what they need, and parallel rebuild of a failed
+//! device across all stripes.
+//!
+//! Run with: `cargo run --release --example degraded_operations`
+
+use stair::{Config, StairCodec, Stripe};
+use stair_arraysim::parallel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = Config::new(8, 16, 2, &[1, 2])?;
+    let codec: StairCodec = StairCodec::new(config.clone())?;
+
+    // A small array of 32 stripes, encoded in parallel.
+    let mut stripes: Vec<Stripe> = (0..32)
+        .map(|i| {
+            let mut s = Stripe::new(config.clone(), 512).expect("stripe");
+            s.fill_pattern(i as u8);
+            s
+        })
+        .collect();
+    parallel::encode_stripes(&codec, &mut stripes, 4)?;
+    println!("encoded 32 stripes across 4 threads");
+
+    // In-place update of one sector: only the dependent parities change.
+    let touched = codec.update_data(&mut stripes[3], 2, 1, &vec![0xAB; 512])?;
+    println!(
+        "updated one data sector; {} parity sectors patched (avg penalty {:.2})",
+        touched,
+        codec.relations().update_penalty().average
+    );
+
+    // Device 5 dies. Serve a degraded read immediately...
+    let erased: Vec<(usize, usize)> = (0..16).map(|row| (row, 5)).collect();
+    for s in &mut stripes {
+        s.erase(&erased)?;
+    }
+    let single = codec.plan_recover(&erased, &[(7, 5)])?;
+    let full = codec.plan_decode(&erased)?;
+    let sector = codec.read_sector_degraded(&mut stripes[0], &erased, 7, 5)?;
+    println!(
+        "degraded read of sector (7,5): {} bytes via a {}-Mult_XOR plan \
+         (full rebuild plan costs {})",
+        sector.len(),
+        single.mult_xors(),
+        full.mult_xors()
+    );
+
+    // ...then rebuild the whole device in parallel with one shared plan.
+    parallel::repair_stripes(&codec, &full, &mut stripes, 4)?;
+    println!("device 5 rebuilt across all 32 stripes ✔");
+
+    // Verify stripe 3 still carries the update.
+    assert!(stripes[3].cell(2, 1).iter().all(|&b| b == 0xAB));
+    println!("post-rebuild consistency check passed ✔");
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! A look inside the codec: the upstairs/downstairs schedules (the paper's
+//! Tables 2–3), the Mult_XOR cost model (Eq. 5/6), and automatic method
+//! selection (§5.3).
+//!
+//! Run with: `cargo run --release --example encoding_methods`
+
+use stair::{Config, EncodingMethod, MultXorCounts, StairCodec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = Config::new(8, 4, 2, &[1, 1, 2])?;
+    let codec: StairCodec = StairCodec::new(config.clone())?;
+
+    println!("config: n=8 r=4 m=2 e=(1,1,2) — the paper's running example\n");
+    println!("downstairs encoding schedule (Table 3):");
+    let down = codec
+        .encode_schedule(EncodingMethod::Downstairs)
+        .expect("inside placement");
+    print!("{}", down.render(codec.layout()));
+
+    println!("\nupstairs encoding schedule:");
+    let up = codec
+        .encode_schedule(EncodingMethod::Upstairs)
+        .expect("inside placement");
+    print!("{}", up.render(codec.layout()));
+
+    let counts = codec.mult_xor_counts();
+    println!(
+        "\nMult_XOR counts: upstairs={} downstairs={} standard={}",
+        counts.upstairs, counts.downstairs, counts.standard
+    );
+    println!("selected method: {:?}", codec.best_method());
+
+    // The crossover: small m' favours downstairs, large m' upstairs.
+    println!("\nmethod selection across e for n=8, r=16, m=2, s=4:");
+    for e in [
+        vec![4],
+        vec![1, 3],
+        vec![2, 2],
+        vec![1, 1, 2],
+        vec![1, 1, 1, 1],
+    ] {
+        let cfg = Config::new(8, 16, 2, &e)?;
+        let c = MultXorCounts::analytic(&cfg);
+        let codec: StairCodec = StairCodec::new(cfg)?;
+        println!(
+            "  e={:<12} up={:<5} down={:<5} -> {:?}",
+            format!("{e:?}"),
+            c.upstairs,
+            c.downstairs,
+            codec.best_method()
+        );
+    }
+    Ok(())
+}
