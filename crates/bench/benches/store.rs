@@ -1,0 +1,60 @@
+//! Criterion benches for the stair-store engine: sequential write, clean
+//! read, degraded read, and the parity-delta small-write path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use stair_store::{StoreOptions, StripeStore};
+
+fn bench_store(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("stair-store-crit-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = StoreOptions {
+        n: 8,
+        r: 16,
+        m: 2,
+        e: vec![1, 2],
+        symbol: 4096,
+        stripes: 8,
+    };
+    let store = StripeStore::create(&dir, &opts).expect("create");
+    let capacity = store.capacity() as usize;
+    let payload: Vec<u8> = (0..capacity).map(|i| (i % 241) as u8).collect();
+    store.write_at(0, &payload).expect("prefill");
+
+    let mut group = c.benchmark_group("store");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    group.throughput(Throughput::Bytes(capacity as u64));
+    group.bench_function("sequential_write", |b| {
+        b.iter(|| store.write_at(0, &payload).expect("write"))
+    });
+    group.bench_function("sequential_read_clean", |b| {
+        b.iter(|| store.read_at(0, capacity).expect("read"))
+    });
+
+    // Small write: one block, parity-delta path.
+    let block = vec![0xE7u8; opts.symbol];
+    group.throughput(Throughput::Bytes(opts.symbol as u64));
+    group.bench_function("small_write_delta", |b| {
+        b.iter(|| {
+            store
+                .write_at(3 * opts.symbol as u64, &block)
+                .expect("delta")
+        })
+    });
+
+    // Degrade the array: m failed devices + a burst.
+    store.fail_device(2).expect("fail");
+    store.fail_device(5).expect("fail");
+    store.corrupt_sectors(7, 4, 2, 2).expect("burst");
+    group.throughput(Throughput::Bytes(capacity as u64));
+    group.bench_function("sequential_read_degraded", |b| {
+        b.iter(|| store.read_at(0, capacity).expect("degraded read"))
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Throughput harness for the stair-store engine: MB/s for sequential
+//! write, sequential read, degraded read (m failed devices + a sector
+//! burst), and the post-repair read, plus the wall-clock of the online
+//! repair itself.
+//!
+//! Knobs: `STAIR_STORE_MB` (logical capacity, default 8),
+//! `STAIR_BENCH_REPS` (timed repetitions, default 3),
+//! `STAIR_STORE_THREADS` (scrub/repair workers, default 4).
+
+use std::time::Instant;
+
+use stair_bench::{print_row, reps, throughput_mbps};
+use stair_store::{StoreOptions, StripeStore};
+
+fn main() {
+    let mb: usize = std::env::var("STAIR_STORE_MB")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let threads: usize = std::env::var("STAIR_STORE_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let (n, r, m, e, symbol) = (8usize, 16usize, 2usize, vec![1, 2], 4096usize);
+
+    // Stripe count sized so data capacity ≈ the requested MB.
+    let probe = StoreOptions {
+        n,
+        r,
+        m,
+        e: e.clone(),
+        symbol,
+        stripes: 1,
+    };
+    let dir = std::env::temp_dir().join(format!("stair-store-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let per_stripe = {
+        let s = StripeStore::create(&dir, &probe).expect("probe store");
+        s.capacity() as usize
+    };
+    std::fs::remove_dir_all(&dir).expect("clean probe");
+    let stripes = (mb * 1024 * 1024).div_ceil(per_stripe).max(4);
+    let opts = StoreOptions {
+        n,
+        r,
+        m,
+        e: e.clone(),
+        symbol,
+        stripes,
+    };
+
+    let store = StripeStore::create(&dir, &opts).expect("create store");
+    let capacity = store.capacity() as usize;
+    let payload: Vec<u8> = (0..capacity).map(|i| (i % 249) as u8).collect();
+    println!(
+        "stair-store throughput: n={n} r={r} m={m} e={e:?} symbol={symbol} stripes={stripes} ({:.1} MiB data)",
+        capacity as f64 / (1024.0 * 1024.0)
+    );
+
+    let w = throughput_mbps(capacity, reps(), || {
+        store.write_at(0, &payload).expect("write");
+    });
+    print_row("sequential write", &[("MB/s".into(), w)]);
+
+    let rd = throughput_mbps(capacity, reps(), || {
+        let got = store.read_at(0, capacity).expect("read");
+        assert_eq!(got.len(), capacity);
+    });
+    print_row("sequential read (clean)", &[("MB/s".into(), rd)]);
+
+    // Degrade: m whole devices plus a 2-sector burst elsewhere.
+    store.fail_device(1).expect("fail 1");
+    store.fail_device(4).expect("fail 4");
+    store.corrupt_sectors(6, stripes / 2, 3, 2).expect("burst");
+    let dg = throughput_mbps(capacity, reps(), || {
+        let got = store.read_at(0, capacity).expect("degraded read");
+        assert_eq!(got.len(), capacity);
+    });
+    print_row("sequential read (degraded)", &[("MB/s".into(), dg)]);
+
+    let t0 = Instant::now();
+    let report = store.repair(threads).expect("repair");
+    let secs = t0.elapsed().as_secs_f64();
+    assert!(report.complete(), "repair incomplete: {report:?}");
+    print_row(
+        "online repair",
+        &[
+            ("MB/s".into(), capacity as f64 / secs / (1024.0 * 1024.0)),
+            ("s".into(), secs),
+        ],
+    );
+
+    let pr = throughput_mbps(capacity, reps(), || {
+        let got = store.read_at(0, capacity).expect("post-repair read");
+        assert_eq!(got.len(), capacity);
+    });
+    print_row("sequential read (repaired)", &[("MB/s".into(), pr)]);
+
+    let scrub = store.scrub(threads).expect("scrub");
+    assert!(scrub.clean(), "scrub not clean after repair: {scrub:?}");
+    println!(
+        "scrub clean: {} sectors verified across {} stripes",
+        scrub.sectors_verified, scrub.stripes_scanned
+    );
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

@@ -1,4 +1,5 @@
-//! `stair` — command-line tool for STAIR-coded file archives.
+//! `stair` — command-line tool for STAIR-coded file archives and the
+//! stair-store engine.
 //!
 //! ```text
 //! stair info    --n 8 --r 16 --m 2 --e 1,2
@@ -7,7 +8,10 @@
 //! stair repair  --dir DIR
 //! stair extract --dir DIR --output FILE
 //! stair corrupt --dir DIR (--device J | --device J --stripe I --sector K [--len L])
+//! stair store   (init|status|write|read|fail|scrub|repair|inject) ...
 //! ```
+
+mod store_cmd;
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -19,6 +23,19 @@ use stair_reliability::storage_efficiency;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("store") {
+        let Some((verb, flags)) = parse(&args[1..]) else {
+            eprintln!("{}", store_cmd::STORE_USAGE);
+            return ExitCode::FAILURE;
+        };
+        return match store_cmd::run(&verb, &flags) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let Some((cmd, flags)) = parse(&args) else {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
@@ -50,7 +67,8 @@ const USAGE: &str = "usage:
   stair verify  --dir DIR
   stair repair  --dir DIR
   stair extract --dir DIR --output FILE
-  stair corrupt --dir DIR --device J [--stripe I --sector K --len L]";
+  stair corrupt --dir DIR --device J [--stripe I --sector K --len L]
+  stair store   (init|status|write|read|fail|scrub|repair|inject) --dir DIR ...";
 
 type Flags = HashMap<String, String>;
 

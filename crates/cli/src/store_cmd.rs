@@ -1,0 +1,269 @@
+//! The `stair store` subcommand family: a CLI frontend for the
+//! [`stair_store::StripeStore`] engine.
+//!
+//! ```text
+//! stair store init   --dir DIR [--n N --r R --m M --e E --symbol S --stripes T]
+//! stair store status --dir DIR
+//! stair store write  --dir DIR --input FILE [--offset BYTES]
+//! stair store read   --dir DIR --output FILE [--offset BYTES] [--len BYTES]
+//! stair store fail   --dir DIR --device J [--stripe I --sector K --len L]
+//! stair store scrub  --dir DIR [--threads T]
+//! stair store repair --dir DIR [--threads T]
+//! stair store inject --dir DIR --p-sec P [--seed S] [--burst B1,ALPHA]
+//! ```
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use stair_arraysim::FailureInjector;
+use stair_reliability::BurstModel;
+use stair_store::{StoreOptions, StripeStore};
+
+type Flags = HashMap<String, String>;
+
+/// Usage text for the `store` family.
+pub const STORE_USAGE: &str = "usage:
+  stair store init   --dir DIR [--n N --r R --m M --e E --symbol S --stripes T]
+  stair store status --dir DIR
+  stair store write  --dir DIR --input FILE [--offset BYTES]
+  stair store read   --dir DIR --output FILE [--offset BYTES] [--len BYTES]
+  stair store fail   --dir DIR --device J [--stripe I --sector K --len L]
+  stair store scrub  --dir DIR [--threads T]
+  stair store repair --dir DIR [--threads T]
+  stair store inject --dir DIR --p-sec P [--seed S] [--burst B1,ALPHA]";
+
+/// Dispatches a `stair store <verb> ...` invocation.
+pub fn run(verb: &str, flags: &Flags) -> Result<(), String> {
+    match verb {
+        "init" => cmd_init(flags),
+        "status" => cmd_status(flags),
+        "write" => cmd_write(flags),
+        "read" => cmd_read(flags),
+        "fail" => cmd_fail(flags),
+        "scrub" => cmd_scrub(flags),
+        "repair" => cmd_repair(flags),
+        "inject" => cmd_inject(flags),
+        _ => Err(format!("unknown store command `{verb}`\n{STORE_USAGE}")),
+    }
+}
+
+fn dir_flag(flags: &Flags) -> Result<PathBuf, String> {
+    flags
+        .get("dir")
+        .map(PathBuf::from)
+        .ok_or_else(|| "--dir is required".into())
+}
+
+fn usize_flag(flags: &Flags, key: &str, default: usize) -> Result<usize, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key} expects an integer, got `{v}`")),
+    }
+}
+
+fn u64_flag(flags: &Flags, key: &str, default: u64) -> Result<u64, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key} expects an integer, got `{v}`")),
+    }
+}
+
+fn open(flags: &Flags) -> Result<StripeStore, String> {
+    StripeStore::open(&dir_flag(flags)?).map_err(|e| e.to_string())
+}
+
+fn cmd_init(flags: &Flags) -> Result<(), String> {
+    let e = match flags.get("e") {
+        None => vec![1, 2],
+        Some(v) => v
+            .split(',')
+            .map(|x| {
+                x.trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad e entry `{x}`"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let opts = StoreOptions {
+        n: usize_flag(flags, "n", 8)?,
+        r: usize_flag(flags, "r", 16)?,
+        m: usize_flag(flags, "m", 2)?,
+        e,
+        symbol: usize_flag(flags, "symbol", 512)?,
+        stripes: usize_flag(flags, "stripes", 64)?,
+    };
+    let dir = dir_flag(flags)?;
+    let store = StripeStore::create(&dir, &opts).map_err(|e| e.to_string())?;
+    println!(
+        "initialized store at {}: {} stripes x {} blocks x {} bytes = {} bytes across {} devices",
+        dir.display(),
+        store.stripe_count(),
+        store.blocks_per_stripe(),
+        store.block_size(),
+        store.capacity(),
+        opts.n
+    );
+    Ok(())
+}
+
+fn cmd_status(flags: &Flags) -> Result<(), String> {
+    let store = open(flags)?;
+    let status = store.status();
+    let config = store.config();
+    println!(
+        "STAIR(n={}, r={}, m={}, e={:?})",
+        config.n(),
+        config.r(),
+        config.m(),
+        config.e()
+    );
+    println!("  capacity          : {} bytes", status.capacity);
+    println!(
+        "  geometry          : {} stripes x {} blocks x {} bytes",
+        status.stripes, status.blocks_per_stripe, status.block_size
+    );
+    println!("  failed devices    : {:?}", status.failed_devices);
+    println!("  rebuilding devices: {:?}", status.rebuilding_devices);
+    println!("  known bad sectors : {}", status.known_bad_sectors);
+    Ok(())
+}
+
+fn cmd_write(flags: &Flags) -> Result<(), String> {
+    let store = open(flags)?;
+    let input = flags
+        .get("input")
+        .map(PathBuf::from)
+        .ok_or_else(|| "--input is required".to_string())?;
+    let offset = u64_flag(flags, "offset", 0)?;
+    let data = std::fs::read(&input).map_err(|e| e.to_string())?;
+    let report = store.write_at(offset, &data).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} bytes at offset {offset}: {} stripes ({} full re-encodes, {} delta updates patching {} parity sectors)",
+        data.len(),
+        report.stripes_touched,
+        report.full_stripe_encodes,
+        report.delta_updates,
+        report.parity_sectors_patched
+    );
+    Ok(())
+}
+
+fn cmd_read(flags: &Flags) -> Result<(), String> {
+    let store = open(flags)?;
+    let output = flags
+        .get("output")
+        .map(PathBuf::from)
+        .ok_or_else(|| "--output is required".to_string())?;
+    let offset = u64_flag(flags, "offset", 0)?;
+    let default_len = store.capacity().saturating_sub(offset);
+    let len = u64_flag(flags, "len", default_len)? as usize;
+    let data = store.read_at(offset, len).map_err(|e| e.to_string())?;
+    std::fs::write(&output, &data).map_err(|e| e.to_string())?;
+    let status = store.status();
+    let mode = if status.failed_devices.is_empty() && status.known_bad_sectors == 0 {
+        "clean"
+    } else {
+        "degraded"
+    };
+    println!(
+        "read {len} bytes at offset {offset} ({mode}) to {}",
+        output.display()
+    );
+    Ok(())
+}
+
+fn cmd_fail(flags: &Flags) -> Result<(), String> {
+    let store = open(flags)?;
+    let device = usize_flag(flags, "device", usize::MAX)?;
+    if device == usize::MAX {
+        return Err("--device is required".into());
+    }
+    if flags.contains_key("stripe") || flags.contains_key("sector") {
+        let stripe = usize_flag(flags, "stripe", 0)?;
+        let sector = usize_flag(flags, "sector", 0)?;
+        let len = usize_flag(flags, "len", 1)?;
+        store
+            .corrupt_sectors(device, stripe, sector, len)
+            .map_err(|e| e.to_string())?;
+        println!("corrupted {len} sector(s) of device {device} in stripe {stripe} (latent until scrub/read)");
+    } else {
+        store.fail_device(device).map_err(|e| e.to_string())?;
+        println!("failed device {device}: backing file removed");
+    }
+    Ok(())
+}
+
+fn cmd_scrub(flags: &Flags) -> Result<(), String> {
+    let store = open(flags)?;
+    let threads = usize_flag(flags, "threads", 4)?;
+    let report = store.scrub(threads).map_err(|e| e.to_string())?;
+    println!(
+        "scrubbed {} stripes, verified {} sectors: {} mismatches, {} unavailable device(s), {} stale record(s) cleared",
+        report.stripes_scanned,
+        report.sectors_verified,
+        report.mismatches.len(),
+        report.unavailable_devices.len(),
+        report.records_cleared
+    );
+    if report.clean() {
+        println!("store clean");
+    } else {
+        println!("run `stair store repair` to reconstruct");
+    }
+    Ok(())
+}
+
+fn cmd_repair(flags: &Flags) -> Result<(), String> {
+    let store = open(flags)?;
+    let threads = usize_flag(flags, "threads", 4)?;
+    let report = store.repair(threads).map_err(|e| e.to_string())?;
+    println!(
+        "replaced {} device(s), repaired {} stripe(s), rewrote {} sector(s)",
+        report.devices_replaced.len(),
+        report.stripes_repaired,
+        report.sectors_rewritten
+    );
+    if report.complete() {
+        println!("repair complete");
+        Ok(())
+    } else {
+        Err(format!(
+            "stripes beyond coverage (data lost): {:?}",
+            report.unrecoverable_stripes
+        ))
+    }
+}
+
+fn cmd_inject(flags: &Flags) -> Result<(), String> {
+    let store = open(flags)?;
+    let p_sec: f64 = flags
+        .get("p-sec")
+        .ok_or_else(|| "--p-sec is required".to_string())?
+        .parse()
+        .map_err(|_| "--p-sec expects a probability".to_string())?;
+    let seed = u64_flag(flags, "seed", 42)?;
+    let r = store.config().r();
+    let mut injector = match flags.get("burst") {
+        None => FailureInjector::independent(r, p_sec, seed),
+        Some(spec) => {
+            let (b1, alpha) = spec
+                .split_once(',')
+                .ok_or_else(|| "--burst expects B1,ALPHA".to_string())?;
+            let b1: f64 = b1.trim().parse().map_err(|_| "bad B1".to_string())?;
+            let alpha: f64 = alpha.trim().parse().map_err(|_| "bad ALPHA".to_string())?;
+            FailureInjector::correlated(r, p_sec, BurstModel::from_pareto(b1, alpha, r), seed)
+        }
+    };
+    let outcome = store
+        .inject_failures(&mut injector)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "sampled {} chunks: corrupted {} sector(s) across {} chunk(s)",
+        outcome.chunks_sampled, outcome.sectors_corrupted, outcome.chunks_hit
+    );
+    Ok(())
+}

@@ -1,0 +1,189 @@
+//! End-to-end test of the `stair store` CLI surface: init → write →
+//! fail a device + inject a sector burst → degraded read returns the
+//! original data → repair → scrub reports clean.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> PathBuf {
+    let mut path = std::env::current_exe().expect("test exe path");
+    path.pop(); // deps/
+    path.pop(); // debug/
+    path.push(format!("stair{}", std::env::consts::EXE_SUFFIX));
+    path
+}
+
+fn run(args: &[&str]) -> (bool, String) {
+    let out = Command::new(bin())
+        .args(args)
+        .output()
+        .expect("spawn stair binary");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn store_cli_session() {
+    let work = std::env::temp_dir().join(format!("stair-store-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&work);
+    std::fs::create_dir_all(&work).unwrap();
+    let dir = work.join("store");
+    let dir_s = dir.to_str().unwrap();
+
+    // init with the paper's running-example geometry, small sectors.
+    let (ok, out) = run(&[
+        "store",
+        "init",
+        "--dir",
+        dir_s,
+        "--n",
+        "8",
+        "--r",
+        "4",
+        "--m",
+        "2",
+        "--e",
+        "1,1,2",
+        "--symbol",
+        "128",
+        "--stripes",
+        "12",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("initialized store"), "{out}");
+
+    // write a payload filling the store.
+    let capacity = 12 * 20 * 128; // stripes × blocks/stripe × block size
+    let payload: Vec<u8> = (0..capacity).map(|i| (i * 7 % 253) as u8).collect();
+    let input = work.join("input.bin");
+    std::fs::write(&input, &payload).unwrap();
+    let (ok, out) = run(&[
+        "store",
+        "write",
+        "--dir",
+        dir_s,
+        "--input",
+        input.to_str().unwrap(),
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("full re-encodes"), "{out}");
+
+    // kill two devices (m = 2) and corrupt a 2-sector burst in a third.
+    assert!(run(&["store", "fail", "--dir", dir_s, "--device", "2"]).0);
+    assert!(run(&["store", "fail", "--dir", dir_s, "--device", "5"]).0);
+    assert!(
+        run(&[
+            "store", "fail", "--dir", dir_s, "--device", "7", "--stripe", "3", "--sector", "1",
+            "--len", "2",
+        ])
+        .0
+    );
+
+    // degraded read returns the original bytes.
+    let extracted = work.join("degraded.bin");
+    let (ok, out) = run(&[
+        "store",
+        "read",
+        "--dir",
+        dir_s,
+        "--output",
+        extracted.to_str().unwrap(),
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("degraded"), "{out}");
+    assert_eq!(std::fs::read(&extracted).unwrap(), payload);
+
+    // scrub detects the burst; repair reconstructs everything.
+    let (ok, out) = run(&["store", "scrub", "--dir", dir_s]);
+    assert!(ok, "{out}");
+    assert!(out.contains("2 mismatches"), "{out}");
+    let (ok, out) = run(&["store", "repair", "--dir", dir_s]);
+    assert!(ok, "{out}");
+    assert!(out.contains("repair complete"), "{out}");
+
+    // post-repair: scrub clean, reads clean and identical.
+    let (ok, out) = run(&["store", "scrub", "--dir", dir_s]);
+    assert!(ok && out.contains("store clean"), "{out}");
+    let final_out = work.join("final.bin");
+    let (ok, out) = run(&[
+        "store",
+        "read",
+        "--dir",
+        dir_s,
+        "--output",
+        final_out.to_str().unwrap(),
+    ]);
+    assert!(ok && out.contains("(clean)"), "{out}");
+    assert_eq!(std::fs::read(&final_out).unwrap(), payload);
+
+    // small overwrite goes down the delta path.
+    let patch = work.join("patch.bin");
+    std::fs::write(&patch, vec![0xEEu8; 100]).unwrap();
+    let (ok, out) = run(&[
+        "store",
+        "write",
+        "--dir",
+        dir_s,
+        "--input",
+        patch.to_str().unwrap(),
+        "--offset",
+        "300",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("delta updates"), "{out}");
+
+    // status reflects a healthy store.
+    let (ok, out) = run(&["store", "status", "--dir", dir_s]);
+    assert!(ok, "{out}");
+    assert!(out.contains("failed devices    : []"), "{out}");
+
+    std::fs::remove_dir_all(&work).unwrap();
+}
+
+#[test]
+fn store_cli_inject_detect_repair() {
+    let work = std::env::temp_dir().join(format!("stair-store-cli-inj-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&work);
+    std::fs::create_dir_all(&work).unwrap();
+    let dir = work.join("store");
+    let dir_s = dir.to_str().unwrap();
+
+    let (ok, out) = run(&[
+        "store",
+        "init",
+        "--dir",
+        dir_s,
+        "--n",
+        "8",
+        "--r",
+        "8",
+        "--m",
+        "2",
+        "--e",
+        "2,2",
+        "--symbol",
+        "64",
+        "--stripes",
+        "8",
+    ]);
+    assert!(ok, "{out}");
+
+    // Replay the independent sector-failure model against the store.
+    let (ok, out) = run(&[
+        "store", "inject", "--dir", dir_s, "--p-sec", "0.05", "--seed", "7",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("sampled 64 chunks"), "{out}");
+
+    let (ok, _) = run(&["store", "scrub", "--dir", dir_s]);
+    assert!(ok);
+    let (ok, out) = run(&["store", "repair", "--dir", dir_s]);
+    assert!(ok, "{out}");
+    let (ok, out) = run(&["store", "scrub", "--dir", dir_s]);
+    assert!(ok && out.contains("store clean"), "{out}");
+    std::fs::remove_dir_all(&work).unwrap();
+}

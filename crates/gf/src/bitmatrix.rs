@@ -145,7 +145,9 @@ mod tests {
             for bit in 0..8 {
                 let want = if y & (1 << bit) != 0 { 0xFF } else { 0x00 };
                 assert!(
-                    dst[bit * packet..(bit + 1) * packet].iter().all(|&b| b == want),
+                    dst[bit * packet..(bit + 1) * packet]
+                        .iter()
+                        .all(|&b| b == want),
                     "c={c} x={x} bit={bit}"
                 );
             }
@@ -168,7 +170,9 @@ mod tests {
     fn density_statistics_are_sane() {
         // Average density of a random constant's matrix is ~32 ones
         // (half of 64); all non-zero constants are invertible maps.
-        let total: u32 = (1..=255u8).map(|c| BitMatrix8::for_constant(c).ones()).sum();
+        let total: u32 = (1..=255u8)
+            .map(|c| BitMatrix8::for_constant(c).ones())
+            .sum();
         let avg = total as f64 / 255.0;
         assert!((avg - 32.0).abs() < 4.0, "avg density {avg}");
     }

@@ -12,10 +12,9 @@
 //! truncated at the chunk size `r` (the paper's simplifying assumption that
 //! a burst never exceeds one chunk) and renormalized.
 
-use serde::{Deserialize, Serialize};
-
 /// A discrete burst-length distribution `b_1 .. b_r` with `Σ b_i = 1`.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BurstModel {
     b: Vec<f64>,
 }

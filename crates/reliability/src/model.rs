@@ -1,8 +1,6 @@
 //! System-level reliability: storage efficiency, array counts, and the
 //! Markov MTTDL model (§7.1.1, Fig. 16).
 
-use serde::{Deserialize, Serialize};
-
 use crate::{p_chk, p_sec, p_str, Scheme, SectorModel};
 
 /// Storage efficiency `E = (r·(n−m) − s)/(r·n)` (Eq. 8).
@@ -20,7 +18,8 @@ pub fn narr(user_bytes: f64, efficiency: f64, device_capacity: f64, n: usize) ->
 }
 
 /// The full parameter set of §7.2's numerical evaluation.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SystemParams {
     /// Devices per array (`n`). The Markov model assumes `m = 1`.
     pub n: usize,

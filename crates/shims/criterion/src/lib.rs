@@ -1,0 +1,277 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Supports the bench-definition surface the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Throughput`, and
+//! `Bencher::iter` — with a plain wall-clock measurement loop instead of
+//! criterion's statistical machinery. Each benchmark prints one line:
+//!
+//! ```text
+//! encoding_methods/Upstairs/e=[4]   time: 1.234 ms/iter   thrpt: 1620.1 MiB/s
+//! ```
+//!
+//! Measurement: one warm-up call, then timed iterations until either
+//! `measurement_time` elapses or `sample_size` iterations complete,
+//! whichever comes first; the mean is reported. Set
+//! `CRITERION_SHIM_FAST=1` to cap at 3 iterations for smoke runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation: lets the harness report MiB/s or elem/s.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A two-part benchmark identifier, `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter display.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the workload.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher<'_> {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine()); // warm-up, also primes caches/allocations
+        let cap = if std::env::var_os("CRITERION_SHIM_FAST").is_some() {
+            3
+        } else {
+            self.sample_size.max(1)
+        };
+        let budget = self.measurement_time;
+        let started = Instant::now();
+        for _ in 0..cap {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            if started.elapsed() > budget {
+                break;
+            }
+        }
+    }
+}
+
+/// One named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of timed iterations.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's warm-up is one call.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Caps the wall-clock spent per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(
+            &label,
+            self.sample_size,
+            self.measurement_time,
+            self.throughput,
+            |b| f(b),
+        );
+        self
+    }
+
+    /// Runs a benchmark that borrows an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(
+            &label,
+            self.sample_size,
+            self.measurement_time,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (printing is per-benchmark, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs an ungrouped benchmark with default settings.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), 10, Duration::from_secs(2), None, |b| f(b));
+        self
+    }
+}
+
+fn run_one(
+    label: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut samples = Vec::new();
+    f(&mut Bencher {
+        samples: &mut samples,
+        sample_size,
+        measurement_time,
+    });
+    if samples.is_empty() {
+        println!("{label:<52} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let mean_s = mean.as_secs_f64();
+    let time = if mean_s >= 1.0 {
+        format!("{mean_s:.3} s/iter")
+    } else if mean_s >= 1e-3 {
+        format!("{:.3} ms/iter", mean_s * 1e3)
+    } else {
+        format!("{:.3} us/iter", mean_s * 1e6)
+    };
+    match throughput {
+        Some(Throughput::Bytes(bytes)) if mean_s > 0.0 => {
+            let mibs = bytes as f64 / mean_s / (1024.0 * 1024.0);
+            println!("{label:<52} time: {time:<16} thrpt: {mibs:.1} MiB/s");
+        }
+        Some(Throughput::Elements(elems)) if mean_s > 0.0 => {
+            let eps = elems as f64 / mean_s;
+            println!("{label:<52} time: {time:<16} thrpt: {eps:.0} elem/s");
+        }
+        _ => println!("{label:<52} time: {time}"),
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_surface_compiles_and_runs() {
+        std::env::set_var("CRITERION_SHIM_FAST", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        group.measurement_time(Duration::from_millis(50));
+        group.throughput(Throughput::Bytes(1024));
+        let mut acc = 0u64;
+        group.bench_function(BenchmarkId::new("sum", 8), |b| {
+            b.iter(|| {
+                acc = acc.wrapping_add((0..100u64).sum::<u64>());
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", "x"), &7u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert!(acc > 0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Per-device backing files.
+//!
+//! Each of the `n` devices is one flat file of `stripes × r` sectors;
+//! sector `(stripe, row)` of device `j` lives at byte offset
+//! `(stripe·r + row)·symbol` of `dev_j`'s file. Reads and writes use
+//! positioned I/O (`pread`/`pwrite`), so concurrent stripe operations
+//! never contend on a shared cursor.
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::RwLock;
+
+use crate::Error;
+
+/// Name of device `j`'s backing file.
+pub fn device_file_name(device: usize) -> String {
+    format!("dev_{device:02}.stair")
+}
+
+/// The result of reading one sector.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SectorRead {
+    /// The full sector was read.
+    Ok,
+    /// The device file is absent (failed device) or too short.
+    Missing,
+}
+
+/// The set of `n` backing files for one store.
+pub struct DeviceSet {
+    dir: PathBuf,
+    r: usize,
+    symbol: usize,
+    stripes: usize,
+    slots: Vec<RwLock<Option<File>>>,
+}
+
+impl DeviceSet {
+    /// Opens whatever device files exist under `dir`; absent files leave
+    /// their slot empty (the health table decides how to treat that).
+    pub fn open(dir: &Path, n: usize, r: usize, symbol: usize, stripes: usize) -> Self {
+        let slots = (0..n)
+            .map(|j| {
+                let file = OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .open(dir.join(device_file_name(j)))
+                    .ok();
+                RwLock::new(file)
+            })
+            .collect();
+        DeviceSet {
+            dir: dir.to_path_buf(),
+            r,
+            symbol,
+            stripes,
+            slots,
+        }
+    }
+
+    /// Creates all `n` device files zero-filled to their full size.
+    pub fn create(
+        dir: &Path,
+        n: usize,
+        r: usize,
+        symbol: usize,
+        stripes: usize,
+    ) -> Result<Self, Error> {
+        let len = (stripes * r * symbol) as u64;
+        for j in 0..n {
+            let file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create_new(true)
+                .open(dir.join(device_file_name(j)))?;
+            file.set_len(len)?;
+        }
+        Ok(Self::open(dir, n, r, symbol, stripes))
+    }
+
+    /// Whether device `j`'s backing file is currently present.
+    pub fn is_present(&self, device: usize) -> bool {
+        self.slots[device].read().unwrap().is_some()
+    }
+
+    fn offset(&self, stripe: usize, row: usize) -> u64 {
+        ((stripe * self.r + row) * self.symbol) as u64
+    }
+
+    /// Reads sector `(stripe, row)` of `device` into `buf`
+    /// (`buf.len() == symbol`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates real I/O errors; an absent or truncated file is reported
+    /// as [`SectorRead::Missing`], not an error.
+    pub fn read_sector(
+        &self,
+        device: usize,
+        stripe: usize,
+        row: usize,
+        buf: &mut [u8],
+    ) -> Result<SectorRead, Error> {
+        debug_assert_eq!(buf.len(), self.symbol);
+        let slot = self.slots[device].read().unwrap();
+        let Some(file) = slot.as_ref() else {
+            return Ok(SectorRead::Missing);
+        };
+        match file.read_exact_at(buf, self.offset(stripe, row)) {
+            Ok(()) => Ok(SectorRead::Ok),
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Ok(SectorRead::Missing),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Writes sector `(stripe, row)` of `device`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Device`] if the device file is absent.
+    pub fn write_sector(
+        &self,
+        device: usize,
+        stripe: usize,
+        row: usize,
+        data: &[u8],
+    ) -> Result<(), Error> {
+        debug_assert_eq!(data.len(), self.symbol);
+        let slot = self.slots[device].read().unwrap();
+        let Some(file) = slot.as_ref() else {
+            return Err(Error::Device(format!(
+                "device {device} has no backing file (failed?)"
+            )));
+        };
+        file.write_all_at(data, self.offset(stripe, row))?;
+        Ok(())
+    }
+
+    /// Drops the handle and deletes the backing file (device failure).
+    pub fn remove(&self, device: usize) -> Result<(), Error> {
+        let mut slot = self.slots[device].write().unwrap();
+        *slot = None;
+        let path = self.dir.join(device_file_name(device));
+        match std::fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Creates a fresh zero-filled replacement file for `device` (the
+    /// first step of online repair).
+    pub fn replace(&self, device: usize) -> Result<(), Error> {
+        let mut slot = self.slots[device].write().unwrap();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(self.dir.join(device_file_name(device)))?;
+        file.set_len((self.stripes * self.r * self.symbol) as u64)?;
+        *slot = Some(file);
+        Ok(())
+    }
+
+    /// Flushes all live device files to disk.
+    pub fn sync(&self) -> Result<(), Error> {
+        for slot in &self.slots {
+            if let Some(file) = slot.read().unwrap().as_ref() {
+                file.sync_data()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("stair-dev-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn sector_round_trip_and_offsets() {
+        let dir = tmpdir("rt");
+        let set = DeviceSet::create(&dir, 3, 4, 16, 5).unwrap();
+        let data = [0xABu8; 16];
+        set.write_sector(2, 3, 1, &data).unwrap();
+        let mut buf = [0u8; 16];
+        assert_eq!(set.read_sector(2, 3, 1, &mut buf).unwrap(), SectorRead::Ok);
+        assert_eq!(buf, data);
+        // Neighbouring sector untouched (still zero).
+        assert_eq!(set.read_sector(2, 3, 2, &mut buf).unwrap(), SectorRead::Ok);
+        assert_eq!(buf, [0u8; 16]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn remove_then_replace_restores_zeroed_device() {
+        let dir = tmpdir("rr");
+        let set = DeviceSet::create(&dir, 2, 2, 8, 2).unwrap();
+        set.write_sector(1, 0, 0, &[7u8; 8]).unwrap();
+        set.remove(1).unwrap();
+        let mut buf = [0u8; 8];
+        assert_eq!(
+            set.read_sector(1, 0, 0, &mut buf).unwrap(),
+            SectorRead::Missing
+        );
+        assert!(set.write_sector(1, 0, 0, &[1u8; 8]).is_err());
+        set.replace(1).unwrap();
+        assert_eq!(set.read_sector(1, 0, 0, &mut buf).unwrap(), SectorRead::Ok);
+        assert_eq!(buf, [0u8; 8]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for the stripe-store engine.
+
+use std::fmt;
+use std::io;
+
+/// Errors returned by the store.
+#[derive(Debug)]
+pub enum Error {
+    /// An underlying file operation failed.
+    Io(io::Error),
+    /// The codec rejected or could not complete an operation.
+    Codec(stair::Error),
+    /// The on-disk metadata is missing or malformed.
+    Meta(String),
+    /// A request fell outside the store's logical address space.
+    OutOfRange(String),
+    /// A stripe carries more damage than the `(m, e)` coverage can repair.
+    Unrecoverable {
+        /// Index of the stripe that cannot be reconstructed.
+        stripe: usize,
+        /// The erasure pattern that exceeded coverage.
+        erased: Vec<(usize, usize)>,
+    },
+    /// The requested device does not exist or is in the wrong state.
+    Device(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::Codec(e) => write!(f, "codec error: {e}"),
+            Error::Meta(msg) => write!(f, "bad store metadata: {msg}"),
+            Error::OutOfRange(msg) => write!(f, "out of range: {msg}"),
+            Error::Unrecoverable { stripe, erased } => write!(
+                f,
+                "stripe {stripe} is unrecoverable: {} erased sectors exceed coverage ({:?})",
+                erased.len(),
+                erased
+            ),
+            Error::Device(msg) => write!(f, "device error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            Error::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl From<stair::Error> for Error {
+    fn from(e: stair::Error) -> Self {
+        Error::Codec(e)
+    }
+}

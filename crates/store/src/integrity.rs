@@ -1,0 +1,300 @@
+//! Integrity state: the per-sector checksum table and the health record
+//! (failed / rebuilding devices, known-bad sectors).
+//!
+//! Checksums are authoritative for *detection*: a sector whose stored
+//! Fletcher-32 does not match its on-disk contents is treated as erased by
+//! every read path. The health record is a cache of what detection has
+//! already found (plus explicit failure declarations), so repair knows
+//! what to rebuild without rescanning the world.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::RwLock;
+
+use crate::checksum::fletcher32;
+use crate::Error;
+
+/// File name of the checksum table.
+pub const CHECKSUM_FILE: &str = "checksums.bin";
+/// File name of the health record.
+pub const HEALTH_FILE: &str = "health.txt";
+
+/// Lifecycle state of one device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeviceState {
+    /// Serving I/O normally.
+    Healthy,
+    /// Declared failed; its backing file is gone.
+    Failed,
+    /// Replacement file attached; reconstruction in progress. Reads still
+    /// treat its sectors as erased until repair finishes.
+    Rebuilding,
+}
+
+/// A damaged sector coordinate: `(stripe, row, device)`.
+pub type BadSector = (usize, usize, usize);
+
+/// Mutable health state, persisted as `health.txt`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Health {
+    /// Per-device lifecycle states.
+    pub devices: Vec<DeviceState>,
+    /// Sectors known damaged on otherwise-healthy devices.
+    pub bad_sectors: BTreeSet<BadSector>,
+}
+
+impl Health {
+    fn new(n: usize) -> Self {
+        Health {
+            devices: vec![DeviceState::Healthy; n],
+            bad_sectors: BTreeSet::new(),
+        }
+    }
+
+    fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (j, state) in self.devices.iter().enumerate() {
+            match state {
+                DeviceState::Healthy => {}
+                DeviceState::Failed => out.push_str(&format!("failed {j}\n")),
+                DeviceState::Rebuilding => out.push_str(&format!("rebuilding {j}\n")),
+            }
+        }
+        for &(stripe, row, dev) in &self.bad_sectors {
+            out.push_str(&format!("bad {stripe} {row} {dev}\n"));
+        }
+        out
+    }
+
+    fn parse(text: &str, n: usize) -> Result<Self, Error> {
+        let mut health = Health::new(n);
+        for line in text.lines() {
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            let parse = |v: &str| {
+                v.parse::<usize>()
+                    .map_err(|_| Error::Meta(format!("bad health line `{line}`")))
+            };
+            match fields.as_slice() {
+                [] => {}
+                ["failed", j] => {
+                    let j = parse(j)?;
+                    check_device(j, n)?;
+                    health.devices[j] = DeviceState::Failed;
+                }
+                ["rebuilding", j] => {
+                    let j = parse(j)?;
+                    check_device(j, n)?;
+                    health.devices[j] = DeviceState::Rebuilding;
+                }
+                ["bad", stripe, row, dev] => {
+                    let dev = parse(dev)?;
+                    check_device(dev, n)?;
+                    health
+                        .bad_sectors
+                        .insert((parse(stripe)?, parse(row)?, dev));
+                }
+                _ => return Err(Error::Meta(format!("bad health line `{line}`"))),
+            }
+        }
+        Ok(health)
+    }
+}
+
+fn write_atomic(dir: &Path, name: &str, contents: &[u8]) -> Result<(), Error> {
+    let tmp = dir.join(format!("{name}.tmp"));
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, dir.join(name))?;
+    Ok(())
+}
+
+fn check_device(j: usize, n: usize) -> Result<(), Error> {
+    if j >= n {
+        return Err(Error::Meta(format!("device {j} out of range (n={n})")));
+    }
+    Ok(())
+}
+
+/// The checksum table plus health record, with persistence.
+pub struct Integrity {
+    dir: PathBuf,
+    n: usize,
+    r: usize,
+    /// `checksums[(stripe·r + row)·n + dev]`, guarding every stored sector.
+    checksums: RwLock<Vec<u32>>,
+    /// Table indices whose entries changed since the last persist; persist
+    /// rewrites only these (positioned 4-byte writes), not the whole file.
+    dirty: std::sync::Mutex<std::collections::BTreeSet<usize>>,
+    /// Open handle on the checksum table file for positioned writes.
+    table_file: std::fs::File,
+    health: RwLock<Health>,
+    /// Serializes [`Integrity::persist`] so concurrent foreground writes
+    /// and repair/scrub passes never interleave file updates.
+    persist_lock: std::sync::Mutex<()>,
+}
+
+impl Integrity {
+    /// Builds a fresh table for a zero-filled store.
+    pub fn create(
+        dir: &Path,
+        n: usize,
+        r: usize,
+        symbol: usize,
+        stripes: usize,
+    ) -> Result<Self, Error> {
+        let zero_sum = fletcher32(&vec![0u8; symbol]);
+        let checksums = vec![zero_sum; stripes * r * n];
+        let mut raw = Vec::with_capacity(checksums.len() * 4);
+        for sum in &checksums {
+            raw.extend_from_slice(&sum.to_le_bytes());
+        }
+        write_atomic(dir, CHECKSUM_FILE, &raw)?;
+        write_atomic(dir, HEALTH_FILE, Health::new(n).to_text().as_bytes())?;
+        Self::load(dir, n, r, stripes)
+    }
+
+    /// Loads the table and health record from `dir`.
+    pub fn load(dir: &Path, n: usize, r: usize, stripes: usize) -> Result<Self, Error> {
+        let raw = fs::read(dir.join(CHECKSUM_FILE))
+            .map_err(|e| Error::Meta(format!("cannot read {CHECKSUM_FILE}: {e}")))?;
+        let expected = stripes * r * n * 4;
+        if raw.len() != expected {
+            return Err(Error::Meta(format!(
+                "{CHECKSUM_FILE} is {} bytes, expected {expected}",
+                raw.len()
+            )));
+        }
+        let checksums: Vec<u32> = raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        let table_file = fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(dir.join(CHECKSUM_FILE))?;
+        let health_text = fs::read_to_string(dir.join(HEALTH_FILE)).unwrap_or_default();
+        Ok(Integrity {
+            dir: dir.to_path_buf(),
+            n,
+            r,
+            checksums: RwLock::new(checksums),
+            dirty: std::sync::Mutex::new(std::collections::BTreeSet::new()),
+            table_file,
+            health: RwLock::new(Health::parse(&health_text, n)?),
+            persist_lock: std::sync::Mutex::new(()),
+        })
+    }
+
+    fn index(&self, stripe: usize, row: usize, dev: usize) -> usize {
+        (stripe * self.r + row) * self.n + dev
+    }
+
+    /// The stored checksum for a sector.
+    pub fn expected(&self, stripe: usize, row: usize, dev: usize) -> u32 {
+        self.checksums.read().unwrap()[self.index(stripe, row, dev)]
+    }
+
+    /// Verifies `data` against the stored checksum.
+    pub fn verify(&self, stripe: usize, row: usize, dev: usize, data: &[u8]) -> bool {
+        fletcher32(data) == self.expected(stripe, row, dev)
+    }
+
+    /// Records the checksum of freshly written sector contents (persisted
+    /// on the next [`Integrity::persist`]).
+    pub fn record(&self, stripe: usize, row: usize, dev: usize, data: &[u8]) {
+        let sum = fletcher32(data);
+        let idx = self.index(stripe, row, dev);
+        self.checksums.write().unwrap()[idx] = sum;
+        self.dirty.lock().unwrap().insert(idx);
+    }
+
+    /// Snapshot of the current health record (clones the bad-sector set;
+    /// hot per-stripe paths should prefer [`Integrity::device_states`] /
+    /// [`Integrity::is_recorded_bad`]).
+    pub fn health(&self) -> Health {
+        self.health.read().unwrap().clone()
+    }
+
+    /// Per-device states only — cheap (`n` entries) for per-stripe paths.
+    pub fn device_states(&self) -> Vec<DeviceState> {
+        self.health.read().unwrap().devices.clone()
+    }
+
+    /// Whether a sector is already recorded as bad, without cloning.
+    pub fn is_recorded_bad(&self, key: BadSector) -> bool {
+        self.health.read().unwrap().bad_sectors.contains(&key)
+    }
+
+    /// Applies `f` to the health record and returns whether it changed.
+    pub fn update_health(&self, f: impl FnOnce(&mut Health)) -> bool {
+        let mut guard = self.health.write().unwrap();
+        let before = guard.clone();
+        f(&mut guard);
+        *guard != before
+    }
+
+    /// Persists dirty checksum entries (positioned 4-byte writes into the
+    /// table file — O(entries changed), not O(store size)) and the health
+    /// record (small; rewritten atomically via temp file + rename). The
+    /// persist lock keeps concurrent callers from interleaving.
+    pub fn persist(&self) -> Result<(), Error> {
+        use std::os::unix::fs::FileExt;
+        let _serial = self.persist_lock.lock().unwrap();
+        let dirty: Vec<usize> = std::mem::take(&mut *self.dirty.lock().unwrap())
+            .into_iter()
+            .collect();
+        {
+            let checksums = self.checksums.read().unwrap();
+            for idx in dirty {
+                self.table_file
+                    .write_all_at(&checksums[idx].to_le_bytes(), idx as u64 * 4)?;
+            }
+        }
+        let health_text = self.health.read().unwrap().to_text();
+        write_atomic(&self.dir, HEALTH_FILE, health_text.as_bytes())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("stair-integ-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn checksum_verify_record_cycle() {
+        let dir = tmpdir("cvr");
+        let integ = Integrity::create(&dir, 4, 2, 16, 3).unwrap();
+        let zero = [0u8; 16];
+        assert!(integ.verify(0, 0, 0, &zero));
+        let data = [9u8; 16];
+        assert!(!integ.verify(2, 1, 3, &data));
+        integ.record(2, 1, 3, &data);
+        assert!(integ.verify(2, 1, 3, &data));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn persistence_round_trips_health_and_checksums() {
+        let dir = tmpdir("prt");
+        let integ = Integrity::create(&dir, 4, 2, 16, 3).unwrap();
+        integ.record(1, 0, 2, &[5u8; 16]);
+        integ.update_health(|h| {
+            h.devices[3] = DeviceState::Failed;
+            h.bad_sectors.insert((1, 1, 0));
+        });
+        integ.persist().unwrap();
+        let again = Integrity::load(&dir, 4, 2, 3).unwrap();
+        assert!(again.verify(1, 0, 2, &[5u8; 16]));
+        let health = again.health();
+        assert_eq!(health.devices[3], DeviceState::Failed);
+        assert!(health.bad_sectors.contains(&(1, 1, 0)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

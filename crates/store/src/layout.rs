@@ -1,0 +1,150 @@
+//! Logical address mapping: the store exposes a flat block space (one
+//! block = one data sector) laid out stripe by stripe, skipping parity
+//! positions, in the same row-major data-cell order the codec's
+//! [`stair::Layout`] uses.
+
+use stair::{Cell, Config, Layout};
+
+use crate::Error;
+
+/// Maps logical block indices onto `(stripe, row, col)` sector coordinates.
+#[derive(Clone, Debug)]
+pub struct BlockMap {
+    symbol: usize,
+    stripes: usize,
+    data_cells: Vec<Cell>,
+}
+
+/// The location of one logical block inside the physical grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockLocation {
+    /// Stripe index.
+    pub stripe: usize,
+    /// Position of the block among the stripe's data cells.
+    pub slot: usize,
+    /// Sector coordinate `(row, col)` within the stripe.
+    pub cell: Cell,
+}
+
+impl BlockMap {
+    /// Builds the map for a configuration.
+    pub fn new(config: &Config, symbol: usize, stripes: usize) -> Self {
+        BlockMap {
+            symbol,
+            stripes,
+            data_cells: Layout::new(config).data_cells(),
+        }
+    }
+
+    /// Bytes per block (= sector size).
+    pub fn block_size(&self) -> usize {
+        self.symbol
+    }
+
+    /// Data blocks per stripe.
+    pub fn blocks_per_stripe(&self) -> usize {
+        self.data_cells.len()
+    }
+
+    /// Total logical blocks.
+    pub fn total_blocks(&self) -> usize {
+        self.stripes * self.data_cells.len()
+    }
+
+    /// Total logical bytes.
+    pub fn capacity(&self) -> u64 {
+        self.total_blocks() as u64 * self.symbol as u64
+    }
+
+    /// The data cells of one stripe, in logical order.
+    pub fn data_cells(&self) -> &[Cell] {
+        &self.data_cells
+    }
+
+    /// Locates a logical block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfRange`] past the end of the store.
+    pub fn locate(&self, block: usize) -> Result<BlockLocation, Error> {
+        if block >= self.total_blocks() {
+            return Err(Error::OutOfRange(format!(
+                "block {block} >= {}",
+                self.total_blocks()
+            )));
+        }
+        let per = self.blocks_per_stripe();
+        let slot = block % per;
+        Ok(BlockLocation {
+            stripe: block / per,
+            slot,
+            cell: self.data_cells[slot],
+        })
+    }
+
+    /// The inclusive block range covering the byte span `[offset,
+    /// offset+len)`, plus validation against capacity. A zero-length span
+    /// yields an empty range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfRange`] if the span exceeds capacity.
+    pub fn block_span(&self, offset: u64, len: usize) -> Result<std::ops::Range<usize>, Error> {
+        let end = offset
+            .checked_add(len as u64)
+            .ok_or_else(|| Error::OutOfRange("offset + len overflows".into()))?;
+        if end > self.capacity() {
+            return Err(Error::OutOfRange(format!(
+                "byte span [{offset}, {end}) exceeds capacity {}",
+                self.capacity()
+            )));
+        }
+        if len == 0 {
+            return Ok(0..0);
+        }
+        let first = (offset / self.symbol as u64) as usize;
+        let last = ((end - 1) / self.symbol as u64) as usize;
+        Ok(first..last + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> BlockMap {
+        let config = Config::new(8, 4, 2, &[1, 1, 2]).unwrap();
+        BlockMap::new(&config, 512, 10)
+    }
+
+    #[test]
+    fn geometry_matches_config() {
+        let m = map();
+        // n=8, r=4, m=2 → 6 surviving chunks × 4 rows − s=4 globals = 20.
+        assert_eq!(m.blocks_per_stripe(), 20);
+        assert_eq!(m.total_blocks(), 200);
+        assert_eq!(m.capacity(), 200 * 512);
+    }
+
+    #[test]
+    fn locate_walks_stripes_in_order() {
+        let m = map();
+        let a = m.locate(0).unwrap();
+        assert_eq!((a.stripe, a.slot), (0, 0));
+        let b = m.locate(20).unwrap();
+        assert_eq!((b.stripe, b.slot), (1, 0));
+        let c = m.locate(199).unwrap();
+        assert_eq!((c.stripe, c.slot), (9, 19));
+        assert!(m.locate(200).is_err());
+    }
+
+    #[test]
+    fn block_span_covers_partial_blocks() {
+        let m = map();
+        assert_eq!(m.block_span(0, 512).unwrap(), 0..1);
+        assert_eq!(m.block_span(10, 512).unwrap(), 0..2);
+        assert_eq!(m.block_span(511, 2).unwrap(), 0..2);
+        assert_eq!(m.block_span(512, 0).unwrap(), 0..0);
+        assert!(m.block_span(200 * 512 - 1, 2).is_err());
+    }
+}

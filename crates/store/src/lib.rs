@@ -1,0 +1,72 @@
+//! `stair-store`: a concurrent, file-backed stripe-store engine on top of
+//! [`stair::StairCodec`].
+//!
+//! The STAIR paper positions its codes as protection for *practical
+//! storage systems* that must survive whole-device failures plus
+//! sector-level bursts. The rest of this workspace exercises the codec one
+//! stripe at a time; this crate is the storage-engine layer above it:
+//!
+//! * a flat logical **block space** (one block = one data sector) mapped
+//!   onto stripes laid out across `n` per-device backing files
+//!   ([`BlockMap`]);
+//! * a **write path** that batches dirty blocks per stripe — full-stripe
+//!   writes re-encode in one pass, small writes take the parity-delta
+//!   update path ([`StripeStore::write_at`]);
+//! * a **read path** that serves **degraded reads** transparently when
+//!   devices or sectors are lost, using the decode planner to reconstruct
+//!   only what the request needs ([`StripeStore::read_at`]);
+//! * a background **scrubber** verifying per-sector Fletcher-32 checksums
+//!   ([`StripeStore::scrub`]) and an **online repair** pass that rebuilds
+//!   lost chunks onto replacement files while foreground I/O continues
+//!   ([`StripeStore::repair`]);
+//! * a **failure-injection** bridge replaying `stair_arraysim`'s sector
+//!   failure models against the real store
+//!   ([`StripeStore::inject_failures`]).
+//!
+//! # Example
+//!
+//! ```
+//! use stair_store::{StoreOptions, StripeStore};
+//!
+//! let dir = std::env::temp_dir().join(format!("stair-store-doc-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let opts = StoreOptions { symbol: 64, stripes: 4, ..StoreOptions::default() };
+//! let store = StripeStore::create(&dir, &opts)?;
+//!
+//! // Write, lose two devices and a sector burst, read back degraded.
+//! let payload: Vec<u8> = (0..store.capacity() as usize).map(|i| i as u8).collect();
+//! store.write_at(0, &payload)?;
+//! store.fail_device(1)?;
+//! store.fail_device(6)?;
+//! store.corrupt_sectors(3, 0, 2, 2)?;
+//! assert_eq!(store.read_at(0, payload.len())?, payload);
+//!
+//! // Repair online, then a scrub reports clean.
+//! assert!(store.repair(2)?.complete());
+//! assert!(store.scrub(2)?.clean());
+//! std::fs::remove_dir_all(&dir)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checksum;
+mod device;
+mod error;
+mod inject;
+mod integrity;
+mod layout;
+mod meta;
+mod repair;
+mod scrub;
+mod store;
+
+pub use error::Error;
+pub use inject::InjectionOutcome;
+pub use integrity::{BadSector, DeviceState, Health};
+pub use layout::{BlockLocation, BlockMap};
+pub use meta::StoreMeta;
+pub use repair::RepairReport;
+pub use scrub::ScrubReport;
+pub use store::{StoreOptions, StoreStatus, StripeStore, WriteReport};

@@ -1,0 +1,167 @@
+//! The store superblock: a small plain-text file pinning the geometry
+//! (`n`, `r`, `m`, `e`, sector size, stripe count) that every other
+//! on-disk structure is interpreted against.
+
+use std::fs;
+use std::path::Path;
+
+use stair::Config;
+
+use crate::Error;
+
+/// File name of the superblock inside a store directory.
+pub const META_FILE: &str = "store.meta";
+/// Magic first line; bump the version when the layout changes.
+pub const MAGIC: &str = "stair-store v1";
+
+/// The immutable geometry of a store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreMeta {
+    /// Devices per stripe (`n`).
+    pub n: usize,
+    /// Sectors per chunk (`r`).
+    pub r: usize,
+    /// Tolerated whole-device failures (`m`).
+    pub m: usize,
+    /// Sector-failure coverage vector (`e`, non-decreasing).
+    pub e: Vec<usize>,
+    /// Bytes per sector; also the logical block size.
+    pub symbol: usize,
+    /// Number of stripes in the store.
+    pub stripes: usize,
+}
+
+impl StoreMeta {
+    /// Validates the geometry by constructing the codec configuration.
+    pub fn config(&self) -> Result<Config, Error> {
+        Config::new(self.n, self.r, self.m, &self.e).map_err(Error::from)
+    }
+
+    /// Serializes to the superblock text format.
+    pub fn to_text(&self) -> String {
+        let e: Vec<String> = self.e.iter().map(|x| x.to_string()).collect();
+        format!(
+            "{MAGIC}\nn {}\nr {}\nm {}\ne {}\nsymbol {}\nstripes {}\n",
+            self.n,
+            self.r,
+            self.m,
+            e.join(","),
+            self.symbol,
+            self.stripes
+        )
+    }
+
+    /// Parses the superblock text format.
+    pub fn parse(text: &str) -> Result<Self, Error> {
+        let mut lines = text.lines();
+        let magic = lines.next().unwrap_or_default();
+        if magic != MAGIC {
+            return Err(Error::Meta(format!(
+                "bad magic `{magic}`, expected `{MAGIC}`"
+            )));
+        }
+        let mut n = None;
+        let mut r = None;
+        let mut m = None;
+        let mut e: Option<Vec<usize>> = None;
+        let mut symbol = None;
+        let mut stripes = None;
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once(' ')
+                .ok_or_else(|| Error::Meta(format!("malformed line `{line}`")))?;
+            let parse_usize = |v: &str| {
+                v.parse::<usize>()
+                    .map_err(|_| Error::Meta(format!("bad integer `{v}` for `{key}`")))
+            };
+            match key {
+                "n" => n = Some(parse_usize(value)?),
+                "r" => r = Some(parse_usize(value)?),
+                "m" => m = Some(parse_usize(value)?),
+                "symbol" => symbol = Some(parse_usize(value)?),
+                "stripes" => stripes = Some(parse_usize(value)?),
+                "e" => {
+                    let parsed: Result<Vec<usize>, Error> =
+                        value.split(',').map(|x| parse_usize(x.trim())).collect();
+                    e = Some(parsed?);
+                }
+                _ => return Err(Error::Meta(format!("unknown key `{key}`"))),
+            }
+        }
+        let missing = |field: &str| Error::Meta(format!("missing field `{field}`"));
+        let meta = StoreMeta {
+            n: n.ok_or_else(|| missing("n"))?,
+            r: r.ok_or_else(|| missing("r"))?,
+            m: m.ok_or_else(|| missing("m"))?,
+            e: e.ok_or_else(|| missing("e"))?,
+            symbol: symbol.ok_or_else(|| missing("symbol"))?,
+            stripes: stripes.ok_or_else(|| missing("stripes"))?,
+        };
+        if meta.symbol == 0 || meta.stripes == 0 {
+            return Err(Error::Meta("symbol and stripes must be positive".into()));
+        }
+        meta.config()?; // validate (n, r, m, e) as a real STAIR configuration
+        Ok(meta)
+    }
+
+    /// Writes the superblock into `dir`.
+    pub fn save(&self, dir: &Path) -> Result<(), Error> {
+        fs::write(dir.join(META_FILE), self.to_text()).map_err(Error::from)
+    }
+
+    /// Loads and validates the superblock from `dir`.
+    pub fn load(dir: &Path) -> Result<Self, Error> {
+        let path = dir.join(META_FILE);
+        let text = fs::read_to_string(&path)
+            .map_err(|e| Error::Meta(format!("cannot read {}: {e}", path.display())))?;
+        Self::parse(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> StoreMeta {
+        StoreMeta {
+            n: 8,
+            r: 4,
+            m: 2,
+            e: vec![1, 1, 2],
+            symbol: 512,
+            stripes: 16,
+        }
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let m = meta();
+        assert_eq!(StoreMeta::parse(&m.to_text()).unwrap(), m);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_bad_geometry() {
+        assert!(matches!(
+            StoreMeta::parse("nonsense\nn 8"),
+            Err(Error::Meta(_))
+        ));
+        // e longer than feasible: Config::new must reject it.
+        let mut bad = meta();
+        bad.e = vec![100];
+        assert!(StoreMeta::parse(&bad.to_text()).is_err());
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("stair-meta-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let m = meta();
+        m.save(&dir).unwrap();
+        assert_eq!(StoreMeta::load(&dir).unwrap(), m);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

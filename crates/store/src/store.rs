@@ -1,0 +1,823 @@
+//! The stripe-store engine: a block-addressable, file-backed store laid
+//! out across `n` per-device files and protected by a STAIR code.
+//!
+//! # Data path design
+//!
+//! * **Writes** are batched per stripe. A write covering *every* data
+//!   block of a stripe never reads old state: the stripe is rebuilt in
+//!   memory and fully re-encoded (one sequential pass). A partial write
+//!   loads the stripe, overwrites the dirty data sectors, and patches only
+//!   the dependent parity sectors via the codec's parity-delta update
+//!   ([`stair::StairCodec::update_data`]) — the §6.3 update-penalty path.
+//! * **Reads** verify every sector against the Fletcher-32 table. A clean
+//!   stripe is served straight from the data sectors. Any missing file,
+//!   short read, or checksum mismatch switches the stripe to a **degraded
+//!   read**: the erasure set is assembled and the decode planner
+//!   ([`stair::StairCodec::plan_recover`]) reconstructs exactly the
+//!   requested sectors.
+//! * All sector I/O is positioned (`pread`/`pwrite`), and stripes are
+//!   guarded by striped locks, so reads, writes, scrubbing, and repair of
+//!   *different* stripes proceed concurrently.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use stair::{Cell, Config, StairCodec, Stripe};
+use stair_gf::{Field, Gf8};
+
+use crate::device::{DeviceSet, SectorRead};
+use crate::integrity::{DeviceState, Integrity};
+use crate::layout::BlockMap;
+use crate::meta::StoreMeta;
+use crate::Error;
+
+/// Geometry for [`StripeStore::create`].
+#[derive(Clone, Debug)]
+pub struct StoreOptions {
+    /// Devices per stripe.
+    pub n: usize,
+    /// Sectors per chunk.
+    pub r: usize,
+    /// Tolerated device failures.
+    pub m: usize,
+    /// Sector-failure coverage vector.
+    pub e: Vec<usize>,
+    /// Bytes per sector (= logical block size).
+    pub symbol: usize,
+    /// Stripes in the store.
+    pub stripes: usize,
+}
+
+impl Default for StoreOptions {
+    /// The paper's running example (`n=8, r=4, m=2, e=(1,1,2)`) with
+    /// 512-byte sectors and 64 stripes.
+    fn default() -> Self {
+        StoreOptions {
+            n: 8,
+            r: 4,
+            m: 2,
+            e: vec![1, 1, 2],
+            symbol: 512,
+            stripes: 64,
+        }
+    }
+}
+
+/// Statistics returned by [`StripeStore::write_at`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WriteReport {
+    /// Logical blocks written.
+    pub blocks_written: usize,
+    /// Stripes the write touched.
+    pub stripes_touched: usize,
+    /// Stripes served by the full-re-encode path.
+    pub full_stripe_encodes: usize,
+    /// Individual parity-delta sector updates performed.
+    pub delta_updates: usize,
+    /// Parity sectors patched by delta updates.
+    pub parity_sectors_patched: usize,
+    /// Previously-damaged sectors opportunistically rewritten with
+    /// reconstructed contents.
+    pub sectors_healed: usize,
+}
+
+/// A point-in-time summary of the store's health and geometry.
+#[derive(Clone, Debug)]
+pub struct StoreStatus {
+    /// Logical capacity in bytes.
+    pub capacity: u64,
+    /// Logical block size in bytes.
+    pub block_size: usize,
+    /// Stripe count.
+    pub stripes: usize,
+    /// Data blocks per stripe.
+    pub blocks_per_stripe: usize,
+    /// Devices currently failed (no backing file).
+    pub failed_devices: Vec<usize>,
+    /// Devices currently being rebuilt.
+    pub rebuilding_devices: Vec<usize>,
+    /// Known-damaged sectors awaiting repair.
+    pub known_bad_sectors: usize,
+}
+
+pub(crate) struct Shared {
+    pub(crate) dir: PathBuf,
+    pub(crate) meta: StoreMeta,
+    pub(crate) config: Config,
+    pub(crate) codec: StairCodec,
+    pub(crate) blocks: BlockMap,
+    pub(crate) devices: DeviceSet,
+    pub(crate) integrity: Integrity,
+    stripe_locks: Vec<Mutex<()>>,
+}
+
+/// The stripe-store engine. Cheap to clone (`Arc` inside); clones share
+/// the same store, so foreground I/O, scrubbing, and repair can run from
+/// different threads concurrently.
+#[derive(Clone)]
+pub struct StripeStore {
+    pub(crate) shared: Arc<Shared>,
+}
+
+impl StripeStore {
+    /// Creates a new zero-filled store under `dir` (created if absent).
+    ///
+    /// A zero store is consistent by linearity: parity over all-zero data
+    /// is all-zero, so freshly created devices already verify.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the geometry is not a valid STAIR configuration or any
+    /// file operation fails (including `dir` already holding a store).
+    pub fn create(dir: &Path, opts: &StoreOptions) -> Result<Self, Error> {
+        let meta = StoreMeta {
+            n: opts.n,
+            r: opts.r,
+            m: opts.m,
+            e: opts.e.clone(),
+            symbol: opts.symbol,
+            stripes: opts.stripes,
+        };
+        // Same validation `open` applies when parsing the superblock, so
+        // a store that creates is always a store that reopens.
+        let meta = StoreMeta::parse(&meta.to_text())?;
+        let config = meta.config()?;
+        std::fs::create_dir_all(dir)?;
+        // Device files first (create_new fails fast on an existing store);
+        // the superblock is written only once everything else succeeded, so
+        // a failed init never clobbers an existing store's metadata.
+        let devices = DeviceSet::create(dir, meta.n, meta.r, meta.symbol, meta.stripes)?;
+        let integrity = Integrity::create(dir, meta.n, meta.r, meta.symbol, meta.stripes)?;
+        meta.save(dir)?;
+        Self::assemble(dir, meta, config, devices, integrity)
+    }
+
+    /// Opens an existing store.
+    ///
+    /// A device whose backing file is missing but which the health record
+    /// still lists as healthy is demoted to failed (crash between a
+    /// failure and its record, or manual file deletion).
+    ///
+    /// # Errors
+    ///
+    /// Fails on absent/corrupt metadata or unreadable integrity state.
+    pub fn open(dir: &Path) -> Result<Self, Error> {
+        let meta = StoreMeta::load(dir)?;
+        let config = meta.config()?;
+        let devices = DeviceSet::open(dir, meta.n, meta.r, meta.symbol, meta.stripes);
+        let integrity = Integrity::load(dir, meta.n, meta.r, meta.stripes)?;
+        for dev in 0..meta.n {
+            if !devices.is_present(dev) {
+                integrity.update_health(|h| {
+                    if h.devices[dev] == DeviceState::Healthy {
+                        h.devices[dev] = DeviceState::Failed;
+                    }
+                });
+            }
+        }
+        Self::assemble(dir, meta, config, devices, integrity)
+    }
+
+    fn assemble(
+        dir: &Path,
+        meta: StoreMeta,
+        config: Config,
+        devices: DeviceSet,
+        integrity: Integrity,
+    ) -> Result<Self, Error> {
+        let codec = StairCodec::new(config.clone())?;
+        let blocks = BlockMap::new(&config, meta.symbol, meta.stripes);
+        let stripe_locks = (0..meta.stripes.clamp(1, 64))
+            .map(|_| Mutex::new(()))
+            .collect();
+        Ok(StripeStore {
+            shared: Arc::new(Shared {
+                dir: dir.to_path_buf(),
+                meta,
+                config,
+                codec,
+                blocks,
+                devices,
+                integrity,
+                stripe_locks,
+            }),
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.shared.dir
+    }
+
+    /// The codec configuration.
+    pub fn config(&self) -> &Config {
+        &self.shared.config
+    }
+
+    /// Logical block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.shared.blocks.block_size()
+    }
+
+    /// Total logical capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.shared.blocks.capacity()
+    }
+
+    /// Number of stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.shared.meta.stripes
+    }
+
+    /// Data blocks per stripe.
+    pub fn blocks_per_stripe(&self) -> usize {
+        self.shared.blocks.blocks_per_stripe()
+    }
+
+    /// Current health and geometry summary.
+    pub fn status(&self) -> StoreStatus {
+        let health = self.shared.integrity.health();
+        let by_state = |want: DeviceState| {
+            health
+                .devices
+                .iter()
+                .enumerate()
+                .filter(|&(_, &s)| s == want)
+                .map(|(j, _)| j)
+                .collect::<Vec<_>>()
+        };
+        StoreStatus {
+            capacity: self.capacity(),
+            block_size: self.block_size(),
+            stripes: self.stripe_count(),
+            blocks_per_stripe: self.blocks_per_stripe(),
+            failed_devices: by_state(DeviceState::Failed),
+            rebuilding_devices: by_state(DeviceState::Rebuilding),
+            known_bad_sectors: health.bad_sectors.len(),
+        }
+    }
+
+    /// Persists the checksum table, health record, and device data.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn flush(&self) -> Result<(), Error> {
+        self.shared.devices.sync()?;
+        self.shared.integrity.persist()
+    }
+
+    pub(crate) fn lock_stripe(&self, stripe: usize) -> MutexGuard<'_, ()> {
+        let locks = &self.shared.stripe_locks;
+        locks[stripe % locks.len()].lock().unwrap()
+    }
+
+    /// Acquires every stripe lock, quiescing all stripe I/O. Safe against
+    /// deadlock because stripe operations hold at most one stripe lock at
+    /// a time and the locks are taken here in index order.
+    fn lock_all_stripes(&self) -> Vec<MutexGuard<'_, ()>> {
+        self.shared
+            .stripe_locks
+            .iter()
+            .map(|l| l.lock().unwrap())
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Failure surface
+    // ------------------------------------------------------------------
+
+    /// Declares device `dev` failed: the backing file is deleted and every
+    /// sector of the device is treated as erased until repair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Device`] for out-of-range indices.
+    pub fn fail_device(&self, dev: usize) -> Result<(), Error> {
+        if dev >= self.shared.meta.n {
+            return Err(Error::Device(format!(
+                "device {dev} out of range (n={})",
+                self.shared.meta.n
+            )));
+        }
+        // Quiesce all stripe I/O: removing the file mid write-back would
+        // abort a write half-applied, leaving checksum-valid cells whose
+        // parity no longer matches.
+        let _all = self.lock_all_stripes();
+        self.shared.devices.remove(dev)?;
+        self.shared.integrity.update_health(|h| {
+            h.devices[dev] = DeviceState::Failed;
+            h.bad_sectors.retain(|&(_, _, d)| d != dev);
+        });
+        self.shared.integrity.persist()
+    }
+
+    /// Corrupts `len` consecutive sectors of `dev` starting at `(stripe,
+    /// row)` by flipping bits on disk — a latent sector error / burst. The
+    /// checksum table is deliberately left stale so the damage is only
+    /// *detected* when a read or scrub verifies the sectors.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range coordinates or a failed device are rejected.
+    pub fn corrupt_sectors(
+        &self,
+        dev: usize,
+        stripe: usize,
+        row: usize,
+        len: usize,
+    ) -> Result<(), Error> {
+        let meta = &self.shared.meta;
+        if dev >= meta.n || stripe >= meta.stripes || row + len > meta.r {
+            return Err(Error::OutOfRange(format!(
+                "burst dev={dev} stripe={stripe} rows {row}..{} outside {}x{}x{}",
+                row + len,
+                meta.stripes,
+                meta.r,
+                meta.n
+            )));
+        }
+        let _guard = self.lock_stripe(stripe);
+        let mut buf = vec![0u8; meta.symbol];
+        for k in row..row + len {
+            match self.shared.devices.read_sector(dev, stripe, k, &mut buf)? {
+                SectorRead::Missing => {
+                    return Err(Error::Device(format!("device {dev} has no backing file")))
+                }
+                SectorRead::Ok => {}
+            }
+            for b in buf.iter_mut() {
+                *b ^= 0xA5;
+            }
+            self.shared.devices.write_sector(dev, stripe, k, &buf)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Read path
+    // ------------------------------------------------------------------
+
+    /// Reads `len` bytes starting at logical byte `offset`, transparently
+    /// reconstructing sectors lost to failed devices or latent damage.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::OutOfRange`] if the span exceeds capacity;
+    /// * [`Error::Unrecoverable`] if a needed stripe carries more damage
+    ///   than the configuration covers.
+    pub fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>, Error> {
+        let span = self.shared.blocks.block_span(offset, len)?;
+        let mut out = vec![0u8; len];
+        let per = self.blocks_per_stripe();
+        let mut block = span.start;
+        while block < span.end {
+            let stripe = block / per;
+            let stripe_end = ((stripe + 1) * per).min(span.end);
+            self.read_stripe_blocks(stripe, block..stripe_end, offset, &mut out)?;
+            block = stripe_end;
+        }
+        Ok(out)
+    }
+
+    /// Copies the overlap of `block` with the request window into `out`.
+    fn copy_block(&self, block: usize, cell_data: &[u8], offset: u64, out: &mut [u8]) {
+        let sym = self.block_size() as u64;
+        let block_start = block as u64 * sym;
+        let req_end = offset + out.len() as u64;
+        let from = offset.max(block_start);
+        let to = req_end.min(block_start + sym);
+        let src = &cell_data[(from - block_start) as usize..(to - block_start) as usize];
+        out[(from - offset) as usize..(to - offset) as usize].copy_from_slice(src);
+    }
+
+    fn read_stripe_blocks(
+        &self,
+        stripe_idx: usize,
+        blocks: std::ops::Range<usize>,
+        offset: u64,
+        out: &mut [u8],
+    ) -> Result<(), Error> {
+        let sh = &self.shared;
+        let _guard = self.lock_stripe(stripe_idx);
+        let devices = sh.integrity.device_states();
+
+        // Fast path: every wanted sector reads back and verifies.
+        let mut clean: Vec<(usize, Vec<u8>)> = Vec::with_capacity(blocks.len());
+        let mut degraded = false;
+        for block in blocks.clone() {
+            let loc = sh.blocks.locate(block)?;
+            let (row, dev) = loc.cell;
+            if devices[dev] != DeviceState::Healthy {
+                degraded = true;
+                break;
+            }
+            let mut buf = vec![0u8; sh.meta.symbol];
+            match sh.devices.read_sector(dev, stripe_idx, row, &mut buf)? {
+                SectorRead::Ok if sh.integrity.verify(stripe_idx, row, dev, &buf) => {
+                    clean.push((block, buf));
+                }
+                _ => {
+                    degraded = true;
+                    break;
+                }
+            }
+        }
+        if !degraded {
+            for (block, buf) in clean {
+                self.copy_block(block, &buf, offset, out);
+            }
+            return Ok(());
+        }
+
+        // Degraded path: assemble the stripe's full erasure set and let the
+        // planner reconstruct exactly the wanted cells.
+        let (mut stripe, erased) = self.load_stripe_degraded(stripe_idx)?;
+        let wanted: Vec<Cell> = blocks
+            .clone()
+            .map(|b| sh.blocks.locate(b).map(|l| l.cell))
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .filter(|c| erased.contains(c))
+            .collect();
+        if !wanted.is_empty() {
+            let plan = sh
+                .codec
+                .plan_recover(&erased, &wanted)
+                .map_err(|e| self.unrecoverable(stripe_idx, &erased, e))?;
+            sh.codec.apply_plan(&plan, &mut stripe)?;
+        }
+        for block in blocks {
+            let (row, dev) = sh.blocks.locate(block)?.cell;
+            let cell = stripe.cell(row, dev).to_vec();
+            self.copy_block(block, &cell, offset, out);
+        }
+        Ok(())
+    }
+
+    fn unrecoverable(&self, stripe: usize, erased: &[Cell], e: stair::Error) -> Error {
+        match e {
+            stair::Error::Unrecoverable { .. } => Error::Unrecoverable {
+                stripe,
+                erased: erased.to_vec(),
+            },
+            other => Error::Codec(other),
+        }
+    }
+
+    /// Reads the full stripe grid from disk, treating non-healthy devices,
+    /// missing files, and checksum mismatches as erasures. Erased cells
+    /// are zeroed; newly discovered damage is recorded in the health map.
+    ///
+    /// Callers must hold the stripe lock.
+    pub(crate) fn load_stripe_degraded(
+        &self,
+        stripe_idx: usize,
+    ) -> Result<(Stripe, Vec<Cell>), Error> {
+        let sh = &self.shared;
+        let mut stripe = Stripe::new(sh.config.clone(), sh.meta.symbol)?;
+        let devices = sh.integrity.device_states();
+        let mut erased: Vec<Cell> = Vec::new();
+        let mut newly_bad: Vec<(usize, usize, usize)> = Vec::new();
+        for (dev, &state) in devices.iter().enumerate() {
+            let dead = state != DeviceState::Healthy;
+            for row in 0..sh.meta.r {
+                if dead {
+                    erased.push((row, dev));
+                    continue;
+                }
+                let buf = stripe.cell_mut(row, dev);
+                match sh.devices.read_sector(dev, stripe_idx, row, buf)? {
+                    SectorRead::Missing => erased.push((row, dev)),
+                    SectorRead::Ok => {
+                        if !sh.integrity.verify(stripe_idx, row, dev, buf) {
+                            erased.push((row, dev));
+                            if !sh.integrity.is_recorded_bad((stripe_idx, row, dev)) {
+                                newly_bad.push((stripe_idx, row, dev));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for &(row, dev) in &erased {
+            stripe.cell_mut(row, dev).fill(0);
+        }
+        if !newly_bad.is_empty() {
+            sh.integrity
+                .update_health(|h| h.bad_sectors.extend(newly_bad));
+        }
+        Ok((stripe, erased))
+    }
+
+    // ------------------------------------------------------------------
+    // Write path
+    // ------------------------------------------------------------------
+
+    /// Writes `data` at logical byte `offset`. Partial blocks are merged
+    /// read-modify-write; dirty blocks are batched per stripe and each
+    /// stripe takes either the full-re-encode or the parity-delta path.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::OutOfRange`] if the span exceeds capacity;
+    /// * [`Error::Unrecoverable`] when writing through a stripe whose
+    ///   existing damage exceeds coverage.
+    pub fn write_at(&self, offset: u64, data: &[u8]) -> Result<WriteReport, Error> {
+        let span = self.shared.blocks.block_span(offset, data.len())?;
+        let mut report = WriteReport::default();
+        if data.is_empty() {
+            return Ok(report);
+        }
+        let per = self.blocks_per_stripe();
+        let mut block = span.start;
+        while block < span.end {
+            let stripe = block / per;
+            let stripe_end = ((stripe + 1) * per).min(span.end);
+            self.write_stripe_blocks(stripe, block..stripe_end, offset, data, &mut report)?;
+            block = stripe_end;
+        }
+        self.shared.integrity.persist()?;
+        Ok(report)
+    }
+
+    /// The byte window of `block` that overlaps the write request, as
+    /// (slice of incoming data, start offset within the block).
+    fn incoming_for_block<'d>(
+        &self,
+        block: usize,
+        offset: u64,
+        data: &'d [u8],
+    ) -> (&'d [u8], usize) {
+        let sym = self.block_size() as u64;
+        let block_start = block as u64 * sym;
+        let req_end = offset + data.len() as u64;
+        let from = offset.max(block_start);
+        let to = req_end.min(block_start + sym);
+        (
+            &data[(from - offset) as usize..(to - offset) as usize],
+            (from - block_start) as usize,
+        )
+    }
+
+    fn write_stripe_blocks(
+        &self,
+        stripe_idx: usize,
+        blocks: std::ops::Range<usize>,
+        offset: u64,
+        data: &[u8],
+        report: &mut WriteReport,
+    ) -> Result<(), Error> {
+        let sh = &self.shared;
+        let per = self.blocks_per_stripe();
+        let sym = self.block_size();
+        let _guard = self.lock_stripe(stripe_idx);
+        report.stripes_touched += 1;
+        report.blocks_written += blocks.len();
+
+        let full_cover = blocks.len() == per
+            && offset <= (blocks.start as u64) * sym as u64
+            && offset + data.len() as u64 >= (blocks.end as u64) * sym as u64;
+
+        if full_cover {
+            // Full-stripe write: no old state needed, one re-encode.
+            let mut stripe = Stripe::new(sh.config.clone(), sym)?;
+            let start = (blocks.start as u64 * sym as u64 - offset) as usize;
+            stripe.write_data(&data[start..start + per * sym])?;
+            sh.codec.encode(&mut stripe)?;
+            self.write_back_cells(stripe_idx, &stripe, None)?;
+            report.full_stripe_encodes += 1;
+            return Ok(());
+        }
+
+        // Partial write: load (and if degraded, first restore) the stripe.
+        let (mut stripe, erased) = self.load_stripe_degraded(stripe_idx)?;
+        if !erased.is_empty() {
+            let plan = sh
+                .codec
+                .plan_decode(&erased)
+                .map_err(|e| self.unrecoverable(stripe_idx, &erased, e))?;
+            sh.codec.apply_plan(&plan, &mut stripe)?;
+        }
+        let mut touched: std::collections::BTreeSet<Cell> = std::collections::BTreeSet::new();
+        for block in blocks {
+            let loc = sh.blocks.locate(block)?;
+            let (incoming, at) = self.incoming_for_block(block, offset, data);
+            let mut contents = stripe.cell(loc.cell.0, loc.cell.1).to_vec();
+            contents[at..at + incoming.len()].copy_from_slice(incoming);
+            let patched = sh
+                .codec
+                .update_data(&mut stripe, loc.cell.0, loc.cell.1, &contents)?;
+            report.delta_updates += 1;
+            report.parity_sectors_patched += patched;
+            touched.insert(loc.cell);
+        }
+        touched.extend(self.dependent_parities(&touched.iter().copied().collect::<Vec<_>>()));
+        // Previously-erased cells were reconstructed above; rewriting them
+        // heals latent damage on writable devices for free.
+        touched.extend(erased.iter().copied());
+        let written = self.write_back_cells(stripe_idx, &stripe, Some(&touched))?;
+        report.sectors_healed += erased.iter().filter(|c| written.contains(c)).count();
+        Ok(())
+    }
+
+    /// Parity cells depending on any of `data_cells` (non-zero coefficient
+    /// in the dense parity relation).
+    fn dependent_parities(&self, data_cells: &[Cell]) -> Vec<Cell> {
+        let relations = self.shared.codec.relations();
+        relations
+            .parity_cells()
+            .iter()
+            .copied()
+            .filter(|&p| {
+                data_cells.iter().any(|&d| {
+                    relations
+                        .coefficient(p, d)
+                        .is_some_and(|c| c != Gf8::zero())
+                })
+            })
+            .collect()
+    }
+
+    /// Writes stripe cells to disk and records their checksums, returning
+    /// the cells actually written. `only` restricts to a subset (None =
+    /// every cell). Only `Failed` devices are skipped (their contents live
+    /// on implicitly through parity); `Rebuilding` replacements *must* be
+    /// written, otherwise a write landing on a stripe the repair pass has
+    /// already rebuilt would be lost when the device is promoted back to
+    /// healthy. Rewritten cells are removed from the bad-sector map.
+    fn write_back_cells(
+        &self,
+        stripe_idx: usize,
+        stripe: &Stripe,
+        only: Option<&std::collections::BTreeSet<Cell>>,
+    ) -> Result<std::collections::BTreeSet<Cell>, Error> {
+        let sh = &self.shared;
+        let devices = sh.integrity.device_states();
+        let mut written: std::collections::BTreeSet<Cell> = std::collections::BTreeSet::new();
+        for row in 0..sh.meta.r {
+            for (dev, &state) in devices.iter().enumerate() {
+                if let Some(set) = only {
+                    if !set.contains(&(row, dev)) {
+                        continue;
+                    }
+                }
+                if state == DeviceState::Failed {
+                    continue;
+                }
+                let cell = stripe.cell(row, dev);
+                sh.devices.write_sector(dev, stripe_idx, row, cell)?;
+                sh.integrity.record(stripe_idx, row, dev, cell);
+                written.insert((row, dev));
+            }
+        }
+        sh.integrity.update_health(|h| {
+            for &(row, dev) in &written {
+                h.bad_sectors.remove(&(stripe_idx, row, dev));
+            }
+        });
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("stair-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_opts() -> StoreOptions {
+        StoreOptions {
+            n: 8,
+            r: 4,
+            m: 2,
+            e: vec![1, 1, 2],
+            symbol: 64,
+            stripes: 6,
+        }
+    }
+
+    fn pattern(len: usize, seed: u8) -> Vec<u8> {
+        (0..len)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect()
+    }
+
+    #[test]
+    fn create_open_reports_geometry() {
+        let dir = tmpdir("geom");
+        let store = StripeStore::create(&dir, &small_opts()).unwrap();
+        // 8×4 grid, m=2, s=4 → 4·6−4 = 20 data blocks per stripe.
+        assert_eq!(store.blocks_per_stripe(), 20);
+        assert_eq!(store.capacity(), 20 * 6 * 64);
+        drop(store);
+        let store = StripeStore::open(&dir).unwrap();
+        assert_eq!(store.stripe_count(), 6);
+        assert!(store.status().failed_devices.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_read_round_trip_clean() {
+        let dir = tmpdir("rt");
+        let store = StripeStore::create(&dir, &small_opts()).unwrap();
+        let payload = pattern(store.capacity() as usize, 3);
+        let report = store.write_at(0, &payload).unwrap();
+        assert_eq!(report.full_stripe_encodes, 6);
+        assert_eq!(report.delta_updates, 0);
+        assert_eq!(store.read_at(0, payload.len()).unwrap(), payload);
+        // Unaligned window.
+        assert_eq!(
+            store.read_at(100, 999).unwrap(),
+            payload[100..1099].to_vec()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn small_write_takes_delta_path_and_persists() {
+        let dir = tmpdir("delta");
+        let store = StripeStore::create(&dir, &small_opts()).unwrap();
+        let base = pattern(store.capacity() as usize, 7);
+        store.write_at(0, &base).unwrap();
+        // Overwrite 100 bytes straddling a block boundary.
+        let patch = pattern(100, 99);
+        let report = store.write_at(30, &patch).unwrap();
+        assert_eq!(report.full_stripe_encodes, 0);
+        assert!(report.delta_updates >= 2);
+        assert!(report.parity_sectors_patched > 0);
+        let mut expected = base.clone();
+        expected[30..130].copy_from_slice(&patch);
+        assert_eq!(store.read_at(0, expected.len()).unwrap(), expected);
+        // Reopen: changes survived.
+        drop(store);
+        let store = StripeStore::open(&dir).unwrap();
+        assert_eq!(store.read_at(0, expected.len()).unwrap(), expected);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn degraded_read_after_device_failures_and_burst() {
+        let dir = tmpdir("degraded");
+        let store = StripeStore::create(&dir, &small_opts()).unwrap();
+        let payload = pattern(store.capacity() as usize, 11);
+        store.write_at(0, &payload).unwrap();
+        // Kill m = 2 devices and corrupt a 2-sector burst elsewhere.
+        store.fail_device(1).unwrap();
+        store.fail_device(5).unwrap();
+        store.corrupt_sectors(3, 2, 2, 2).unwrap();
+        assert_eq!(store.read_at(0, payload.len()).unwrap(), payload);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn writes_continue_through_degraded_stripes() {
+        let dir = tmpdir("degwrite");
+        let store = StripeStore::create(&dir, &small_opts()).unwrap();
+        let payload = pattern(store.capacity() as usize, 13);
+        store.write_at(0, &payload).unwrap();
+        store.fail_device(0).unwrap();
+        let patch = pattern(64, 42);
+        store.write_at(64, &patch).unwrap(); // block 1 of stripe 0
+        let mut expected = payload.clone();
+        expected[64..128].copy_from_slice(&patch);
+        assert_eq!(store.read_at(0, expected.len()).unwrap(), expected);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn damage_beyond_coverage_is_reported() {
+        let dir = tmpdir("beyond");
+        let store = StripeStore::create(&dir, &small_opts()).unwrap();
+        let payload = pattern(store.capacity() as usize, 17);
+        store.write_at(0, &payload).unwrap();
+        // m = 2 covers two failed devices; a third is fatal.
+        store.fail_device(0).unwrap();
+        store.fail_device(1).unwrap();
+        store.fail_device(2).unwrap();
+        match store.read_at(0, 64) {
+            Err(Error::Unrecoverable { stripe, .. }) => assert_eq!(stripe, 0),
+            other => panic!("expected Unrecoverable, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let dir = tmpdir("oor");
+        let store = StripeStore::create(&dir, &small_opts()).unwrap();
+        assert!(matches!(
+            store.read_at(store.capacity(), 1),
+            Err(Error::OutOfRange(_))
+        ));
+        assert!(matches!(
+            store.write_at(store.capacity() - 1, &[0, 0]),
+            Err(Error::OutOfRange(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -36,7 +36,10 @@ fn main() {
             let scheme = Scheme::stair(e);
             let mttdl = params.mttdl_sys(&scheme, &model, p_bit);
             let s = scheme.s();
-            println!("  e={:<12} s={s}  MTTDL_sys = {mttdl:>12.3e} h", format!("{e:?}"));
+            println!(
+                "  e={:<12} s={s}  MTTDL_sys = {mttdl:>12.3e} h",
+                format!("{e:?}")
+            );
             if mttdl >= target_hours {
                 match best {
                     Some((_, bs, bm)) if (bs, -bm) <= (s, -mttdl) => {}

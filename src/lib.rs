@@ -13,3 +13,4 @@ pub use stair_gfmatrix as gfmatrix;
 pub use stair_reliability as reliability;
 pub use stair_rs as rs;
 pub use stair_sd as sd;
+pub use stair_store as store;
