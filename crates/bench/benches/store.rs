@@ -1,26 +1,43 @@
-//! Criterion benches for the stair-store engine: sequential write, clean
-//! read, degraded read, and the parity-delta small-write path.
+//! Criterion benches for the stair-store engine with a codec axis:
+//! sequential write, clean read, degraded read, and the parity-delta
+//! small-write path, for each of the STAIR / SD / RS backends over the
+//! same geometry (the paper's comparison on the real I/O path).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use stair_code::CodecSpec;
 use stair_store::{StoreOptions, StripeStore};
 
 fn bench_store(c: &mut Criterion) {
-    let dir = std::env::temp_dir().join(format!("stair-store-crit-{}", std::process::id()));
+    let specs: [CodecSpec; 3] = [
+        "stair:8,16,2,1-2".parse().unwrap(),
+        "sd:8,16,2,3".parse().unwrap(),
+        "rs:8,16,2".parse().unwrap(),
+    ];
+    for spec in specs {
+        bench_codec(c, &spec);
+    }
+}
+
+fn bench_codec(c: &mut Criterion, spec: &CodecSpec) {
+    let dir = std::env::temp_dir().join(format!(
+        "stair-store-crit-{}-{}",
+        spec.family(),
+        std::process::id()
+    ));
     let _ = std::fs::remove_dir_all(&dir);
+    let symbol = 4096usize;
     let opts = StoreOptions {
-        n: 8,
-        r: 16,
-        m: 2,
-        e: vec![1, 2],
-        symbol: 4096,
+        code: spec.clone(),
+        symbol,
         stripes: 8,
     };
     let store = StripeStore::create(&dir, &opts).expect("create");
+    let geom = store.geometry().clone();
     let capacity = store.capacity() as usize;
     let payload: Vec<u8> = (0..capacity).map(|i| (i % 241) as u8).collect();
     store.write_at(0, &payload).expect("prefill");
 
-    let mut group = c.benchmark_group("store");
+    let mut group = c.benchmark_group(format!("store/{}", spec.family()));
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_secs(2));
@@ -34,20 +51,23 @@ fn bench_store(c: &mut Criterion) {
     });
 
     // Small write: one block, parity-delta path.
-    let block = vec![0xE7u8; opts.symbol];
-    group.throughput(Throughput::Bytes(opts.symbol as u64));
+    let block = vec![0xE7u8; symbol];
+    group.throughput(Throughput::Bytes(symbol as u64));
     group.bench_function("small_write_delta", |b| {
-        b.iter(|| {
-            store
-                .write_at(3 * opts.symbol as u64, &block)
-                .expect("delta")
-        })
+        b.iter(|| store.write_at(3 * symbol as u64, &block).expect("delta"))
     });
 
-    // Degrade the array: m failed devices + a burst.
-    store.fail_device(2).expect("fail");
-    store.fail_device(5).expect("fail");
-    store.corrupt_sectors(7, 4, 2, 2).expect("burst");
+    // Degrade the array: the full m-device budget, plus a burst (in a
+    // still-healthy device) where covered; derived from the geometry so
+    // any spec works.
+    for dev in 0..geom.m {
+        store.fail_device(dev).expect("fail");
+    }
+    if geom.burst > 0 {
+        store
+            .corrupt_sectors(geom.m, 4, 0, geom.burst.min(2).min(geom.r))
+            .expect("burst");
+    }
     group.throughput(Throughput::Bytes(capacity as u64));
     group.bench_function("sequential_read_degraded", |b| {
         b.iter(|| store.read_at(0, capacity).expect("degraded read"))

@@ -1,15 +1,24 @@
-//! Throughput harness for the stair-store engine: MB/s for sequential
-//! write, sequential read, degraded read (m failed devices + a sector
-//! burst), and the post-repair read, plus the wall-clock of the online
-//! repair itself.
+//! Throughput harness for the stair-store engine, per codec: MB/s for
+//! sequential write, sequential read, degraded read (m failed devices +
+//! a sector burst where the code covers one), and the post-repair read,
+//! plus the wall-clock of the online repair itself.
 //!
-//! Knobs: `STAIR_STORE_MB` (logical capacity, default 8),
+//! This is the paper's STAIR-vs-SD-vs-RS comparison run on the real I/O
+//! path: every codec drives the *same* store engine over the same
+//! geometry (`n = 8` devices, `r = 16` sectors/chunk, `m = 2`), with
+//! STAIR `e = (1,2)` against SD `s = 3` (equal sector budgets) and plain
+//! RS as the no-sector-protection baseline.
+//!
+//! Knobs: `STAIR_STORE_MB` (logical capacity per codec, default 8),
 //! `STAIR_BENCH_REPS` (timed repetitions, default 3),
-//! `STAIR_STORE_THREADS` (scrub/repair workers, default 4).
+//! `STAIR_STORE_THREADS` (scrub/repair workers, default 4),
+//! `STAIR_STORE_CODES` (semicolon-separated specs overriding the
+//! default three-way comparison — specs contain commas themselves).
 
 use std::time::Instant;
 
 use stair_bench::{print_row, reps, throughput_mbps};
+use stair_code::CodecSpec;
 use stair_store::{StoreOptions, StripeStore};
 
 fn main() {
@@ -21,19 +30,40 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(4);
-    let (n, r, m, e, symbol) = (8usize, 16usize, 2usize, vec![1, 2], 4096usize);
+    let specs: Vec<CodecSpec> = std::env::var("STAIR_STORE_CODES")
+        .map(|v| {
+            v.split(';')
+                .map(|s| s.trim().parse().expect("bad spec in STAIR_STORE_CODES"))
+                .collect()
+        })
+        .unwrap_or_else(|_| {
+            vec![
+                "stair:8,16,2,1-2".parse().unwrap(),
+                "sd:8,16,2,3".parse().unwrap(),
+                "rs:8,16,2".parse().unwrap(),
+            ]
+        });
+    let symbol = 4096usize;
+
+    for code in specs {
+        bench_codec(&code, symbol, mb, threads);
+    }
+}
+
+fn bench_codec(code: &CodecSpec, symbol: usize, mb: usize, threads: usize) {
+    let dir = std::env::temp_dir().join(format!(
+        "stair-store-bench-{}-{}",
+        code.family(),
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
 
     // Stripe count sized so data capacity ≈ the requested MB.
     let probe = StoreOptions {
-        n,
-        r,
-        m,
-        e: e.clone(),
+        code: code.clone(),
         symbol,
         stripes: 1,
     };
-    let dir = std::env::temp_dir().join(format!("stair-store-bench-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
     let per_stripe = {
         let s = StripeStore::create(&dir, &probe).expect("probe store");
         s.capacity() as usize
@@ -41,49 +71,61 @@ fn main() {
     std::fs::remove_dir_all(&dir).expect("clean probe");
     let stripes = (mb * 1024 * 1024).div_ceil(per_stripe).max(4);
     let opts = StoreOptions {
-        n,
-        r,
-        m,
-        e: e.clone(),
+        code: code.clone(),
         symbol,
         stripes,
     };
 
     let store = StripeStore::create(&dir, &opts).expect("create store");
+    let geom = store.geometry().clone();
     let capacity = store.capacity() as usize;
     let payload: Vec<u8> = (0..capacity).map(|i| (i % 249) as u8).collect();
     println!(
-        "stair-store throughput: n={n} r={r} m={m} e={e:?} symbol={symbol} stripes={stripes} ({:.1} MiB data)",
-        capacity as f64 / (1024.0 * 1024.0)
+        "== {code}: n={} r={} m={} s={} symbol={symbol} stripes={stripes} ({:.1} MiB data, efficiency {:.3})",
+        geom.n,
+        geom.r,
+        geom.m,
+        geom.s,
+        capacity as f64 / (1024.0 * 1024.0),
+        geom.storage_efficiency()
     );
+    let label = |what: &str| format!("{:<5} {what}", code.family());
 
     let w = throughput_mbps(capacity, reps(), || {
         store.write_at(0, &payload).expect("write");
     });
-    print_row("sequential write", &[("MB/s".into(), w)]);
+    print_row(&label("sequential write"), &[("MB/s".into(), w)]);
 
     let rd = throughput_mbps(capacity, reps(), || {
         let got = store.read_at(0, capacity).expect("read");
         assert_eq!(got.len(), capacity);
     });
-    print_row("sequential read (clean)", &[("MB/s".into(), rd)]);
+    print_row(&label("sequential read (clean)"), &[("MB/s".into(), rd)]);
 
-    // Degrade: m whole devices plus a 2-sector burst elsewhere.
-    store.fail_device(1).expect("fail 1");
-    store.fail_device(4).expect("fail 4");
-    store.corrupt_sectors(6, stripes / 2, 3, 2).expect("burst");
+    // Degrade: the full m whole-device budget, plus a burst (in a still-
+    // healthy device) where the code covers one. Device/row choices are
+    // derived from the geometry so any STAIR_STORE_CODES spec works.
+    for dev in 0..geom.m {
+        store.fail_device(dev).expect("fail device");
+    }
+    if geom.burst > 0 {
+        let burst = geom.burst.min(2).min(geom.r);
+        store
+            .corrupt_sectors(geom.m, stripes / 2, 0, burst)
+            .expect("burst");
+    }
     let dg = throughput_mbps(capacity, reps(), || {
         let got = store.read_at(0, capacity).expect("degraded read");
         assert_eq!(got.len(), capacity);
     });
-    print_row("sequential read (degraded)", &[("MB/s".into(), dg)]);
+    print_row(&label("sequential read (degraded)"), &[("MB/s".into(), dg)]);
 
     let t0 = Instant::now();
     let report = store.repair(threads).expect("repair");
     let secs = t0.elapsed().as_secs_f64();
     assert!(report.complete(), "repair incomplete: {report:?}");
     print_row(
-        "online repair",
+        &label("online repair"),
         &[
             ("MB/s".into(), capacity as f64 / secs / (1024.0 * 1024.0)),
             ("s".into(), secs),
@@ -94,12 +136,12 @@ fn main() {
         let got = store.read_at(0, capacity).expect("post-repair read");
         assert_eq!(got.len(), capacity);
     });
-    print_row("sequential read (repaired)", &[("MB/s".into(), pr)]);
+    print_row(&label("sequential read (repaired)"), &[("MB/s".into(), pr)]);
 
     let scrub = store.scrub(threads).expect("scrub");
     assert!(scrub.clean(), "scrub not clean after repair: {scrub:?}");
     println!(
-        "scrub clean: {} sectors verified across {} stripes",
+        "   scrub clean: {} sectors verified across {} stripes",
         scrub.sectors_verified, scrub.stripes_scanned
     );
     std::fs::remove_dir_all(&dir).expect("cleanup");

@@ -10,6 +10,9 @@
 //! stair corrupt --dir DIR (--device J | --device J --stripe I --sector K [--len L])
 //! stair store   (init|status|write|read|fail|scrub|repair|inject) ...
 //! ```
+//!
+//! `stair store init --code sd:6,4,1,2` (or `rs:n,r,m` / `stair:n,r,m,e`)
+//! picks which erasure code protects the store.
 
 mod store_cmd;
 

@@ -2,7 +2,7 @@
 //! [`stair_store::StripeStore`] engine.
 //!
 //! ```text
-//! stair store init   --dir DIR [--n N --r R --m M --e E --symbol S --stripes T]
+//! stair store init   --dir DIR [--code SPEC] [--symbol S --stripes T]
 //! stair store status --dir DIR
 //! stair store write  --dir DIR --input FILE [--offset BYTES]
 //! stair store read   --dir DIR --output FILE [--offset BYTES] [--len BYTES]
@@ -11,11 +11,18 @@
 //! stair store repair --dir DIR [--threads T]
 //! stair store inject --dir DIR --p-sec P [--seed S] [--burst B1,ALPHA]
 //! ```
+//!
+//! `--code` takes a codec spec (`stair:n,r,m,e1-e2-...`, `sd:n,r,m,s`,
+//! or `rs:n,r,m`), so one store engine benchmarks every code family the
+//! paper compares. The legacy `--n/--r/--m/--e` flags still work and
+//! build a STAIR spec.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::str::FromStr;
 
 use stair_arraysim::FailureInjector;
+use stair_code::CodecSpec;
 use stair_reliability::BurstModel;
 use stair_store::{StoreOptions, StripeStore};
 
@@ -23,7 +30,9 @@ type Flags = HashMap<String, String>;
 
 /// Usage text for the `store` family.
 pub const STORE_USAGE: &str = "usage:
-  stair store init   --dir DIR [--n N --r R --m M --e E --symbol S --stripes T]
+  stair store init   --dir DIR [--code SPEC] [--symbol S --stripes T]
+                     (SPEC: stair:n,r,m,e1-e2-... | sd:n,r,m,s | rs:n,r,m;
+                      legacy --n N --r R --m M --e E builds a stair spec)
   stair store status --dir DIR
   stair store write  --dir DIR --input FILE [--offset BYTES]
   stair store read   --dir DIR --output FILE [--offset BYTES] [--len BYTES]
@@ -76,7 +85,12 @@ fn open(flags: &Flags) -> Result<StripeStore, String> {
     StripeStore::open(&dir_flag(flags)?).map_err(|e| e.to_string())
 }
 
-fn cmd_init(flags: &Flags) -> Result<(), String> {
+/// The codec for `init`: `--code SPEC` wins; otherwise the legacy STAIR
+/// flags (`--n/--r/--m/--e`) are assembled into a `stair:` spec.
+fn code_flag(flags: &Flags) -> Result<CodecSpec, String> {
+    if let Some(spec) = flags.get("code") {
+        return CodecSpec::from_str(spec).map_err(|e| e.to_string());
+    }
     let e = match flags.get("e") {
         None => vec![1, 2],
         Some(v) => v
@@ -88,24 +102,31 @@ fn cmd_init(flags: &Flags) -> Result<(), String> {
             })
             .collect::<Result<_, _>>()?,
     };
-    let opts = StoreOptions {
+    Ok(CodecSpec::Stair {
         n: usize_flag(flags, "n", 8)?,
         r: usize_flag(flags, "r", 16)?,
         m: usize_flag(flags, "m", 2)?,
         e,
+    })
+}
+
+fn cmd_init(flags: &Flags) -> Result<(), String> {
+    let opts = StoreOptions {
+        code: code_flag(flags)?,
         symbol: usize_flag(flags, "symbol", 512)?,
         stripes: usize_flag(flags, "stripes", 64)?,
     };
     let dir = dir_flag(flags)?;
     let store = StripeStore::create(&dir, &opts).map_err(|e| e.to_string())?;
     println!(
-        "initialized store at {}: {} stripes x {} blocks x {} bytes = {} bytes across {} devices",
+        "initialized {} store at {}: {} stripes x {} blocks x {} bytes = {} bytes across {} devices",
+        store.codec_spec(),
         dir.display(),
         store.stripe_count(),
         store.blocks_per_stripe(),
         store.block_size(),
         store.capacity(),
-        opts.n
+        store.geometry().n
     );
     Ok(())
 }
@@ -113,14 +134,13 @@ fn cmd_init(flags: &Flags) -> Result<(), String> {
 fn cmd_status(flags: &Flags) -> Result<(), String> {
     let store = open(flags)?;
     let status = store.status();
-    let config = store.config();
+    let geom = store.geometry();
+    println!("codec {}", status.codec);
     println!(
-        "STAIR(n={}, r={}, m={}, e={:?})",
-        config.n(),
-        config.r(),
-        config.m(),
-        config.e()
+        "  tolerance         : {} device(s) + {} sector(s) per stripe",
+        geom.m, geom.s
     );
+    println!("  storage efficiency: {:.4}", geom.storage_efficiency());
     println!("  capacity          : {} bytes", status.capacity);
     println!(
         "  geometry          : {} stripes x {} blocks x {} bytes",
@@ -246,7 +266,7 @@ fn cmd_inject(flags: &Flags) -> Result<(), String> {
         .parse()
         .map_err(|_| "--p-sec expects a probability".to_string())?;
     let seed = u64_flag(flags, "seed", 42)?;
-    let r = store.config().r();
+    let r = store.geometry().r;
     let mut injector = match flags.get("burst") {
         None => FailureInjector::independent(r, p_sec, seed),
         Some(spec) => {

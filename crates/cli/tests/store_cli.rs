@@ -54,7 +54,7 @@ fn store_cli_session() {
         "12",
     ]);
     assert!(ok, "{out}");
-    assert!(out.contains("initialized store"), "{out}");
+    assert!(out.contains("initialized stair:8,4,2,1-1-2 store"), "{out}");
 
     // write a payload filling the store.
     let capacity = 12 * 20 * 128; // stripes × blocks/stripe × block size
@@ -141,6 +141,81 @@ fn store_cli_session() {
     assert!(ok, "{out}");
     assert!(out.contains("failed devices    : []"), "{out}");
 
+    std::fs::remove_dir_all(&work).unwrap();
+}
+
+/// `--code sd:...` creates an SD-backed store that survives the same
+/// sequence as the STAIR-backed one: fail a device + corrupt sectors →
+/// degraded read → repair → clean scrub.
+#[test]
+fn store_cli_sd_backed_session() {
+    let work = std::env::temp_dir().join(format!("stair-store-cli-sd-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&work);
+    std::fs::create_dir_all(&work).unwrap();
+    let dir = work.join("store");
+    let dir_s = dir.to_str().unwrap();
+
+    let (ok, out) = run(&[
+        "store",
+        "init",
+        "--dir",
+        dir_s,
+        "--code",
+        "sd:6,4,1,2",
+        "--symbol",
+        "128",
+        "--stripes",
+        "8",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("initialized sd:6,4,1,2 store"), "{out}");
+
+    // Fill the store: 6 devices, m=1, s=2 → 4·5−2 = 18 blocks per stripe.
+    let capacity = 8 * 18 * 128;
+    let payload: Vec<u8> = (0..capacity).map(|i| (i * 11 % 251) as u8).collect();
+    let input = work.join("input.bin");
+    std::fs::write(&input, &payload).unwrap();
+    let (ok, out) = run(&[
+        "store",
+        "write",
+        "--dir",
+        dir_s,
+        "--input",
+        input.to_str().unwrap(),
+    ]);
+    assert!(ok, "{out}");
+
+    // m = 1 device down plus a 2-sector burst (s = 2) elsewhere.
+    assert!(run(&["store", "fail", "--dir", dir_s, "--device", "5"]).0);
+    assert!(
+        run(&[
+            "store", "fail", "--dir", dir_s, "--device", "1", "--stripe", "2", "--sector", "1",
+            "--len", "2",
+        ])
+        .0
+    );
+
+    let extracted = work.join("degraded.bin");
+    let (ok, out) = run(&[
+        "store",
+        "read",
+        "--dir",
+        dir_s,
+        "--output",
+        extracted.to_str().unwrap(),
+    ]);
+    assert!(ok, "{out}");
+    assert_eq!(std::fs::read(&extracted).unwrap(), payload);
+
+    let (ok, out) = run(&["store", "repair", "--dir", dir_s]);
+    assert!(ok && out.contains("repair complete"), "{out}");
+    let (ok, out) = run(&["store", "scrub", "--dir", dir_s]);
+    assert!(ok && out.contains("store clean"), "{out}");
+
+    let (ok, out) = run(&["store", "status", "--dir", dir_s]);
+    assert!(ok, "{out}");
+    assert!(out.contains("codec sd:6,4,1,2"), "{out}");
+    assert!(out.contains("1 device(s) + 2 sector(s)"), "{out}");
     std::fs::remove_dir_all(&work).unwrap();
 }
 

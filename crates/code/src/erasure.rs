@@ -1,0 +1,143 @@
+//! Canonical erasure addressing: cell coordinates and erasure sets.
+
+use crate::CodeError;
+
+/// A stored sector coordinate: `(row, col)` — sector `row` of device
+/// `col`'s chunk. Identical to the paper's stripe coordinates and to
+/// `stair::Cell`, so patterns move between codecs without translation.
+pub type CellIdx = (usize, usize);
+
+/// A validated set of erased cells: sorted, duplicate-free.
+///
+/// # Example
+///
+/// ```
+/// use stair_code::ErasureSet;
+///
+/// // Device 2 failed entirely, plus a 2-sector burst in device 0.
+/// let set = ErasureSet::new((0..4).map(|i| (i, 2)).chain([(1, 0), (2, 0)]));
+/// assert_eq!(set.len(), 6);
+/// assert!(set.contains((3, 2)));
+/// set.check_bounds(4, 3)?;
+/// assert!(set.check_bounds(4, 2).is_err()); // device 2 out of range
+/// # Ok::<(), stair_code::CodeError>(())
+/// ```
+#[derive(Clone, Debug, Default, Eq, PartialEq)]
+pub struct ErasureSet {
+    cells: Vec<CellIdx>,
+}
+
+impl ErasureSet {
+    /// Builds a set from any cell iterator, sorting and deduplicating.
+    pub fn new(cells: impl IntoIterator<Item = CellIdx>) -> Self {
+        let mut cells: Vec<CellIdx> = cells.into_iter().collect();
+        cells.sort_unstable();
+        cells.dedup();
+        ErasureSet { cells }
+    }
+
+    /// Every cell of `m` whole devices (`r` sectors each).
+    pub fn devices(devices: &[usize], r: usize) -> Self {
+        Self::new(
+            devices
+                .iter()
+                .flat_map(|&d| (0..r).map(move |row| (row, d))),
+        )
+    }
+
+    /// The erased cells, sorted.
+    pub fn cells(&self) -> &[CellIdx] {
+        &self.cells
+    }
+
+    /// Number of erased cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when nothing is erased.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, cell: CellIdx) -> bool {
+        self.cells.binary_search(&cell).is_ok()
+    }
+
+    /// Erased-cell count per device column, over `n` devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cell's column is `≥ n`; call
+    /// [`ErasureSet::check_bounds`] first for untrusted input.
+    pub fn per_device(&self, n: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; n];
+        for &(_, col) in &self.cells {
+            counts[col] += 1;
+        }
+        counts
+    }
+
+    /// Validates every coordinate against an `r × n` stripe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidPattern`] for out-of-range cells.
+    pub fn check_bounds(&self, r: usize, n: usize) -> Result<(), CodeError> {
+        for &(row, col) in &self.cells {
+            if row >= r || col >= n {
+                return Err(CodeError::InvalidPattern(format!(
+                    "cell ({row},{col}) out of range for r={r} n={n}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Iterates the erased cells in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = CellIdx> + '_ {
+        self.cells.iter().copied()
+    }
+}
+
+impl FromIterator<CellIdx> for ErasureSet {
+    fn from_iter<I: IntoIterator<Item = CellIdx>>(iter: I) -> Self {
+        Self::new(iter)
+    }
+}
+
+impl From<&[CellIdx]> for ErasureSet {
+    fn from(cells: &[CellIdx]) -> Self {
+        Self::new(cells.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_and_deduped() {
+        let set = ErasureSet::new([(1, 1), (0, 2), (1, 1), (0, 0)]);
+        assert_eq!(set.cells(), &[(0, 0), (0, 2), (1, 1)]);
+        assert_eq!(set.len(), 3);
+        assert!(set.contains((0, 2)));
+        assert!(!set.contains((2, 2)));
+    }
+
+    #[test]
+    fn device_helper_and_counts() {
+        let set = ErasureSet::devices(&[1, 3], 2);
+        assert_eq!(set.cells(), &[(0, 1), (0, 3), (1, 1), (1, 3)]);
+        assert_eq!(set.per_device(4), vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn bounds_checking() {
+        let set = ErasureSet::new([(3, 7)]);
+        assert!(set.check_bounds(4, 8).is_ok());
+        assert!(set.check_bounds(3, 8).is_err());
+        assert!(set.check_bounds(4, 7).is_err());
+    }
+}

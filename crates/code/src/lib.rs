@@ -1,0 +1,146 @@
+//! The shared erasure-code vocabulary of the workspace.
+//!
+//! The STAIR paper's central claim is *comparative*: STAIR codes tolerate
+//! the same device-plus-sector failure patterns as SD codes with less
+//! space and cheaper updates, and both improve on plain Reed–Solomon.
+//! Making that comparison on a real I/O path requires all three codecs to
+//! speak one language. This crate defines that language; the codec crates
+//! (`stair`, `stair-sd`) implement it, and `stair-store` consumes it.
+//!
+//! # The trait
+//!
+//! [`ErasureCode`] is the contract every codec satisfies:
+//!
+//! * [`ErasureCode::geometry`] — the stripe shape: `n` devices × `r`
+//!   sectors, which cells hold data (in logical payload order) and which
+//!   hold parity, and the advertised failure tolerance;
+//! * [`ErasureCode::encode`] — recompute every parity cell of a stripe;
+//! * [`ErasureCode::plan`] / [`ErasureCode::plan_recover`] — turn an
+//!   [`ErasureSet`] into a reusable [`Plan`] (planning is where decoding
+//!   cost lives; plans are built once per erasure pattern and applied to
+//!   any number of stripes);
+//! * [`ErasureCode::apply`] — execute a plan against one stripe;
+//! * [`ErasureCode::update`] — overwrite one data cell and patch only the
+//!   dependent parity cells (the small-write path), returning which parity
+//!   cells were touched.
+//!
+//! # The stripe buffer
+//!
+//! [`StripeBuf`] is the one stripe representation shared by every
+//! implementation: a single contiguous allocation of `rows × cols ×
+//! symbol` bytes, row-major, with `(row, col)` cell views. One row is
+//! contiguous (`cols · symbol` bytes), so row-oriented codecs can split a
+//! row into data and parity regions without copying. It replaces the
+//! per-cell `Vec<Vec<u8>>` shapes the codec crates used to carry.
+//!
+//! # Addressing
+//!
+//! A [`CellIdx`] is `(row, col)`: sector `row` of device `col`'s chunk —
+//! the paper's coordinates, identical across codecs. An [`ErasureSet`] is
+//! a validated, sorted, duplicate-free set of erased cells.
+//!
+//! # Codec specs
+//!
+//! [`CodecSpec`] is the one-line grammar the store and CLI use to name a
+//! codec (`stair store init --code <spec>`):
+//!
+//! ```text
+//! stair:n,r,m,e1-e2-...   e.g. stair:8,4,2,1-1-2
+//! sd:n,r,m,s              e.g. sd:6,4,1,2
+//! rs:n,r,m                e.g. rs:8,4,2
+//! ```
+//!
+//! Specs round-trip through `Display`/`FromStr` and are embedded in the
+//! store superblock, so a store directory records which codec wrote it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buf;
+mod erasure;
+mod error;
+mod geometry;
+mod plan;
+mod spec;
+
+pub use buf::StripeBuf;
+pub use erasure::{CellIdx, ErasureSet};
+pub use error::CodeError;
+pub use geometry::Geometry;
+pub use plan::Plan;
+pub use spec::CodecSpec;
+
+/// The common interface every erasure code in the workspace implements.
+///
+/// Implementations operate on [`StripeBuf`] stripes of their
+/// [`Geometry`]'s shape. All methods validate the buffer shape and return
+/// [`CodeError::ShapeMismatch`] rather than panicking on foreign stripes.
+pub trait ErasureCode: Send + Sync {
+    /// The stripe geometry: shape, cell roles, and failure tolerance.
+    fn geometry(&self) -> Geometry;
+
+    /// Recomputes every parity cell from the data cells, in place.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::ShapeMismatch`] if the buffer does not match the
+    /// geometry.
+    fn encode(&self, stripe: &mut StripeBuf) -> Result<(), CodeError>;
+
+    /// Builds a reusable plan recovering every cell of `erased`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CodeError::InvalidPattern`] for out-of-range coordinates;
+    /// * [`CodeError::Unrecoverable`] if the pattern exceeds the code's
+    ///   capability.
+    fn plan(&self, erased: &ErasureSet) -> Result<Plan, CodeError>;
+
+    /// Builds a plan recovering only the `wanted` subset of `erased` — the
+    /// degraded-read path. The default implementation plans a full repair;
+    /// codecs with partial-recovery support (STAIR) override it.
+    ///
+    /// # Errors
+    ///
+    /// As [`ErasureCode::plan`], plus [`CodeError::InvalidPattern`] if
+    /// `wanted` is not a subset of `erased`.
+    fn plan_recover(&self, erased: &ErasureSet, wanted: &[CellIdx]) -> Result<Plan, CodeError> {
+        for w in wanted {
+            if !erased.contains(*w) {
+                return Err(CodeError::InvalidPattern(format!(
+                    "wanted cell {w:?} is not in the erased set"
+                )));
+            }
+        }
+        self.plan(erased)
+    }
+
+    /// Executes a plan against one stripe, reconstructing the cells in
+    /// [`Plan::recovers`] in place.
+    ///
+    /// # Errors
+    ///
+    /// * [`CodeError::ShapeMismatch`] for foreign buffers;
+    /// * [`CodeError::InvalidPattern`] if the plan was built by a
+    ///   different codec (unrecognized plan detail).
+    fn apply(&self, plan: &Plan, stripe: &mut StripeBuf) -> Result<(), CodeError>;
+
+    /// Overwrites data cell `cell` with `new_contents` and patches every
+    /// dependent parity cell in place, returning the parity cells touched
+    /// (the realized update penalty, §6.3 of the paper).
+    ///
+    /// The stripe must already be consistently encoded; after the call it
+    /// is again consistently encoded.
+    ///
+    /// # Errors
+    ///
+    /// * [`CodeError::InvalidPattern`] if `cell` is not a data cell;
+    /// * [`CodeError::ShapeMismatch`] for foreign buffers or wrong-length
+    ///   contents.
+    fn update(
+        &self,
+        stripe: &mut StripeBuf,
+        cell: CellIdx,
+        new_contents: &[u8],
+    ) -> Result<Vec<CellIdx>, CodeError>;
+}

@@ -1,0 +1,223 @@
+//! The codec spec grammar: one-line, space-free codec descriptors.
+
+use core::fmt;
+use std::str::FromStr;
+
+use crate::CodeError;
+
+/// A parsed codec descriptor.
+///
+/// The grammar (all fields decimal, no spaces — specs embed in the store
+/// superblock and in CLI flags):
+///
+/// ```text
+/// stair:n,r,m,e1-e2-...   a STAIR code (e non-decreasing)
+/// sd:n,r,m,s              a sector-disk code
+/// rs:n,r,m                a Reed–Solomon array code (no sector parity)
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use stair_code::CodecSpec;
+///
+/// let spec: CodecSpec = "stair:8,4,2,1-1-2".parse()?;
+/// assert_eq!(spec.to_string(), "stair:8,4,2,1-1-2");
+/// assert_eq!(spec.n(), 8);
+/// assert_eq!("sd:6,4,1,2".parse::<CodecSpec>()?.family(), "sd");
+/// # Ok::<(), stair_code::CodeError>(())
+/// ```
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub enum CodecSpec {
+    /// A STAIR code `(n, r, m, e)`.
+    Stair {
+        /// Devices per stripe.
+        n: usize,
+        /// Sectors per chunk.
+        r: usize,
+        /// Tolerated device failures.
+        m: usize,
+        /// Sector-failure coverage vector (non-decreasing).
+        e: Vec<usize>,
+    },
+    /// A sector-disk code `(n, r, m, s)`.
+    Sd {
+        /// Devices per stripe.
+        n: usize,
+        /// Sectors per chunk.
+        r: usize,
+        /// Parity devices.
+        m: usize,
+        /// Parity sectors beyond the parity devices.
+        s: usize,
+    },
+    /// A Reed–Solomon array code `(n, r, m)`.
+    Rs {
+        /// Devices per stripe.
+        n: usize,
+        /// Sectors per chunk.
+        r: usize,
+        /// Parity devices.
+        m: usize,
+    },
+}
+
+impl CodecSpec {
+    /// The codec family name (`"stair"`, `"sd"`, or `"rs"`).
+    pub fn family(&self) -> &'static str {
+        match self {
+            CodecSpec::Stair { .. } => "stair",
+            CodecSpec::Sd { .. } => "sd",
+            CodecSpec::Rs { .. } => "rs",
+        }
+    }
+
+    /// Devices per stripe.
+    pub fn n(&self) -> usize {
+        match *self {
+            CodecSpec::Stair { n, .. } | CodecSpec::Sd { n, .. } | CodecSpec::Rs { n, .. } => n,
+        }
+    }
+
+    /// Sectors per chunk.
+    pub fn r(&self) -> usize {
+        match *self {
+            CodecSpec::Stair { r, .. } | CodecSpec::Sd { r, .. } | CodecSpec::Rs { r, .. } => r,
+        }
+    }
+
+    /// Tolerated whole-device failures.
+    pub fn m(&self) -> usize {
+        match *self {
+            CodecSpec::Stair { m, .. } | CodecSpec::Sd { m, .. } | CodecSpec::Rs { m, .. } => m,
+        }
+    }
+}
+
+impl fmt::Display for CodecSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecSpec::Stair { n, r, m, e } => {
+                let e: Vec<String> = e.iter().map(|x| x.to_string()).collect();
+                write!(f, "stair:{n},{r},{m},{}", e.join("-"))
+            }
+            CodecSpec::Sd { n, r, m, s } => write!(f, "sd:{n},{r},{m},{s}"),
+            CodecSpec::Rs { n, r, m } => write!(f, "rs:{n},{r},{m}"),
+        }
+    }
+}
+
+impl FromStr for CodecSpec {
+    type Err = CodeError;
+
+    fn from_str(text: &str) -> Result<Self, CodeError> {
+        let bad = |msg: &str| CodeError::InvalidConfig(format!("codec spec `{text}`: {msg}"));
+        let (family, rest) = text
+            .split_once(':')
+            .ok_or_else(|| bad("expected `family:params`"))?;
+        let fields: Vec<&str> = rest.split(',').collect();
+        let int = |v: &str| {
+            v.trim()
+                .parse::<usize>()
+                .map_err(|_| bad(&format!("bad integer `{v}`")))
+        };
+        match family {
+            "stair" => {
+                let [n, r, m, e] = fields.as_slice() else {
+                    return Err(bad("stair expects `stair:n,r,m,e1-e2-...`"));
+                };
+                let e: Vec<usize> = e
+                    .split('-')
+                    .map(int)
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| bad("e expects dash-separated integers, e.g. 1-1-2"))?;
+                Ok(CodecSpec::Stair {
+                    n: int(n)?,
+                    r: int(r)?,
+                    m: int(m)?,
+                    e,
+                })
+            }
+            "sd" => {
+                let [n, r, m, s] = fields.as_slice() else {
+                    return Err(bad("sd expects `sd:n,r,m,s`"));
+                };
+                Ok(CodecSpec::Sd {
+                    n: int(n)?,
+                    r: int(r)?,
+                    m: int(m)?,
+                    s: int(s)?,
+                })
+            }
+            "rs" => {
+                let [n, r, m] = fields.as_slice() else {
+                    return Err(bad("rs expects `rs:n,r,m`"));
+                };
+                Ok(CodecSpec::Rs {
+                    n: int(n)?,
+                    r: int(r)?,
+                    m: int(m)?,
+                })
+            }
+            other => Err(bad(&format!(
+                "unknown family `{other}` (expected stair, sd, or rs)"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        for text in [
+            "stair:8,4,2,1-1-2",
+            "stair:8,16,2,3",
+            "sd:6,4,1,2",
+            "rs:8,4,2",
+        ] {
+            let spec: CodecSpec = text.parse().unwrap();
+            assert_eq!(spec.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let spec: CodecSpec = "sd:6,4,1,2".parse().unwrap();
+        assert_eq!((spec.n(), spec.r(), spec.m()), (6, 4, 1));
+        assert_eq!(spec.family(), "sd");
+        let spec: CodecSpec = "stair:8,4,2,1-1-2".parse().unwrap();
+        assert_eq!(
+            spec,
+            CodecSpec::Stair {
+                n: 8,
+                r: 4,
+                m: 2,
+                e: vec![1, 1, 2]
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_specs_rejected() {
+        for text in [
+            "",
+            "stair",
+            "stair:8,4,2",
+            "stair:8,4,2,1,2",
+            "stair:8,4,2,1-x",
+            "sd:6,4,1",
+            "sd:6,4,1,2,3",
+            "rs:8,4",
+            "raid5:4,2,1",
+            "stair:a,4,2,1",
+        ] {
+            assert!(
+                text.parse::<CodecSpec>().is_err(),
+                "`{text}` should not parse"
+            );
+        }
+    }
+}

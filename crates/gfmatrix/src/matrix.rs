@@ -363,6 +363,28 @@ impl<F: Field> Matrix<F> {
     /// * [`Error::Underdetermined`] if `rank < self.cols`;
     /// * [`Error::Inconsistent`] if the equations contradict each other.
     pub fn solve(&self, rhs: &Self) -> Result<Self, Error> {
+        self.solve_inner(rhs, true)
+    }
+
+    /// Like [`Matrix::solve`], but tolerates surplus equations whose
+    /// left-hand side eliminates to zero: they constrain the right-hand
+    /// side only and are *ignored* instead of reported as
+    /// [`Error::Inconsistent`].
+    ///
+    /// This is the right solver for erasure-recovery systems: with fewer
+    /// erased symbols than parity-check equations, the surplus checks
+    /// relate only surviving symbols, and every true codeword satisfies
+    /// them — they carry no information about the erased values.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::DimensionMismatch`] if `rhs.rows != self.rows`;
+    /// * [`Error::Underdetermined`] if `rank < self.cols`.
+    pub fn solve_subspace(&self, rhs: &Self) -> Result<Self, Error> {
+        self.solve_inner(rhs, false)
+    }
+
+    fn solve_inner(&self, rhs: &Self, check_residual: bool) -> Result<Self, Error> {
         if rhs.rows != self.rows {
             return Err(Error::DimensionMismatch {
                 left: (self.rows, self.cols),
@@ -402,11 +424,13 @@ impl<F: Field> Matrix<F> {
         }
         // Check remaining equations are consistent (all-zero rows of `a`
         // must map to all-zero rows of `b`).
-        for r in rank..self.rows {
-            let zero_row = (0..unknowns).all(|c| a.get(r, c) == F::zero());
-            debug_assert!(zero_row, "rows beyond the rank must have been eliminated");
-            if (0..b.cols).any(|c| b.get(r, c) != F::zero()) {
-                return Err(Error::Inconsistent);
+        if check_residual {
+            for r in rank..self.rows {
+                let zero_row = (0..unknowns).all(|c| a.get(r, c) == F::zero());
+                debug_assert!(zero_row, "rows beyond the rank must have been eliminated");
+                if (0..b.cols).any(|c| b.get(r, c) != F::zero()) {
+                    return Err(Error::Inconsistent);
+                }
             }
         }
         // After Gauss–Jordan with full rank, rows 0..unknowns of `a` hold the

@@ -92,3 +92,20 @@ impl From<stair_gfmatrix::Error> for Error {
         Error::Matrix(e)
     }
 }
+
+impl From<Error> for stair_code::CodeError {
+    fn from(e: Error) -> stair_code::CodeError {
+        use stair_code::CodeError;
+        match e {
+            Error::InvalidParams { .. } => CodeError::InvalidConfig(e.to_string()),
+            Error::NotEnoughSymbols { .. } => CodeError::Unrecoverable(e.to_string()),
+            Error::WrongSymbolCount { .. } | Error::RegionMismatch(_) => {
+                CodeError::ShapeMismatch(e.to_string())
+            }
+            Error::IndexOutOfRange { .. } | Error::DuplicateIndex(_) => {
+                CodeError::InvalidPattern(e.to_string())
+            }
+            other => CodeError::Internal(other.to_string()),
+        }
+    }
+}

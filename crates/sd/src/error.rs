@@ -60,3 +60,16 @@ impl From<stair_rs::Error> for Error {
         Error::Mds(e)
     }
 }
+
+impl From<Error> for stair_code::CodeError {
+    fn from(e: Error) -> stair_code::CodeError {
+        use stair_code::CodeError;
+        match e {
+            Error::InvalidParams(m) | Error::ConstructionFailed(m) => CodeError::InvalidConfig(m),
+            Error::InvalidPattern(m) => CodeError::InvalidPattern(m),
+            Error::Unrecoverable(m) => CodeError::Unrecoverable(m),
+            Error::ShapeMismatch(m) => CodeError::ShapeMismatch(m),
+            other => CodeError::Internal(other.to_string()),
+        }
+    }
+}

@@ -1,7 +1,9 @@
 //! Plain Reed–Solomon array coding: `m` parity devices, no sector-level
 //! protection. The paper's "traditional erasure code" baseline (§6.1, §7).
 
+use stair_code::{CellIdx, CodeError, ErasureCode, ErasureSet, Geometry, Plan, StripeBuf};
 use stair_gf::Field;
+use stair_gfmatrix::Matrix;
 use stair_rs::MdsCode;
 
 use crate::Error;
@@ -25,6 +27,9 @@ pub struct RsArrayCode<F: Field> {
     r: usize,
     m: usize,
     code: MdsCode<F>,
+    /// `(n−m) × m` data→parity coefficients, precomputed so the
+    /// small-write update path pays no per-call solve.
+    update_coeff: Matrix<F>,
 }
 
 impl<F: Field> RsArrayCode<F> {
@@ -39,11 +44,16 @@ impl<F: Field> RsArrayCode<F> {
                 "need n ≥ 2, r ≥ 1, 0 < m < n (got n={n}, r={r}, m={m})"
             )));
         }
+        let code = MdsCode::new(n, n - m)?;
+        let data_idx: Vec<usize> = (0..n - m).collect();
+        let parity_idx: Vec<usize> = (n - m..n).collect();
+        let update_coeff = code.recovery_coefficients(&data_idx, &parity_idx)?;
         Ok(RsArrayCode {
             n,
             r,
             m,
-            code: MdsCode::new(n, n - m)?,
+            code,
+            update_coeff,
         })
     }
 
@@ -136,6 +146,162 @@ impl<F: Field> RsArrayCode<F> {
             chunks[c] = buf;
         }
         Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// The codec-generic face: `stair_code::ErasureCode` for `RsArrayCode`.
+//
+// Each stripe row is one (n, n−m) MDS codeword, so every operation is
+// row-local: a row with more than m erasures is unrecoverable (plain RS
+// has no sector-level protection — the comparison point of §6.1/§7).
+// ---------------------------------------------------------------------
+
+/// One row's recovery recipe inside an RS [`Plan`].
+#[derive(Debug)]
+struct RsRowPlan<F: Field> {
+    row: usize,
+    lost: Vec<usize>,
+    survivors: Vec<usize>,
+    /// `|survivors| × |lost|` recovery coefficients.
+    coeff: Matrix<F>,
+}
+
+impl<F: Field> RsArrayCode<F> {
+    fn check_buf(&self, buf: &StripeBuf) -> Result<(), CodeError> {
+        buf.check_shape(self.r, self.n, F::ELEM_BYTES)
+    }
+}
+
+impl<F: Field> ErasureCode for RsArrayCode<F> {
+    fn geometry(&self) -> Geometry {
+        let data_cells = (0..self.r)
+            .flat_map(|i| (0..self.n - self.m).map(move |c| (i, c)))
+            .collect();
+        let parity_cells = (0..self.r)
+            .flat_map(|i| (self.n - self.m..self.n).map(move |c| (i, c)))
+            .collect();
+        Geometry {
+            n: self.n,
+            r: self.r,
+            m: self.m,
+            s: 0,
+            burst: 0,
+            data_cells,
+            parity_cells,
+        }
+    }
+
+    fn encode(&self, stripe: &mut StripeBuf) -> Result<(), CodeError> {
+        self.check_buf(stripe)?;
+        let symbol = stripe.symbol();
+        // Rows are contiguous in the flat buffer, so each row splits into
+        // data and parity regions without copying.
+        for i in 0..self.r {
+            let row = stripe.row_mut(i);
+            let (data, parity) = row.split_at_mut((self.n - self.m) * symbol);
+            let data_refs: Vec<&[u8]> = data.chunks(symbol).collect();
+            let mut parity_refs: Vec<&mut [u8]> = parity.chunks_mut(symbol).collect();
+            self.code.encode_regions(&data_refs, &mut parity_refs)?;
+        }
+        Ok(())
+    }
+
+    fn plan(&self, erased: &ErasureSet) -> Result<Plan, CodeError> {
+        erased.check_bounds(self.r, self.n)?;
+        if erased.is_empty() {
+            return Err(CodeError::InvalidPattern("empty erasure pattern".into()));
+        }
+        let mut lost_by_row: Vec<Vec<usize>> = vec![Vec::new(); self.r];
+        for (row, col) in erased.iter() {
+            lost_by_row[row].push(col);
+        }
+        let mut rows = Vec::new();
+        let mut cost = 0usize;
+        for (row, lost) in lost_by_row.into_iter().enumerate() {
+            if lost.is_empty() {
+                continue;
+            }
+            if lost.len() > self.m {
+                return Err(CodeError::Unrecoverable(format!(
+                    "row {row} lost {} sectors, an (n, n-m) MDS row repairs at most {}",
+                    lost.len(),
+                    self.m
+                )));
+            }
+            let survivors: Vec<usize> = (0..self.n)
+                .filter(|c| !lost.contains(c))
+                .take(self.n - self.m)
+                .collect();
+            let coeff = self.code.recovery_coefficients(&survivors, &lost)?;
+            for i in 0..coeff.rows() {
+                for j in 0..coeff.cols() {
+                    if coeff.get(i, j) != F::zero() {
+                        cost += 1;
+                    }
+                }
+            }
+            rows.push(RsRowPlan {
+                row,
+                lost,
+                survivors,
+                coeff,
+            });
+        }
+        Ok(Plan::new(erased.cells().to_vec(), rows).with_mult_xors(cost))
+    }
+
+    fn apply(&self, plan: &Plan, stripe: &mut StripeBuf) -> Result<(), CodeError> {
+        self.check_buf(stripe)?;
+        let rows = plan.detail::<Vec<RsRowPlan<F>>>().ok_or_else(|| {
+            CodeError::InvalidPattern("plan was built by a different codec".into())
+        })?;
+        let mut scratch = vec![0u8; stripe.symbol()];
+        for rp in rows {
+            // Lost cells are never survivors, so in-place writes are safe.
+            for (x, &lc) in rp.lost.iter().enumerate() {
+                scratch.fill(0);
+                for (k, &sc) in rp.survivors.iter().enumerate() {
+                    let c = rp.coeff.get(k, x);
+                    if c != F::zero() {
+                        F::mult_xor_region(&mut scratch, stripe.cell((rp.row, sc)), c);
+                    }
+                }
+                stripe.set_cell((rp.row, lc), &scratch);
+            }
+        }
+        Ok(())
+    }
+
+    fn update(
+        &self,
+        stripe: &mut StripeBuf,
+        cell: CellIdx,
+        new_contents: &[u8],
+    ) -> Result<Vec<CellIdx>, CodeError> {
+        self.check_buf(stripe)?;
+        let (row, col) = cell;
+        if row >= self.r || col >= self.n {
+            return Err(CodeError::InvalidPattern(format!(
+                "({row},{col}) out of range"
+            )));
+        }
+        if col >= self.n - self.m {
+            return Err(CodeError::InvalidPattern(format!(
+                "({row},{col}) is a parity sector; updates must target data"
+            )));
+        }
+        let delta = stripe.begin_update(cell, new_contents)?;
+        let mut touched = Vec::new();
+        for (j, pc) in (self.n - self.m..self.n).enumerate() {
+            let c = self.update_coeff.get(col, j);
+            if c == F::zero() {
+                continue;
+            }
+            F::mult_xor_region(stripe.cell_mut((row, pc)), &delta, c);
+            touched.push((row, pc));
+        }
+        Ok(touched)
     }
 }
 

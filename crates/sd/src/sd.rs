@@ -19,6 +19,7 @@
 //! of SD codes encodes stripes in a decoding manner", §6.2 of the STAIR
 //! paper) — this is the property the paper's speed comparison measures.
 
+use stair_code::{CellIdx, CodeError, ErasureCode, ErasureSet, Geometry, Plan, StripeBuf};
 use stair_gf::Field;
 use stair_gfmatrix::{Error as MatrixError, Matrix};
 
@@ -282,7 +283,10 @@ impl<F: Field> SdCode<F> {
         let known_q: Vec<usize> = (0..total).filter(|&q| !seen[q]).collect();
         let h_x = self.check.select_cols(&erased_q);
         let h_k = self.check.select_cols(&known_q);
-        match h_x.solve(&h_k) {
+        // Patterns smaller than the check count leave surplus equations
+        // relating only surviving symbols; every codeword satisfies them,
+        // so the subspace solver ignores them rather than failing.
+        match h_x.solve_subspace(&h_k) {
             Ok(m) => Ok(m),
             Err(MatrixError::Singular | MatrixError::Underdetermined { .. }) => {
                 Err(Error::Unrecoverable(format!(
@@ -423,6 +427,141 @@ impl SdStripe {
     }
 }
 
+// ---------------------------------------------------------------------
+// The codec-generic face: `stair_code::ErasureCode` for `SdCode`.
+// ---------------------------------------------------------------------
+
+/// The codec-private payload of an SD decoding [`Plan`]: the solved
+/// recovery matrix plus the symbol-index bookkeeping to apply it.
+#[derive(Debug)]
+struct SdPlanDetail<F: Field> {
+    erased_q: Vec<usize>,
+    known_q: Vec<usize>,
+    coeff: Matrix<F>,
+}
+
+impl<F: Field> SdCode<F> {
+    fn check_buf(&self, buf: &StripeBuf) -> Result<(), CodeError> {
+        buf.check_shape(self.r, self.n, F::ELEM_BYTES)
+    }
+
+    fn cell_of(&self, q: usize) -> CellIdx {
+        (q / self.n, q % self.n)
+    }
+}
+
+impl<F: Field> ErasureCode for SdCode<F> {
+    fn geometry(&self) -> Geometry {
+        Geometry {
+            n: self.n,
+            r: self.r,
+            m: self.m,
+            s: self.s,
+            burst: self.s.min(self.r),
+            data_cells: self.data_pos.iter().map(|&q| self.cell_of(q)).collect(),
+            parity_cells: self.parity_pos.iter().map(|&q| self.cell_of(q)).collect(),
+        }
+    }
+
+    fn encode(&self, stripe: &mut StripeBuf) -> Result<(), CodeError> {
+        self.check_buf(stripe)?;
+        // Dense, no parity reuse — the §6.2 "encoding in a decoding
+        // manner" the paper measures against.
+        let mut scratch = vec![0u8; stripe.symbol()];
+        for (p, &ppos) in self.parity_pos.iter().enumerate() {
+            scratch.fill(0);
+            for (d, &dpos) in self.data_pos.iter().enumerate() {
+                let coeff = self.encode.get(p, d);
+                if coeff != F::zero() {
+                    F::mult_xor_region(&mut scratch, stripe.cell(self.cell_of(dpos)), coeff);
+                }
+            }
+            stripe.set_cell(self.cell_of(ppos), &scratch);
+        }
+        Ok(())
+    }
+
+    fn plan(&self, erased: &ErasureSet) -> Result<Plan, CodeError> {
+        erased.check_bounds(self.r, self.n)?;
+        if erased.is_empty() {
+            return Err(CodeError::InvalidPattern("empty erasure pattern".into()));
+        }
+        let coeff = self.recovery_matrix(erased.cells())?;
+        let erased_q: Vec<usize> = erased.iter().map(|(i, c)| i * self.n + c).collect();
+        let known_q: Vec<usize> = (0..self.r * self.n)
+            .filter(|q| !erased_q.contains(q))
+            .collect();
+        let mut cost = 0usize;
+        for x in 0..coeff.rows() {
+            for k in 0..coeff.cols() {
+                if coeff.get(x, k) != F::zero() {
+                    cost += 1;
+                }
+            }
+        }
+        let detail = SdPlanDetail {
+            erased_q,
+            known_q,
+            coeff,
+        };
+        Ok(Plan::new(erased.cells().to_vec(), detail).with_mult_xors(cost))
+    }
+
+    fn apply(&self, plan: &Plan, stripe: &mut StripeBuf) -> Result<(), CodeError> {
+        self.check_buf(stripe)?;
+        let detail = plan.detail::<SdPlanDetail<F>>().ok_or_else(|| {
+            CodeError::InvalidPattern("plan was built by a different codec".into())
+        })?;
+        let mut scratch = vec![0u8; stripe.symbol()];
+        // Erased cells are never inputs (the recovery matrix combines
+        // known symbols only), so writing them one by one is safe.
+        for (x, &q) in detail.erased_q.iter().enumerate() {
+            scratch.fill(0);
+            for (k, &kq) in detail.known_q.iter().enumerate() {
+                let c = detail.coeff.get(x, k);
+                if c != F::zero() {
+                    F::mult_xor_region(&mut scratch, stripe.cell(self.cell_of(kq)), c);
+                }
+            }
+            stripe.set_cell(self.cell_of(q), &scratch);
+        }
+        Ok(())
+    }
+
+    fn update(
+        &self,
+        stripe: &mut StripeBuf,
+        cell: CellIdx,
+        new_contents: &[u8],
+    ) -> Result<Vec<CellIdx>, CodeError> {
+        self.check_buf(stripe)?;
+        let (row, col) = cell;
+        if row >= self.r || col >= self.n {
+            return Err(CodeError::InvalidPattern(format!(
+                "({row},{col}) out of range"
+            )));
+        }
+        let q = row * self.n + col;
+        let Some(d) = self.data_pos.iter().position(|&dq| dq == q) else {
+            return Err(CodeError::InvalidPattern(format!(
+                "({row},{col}) is a parity sector; updates must target data"
+            )));
+        };
+        let delta = stripe.begin_update(cell, new_contents)?;
+        let mut touched = Vec::new();
+        for (p, &ppos) in self.parity_pos.iter().enumerate() {
+            let coeff = self.encode.get(p, d);
+            if coeff == F::zero() {
+                continue;
+            }
+            let pcell = self.cell_of(ppos);
+            F::mult_xor_region(stripe.cell_mut(pcell), &delta, coeff);
+            touched.push(pcell);
+        }
+        Ok(touched)
+    }
+}
+
 /// All `k`-element subsets of `0..n`, lexicographic. `k = 0` yields one
 /// empty subset.
 fn combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
@@ -516,6 +655,28 @@ mod tests {
         stripe.erase(&erased);
         code.decode(&mut stripe, &erased).unwrap();
         assert_eq!(stripe, pristine);
+    }
+
+    /// Regression: patterns *smaller* than the check count must decode.
+    /// The recovery solve is overdetermined there, and the surplus checks
+    /// (relating only known symbols) used to surface as `Inconsistent`.
+    #[test]
+    fn partial_patterns_decode() {
+        let code: SdCode<Gf8> = SdCode::new(6, 4, 1, 2).unwrap();
+        let mut stripe = SdStripe::new(&code, 8);
+        stripe.fill_pattern(5);
+        code.encode(&mut stripe).unwrap();
+        let pristine = stripe.clone();
+        for erased in [
+            vec![(2, 1)],                                 // one sector
+            vec![(0, 0), (3, 4)],                         // two sectors
+            vec![(0, 2), (1, 2), (2, 2), (3, 2)],         // one device only
+            vec![(0, 5), (1, 5), (2, 5), (3, 5), (1, 3)], // device + one sector
+        ] {
+            stripe.erase(&erased);
+            code.decode(&mut stripe, &erased).unwrap();
+            assert_eq!(stripe, pristine, "pattern {erased:?}");
+        }
     }
 
     /// Exhaustive SD-property verification on a small configuration.

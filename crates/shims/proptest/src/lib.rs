@@ -187,7 +187,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::collections::BTreeSet;
 
-    /// Lengths acceptable to [`vec`]: a fixed size or a half-open range.
+    /// Lengths acceptable to [`vec()`]: a fixed size or a half-open range.
     pub trait SizeRange {
         /// Draws a concrete length.
         fn pick(&self, rng: &mut TestRng) -> usize;

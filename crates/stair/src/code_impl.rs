@@ -1,0 +1,200 @@
+//! The codec-generic face of STAIR: [`stair_code::ErasureCode`] for
+//! [`StairCodec`], plus the [`CodeError`] conversion.
+//!
+//! The impl operates directly on flat [`StripeBuf`] grids — the same
+//! memory `stair-store` reads sectors into — by building the scheduling
+//! [`Canvas`] over the buffer, so no per-operation stripe copies are made.
+//! Only [`GlobalPlacement::Inside`] configurations are supported through
+//! this interface: a bare `r × n` grid has nowhere to store outside
+//! globals.
+
+use stair_code::{CellIdx, CodeError, ErasureCode, ErasureSet, Geometry, Plan, StripeBuf};
+use stair_gf::Field;
+
+use crate::schedule::Canvas;
+use crate::{DecodePlan, Error, GlobalPlacement, StairCodec};
+
+impl From<Error> for CodeError {
+    fn from(e: Error) -> CodeError {
+        match e {
+            Error::InvalidConfig(m) => CodeError::InvalidConfig(m),
+            Error::InvalidPattern(m) => CodeError::InvalidPattern(m),
+            Error::Unrecoverable { remaining } => CodeError::Unrecoverable(format!(
+                "peeling stalled with {remaining} cells unrecovered"
+            )),
+            Error::ShapeMismatch(m) => CodeError::ShapeMismatch(m),
+            other => CodeError::Internal(other.to_string()),
+        }
+    }
+}
+
+impl<F: Field> StairCodec<F> {
+    fn check_buf(&self, buf: &StripeBuf) -> Result<(), CodeError> {
+        if self.config().placement() != GlobalPlacement::Inside {
+            return Err(CodeError::Unsupported(
+                "outside-placement STAIR stripes store globals outside the r×n grid; \
+                 use the inherent Stripe API"
+                    .into(),
+            ));
+        }
+        buf.check_shape(self.config().r(), self.config().n(), F::ELEM_BYTES)
+    }
+}
+
+impl<F: Field> ErasureCode for StairCodec<F> {
+    fn geometry(&self) -> Geometry {
+        let layout = self.layout();
+        Geometry {
+            n: layout.n(),
+            r: layout.r(),
+            m: layout.m(),
+            s: self.config().s(),
+            burst: self.config().e_max(),
+            data_cells: layout.data_cells(),
+            parity_cells: layout.parity_cells(),
+        }
+    }
+
+    fn encode(&self, stripe: &mut StripeBuf) -> Result<(), CodeError> {
+        self.check_buf(stripe)?;
+        let mut canvas = Canvas::over(self.layout(), stripe);
+        self.encode_on(self.best_method(), &mut canvas)?;
+        Ok(())
+    }
+
+    fn plan(&self, erased: &ErasureSet) -> Result<Plan, CodeError> {
+        let dp = self.plan_decode(erased.cells())?;
+        let cost = dp.mult_xors();
+        Ok(Plan::new(erased.cells().to_vec(), dp).with_mult_xors(cost))
+    }
+
+    fn plan_recover(&self, erased: &ErasureSet, wanted: &[CellIdx]) -> Result<Plan, CodeError> {
+        let dp = StairCodec::plan_recover(self, erased.cells(), wanted)?;
+        let cost = dp.mult_xors();
+        Ok(Plan::new(wanted.to_vec(), dp).with_mult_xors(cost))
+    }
+
+    fn apply(&self, plan: &Plan, stripe: &mut StripeBuf) -> Result<(), CodeError> {
+        self.check_buf(stripe)?;
+        let dp = plan.detail::<DecodePlan<F>>().ok_or_else(|| {
+            CodeError::InvalidPattern("plan was built by a different codec".into())
+        })?;
+        let mut canvas = Canvas::over(self.layout(), stripe);
+        dp.schedule().execute(&mut canvas);
+        Ok(())
+    }
+
+    fn update(
+        &self,
+        stripe: &mut StripeBuf,
+        cell: CellIdx,
+        new_contents: &[u8],
+    ) -> Result<Vec<CellIdx>, CodeError> {
+        self.check_buf(stripe)?;
+        Ok(self.update_grid(stripe, cell.0, cell.1, new_contents)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Config, Stripe};
+
+    fn codec() -> StairCodec {
+        StairCodec::new(Config::new(8, 4, 2, &[1, 1, 2]).unwrap()).unwrap()
+    }
+
+    fn encoded_buf(codec: &StairCodec, seed: u8) -> StripeBuf {
+        let geom = codec.geometry();
+        let mut buf = StripeBuf::new(geom.r, geom.n, 16).unwrap();
+        let payload: Vec<u8> = (0..geom.data_per_stripe() * 16)
+            .map(|i| (i as u8).wrapping_mul(7).wrapping_add(seed))
+            .collect();
+        buf.write_cells(&geom.data_cells, &payload).unwrap();
+        ErasureCode::encode(codec, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn trait_encode_matches_inherent_encode() {
+        let codec = codec();
+        let buf = encoded_buf(&codec, 3);
+        let geom = codec.geometry();
+        let mut stripe = Stripe::new(codec.config().clone(), 16).unwrap();
+        stripe
+            .write_data(&buf.read_cells(&geom.data_cells))
+            .unwrap();
+        codec.encode(&mut stripe).unwrap();
+        assert_eq!(stripe.grid(), &buf);
+    }
+
+    #[test]
+    fn plan_apply_round_trip_on_buf() {
+        let codec = codec();
+        let mut buf = encoded_buf(&codec, 9);
+        let pristine = buf.clone();
+        let erased = ErasureSet::new((0..4).flat_map(|i| [(i, 6), (i, 7)]).chain([
+            (3, 3),
+            (3, 4),
+            (2, 5),
+            (3, 5),
+        ]));
+        buf.erase(erased.cells());
+        let plan = ErasureCode::plan(&codec, &erased).unwrap();
+        assert!(plan.mult_xors().unwrap() > 0);
+        codec.apply(&plan, &mut buf).unwrap();
+        assert_eq!(buf, pristine);
+    }
+
+    #[test]
+    fn partial_recovery_is_cheaper_than_full() {
+        let codec = codec();
+        let erased = ErasureSet::devices(&[6, 7], 4);
+        let full = ErasureCode::plan(&codec, &erased).unwrap();
+        let partial = ErasureCode::plan_recover(&codec, &erased, &[(2, 6)]).unwrap();
+        assert_eq!(partial.recovers(), &[(2, 6)]);
+        assert!(partial.mult_xors().unwrap() < full.mult_xors().unwrap());
+    }
+
+    #[test]
+    fn trait_update_patches_parities() {
+        let codec = codec();
+        let mut buf = encoded_buf(&codec, 5);
+        let touched = codec.update(&mut buf, (1, 2), &[0xEE; 16]).unwrap();
+        assert!(!touched.is_empty());
+        // Re-encoding from the updated payload must agree.
+        let geom = codec.geometry();
+        let payload = buf.read_cells(&geom.data_cells);
+        let mut reference = StripeBuf::new(geom.r, geom.n, 16).unwrap();
+        reference.write_cells(&geom.data_cells, &payload).unwrap();
+        ErasureCode::encode(&codec, &mut reference).unwrap();
+        assert_eq!(buf, reference);
+    }
+
+    #[test]
+    fn foreign_buffers_and_plans_rejected() {
+        let codec = codec();
+        let mut wrong = StripeBuf::new(3, 8, 16).unwrap();
+        assert!(matches!(
+            ErasureCode::encode(&codec, &mut wrong),
+            Err(CodeError::ShapeMismatch(_))
+        ));
+        let mut buf = encoded_buf(&codec, 1);
+        let alien = Plan::new(vec![(0, 0)], String::from("not a stair plan"));
+        assert!(matches!(
+            codec.apply(&alien, &mut buf),
+            Err(CodeError::InvalidPattern(_))
+        ));
+    }
+
+    #[test]
+    fn outside_placement_unsupported_via_trait() {
+        let config = Config::with_placement(8, 4, 2, &[1, 1, 2], GlobalPlacement::Outside).unwrap();
+        let codec: StairCodec = StairCodec::new(config).unwrap();
+        let mut buf = StripeBuf::new(4, 8, 16).unwrap();
+        assert!(matches!(
+            ErasureCode::encode(&codec, &mut buf),
+            Err(CodeError::Unsupported(_))
+        ));
+    }
+}

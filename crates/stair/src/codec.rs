@@ -225,15 +225,23 @@ impl<F: Field> StairCodec<F> {
     ///   placement (e.g. upstairs with outside globals).
     pub fn encode_with(&self, method: EncodingMethod, stripe: &mut Stripe) -> Result<(), Error> {
         self.check_stripe(stripe)?;
+        let mut canvas = Canvas::new(&self.layout, stripe);
+        self.encode_on(method, &mut canvas)?;
+        if self.config.placement() == GlobalPlacement::Outside {
+            canvas.export_outside_globals(&self.layout);
+        }
+        Ok(())
+    }
+
+    /// Runs one encoding method against an already-built canvas (shared by
+    /// the inherent API and the [`stair_code::ErasureCode`] impl).
+    pub(crate) fn encode_on(
+        &self,
+        method: EncodingMethod,
+        canvas: &mut Canvas<'_>,
+    ) -> Result<(), Error> {
         match method {
-            EncodingMethod::Standard => {
-                let mut canvas = Canvas::new(&self.layout, stripe);
-                self.relations.encode(&mut canvas)?;
-                if self.config.placement() == GlobalPlacement::Outside {
-                    canvas.export_outside_globals(&self.layout);
-                }
-                Ok(())
-            }
+            EncodingMethod::Standard => self.relations.encode(canvas),
             _ => {
                 let schedule = self.encode_schedule(method).ok_or_else(|| {
                     Error::InvalidConfig(format!(
@@ -241,11 +249,7 @@ impl<F: Field> StairCodec<F> {
                         self.config.placement()
                     ))
                 })?;
-                let mut canvas = Canvas::new(&self.layout, stripe);
-                schedule.execute(&mut canvas);
-                if self.config.placement() == GlobalPlacement::Outside {
-                    canvas.export_outside_globals(&self.layout);
-                }
+                schedule.execute(canvas);
                 Ok(())
             }
         }

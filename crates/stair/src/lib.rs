@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod code_impl;
 mod codec;
 mod complexity;
 mod config;

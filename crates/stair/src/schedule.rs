@@ -14,6 +14,7 @@
 
 use core::fmt::Write as _;
 
+use stair_code::StripeBuf;
 use stair_gf::Field;
 use stair_gfmatrix::Matrix;
 
@@ -101,18 +102,20 @@ impl<F: Field> Schedule<F> {
     }
 
     /// Executes the schedule over the byte regions of a [`Canvas`].
+    ///
+    /// Each output is accumulated into a scratch sector and then copied
+    /// into place: a step's outputs are by construction disjoint from its
+    /// inputs (an output was unavailable when its inputs were read), so
+    /// writing one output never corrupts another's inputs.
     pub(crate) fn execute(&self, canvas: &mut Canvas<'_>) {
+        let mut scratch = vec![0u8; canvas.symbol()];
         for step in &self.steps {
-            let mut outs: Vec<(Cell, Vec<u8>)> =
-                step.outputs.iter().map(|&c| (c, canvas.take(c))).collect();
-            for (j, (_, buf)) in outs.iter_mut().enumerate() {
-                buf.fill(0);
+            for (j, &oc) in step.outputs.iter().enumerate() {
+                scratch.fill(0);
                 for (i, &ic) in step.inputs.iter().enumerate() {
-                    F::mult_xor_region(buf, canvas.get(ic), step.coeff.get(i, j));
+                    F::mult_xor_region(&mut scratch, canvas.get(ic), step.coeff.get(i, j));
                 }
-            }
-            for (c, buf) in outs {
-                canvas.put(c, buf);
+                canvas.set(oc, &scratch);
             }
         }
     }
@@ -169,14 +172,31 @@ pub(crate) fn cell_name(layout: &Layout, cell: Cell) -> String {
     }
 }
 
+/// Which storage area of the canvas a canonical cell lives in.
+enum Slot {
+    /// A stored cell of the `r × n` grid.
+    Grid(Cell),
+    /// A virtual cell of the augmented rows (first `n` columns).
+    Aug(usize),
+    /// A virtual intermediate-parity cell in the stored rows.
+    Inter(usize),
+    /// A cell of the global-parity corner.
+    Glob(usize),
+}
+
 /// The byte-region workspace for one stripe: stored cells live in the
-/// borrowed [`Stripe`]; virtual cells (augmented rows, intermediate chunks,
-/// and the global-parity corner) are freshly allocated.
+/// borrowed flat [`StripeBuf`] grid; virtual cells (augmented rows,
+/// intermediate chunks, and the global-parity corner) are freshly
+/// allocated.
 pub(crate) struct Canvas<'a> {
     ccols: usize,
     r: usize,
     n: usize,
-    stripe: &'a mut Stripe,
+    symbol: usize,
+    grid: &'a mut StripeBuf,
+    /// Outside-placement global buffers of the borrowed stripe (empty when
+    /// the canvas wraps a bare grid or an inside-placement stripe).
+    outside: &'a mut [Vec<u8>],
     /// Augmented rows of the first `n` columns: `e_max × n`.
     aug: Vec<Vec<u8>>,
     /// Intermediate parity cells in stored rows: `r × m'`.
@@ -191,32 +211,60 @@ impl<'a> Canvas<'a> {
     /// For outside placement, copies the stripe's global buffers into the
     /// global corner (they may be decode inputs).
     pub(crate) fn new(layout: &Layout, stripe: &'a mut Stripe) -> Self {
-        let symbol = stripe.symbol_size();
-        let crows = layout.canonical_rows();
-        let ccols = layout.canonical_cols();
-        let n = stripe.config().n();
-        let r = stripe.config().r();
-        let m_prime = stripe.config().m_prime();
-        let e_max = crows - r;
-        let mut glob = vec![vec![0u8; symbol]; e_max * m_prime];
-        if stripe.config().placement() == GlobalPlacement::Outside {
-            for (g, &(row, col)) in stripe
-                .outside_globals()
+        let placement = stripe.config().placement();
+        let (grid, outside) = stripe.parts_mut();
+        let mut canvas = Self::build(layout, grid, outside);
+        if placement == GlobalPlacement::Outside {
+            let m_prime = layout.m_prime();
+            for (g, &(row, col)) in canvas
+                .outside
                 .iter()
                 .zip(layout.outside_global_cells().iter())
             {
-                glob[(row - r) * m_prime + (col - n)].copy_from_slice(g);
+                canvas.glob[(row - layout.r()) * m_prime + (col - layout.n())].copy_from_slice(g);
             }
         }
+        canvas
+    }
+
+    /// Builds a canvas directly over a bare grid — the codec-generic
+    /// [`stair_code::ErasureCode`] path. Inside placement only (a bare
+    /// grid has nowhere to store outside globals).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the grid matches the layout's stored shape.
+    pub(crate) fn over(layout: &Layout, grid: &'a mut StripeBuf) -> Self {
+        debug_assert!(
+            grid.has_shape(layout.r(), layout.n()),
+            "grid shape does not match layout"
+        );
+        Self::build(layout, grid, &mut [])
+    }
+
+    fn build(layout: &Layout, grid: &'a mut StripeBuf, outside: &'a mut [Vec<u8>]) -> Self {
+        let symbol = grid.symbol();
+        let ccols = layout.canonical_cols();
+        let n = layout.n();
+        let r = layout.r();
+        let m_prime = layout.m_prime();
+        let e_max = layout.canonical_rows() - r;
         Canvas {
             ccols,
             r,
             n,
+            symbol,
             aug: vec![vec![0u8; symbol]; e_max * n],
             inter: vec![vec![0u8; symbol]; r * m_prime],
-            glob,
-            stripe,
+            glob: vec![vec![0u8; symbol]; e_max * m_prime],
+            grid,
+            outside,
         }
+    }
+
+    /// Bytes per sector.
+    pub(crate) fn symbol(&self) -> usize {
+        self.symbol
     }
 
     /// Copies the global corner back into the stripe's outside-global
@@ -225,67 +273,43 @@ impl<'a> Canvas<'a> {
         let m_prime = self.ccols - self.n;
         let cells = layout.outside_global_cells();
         for (idx, &(row, col)) in cells.iter().enumerate() {
-            let src = self.glob[(row - self.r) * m_prime + (col - self.n)].clone();
-            self.stripe.outside_globals_mut()[idx].copy_from_slice(&src);
+            let src = &self.glob[(row - self.r) * m_prime + (col - self.n)];
+            self.outside[idx].copy_from_slice(src);
         }
     }
 
-    fn slot(&self, cell: Cell) -> (u8, usize) {
+    fn slot(&self, cell: Cell) -> Slot {
         let (row, col) = cell;
         let m_prime = self.ccols - self.n;
         if row < self.r {
             if col < self.n {
-                (0, row * self.n + col)
+                Slot::Grid(cell)
             } else {
-                (2, row * m_prime + (col - self.n))
+                Slot::Inter(row * m_prime + (col - self.n))
             }
         } else if col < self.n {
-            (1, (row - self.r) * self.n + col)
+            Slot::Aug((row - self.r) * self.n + col)
         } else {
-            (3, (row - self.r) * m_prime + (col - self.n))
+            Slot::Glob((row - self.r) * m_prime + (col - self.n))
         }
     }
 
     pub(crate) fn get(&self, cell: Cell) -> &[u8] {
-        let (kind, i) = self.slot(cell);
-        match kind {
-            0 => &self.stripe.cells_ref()[i],
-            1 => &self.aug[i],
-            2 => &self.inter[i],
-            _ => &self.glob[i],
+        match self.slot(cell) {
+            Slot::Grid(c) => self.grid.cell(c),
+            Slot::Aug(i) => &self.aug[i],
+            Slot::Inter(i) => &self.inter[i],
+            Slot::Glob(i) => &self.glob[i],
         }
     }
 
-    fn take(&mut self, cell: Cell) -> Vec<u8> {
-        let (kind, i) = self.slot(cell);
-        let buf = match kind {
-            0 => std::mem::take(&mut self.stripe.cells_mut()[i]),
-            1 => std::mem::take(&mut self.aug[i]),
-            2 => std::mem::take(&mut self.inter[i]),
-            _ => std::mem::take(&mut self.glob[i]),
-        };
-        debug_assert!(!buf.is_empty(), "cell {cell:?} taken twice within a step");
-        buf
-    }
-
-    /// Take/put for the standard encoder, which is not a [`Schedule`] but
-    /// needs the same disjoint-borrow pattern.
-    pub(crate) fn take_for_standard(&mut self, cell: Cell) -> Vec<u8> {
-        self.take(cell)
-    }
-
-    /// See [`Canvas::take_for_standard`].
-    pub(crate) fn put_for_standard(&mut self, cell: Cell, buf: Vec<u8>) {
-        self.put(cell, buf)
-    }
-
-    fn put(&mut self, cell: Cell, buf: Vec<u8>) {
-        let (kind, i) = self.slot(cell);
-        match kind {
-            0 => self.stripe.cells_mut()[i] = buf,
-            1 => self.aug[i] = buf,
-            2 => self.inter[i] = buf,
-            _ => self.glob[i] = buf,
+    /// Copies `src` into a canonical cell.
+    pub(crate) fn set(&mut self, cell: Cell, src: &[u8]) {
+        match self.slot(cell) {
+            Slot::Grid(c) => self.grid.set_cell(c, src),
+            Slot::Aug(i) => self.aug[i].copy_from_slice(src),
+            Slot::Inter(i) => self.inter[i].copy_from_slice(src),
+            Slot::Glob(i) => self.glob[i].copy_from_slice(src),
         }
     }
 }

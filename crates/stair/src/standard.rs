@@ -114,16 +114,16 @@ impl<F: Field> ParityRelations<F> {
     /// Standard encoding over byte regions: every parity cell is computed
     /// directly as its dense combination of data cells.
     pub(crate) fn encode(&self, canvas: &mut Canvas<'_>) -> Result<(), Error> {
+        let mut scratch = vec![0u8; canvas.symbol()];
         for (p, &pcell) in self.parity_cells.iter().enumerate() {
-            let mut buf = canvas.take_for_standard(pcell);
-            buf.fill(0);
+            scratch.fill(0);
             for (d, &dcell) in self.data_cells.iter().enumerate() {
                 let c = self.coeffs[p][d];
                 if c != F::zero() {
-                    F::mult_xor_region(&mut buf, canvas.get(dcell), c);
+                    F::mult_xor_region(&mut scratch, canvas.get(dcell), c);
                 }
             }
-            canvas.put_for_standard(pcell, buf);
+            canvas.set(pcell, &scratch);
         }
         Ok(())
     }

@@ -1,6 +1,8 @@
 //! The stored stripe: `r × n` sector buffers plus, for outside placement,
 //! the `s` external global-parity buffers.
 
+use stair_code::StripeBuf;
+
 use crate::layout::{Cell, CellKind, Layout};
 use crate::{Config, Error, GlobalPlacement};
 
@@ -8,7 +10,10 @@ use crate::{Config, Error, GlobalPlacement};
 ///
 /// Cell `(i, j)` is sector `i` of device `j`'s chunk. Data, row-parity, and
 /// (for inside placement) global-parity sectors all live in this grid, at
-/// the positions described by [`Layout`].
+/// the positions described by [`Layout`]. The grid itself is a flat
+/// [`StripeBuf`] — one contiguous allocation shared with the codec-generic
+/// [`stair_code::ErasureCode`] world, so stripes move between the two APIs
+/// without copying.
 ///
 /// # Example
 ///
@@ -27,9 +32,8 @@ use crate::{Config, Error, GlobalPlacement};
 pub struct Stripe {
     config: Config,
     layout: Layout,
-    symbol_size: usize,
-    /// `r·n` sector buffers, row-major.
-    cells: Vec<Vec<u8>>,
+    /// The `r × n` sector grid, flat and contiguous.
+    grid: StripeBuf,
     /// Outside placement only: the `s` global-parity buffers, in the
     /// `(l, h)` order of [`Layout::outside_global_cells`].
     outside_globals: Vec<Vec<u8>>,
@@ -46,7 +50,8 @@ impl Stripe {
             return Err(Error::ShapeMismatch("symbol size must be positive".into()));
         }
         let layout = Layout::new(&config);
-        let cells = vec![vec![0u8; symbol_size]; config.r() * config.n()];
+        let grid = StripeBuf::new(config.r(), config.n(), symbol_size)
+            .map_err(|e| Error::ShapeMismatch(e.to_string()))?;
         let globals = match config.placement() {
             GlobalPlacement::Outside => vec![vec![0u8; symbol_size]; config.s()],
             GlobalPlacement::Inside => Vec::new(),
@@ -54,8 +59,7 @@ impl Stripe {
         Ok(Stripe {
             config,
             layout,
-            symbol_size,
-            cells,
+            grid,
             outside_globals: globals,
         })
     }
@@ -67,12 +71,12 @@ impl Stripe {
 
     /// Bytes per sector.
     pub fn symbol_size(&self) -> usize {
-        self.symbol_size
+        self.grid.symbol()
     }
 
     /// Total user-data bytes the stripe holds.
     pub fn data_capacity(&self) -> usize {
-        self.config.data_symbols() * self.symbol_size
+        self.config.data_symbols() * self.grid.symbol()
     }
 
     /// Borrows sector `(row, col)`.
@@ -85,7 +89,7 @@ impl Stripe {
             row < self.config.r() && col < self.config.n(),
             "cell out of range"
         );
-        &self.cells[row * self.config.n() + col]
+        self.grid.cell((row, col))
     }
 
     /// Mutably borrows sector `(row, col)`.
@@ -98,7 +102,12 @@ impl Stripe {
             row < self.config.r() && col < self.config.n(),
             "cell out of range"
         );
-        &mut self.cells[row * self.config.n() + col]
+        self.grid.cell_mut((row, col))
+    }
+
+    /// The flat `r × n` sector grid.
+    pub fn grid(&self) -> &StripeBuf {
+        &self.grid
     }
 
     /// The outside global-parity buffers (empty for inside placement), in
@@ -107,16 +116,10 @@ impl Stripe {
         &self.outside_globals
     }
 
-    pub(crate) fn outside_globals_mut(&mut self) -> &mut [Vec<u8>] {
-        &mut self.outside_globals
-    }
-
-    pub(crate) fn cells_mut(&mut self) -> &mut [Vec<u8>] {
-        &mut self.cells
-    }
-
-    pub(crate) fn cells_ref(&self) -> &[Vec<u8>] {
-        &self.cells
+    /// Splits the stripe into its grid and outside-global buffers for
+    /// simultaneous mutation (the [`crate::schedule`] canvas needs both).
+    pub(crate) fn parts_mut(&mut self) -> (&mut StripeBuf, &mut [Vec<u8>]) {
+        (&mut self.grid, &mut self.outside_globals)
     }
 
     /// Writes a user payload across the data sectors in row-major order
@@ -134,10 +137,8 @@ impl Stripe {
                 self.data_capacity()
             )));
         }
-        for (chunk, (row, col)) in payload
-            .chunks_exact(self.symbol_size)
-            .zip(self.layout.data_cells())
-        {
+        let symbol = self.grid.symbol();
+        for (chunk, (row, col)) in payload.chunks_exact(symbol).zip(self.layout.data_cells()) {
             self.cell_mut(row, col).copy_from_slice(chunk);
         }
         Ok(())

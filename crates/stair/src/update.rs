@@ -8,9 +8,10 @@
 //! linear, so a change `Δ = old ⊕ new` in a data sector changes each
 //! dependent parity by `c·Δ`.
 
+use stair_code::StripeBuf;
 use stair_gf::Field;
 
-use crate::layout::CellKind;
+use crate::layout::{Cell, CellKind};
 use crate::stripe::Stripe;
 use crate::{Error, StairCodec};
 
@@ -41,11 +42,25 @@ impl<F: Field> StairCodec<F> {
                 "stripe was allocated for a different configuration".into(),
             ));
         }
-        if new_contents.len() != stripe.symbol_size() {
+        let (grid, _) = stripe.parts_mut();
+        Ok(self.update_grid(grid, row, col, new_contents)?.len())
+    }
+
+    /// The grid-level core of [`StairCodec::update_data`], shared with the
+    /// [`stair_code::ErasureCode`] impl: patches dependent parities and
+    /// returns the cells touched.
+    pub(crate) fn update_grid(
+        &self,
+        grid: &mut StripeBuf,
+        row: usize,
+        col: usize,
+        new_contents: &[u8],
+    ) -> Result<Vec<Cell>, Error> {
+        if new_contents.len() != grid.symbol() {
             return Err(Error::ShapeMismatch(format!(
                 "sector update is {} bytes, sectors are {}",
                 new_contents.len(),
-                stripe.symbol_size()
+                grid.symbol()
             )));
         }
         if row >= self.config().r() || col >= self.config().n() {
@@ -59,23 +74,22 @@ impl<F: Field> StairCodec<F> {
 
         // Δ = old ⊕ new.
         let mut delta = new_contents.to_vec();
-        for (d, &o) in delta.iter_mut().zip(stripe.cell(row, col)) {
+        for (d, &o) in delta.iter_mut().zip(grid.cell((row, col))) {
             *d ^= o;
         }
-        stripe.cell_mut(row, col).copy_from_slice(new_contents);
+        grid.set_cell((row, col), new_contents);
 
         let relations = self.relations();
-        let mut touched = 0usize;
-        for (p, &(pi, pj)) in relations.parity_cells().iter().enumerate() {
+        let mut touched = Vec::new();
+        for &(pi, pj) in relations.parity_cells() {
             let coeff = relations
                 .coefficient((pi, pj), (row, col))
                 .expect("data cell is part of the relation");
             if coeff == F::zero() {
                 continue;
             }
-            let _ = p;
-            F::mult_xor_region(stripe.cell_mut(pi, pj), &delta, coeff);
-            touched += 1;
+            F::mult_xor_region(grid.cell_mut((pi, pj)), &delta, coeff);
+            touched.push((pi, pj));
         }
         Ok(touched)
     }

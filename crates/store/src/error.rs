@@ -3,23 +3,25 @@
 use std::fmt;
 use std::io;
 
+use stair_code::{CellIdx, CodeError};
+
 /// Errors returned by the store.
 #[derive(Debug)]
 pub enum Error {
     /// An underlying file operation failed.
     Io(io::Error),
     /// The codec rejected or could not complete an operation.
-    Codec(stair::Error),
+    Code(CodeError),
     /// The on-disk metadata is missing or malformed.
     Meta(String),
     /// A request fell outside the store's logical address space.
     OutOfRange(String),
-    /// A stripe carries more damage than the `(m, e)` coverage can repair.
+    /// A stripe carries more damage than the codec's coverage can repair.
     Unrecoverable {
         /// Index of the stripe that cannot be reconstructed.
         stripe: usize,
         /// The erasure pattern that exceeded coverage.
-        erased: Vec<(usize, usize)>,
+        erased: Vec<CellIdx>,
     },
     /// The requested device does not exist or is in the wrong state.
     Device(String),
@@ -29,7 +31,7 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::Io(e) => write!(f, "i/o error: {e}"),
-            Error::Codec(e) => write!(f, "codec error: {e}"),
+            Error::Code(e) => write!(f, "codec error: {e}"),
             Error::Meta(msg) => write!(f, "bad store metadata: {msg}"),
             Error::OutOfRange(msg) => write!(f, "out of range: {msg}"),
             Error::Unrecoverable { stripe, erased } => write!(
@@ -47,7 +49,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Io(e) => Some(e),
-            Error::Codec(e) => Some(e),
+            Error::Code(e) => Some(e),
             _ => None,
         }
     }
@@ -59,8 +61,8 @@ impl From<io::Error> for Error {
     }
 }
 
-impl From<stair::Error> for Error {
-    fn from(e: stair::Error) -> Self {
-        Error::Codec(e)
+impl From<CodeError> for Error {
+    fn from(e: CodeError) -> Self {
+        Error::Code(e)
     }
 }

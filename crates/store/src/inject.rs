@@ -54,7 +54,7 @@ impl StripeStore {
                 let rows: Vec<usize> = injector
                     .sample_chunk()
                     .into_iter()
-                    .filter(|&row| row < sh.meta.r)
+                    .filter(|&row| row < sh.geometry.r)
                     .collect();
                 if rows.is_empty() {
                     continue;
@@ -102,10 +102,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("stair-inject-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let opts = StoreOptions {
-            n: 8,
-            r: 8,
-            m: 2,
-            e: vec![2, 2],
+            code: "stair:8,8,2,2-2".parse().unwrap(),
             symbol: 32,
             stripes: 8,
         };

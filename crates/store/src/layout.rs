@@ -1,9 +1,9 @@
 //! Logical address mapping: the store exposes a flat block space (one
 //! block = one data sector) laid out stripe by stripe, skipping parity
-//! positions, in the same row-major data-cell order the codec's
-//! [`stair::Layout`] uses.
+//! positions, in the logical data-cell order the codec's
+//! [`stair_code::Geometry`] declares.
 
-use stair::{Cell, Config, Layout};
+use stair_code::CellIdx;
 
 use crate::Error;
 
@@ -12,7 +12,7 @@ use crate::Error;
 pub struct BlockMap {
     symbol: usize,
     stripes: usize,
-    data_cells: Vec<Cell>,
+    data_cells: Vec<CellIdx>,
 }
 
 /// The location of one logical block inside the physical grid.
@@ -23,16 +23,16 @@ pub struct BlockLocation {
     /// Position of the block among the stripe's data cells.
     pub slot: usize,
     /// Sector coordinate `(row, col)` within the stripe.
-    pub cell: Cell,
+    pub cell: CellIdx,
 }
 
 impl BlockMap {
-    /// Builds the map for a configuration.
-    pub fn new(config: &Config, symbol: usize, stripes: usize) -> Self {
+    /// Builds the map over a codec's data cells (logical payload order).
+    pub fn new(data_cells: Vec<CellIdx>, symbol: usize, stripes: usize) -> Self {
         BlockMap {
             symbol,
             stripes,
-            data_cells: Layout::new(config).data_cells(),
+            data_cells,
         }
     }
 
@@ -57,7 +57,7 @@ impl BlockMap {
     }
 
     /// The data cells of one stripe, in logical order.
-    pub fn data_cells(&self) -> &[Cell] {
+    pub fn data_cells(&self) -> &[CellIdx] {
         &self.data_cells
     }
 
@@ -113,8 +113,9 @@ mod tests {
     use super::*;
 
     fn map() -> BlockMap {
-        let config = Config::new(8, 4, 2, &[1, 1, 2]).unwrap();
-        BlockMap::new(&config, 512, 10)
+        let spec = "stair:8,4,2,1-1-2".parse().unwrap();
+        let codec = crate::build_codec(&spec).unwrap();
+        BlockMap::new(codec.geometry().data_cells, 512, 10)
     }
 
     #[test]

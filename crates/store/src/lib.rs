@@ -1,10 +1,14 @@
-//! `stair-store`: a concurrent, file-backed stripe-store engine on top of
-//! [`stair::StairCodec`].
+//! `stair-store`: a concurrent, file-backed stripe-store engine generic
+//! over any [`stair_code::ErasureCode`] — STAIR, SD, or Reed–Solomon.
 //!
 //! The STAIR paper positions its codes as protection for *practical
 //! storage systems* that must survive whole-device failures plus
-//! sector-level bursts. The rest of this workspace exercises the codec one
-//! stripe at a time; this crate is the storage-engine layer above it:
+//! sector-level bursts — and its claims are *comparative*: same coverage
+//! as SD codes with less space and cheaper updates. The rest of this
+//! workspace exercises the codecs one stripe at a time; this crate is the
+//! storage-engine layer above them, and doubles as the benchmark harness
+//! where every codec runs the same real I/O path (pick one with
+//! [`build_codec`] / `StoreOptions::code`):
 //!
 //! * a flat logical **block space** (one block = one data sector) mapped
 //!   onto stripes laid out across `n` per-device backing files
@@ -30,7 +34,12 @@
 //!
 //! let dir = std::env::temp_dir().join(format!("stair-store-doc-{}", std::process::id()));
 //! let _ = std::fs::remove_dir_all(&dir);
-//! let opts = StoreOptions { symbol: 64, stripes: 4, ..StoreOptions::default() };
+//! // `code` accepts any spec: stair:n,r,m,e / sd:n,r,m,s / rs:n,r,m.
+//! let opts = StoreOptions {
+//!     code: "stair:8,4,2,1-1-2".parse()?,
+//!     symbol: 64,
+//!     stripes: 4,
+//! };
 //! let store = StripeStore::create(&dir, &opts)?;
 //!
 //! // Write, lose two devices and a sector burst, read back degraded.
@@ -52,6 +61,7 @@
 #![warn(missing_docs)]
 
 pub mod checksum;
+mod codec;
 mod device;
 mod error;
 mod inject;
@@ -62,6 +72,7 @@ mod repair;
 mod scrub;
 mod store;
 
+pub use codec::build_codec;
 pub use error::Error;
 pub use inject::InjectionOutcome;
 pub use integrity::{BadSector, DeviceState, Health};

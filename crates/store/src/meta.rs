@@ -1,30 +1,33 @@
-//! The store superblock: a small plain-text file pinning the geometry
-//! (`n`, `r`, `m`, `e`, sector size, stripe count) that every other
-//! on-disk structure is interpreted against.
+//! The store superblock: a small plain-text file pinning the codec
+//! descriptor, sector size, and stripe count that every other on-disk
+//! structure is interpreted against.
+//!
+//! The superblock is versioned. `v2` records the codec as a
+//! [`CodecSpec`] string, so [`crate::StripeStore::open`] can rebuild any
+//! supported erasure code; legacy `v1` superblocks (which spelled out the
+//! STAIR parameters as separate `n`/`r`/`m`/`e` keys) still parse and map
+//! onto a `stair:` spec.
 
 use std::fs;
 use std::path::Path;
+use std::str::FromStr;
 
-use stair::Config;
+use stair_code::CodecSpec;
 
 use crate::Error;
 
 /// File name of the superblock inside a store directory.
 pub const META_FILE: &str = "store.meta";
 /// Magic first line; bump the version when the layout changes.
-pub const MAGIC: &str = "stair-store v1";
+pub const MAGIC: &str = "stair-store v2";
+/// Previous superblock version, still accepted on load.
+pub const MAGIC_V1: &str = "stair-store v1";
 
-/// The immutable geometry of a store.
+/// The immutable shape of a store.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StoreMeta {
-    /// Devices per stripe (`n`).
-    pub n: usize,
-    /// Sectors per chunk (`r`).
-    pub r: usize,
-    /// Tolerated whole-device failures (`m`).
-    pub m: usize,
-    /// Sector-failure coverage vector (`e`, non-decreasing).
-    pub e: Vec<usize>,
+    /// Which erasure code protects the stripes.
+    pub codec: CodecSpec,
     /// Bytes per sector; also the logical block size.
     pub symbol: usize,
     /// Number of stripes in the store.
@@ -32,80 +35,116 @@ pub struct StoreMeta {
 }
 
 impl StoreMeta {
-    /// Validates the geometry by constructing the codec configuration.
-    pub fn config(&self) -> Result<Config, Error> {
-        Config::new(self.n, self.r, self.m, &self.e).map_err(Error::from)
+    /// Validates the scalar fields (the codec spec itself is validated by
+    /// constructing the codec — see [`crate::build_codec`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Meta`] if `symbol` or `stripes` is zero.
+    pub fn validate(&self) -> Result<(), Error> {
+        if self.symbol == 0 || self.stripes == 0 {
+            return Err(Error::Meta("symbol and stripes must be positive".into()));
+        }
+        Ok(())
     }
 
     /// Serializes to the superblock text format.
     pub fn to_text(&self) -> String {
-        let e: Vec<String> = self.e.iter().map(|x| x.to_string()).collect();
         format!(
-            "{MAGIC}\nn {}\nr {}\nm {}\ne {}\nsymbol {}\nstripes {}\n",
-            self.n,
-            self.r,
-            self.m,
-            e.join(","),
-            self.symbol,
-            self.stripes
+            "{MAGIC}\ncodec {}\nsymbol {}\nstripes {}\n",
+            self.codec, self.symbol, self.stripes
         )
     }
 
-    /// Parses the superblock text format.
+    /// Parses either superblock version and validates it end to end
+    /// (including building the codec, so a parsed superblock is always an
+    /// openable one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Meta`] for malformed text and [`Error::Code`] for
+    /// specs naming impossible codecs.
     pub fn parse(text: &str) -> Result<Self, Error> {
+        let (meta, _codec) = Self::parse_with_codec(text)?;
+        Ok(meta)
+    }
+
+    /// Like [`StoreMeta::parse`], but hands back the codec the validation
+    /// pass built, so callers that need a live codec (the store's `open`)
+    /// do not construct it twice.
+    pub(crate) fn parse_with_codec(
+        text: &str,
+    ) -> Result<(Self, Box<dyn stair_code::ErasureCode>), Error> {
         let mut lines = text.lines();
         let magic = lines.next().unwrap_or_default();
-        if magic != MAGIC {
-            return Err(Error::Meta(format!(
-                "bad magic `{magic}`, expected `{MAGIC}`"
-            )));
+        let meta = match magic {
+            MAGIC => Self::parse_v2(lines),
+            MAGIC_V1 => Self::parse_v1(lines),
+            other => Err(Error::Meta(format!(
+                "bad magic `{other}`, expected `{MAGIC}` (or legacy `{MAGIC_V1}`)"
+            ))),
+        }?;
+        meta.validate()?;
+        let codec = crate::build_codec(&meta.codec)?; // must be constructible
+        Ok((meta, codec))
+    }
+
+    fn parse_v2<'a>(lines: impl Iterator<Item = &'a str>) -> Result<Self, Error> {
+        let mut codec = None;
+        let mut symbol = None;
+        let mut stripes = None;
+        for (key, value) in fields(lines)? {
+            match key.as_str() {
+                "codec" => {
+                    codec = Some(CodecSpec::from_str(&value).map_err(Error::from)?);
+                }
+                "symbol" => symbol = Some(parse_usize(&key, &value)?),
+                "stripes" => stripes = Some(parse_usize(&key, &value)?),
+                _ => return Err(Error::Meta(format!("unknown key `{key}`"))),
+            }
         }
+        Ok(StoreMeta {
+            codec: codec.ok_or_else(|| missing("codec"))?,
+            symbol: symbol.ok_or_else(|| missing("symbol"))?,
+            stripes: stripes.ok_or_else(|| missing("stripes"))?,
+        })
+    }
+
+    /// Legacy v1 superblocks are always STAIR-coded.
+    fn parse_v1<'a>(lines: impl Iterator<Item = &'a str>) -> Result<Self, Error> {
         let mut n = None;
         let mut r = None;
         let mut m = None;
         let mut e: Option<Vec<usize>> = None;
         let mut symbol = None;
         let mut stripes = None;
-        for line in lines {
-            let line = line.trim();
-            if line.is_empty() {
-                continue;
-            }
-            let (key, value) = line
-                .split_once(' ')
-                .ok_or_else(|| Error::Meta(format!("malformed line `{line}`")))?;
-            let parse_usize = |v: &str| {
-                v.parse::<usize>()
-                    .map_err(|_| Error::Meta(format!("bad integer `{v}` for `{key}`")))
-            };
-            match key {
-                "n" => n = Some(parse_usize(value)?),
-                "r" => r = Some(parse_usize(value)?),
-                "m" => m = Some(parse_usize(value)?),
-                "symbol" => symbol = Some(parse_usize(value)?),
-                "stripes" => stripes = Some(parse_usize(value)?),
+        for (key, value) in fields(lines)? {
+            match key.as_str() {
+                "n" => n = Some(parse_usize(&key, &value)?),
+                "r" => r = Some(parse_usize(&key, &value)?),
+                "m" => m = Some(parse_usize(&key, &value)?),
+                "symbol" => symbol = Some(parse_usize(&key, &value)?),
+                "stripes" => stripes = Some(parse_usize(&key, &value)?),
                 "e" => {
-                    let parsed: Result<Vec<usize>, Error> =
-                        value.split(',').map(|x| parse_usize(x.trim())).collect();
+                    let parsed: Result<Vec<usize>, Error> = value
+                        .split(',')
+                        .map(|x| parse_usize("e", x.trim()))
+                        .collect();
                     e = Some(parsed?);
                 }
                 _ => return Err(Error::Meta(format!("unknown key `{key}`"))),
             }
         }
-        let missing = |field: &str| Error::Meta(format!("missing field `{field}`"));
-        let meta = StoreMeta {
-            n: n.ok_or_else(|| missing("n"))?,
-            r: r.ok_or_else(|| missing("r"))?,
-            m: m.ok_or_else(|| missing("m"))?,
-            e: e.ok_or_else(|| missing("e"))?,
+        Ok(StoreMeta {
+            codec: CodecSpec::Stair {
+                n: n.ok_or_else(|| missing("n"))?,
+                r: r.ok_or_else(|| missing("r"))?,
+                m: m.ok_or_else(|| missing("m"))?,
+                e: e.ok_or_else(|| missing("e"))?,
+            },
             symbol: symbol.ok_or_else(|| missing("symbol"))?,
             stripes: stripes.ok_or_else(|| missing("stripes"))?,
-        };
-        if meta.symbol == 0 || meta.stripes == 0 {
-            return Err(Error::Meta("symbol and stripes must be positive".into()));
-        }
-        meta.config()?; // validate (n, r, m, e) as a real STAIR configuration
-        Ok(meta)
+        })
     }
 
     /// Writes the superblock into `dir`.
@@ -115,11 +154,44 @@ impl StoreMeta {
 
     /// Loads and validates the superblock from `dir`.
     pub fn load(dir: &Path) -> Result<Self, Error> {
+        let (meta, _codec) = Self::load_with_codec(dir)?;
+        Ok(meta)
+    }
+
+    /// Loads the superblock and the codec it names in one pass.
+    pub(crate) fn load_with_codec(
+        dir: &Path,
+    ) -> Result<(Self, Box<dyn stair_code::ErasureCode>), Error> {
         let path = dir.join(META_FILE);
         let text = fs::read_to_string(&path)
             .map_err(|e| Error::Meta(format!("cannot read {}: {e}", path.display())))?;
-        Self::parse(&text)
+        Self::parse_with_codec(&text)
     }
+}
+
+fn parse_usize(key: &str, value: &str) -> Result<usize, Error> {
+    value
+        .parse::<usize>()
+        .map_err(|_| Error::Meta(format!("bad integer `{value}` for `{key}`")))
+}
+
+fn missing(field: &str) -> Error {
+    Error::Meta(format!("missing field `{field}`"))
+}
+
+fn fields<'a>(lines: impl Iterator<Item = &'a str>) -> Result<Vec<(String, String)>, Error> {
+    let mut out = Vec::new();
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line
+            .split_once(' ')
+            .ok_or_else(|| Error::Meta(format!("malformed line `{line}`")))?;
+        out.push((key.to_string(), value.to_string()));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -128,10 +200,12 @@ mod tests {
 
     fn meta() -> StoreMeta {
         StoreMeta {
-            n: 8,
-            r: 4,
-            m: 2,
-            e: vec![1, 1, 2],
+            codec: CodecSpec::Stair {
+                n: 8,
+                r: 4,
+                m: 2,
+                e: vec![1, 1, 2],
+            },
             symbol: 512,
             stripes: 16,
         }
@@ -141,18 +215,47 @@ mod tests {
     fn text_round_trip() {
         let m = meta();
         assert_eq!(StoreMeta::parse(&m.to_text()).unwrap(), m);
+        let sd = StoreMeta {
+            codec: "sd:6,4,1,2".parse().unwrap(),
+            ..meta()
+        };
+        assert_eq!(StoreMeta::parse(&sd.to_text()).unwrap(), sd);
+    }
+
+    #[test]
+    fn legacy_v1_superblocks_parse_as_stair() {
+        let text = "stair-store v1\nn 8\nr 4\nm 2\ne 1,1,2\nsymbol 512\nstripes 16\n";
+        assert_eq!(StoreMeta::parse(text).unwrap(), meta());
     }
 
     #[test]
     fn rejects_bad_magic_and_bad_geometry() {
         assert!(matches!(
-            StoreMeta::parse("nonsense\nn 8"),
+            StoreMeta::parse("nonsense\ncodec rs:4,2,1"),
             Err(Error::Meta(_))
         ));
-        // e longer than feasible: Config::new must reject it.
+        // e longer than feasible: codec construction must reject it.
         let mut bad = meta();
-        bad.e = vec![100];
+        bad.codec = CodecSpec::Stair {
+            n: 8,
+            r: 4,
+            m: 2,
+            e: vec![100],
+        };
         assert!(StoreMeta::parse(&bad.to_text()).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_symbol_or_stripes() {
+        for (symbol, stripes) in [(0, 16), (512, 0)] {
+            let bad = StoreMeta {
+                symbol,
+                stripes,
+                ..meta()
+            };
+            assert!(bad.validate().is_err());
+            assert!(StoreMeta::parse(&bad.to_text()).is_err());
+        }
     }
 
     #[test]

@@ -59,7 +59,7 @@ impl StripeStore {
         // already in `Rebuilding` (an interrupted earlier pass) are picked
         // up again.
         let health = sh.integrity.health();
-        let failed: Vec<usize> = (0..sh.meta.n)
+        let failed: Vec<usize> = (0..sh.geometry.n)
             .filter(|&d| health.devices[d] == DeviceState::Failed)
             .collect();
         for &dev in &failed {
@@ -72,7 +72,7 @@ impl StripeStore {
         });
         sh.integrity.persist()?;
         let health = sh.integrity.health();
-        let rebuilding: Vec<usize> = (0..sh.meta.n)
+        let rebuilding: Vec<usize> = (0..sh.geometry.n)
             .filter(|&d| health.devices[d] == DeviceState::Rebuilding)
             .collect();
 
@@ -154,23 +154,25 @@ impl StripeStore {
         if erased.is_empty() {
             return Ok(RepairOutcome::Clean);
         }
-        let plan = match sh.codec.plan_decode(&erased) {
+        let plan = match sh.codec.plan(&erased) {
             Ok(plan) => plan,
-            Err(stair::Error::Unrecoverable { .. }) => return Ok(RepairOutcome::Unrecoverable),
+            Err(stair_code::CodeError::Unrecoverable(_)) => {
+                return Ok(RepairOutcome::Unrecoverable)
+            }
             Err(e) => return Err(e.into()),
         };
-        sh.codec.apply_plan(&plan, &mut stripe)?;
+        sh.codec.apply(&plan, &mut stripe)?;
 
         // Write every reconstructed cell back to devices that can take it
         // (healthy, or rebuilding replacements).
         let health = sh.integrity.health();
         let mut written = 0usize;
         let mut cleared = Vec::new();
-        for &(row, dev) in &erased {
+        for (row, dev) in erased.iter() {
             if health.devices[dev] == DeviceState::Failed {
                 continue; // still no backing file
             }
-            let cell = stripe.cell(row, dev);
+            let cell = stripe.cell((row, dev));
             sh.devices.write_sector(dev, stripe_idx, row, cell)?;
             sh.integrity.record(stripe_idx, row, dev, cell);
             cleared.push((stripe_idx, row, dev));
@@ -198,10 +200,7 @@ mod tests {
 
     fn opts() -> StoreOptions {
         StoreOptions {
-            n: 8,
-            r: 4,
-            m: 2,
-            e: vec![1, 1, 2],
+            code: "stair:8,4,2,1-1-2".parse().unwrap(),
             symbol: 64,
             stripes: 6,
         }

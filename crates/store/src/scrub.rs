@@ -56,7 +56,7 @@ impl StripeStore {
         let sh = &self.shared;
         let stripes = sh.meta.stripes;
         let health = sh.integrity.health();
-        let unavailable: Vec<usize> = (0..sh.meta.n)
+        let unavailable: Vec<usize> = (0..sh.geometry.n)
             .filter(|&d| health.devices[d] != DeviceState::Healthy)
             .collect();
 
@@ -134,11 +134,11 @@ impl StripeStore {
         let mut local_ok = 0usize;
         for stripe in range {
             let _guard = self.lock_stripe(stripe);
-            for dev in 0..sh.meta.n {
+            for dev in 0..sh.geometry.n {
                 if unavailable.contains(&dev) {
                     continue;
                 }
-                for row in 0..sh.meta.r {
+                for row in 0..sh.geometry.r {
                     match sh.devices.read_sector(dev, stripe, row, &mut buf)? {
                         SectorRead::Missing => local_bad.push((stripe, row, dev)),
                         SectorRead::Ok => {
@@ -165,10 +165,7 @@ mod tests {
 
     fn opts() -> StoreOptions {
         StoreOptions {
-            n: 8,
-            r: 4,
-            m: 2,
-            e: vec![1, 1, 2],
+            code: "stair:8,4,2,1-1-2".parse().unwrap(),
             symbol: 64,
             stripes: 5,
         }

@@ -1,5 +1,6 @@
 //! The stripe-store engine: a block-addressable, file-backed store laid
-//! out across `n` per-device files and protected by a STAIR code.
+//! out across `n` per-device files and protected by any
+//! [`stair_code::ErasureCode`] — STAIR, SD, or plain Reed–Solomon.
 //!
 //! # Data path design
 //!
@@ -8,23 +9,28 @@
 //!   memory and fully re-encoded (one sequential pass). A partial write
 //!   loads the stripe, overwrites the dirty data sectors, and patches only
 //!   the dependent parity sectors via the codec's parity-delta update
-//!   ([`stair::StairCodec::update_data`]) — the §6.3 update-penalty path.
+//!   ([`stair_code::ErasureCode::update`]) — the §6.3 update-penalty path,
+//!   now measurable per codec.
 //! * **Reads** verify every sector against the Fletcher-32 table. A clean
 //!   stripe is served straight from the data sectors. Any missing file,
 //!   short read, or checksum mismatch switches the stripe to a **degraded
-//!   read**: the erasure set is assembled and the decode planner
-//!   ([`stair::StairCodec::plan_recover`]) reconstructs exactly the
+//!   read**: the erasure set is assembled and the codec's planner
+//!   ([`stair_code::ErasureCode::plan_recover`]) reconstructs exactly the
 //!   requested sectors.
 //! * All sector I/O is positioned (`pread`/`pwrite`), and stripes are
 //!   guarded by striped locks, so reads, writes, scrubbing, and repair of
 //!   *different* stripes proceed concurrently.
+//!
+//! Stripes move through the engine as flat [`StripeBuf`]s — the same
+//! memory the codecs encode and decode in place, with no per-cell
+//! reshaping between the I/O layer and the math.
 
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use stair::{Cell, Config, StairCodec, Stripe};
-use stair_gf::{Field, Gf8};
+use stair_code::{CellIdx, CodeError, CodecSpec, ErasureCode, ErasureSet, Geometry, StripeBuf};
 
+use crate::codec::build_codec;
 use crate::device::{DeviceSet, SectorRead};
 use crate::integrity::{DeviceState, Integrity};
 use crate::layout::BlockMap;
@@ -34,14 +40,8 @@ use crate::Error;
 /// Geometry for [`StripeStore::create`].
 #[derive(Clone, Debug)]
 pub struct StoreOptions {
-    /// Devices per stripe.
-    pub n: usize,
-    /// Sectors per chunk.
-    pub r: usize,
-    /// Tolerated device failures.
-    pub m: usize,
-    /// Sector-failure coverage vector.
-    pub e: Vec<usize>,
+    /// Which erasure code protects the stripes.
+    pub code: CodecSpec,
     /// Bytes per sector (= logical block size).
     pub symbol: usize,
     /// Stripes in the store.
@@ -49,14 +49,16 @@ pub struct StoreOptions {
 }
 
 impl Default for StoreOptions {
-    /// The paper's running example (`n=8, r=4, m=2, e=(1,1,2)`) with
-    /// 512-byte sectors and 64 stripes.
+    /// The paper's running example (`stair:8,4,2,1-1-2`) with 512-byte
+    /// sectors and 64 stripes.
     fn default() -> Self {
         StoreOptions {
-            n: 8,
-            r: 4,
-            m: 2,
-            e: vec![1, 1, 2],
+            code: CodecSpec::Stair {
+                n: 8,
+                r: 4,
+                m: 2,
+                e: vec![1, 1, 2],
+            },
             symbol: 512,
             stripes: 64,
         }
@@ -84,6 +86,8 @@ pub struct WriteReport {
 /// A point-in-time summary of the store's health and geometry.
 #[derive(Clone, Debug)]
 pub struct StoreStatus {
+    /// The codec spec protecting the stripes.
+    pub codec: CodecSpec,
     /// Logical capacity in bytes.
     pub capacity: u64,
     /// Logical block size in bytes.
@@ -103,8 +107,8 @@ pub struct StoreStatus {
 pub(crate) struct Shared {
     pub(crate) dir: PathBuf,
     pub(crate) meta: StoreMeta,
-    pub(crate) config: Config,
-    pub(crate) codec: StairCodec,
+    pub(crate) codec: Box<dyn ErasureCode>,
+    pub(crate) geometry: Geometry,
     pub(crate) blocks: BlockMap,
     pub(crate) devices: DeviceSet,
     pub(crate) integrity: Integrity,
@@ -127,32 +131,33 @@ impl StripeStore {
     ///
     /// # Errors
     ///
-    /// Fails if the geometry is not a valid STAIR configuration or any
-    /// file operation fails (including `dir` already holding a store).
+    /// Fails if the spec does not describe a constructible codec, the
+    /// scalar geometry is degenerate (zero `symbol`/`stripes` — validated
+    /// here, not just on reopen), or any file operation fails (including
+    /// `dir` already holding a store).
     pub fn create(dir: &Path, opts: &StoreOptions) -> Result<Self, Error> {
         let meta = StoreMeta {
-            n: opts.n,
-            r: opts.r,
-            m: opts.m,
-            e: opts.e.clone(),
+            codec: opts.code.clone(),
             symbol: opts.symbol,
             stripes: opts.stripes,
         };
-        // Same validation `open` applies when parsing the superblock, so
-        // a store that creates is always a store that reopens.
-        let meta = StoreMeta::parse(&meta.to_text())?;
-        let config = meta.config()?;
+        // The same checks `open` applies when parsing the superblock, so a
+        // store that creates is always a store that reopens.
+        meta.validate()?;
+        let codec = build_codec(&meta.codec)?;
+        let geometry = codec.geometry();
         std::fs::create_dir_all(dir)?;
         // Device files first (create_new fails fast on an existing store);
         // the superblock is written only once everything else succeeded, so
         // a failed init never clobbers an existing store's metadata.
-        let devices = DeviceSet::create(dir, meta.n, meta.r, meta.symbol, meta.stripes)?;
-        let integrity = Integrity::create(dir, meta.n, meta.r, meta.symbol, meta.stripes)?;
+        let devices = DeviceSet::create(dir, geometry.n, geometry.r, meta.symbol, meta.stripes)?;
+        let integrity = Integrity::create(dir, geometry.n, geometry.r, meta.symbol, meta.stripes)?;
         meta.save(dir)?;
-        Self::assemble(dir, meta, config, devices, integrity)
+        Self::assemble(dir, meta, codec, devices, integrity)
     }
 
-    /// Opens an existing store.
+    /// Opens an existing store, rebuilding whichever codec the superblock
+    /// names (v2 `codec` specs, or legacy v1 STAIR superblocks).
     ///
     /// A device whose backing file is missing but which the health record
     /// still lists as healthy is demoted to failed (crash between a
@@ -162,11 +167,11 @@ impl StripeStore {
     ///
     /// Fails on absent/corrupt metadata or unreadable integrity state.
     pub fn open(dir: &Path) -> Result<Self, Error> {
-        let meta = StoreMeta::load(dir)?;
-        let config = meta.config()?;
-        let devices = DeviceSet::open(dir, meta.n, meta.r, meta.symbol, meta.stripes);
-        let integrity = Integrity::load(dir, meta.n, meta.r, meta.stripes)?;
-        for dev in 0..meta.n {
+        let (meta, codec) = StoreMeta::load_with_codec(dir)?;
+        let geometry = codec.geometry();
+        let devices = DeviceSet::open(dir, geometry.n, geometry.r, meta.symbol, meta.stripes);
+        let integrity = Integrity::load(dir, geometry.n, geometry.r, meta.stripes)?;
+        for dev in 0..geometry.n {
             if !devices.is_present(dev) {
                 integrity.update_health(|h| {
                     if h.devices[dev] == DeviceState::Healthy {
@@ -175,18 +180,18 @@ impl StripeStore {
                 });
             }
         }
-        Self::assemble(dir, meta, config, devices, integrity)
+        Self::assemble(dir, meta, codec, devices, integrity)
     }
 
     fn assemble(
         dir: &Path,
         meta: StoreMeta,
-        config: Config,
+        codec: Box<dyn ErasureCode>,
         devices: DeviceSet,
         integrity: Integrity,
     ) -> Result<Self, Error> {
-        let codec = StairCodec::new(config.clone())?;
-        let blocks = BlockMap::new(&config, meta.symbol, meta.stripes);
+        let geometry = codec.geometry();
+        let blocks = BlockMap::new(geometry.data_cells.clone(), meta.symbol, meta.stripes);
         let stripe_locks = (0..meta.stripes.clamp(1, 64))
             .map(|_| Mutex::new(()))
             .collect();
@@ -194,8 +199,8 @@ impl StripeStore {
             shared: Arc::new(Shared {
                 dir: dir.to_path_buf(),
                 meta,
-                config,
                 codec,
+                geometry,
                 blocks,
                 devices,
                 integrity,
@@ -209,9 +214,19 @@ impl StripeStore {
         &self.shared.dir
     }
 
-    /// The codec configuration.
-    pub fn config(&self) -> &Config {
-        &self.shared.config
+    /// The codec spec recorded in the superblock.
+    pub fn codec_spec(&self) -> &CodecSpec {
+        &self.shared.meta.codec
+    }
+
+    /// The codec's stripe geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.shared.geometry
+    }
+
+    /// The live codec (e.g. for planning custom recoveries).
+    pub fn codec(&self) -> &dyn ErasureCode {
+        self.shared.codec.as_ref()
     }
 
     /// Logical block size in bytes.
@@ -247,6 +262,7 @@ impl StripeStore {
                 .collect::<Vec<_>>()
         };
         StoreStatus {
+            codec: self.shared.meta.codec.clone(),
             capacity: self.capacity(),
             block_size: self.block_size(),
             stripes: self.stripe_count(),
@@ -294,10 +310,10 @@ impl StripeStore {
     ///
     /// Returns [`Error::Device`] for out-of-range indices.
     pub fn fail_device(&self, dev: usize) -> Result<(), Error> {
-        if dev >= self.shared.meta.n {
+        if dev >= self.shared.geometry.n {
             return Err(Error::Device(format!(
                 "device {dev} out of range (n={})",
-                self.shared.meta.n
+                self.shared.geometry.n
             )));
         }
         // Quiesce all stripe I/O: removing the file mid write-back would
@@ -327,18 +343,19 @@ impl StripeStore {
         row: usize,
         len: usize,
     ) -> Result<(), Error> {
-        let meta = &self.shared.meta;
-        if dev >= meta.n || stripe >= meta.stripes || row + len > meta.r {
+        let geom = &self.shared.geometry;
+        let stripes = self.shared.meta.stripes;
+        if dev >= geom.n || stripe >= stripes || row + len > geom.r {
             return Err(Error::OutOfRange(format!(
                 "burst dev={dev} stripe={stripe} rows {row}..{} outside {}x{}x{}",
                 row + len,
-                meta.stripes,
-                meta.r,
-                meta.n
+                stripes,
+                geom.r,
+                geom.n
             )));
         }
         let _guard = self.lock_stripe(stripe);
-        let mut buf = vec![0u8; meta.symbol];
+        let mut buf = vec![0u8; self.shared.meta.symbol];
         for k in row..row + len {
             match self.shared.devices.read_sector(dev, stripe, k, &mut buf)? {
                 SectorRead::Missing => {
@@ -365,7 +382,7 @@ impl StripeStore {
     ///
     /// * [`Error::OutOfRange`] if the span exceeds capacity;
     /// * [`Error::Unrecoverable`] if a needed stripe carries more damage
-    ///   than the configuration covers.
+    ///   than the codec's coverage.
     pub fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>, Error> {
         let span = self.shared.blocks.block_span(offset, len)?;
         let mut out = vec![0u8; len];
@@ -431,37 +448,37 @@ impl StripeStore {
         }
 
         // Degraded path: assemble the stripe's full erasure set and let the
-        // planner reconstruct exactly the wanted cells.
+        // codec's planner reconstruct exactly the wanted cells.
         let (mut stripe, erased) = self.load_stripe_degraded(stripe_idx)?;
-        let wanted: Vec<Cell> = blocks
+        let wanted: Vec<CellIdx> = blocks
             .clone()
             .map(|b| sh.blocks.locate(b).map(|l| l.cell))
             .collect::<Result<Vec<_>, _>>()?
             .into_iter()
-            .filter(|c| erased.contains(c))
+            .filter(|&c| erased.contains(c))
             .collect();
         if !wanted.is_empty() {
             let plan = sh
                 .codec
                 .plan_recover(&erased, &wanted)
                 .map_err(|e| self.unrecoverable(stripe_idx, &erased, e))?;
-            sh.codec.apply_plan(&plan, &mut stripe)?;
+            sh.codec.apply(&plan, &mut stripe)?;
         }
         for block in blocks {
             let (row, dev) = sh.blocks.locate(block)?.cell;
-            let cell = stripe.cell(row, dev).to_vec();
+            let cell = stripe.cell((row, dev)).to_vec();
             self.copy_block(block, &cell, offset, out);
         }
         Ok(())
     }
 
-    fn unrecoverable(&self, stripe: usize, erased: &[Cell], e: stair::Error) -> Error {
+    fn unrecoverable(&self, stripe: usize, erased: &ErasureSet, e: CodeError) -> Error {
         match e {
-            stair::Error::Unrecoverable { .. } => Error::Unrecoverable {
+            CodeError::Unrecoverable(_) => Error::Unrecoverable {
                 stripe,
-                erased: erased.to_vec(),
+                erased: erased.cells().to_vec(),
             },
-            other => Error::Codec(other),
+            other => Error::Code(other),
         }
     }
 
@@ -473,20 +490,21 @@ impl StripeStore {
     pub(crate) fn load_stripe_degraded(
         &self,
         stripe_idx: usize,
-    ) -> Result<(Stripe, Vec<Cell>), Error> {
+    ) -> Result<(StripeBuf, ErasureSet), Error> {
         let sh = &self.shared;
-        let mut stripe = Stripe::new(sh.config.clone(), sh.meta.symbol)?;
+        let geom = &sh.geometry;
+        let mut stripe = StripeBuf::new(geom.r, geom.n, sh.meta.symbol)?;
         let devices = sh.integrity.device_states();
-        let mut erased: Vec<Cell> = Vec::new();
+        let mut erased: Vec<CellIdx> = Vec::new();
         let mut newly_bad: Vec<(usize, usize, usize)> = Vec::new();
         for (dev, &state) in devices.iter().enumerate() {
             let dead = state != DeviceState::Healthy;
-            for row in 0..sh.meta.r {
+            for row in 0..geom.r {
                 if dead {
                     erased.push((row, dev));
                     continue;
                 }
-                let buf = stripe.cell_mut(row, dev);
+                let buf = stripe.cell_mut((row, dev));
                 match sh.devices.read_sector(dev, stripe_idx, row, buf)? {
                     SectorRead::Missing => erased.push((row, dev)),
                     SectorRead::Ok => {
@@ -500,14 +518,12 @@ impl StripeStore {
                 }
             }
         }
-        for &(row, dev) in &erased {
-            stripe.cell_mut(row, dev).fill(0);
-        }
+        stripe.erase(&erased);
         if !newly_bad.is_empty() {
             sh.integrity
                 .update_health(|h| h.bad_sectors.extend(newly_bad));
         }
-        Ok((stripe, erased))
+        Ok((stripe, ErasureSet::new(erased)))
     }
 
     // ------------------------------------------------------------------
@@ -581,9 +597,10 @@ impl StripeStore {
 
         if full_cover {
             // Full-stripe write: no old state needed, one re-encode.
-            let mut stripe = Stripe::new(sh.config.clone(), sym)?;
+            let geom = &sh.geometry;
+            let mut stripe = StripeBuf::new(geom.r, geom.n, sym)?;
             let start = (blocks.start as u64 * sym as u64 - offset) as usize;
-            stripe.write_data(&data[start..start + per * sym])?;
+            stripe.write_cells(&geom.data_cells, &data[start..start + per * sym])?;
             sh.codec.encode(&mut stripe)?;
             self.write_back_cells(stripe_idx, &stripe, None)?;
             report.full_stripe_encodes += 1;
@@ -595,48 +612,28 @@ impl StripeStore {
         if !erased.is_empty() {
             let plan = sh
                 .codec
-                .plan_decode(&erased)
+                .plan(&erased)
                 .map_err(|e| self.unrecoverable(stripe_idx, &erased, e))?;
-            sh.codec.apply_plan(&plan, &mut stripe)?;
+            sh.codec.apply(&plan, &mut stripe)?;
         }
-        let mut touched: std::collections::BTreeSet<Cell> = std::collections::BTreeSet::new();
+        let mut touched: std::collections::BTreeSet<CellIdx> = std::collections::BTreeSet::new();
         for block in blocks {
             let loc = sh.blocks.locate(block)?;
             let (incoming, at) = self.incoming_for_block(block, offset, data);
-            let mut contents = stripe.cell(loc.cell.0, loc.cell.1).to_vec();
+            let mut contents = stripe.cell(loc.cell).to_vec();
             contents[at..at + incoming.len()].copy_from_slice(incoming);
-            let patched = sh
-                .codec
-                .update_data(&mut stripe, loc.cell.0, loc.cell.1, &contents)?;
+            let patched = sh.codec.update(&mut stripe, loc.cell, &contents)?;
             report.delta_updates += 1;
-            report.parity_sectors_patched += patched;
+            report.parity_sectors_patched += patched.len();
             touched.insert(loc.cell);
+            touched.extend(patched);
         }
-        touched.extend(self.dependent_parities(&touched.iter().copied().collect::<Vec<_>>()));
         // Previously-erased cells were reconstructed above; rewriting them
         // heals latent damage on writable devices for free.
-        touched.extend(erased.iter().copied());
+        touched.extend(erased.iter());
         let written = self.write_back_cells(stripe_idx, &stripe, Some(&touched))?;
         report.sectors_healed += erased.iter().filter(|c| written.contains(c)).count();
         Ok(())
-    }
-
-    /// Parity cells depending on any of `data_cells` (non-zero coefficient
-    /// in the dense parity relation).
-    fn dependent_parities(&self, data_cells: &[Cell]) -> Vec<Cell> {
-        let relations = self.shared.codec.relations();
-        relations
-            .parity_cells()
-            .iter()
-            .copied()
-            .filter(|&p| {
-                data_cells.iter().any(|&d| {
-                    relations
-                        .coefficient(p, d)
-                        .is_some_and(|c| c != Gf8::zero())
-                })
-            })
-            .collect()
     }
 
     /// Writes stripe cells to disk and records their checksums, returning
@@ -649,13 +646,13 @@ impl StripeStore {
     fn write_back_cells(
         &self,
         stripe_idx: usize,
-        stripe: &Stripe,
-        only: Option<&std::collections::BTreeSet<Cell>>,
-    ) -> Result<std::collections::BTreeSet<Cell>, Error> {
+        stripe: &StripeBuf,
+        only: Option<&std::collections::BTreeSet<CellIdx>>,
+    ) -> Result<std::collections::BTreeSet<CellIdx>, Error> {
         let sh = &self.shared;
         let devices = sh.integrity.device_states();
-        let mut written: std::collections::BTreeSet<Cell> = std::collections::BTreeSet::new();
-        for row in 0..sh.meta.r {
+        let mut written: std::collections::BTreeSet<CellIdx> = std::collections::BTreeSet::new();
+        for row in 0..sh.geometry.r {
             for (dev, &state) in devices.iter().enumerate() {
                 if let Some(set) = only {
                     if !set.contains(&(row, dev)) {
@@ -665,7 +662,7 @@ impl StripeStore {
                 if state == DeviceState::Failed {
                     continue;
                 }
-                let cell = stripe.cell(row, dev);
+                let cell = stripe.cell((row, dev));
                 sh.devices.write_sector(dev, stripe_idx, row, cell)?;
                 sh.integrity.record(stripe_idx, row, dev, cell);
                 written.insert((row, dev));
@@ -692,10 +689,7 @@ mod tests {
 
     fn small_opts() -> StoreOptions {
         StoreOptions {
-            n: 8,
-            r: 4,
-            m: 2,
-            e: vec![1, 1, 2],
+            code: "stair:8,4,2,1-1-2".parse().unwrap(),
             symbol: 64,
             stripes: 6,
         }
@@ -717,8 +711,30 @@ mod tests {
         drop(store);
         let store = StripeStore::open(&dir).unwrap();
         assert_eq!(store.stripe_count(), 6);
+        assert_eq!(store.codec_spec().to_string(), "stair:8,4,2,1-1-2");
         assert!(store.status().failed_devices.is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_validates_scalar_geometry() {
+        // Regression: zero symbol/stripes must fail at creation time, not
+        // only when the superblock is reparsed on open.
+        for (symbol, stripes) in [(0usize, 6usize), (64, 0)] {
+            let dir = tmpdir(&format!("badgeom-{symbol}-{stripes}"));
+            let opts = StoreOptions {
+                symbol,
+                stripes,
+                ..small_opts()
+            };
+            match StripeStore::create(&dir, &opts) {
+                Err(Error::Meta(_)) => {}
+                Err(other) => panic!("expected Meta error, got {other:?}"),
+                Ok(_) => panic!("degenerate geometry must not create"),
+            }
+            // Nothing may have been created on disk.
+            assert!(!dir.exists(), "failed create must not leave files");
+        }
     }
 
     #[test]
@@ -818,6 +834,34 @@ mod tests {
             store.write_at(store.capacity() - 1, &[0, 0]),
             Err(Error::OutOfRange(_))
         ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_write_boundaries_at_exact_capacity_and_zero_length() {
+        let dir = tmpdir("bounds");
+        let store = StripeStore::create(&dir, &small_opts()).unwrap();
+        let cap = store.capacity() as usize;
+        let payload = pattern(cap, 23);
+        store.write_at(0, &payload).unwrap();
+        // Exact-capacity read and write succeed.
+        assert_eq!(store.read_at(0, cap).unwrap(), payload);
+        let full = pattern(cap, 24);
+        store.write_at(0, &full).unwrap();
+        assert_eq!(store.read_at(0, cap).unwrap(), full);
+        // Reads/writes ending exactly at capacity succeed.
+        let tail = pattern(100, 25);
+        store.write_at(store.capacity() - 100, &tail).unwrap();
+        assert_eq!(store.read_at(store.capacity() - 100, 100).unwrap(), tail);
+        // Zero-length I/O at 0, mid-store, and exactly at capacity is a
+        // no-op, not an error.
+        for off in [0, 77, store.capacity()] {
+            assert_eq!(store.read_at(off, 0).unwrap(), Vec::<u8>::new());
+            let report = store.write_at(off, &[]).unwrap();
+            assert_eq!(report, WriteReport::default());
+        }
+        // One byte past capacity is out of range even for len 1.
+        assert!(store.read_at(store.capacity(), 1).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -21,10 +21,7 @@ fn payload(len: usize) -> Vec<u8> {
 fn degraded_reads_and_online_repair_round_trip() {
     let dir = tmpdir("main");
     let opts = StoreOptions {
-        n: 8,
-        r: 4,
-        m: 2,
-        e: vec![1, 1, 2],
+        code: "stair:8,4,2,1-1-2".parse().unwrap(),
         symbol: 128,
         stripes: 24,
     };
@@ -74,10 +71,7 @@ fn degraded_reads_and_online_repair_round_trip() {
 fn mixed_read_write_under_injected_failures() {
     let dir = tmpdir("mixed");
     let opts = StoreOptions {
-        n: 6,
-        r: 4,
-        m: 1,
-        e: vec![2],
+        code: "stair:6,4,1,2".parse().unwrap(),
         symbol: 64,
         stripes: 40,
     };
@@ -134,14 +128,85 @@ fn mixed_read_write_under_injected_failures() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// The acceptance sequence of the codec-generic store, run for every
+/// codec family: write → fail devices (+ corrupt sectors where the code
+/// covers them) → degraded read returns the original bytes → online
+/// repair → clean scrub → reopen from disk.
+#[test]
+fn every_codec_family_survives_the_same_e2e_sequence() {
+    // A sector burst to inject: (dev, stripe, row, burst_len).
+    type Burst = (usize, usize, usize, usize);
+    let scenarios: &[(&str, &[usize], Option<Burst>)] = &[
+        // STAIR: m = 2 devices plus a 2-sector burst (within e = (1,1,2)).
+        ("stair:8,4,2,1-1-2", &[3, 6], Some((1, 5, 2, 2))),
+        // SD: m = 1 device plus a 2-sector burst (within s = 2).
+        ("sd:6,4,1,2", &[5], Some((1, 2, 1, 2))),
+        // RS: m = 2 devices; one extra corrupt sector still leaves every
+        // row with ≤ m erasures when only one device is down.
+        ("rs:6,4,2", &[4], Some((1, 3, 2, 1))),
+    ];
+    for &(spec, failures, burst) in scenarios {
+        let dir = tmpdir(&format!("codec-{}", spec.replace([':', ','], "-")));
+        let opts = StoreOptions {
+            code: spec.parse().unwrap(),
+            symbol: 64,
+            stripes: 8,
+        };
+        let store = StripeStore::create(&dir, &opts).unwrap();
+        let data = payload(store.capacity() as usize);
+        store.write_at(0, &data).unwrap();
+
+        // Small writes exercise the per-codec parity-delta path too.
+        let patch = payload(100);
+        let report = store.write_at(10, &patch).unwrap();
+        assert!(report.delta_updates > 0, "{spec}: no delta updates");
+        assert!(
+            report.parity_sectors_patched > 0,
+            "{spec}: no parities patched"
+        );
+        let mut expected = data.clone();
+        expected[10..110].copy_from_slice(&patch);
+
+        for &dev in failures {
+            store.fail_device(dev).unwrap();
+        }
+        if let Some((dev, stripe, row, len)) = burst {
+            store.corrupt_sectors(dev, stripe, row, len).unwrap();
+        }
+        assert_eq!(
+            store.read_at(0, expected.len()).unwrap(),
+            expected,
+            "{spec}: degraded read"
+        );
+
+        let report = store.repair(3).unwrap();
+        assert!(report.complete(), "{spec}: {report:?}");
+        assert_eq!(report.devices_replaced, failures.to_vec(), "{spec}");
+        let scrub = store.scrub(3).unwrap();
+        assert!(scrub.clean(), "{spec}: {scrub:?}");
+        assert_eq!(
+            store.read_at(0, expected.len()).unwrap(),
+            expected,
+            "{spec}: post-repair read"
+        );
+
+        drop(store);
+        let store = StripeStore::open(&dir).unwrap();
+        assert_eq!(store.codec_spec().to_string(), spec);
+        assert_eq!(
+            store.read_at(0, expected.len()).unwrap(),
+            expected,
+            "{spec}: reopened read"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
 #[test]
 fn damage_beyond_coverage_surfaces_as_unrecoverable() {
     let dir = tmpdir("beyond");
     let opts = StoreOptions {
-        n: 6,
-        r: 4,
-        m: 1,
-        e: vec![1],
+        code: "stair:6,4,1,1".parse().unwrap(),
         symbol: 64,
         stripes: 4,
     };
