@@ -1,0 +1,310 @@
+//! Throughput harness for the stair-net service: MB/s and req/s over
+//! the wire, for sequential and random reads and writes, at 1..N client
+//! threads, clean vs degraded (one shard with a failed device) — the
+//! end-to-end numbers every later scaling PR is measured against.
+//!
+//! The server runs in-process on a loopback port (ephemeral, `:0`);
+//! every byte still crosses the full protocol stack: framing, request
+//! pipelining, worker-pool dispatch, shard placement, and per-response
+//! checksums. Each client thread owns one connection and a disjoint
+//! region of the block space, so measurements are contention-free at
+//! the data level and contend only where a real service would (socket,
+//! worker pool, shard locks).
+//!
+//! Flags: `--json <path>` additionally writes the machine-readable
+//! report documented in `EXPERIMENTS.md`.
+//!
+//! Environment knobs: `STAIR_NET_MB` (logical capacity, default 4),
+//! `STAIR_NET_SHARDS` (default 4), `STAIR_NET_CODE` (codec spec,
+//! default `stair:8,16,2,1-2`), `STAIR_NET_THREADS` (comma list,
+//! default `1,2,4`), `STAIR_NET_WORKERS` (server workers, default 4).
+
+use std::time::Instant;
+
+use stair_code::CodecSpec;
+use stair_net::json::Json;
+use stair_net::{Client, Server, ServerConfig, ShardSet};
+use stair_store::{StoreOptions, StripeStore};
+
+/// Sequential transfers go in 64 KiB requests; random ones in single
+/// blocks (the small-write / small-read shape that exercises the
+/// parity-delta path).
+const SEQ_IO: usize = 64 * 1024;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+struct Measurement {
+    phase: &'static str,
+    op: &'static str,
+    threads: usize,
+    bytes: usize,
+    requests: usize,
+    seconds: f64,
+}
+
+impl Measurement {
+    fn mb_per_s(&self) -> f64 {
+        self.bytes as f64 / self.seconds / (1024.0 * 1024.0)
+    }
+    fn req_per_s(&self) -> f64 {
+        self.requests as f64 / self.seconds
+    }
+}
+
+fn main() {
+    let json_path = parse_json_flag();
+    let mb = env_usize("STAIR_NET_MB", 4);
+    let shards = env_usize("STAIR_NET_SHARDS", 4).max(1);
+    let workers = env_usize("STAIR_NET_WORKERS", 4).max(1);
+    let code: CodecSpec = std::env::var("STAIR_NET_CODE")
+        .unwrap_or_else(|_| "stair:8,16,2,1-2".into())
+        .parse()
+        .expect("bad STAIR_NET_CODE spec");
+    let threads: Vec<usize> = std::env::var("STAIR_NET_THREADS")
+        .unwrap_or_else(|_| "1,2,4".into())
+        .split(',')
+        .map(|t| t.trim().parse().expect("bad STAIR_NET_THREADS entry"))
+        .collect();
+    let symbol = 4096usize;
+
+    // Size stripes-per-shard so total data capacity ≈ the requested MB.
+    let dir = std::env::temp_dir().join(format!("stair-net-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let probe_dir = dir.join("probe");
+    let per_stripe = {
+        let s = StripeStore::create(
+            &probe_dir,
+            &StoreOptions {
+                code: code.clone(),
+                symbol,
+                stripes: 1,
+            },
+        )
+        .expect("probe store");
+        s.capacity() as usize
+    };
+    std::fs::remove_dir_all(&probe_dir).expect("clean probe");
+    let stripes = (mb * 1024 * 1024).div_ceil(per_stripe * shards).max(2);
+    let opts = StoreOptions {
+        code: code.clone(),
+        symbol,
+        stripes,
+    };
+
+    let set = ShardSet::create(&dir, shards, &opts).expect("create shards");
+    let capacity = set.capacity() as usize;
+    let server = Server::bind(
+        "127.0.0.1:0",
+        set,
+        ServerConfig {
+            workers,
+            write_batch: 32,
+        },
+    )
+    .expect("bind server");
+    let addr = server.local_addr().to_string();
+    let running = std::thread::spawn(move || server.run());
+
+    println!(
+        "== net_throughput: {shards} shard(s) of {code}, {stripes} stripes each, {:.1} MiB total, {workers} server worker(s), symbol {symbol}",
+        capacity as f64 / (1024.0 * 1024.0)
+    );
+
+    let mut results: Vec<Measurement> = Vec::new();
+    for phase in ["clean", "degraded"] {
+        if phase == "degraded" {
+            // One whole device lost on shard 0: reads through that shard
+            // reconstruct, writes keep flowing around it.
+            let mut admin = Client::connect(&addr).expect("admin connect");
+            admin.fail_device(0, 1).expect("fail device");
+            println!("-- degraded: shard 0 lost device 1 --");
+        }
+        for &t in &threads {
+            for op in ["seq_write", "seq_read", "rand_write", "rand_read"] {
+                let m = measure(&addr, capacity, phase, op, t, symbol);
+                println!(
+                    "{:<9} {op:<10} threads={t:<2}  MB/s={:>8.1}  req/s={:>9.1}",
+                    phase,
+                    m.mb_per_s(),
+                    m.req_per_s()
+                );
+                results.push(m);
+            }
+        }
+    }
+
+    // Sanity: after all that traffic, a full read still verifies length
+    // (contents are per-thread patterns; transport checksums verified
+    // every response already).
+    let mut admin = Client::connect(&addr).expect("admin");
+    let got = admin.read_at(0, capacity).expect("final degraded read");
+    assert_eq!(got.len(), capacity);
+    admin.shutdown_server().expect("shutdown");
+    running.join().expect("server thread").expect("server run");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+
+    if let Some(path) = json_path {
+        let report = json_report(shards, &code, symbol, stripes, capacity, workers, &results);
+        std::fs::write(&path, report.to_text()).expect("write --json report");
+        println!("wrote JSON report to {path}");
+    }
+}
+
+/// `--json <path>` from argv (the only flag this harness takes).
+fn parse_json_flag() -> Option<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => None,
+        [flag, path] if flag == "--json" => Some(path.clone()),
+        other => {
+            eprintln!("usage: net_throughput [--json <path>]   (got {other:?})");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// One measurement: `t` clients over disjoint regions, one timed pass.
+fn measure(
+    addr: &str,
+    capacity: usize,
+    phase: &'static str,
+    op: &'static str,
+    t: usize,
+    block: usize,
+) -> Measurement {
+    let region = capacity / t / SEQ_IO * SEQ_IO;
+    assert!(region >= SEQ_IO, "capacity too small for {t} threads");
+    let pass = || -> Vec<(usize, usize)> {
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for c in 0..t {
+                handles.push(scope.spawn(move || run_workload(addr, op, c, region, block)));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("bench thread"))
+                .collect()
+        })
+    };
+    pass(); // warmup (pays connection setup and first-touch costs)
+    let start = Instant::now();
+    let totals = pass();
+    let seconds = start.elapsed().as_secs_f64().max(1e-9);
+    let (bytes, requests) = totals
+        .into_iter()
+        .fold((0, 0), |(b, r), (tb, tr)| (b + tb, r + tr));
+    Measurement {
+        phase,
+        op,
+        threads: t,
+        bytes,
+        requests,
+        seconds,
+    }
+}
+
+/// The per-thread workload body shared by the warmup and timed passes.
+fn run_workload(addr: &str, op: &str, c: usize, region: usize, block: usize) -> (usize, usize) {
+    let mut client = Client::connect(addr).expect("bench client");
+    let base = (c * region) as u64;
+    let mut bytes = 0usize;
+    let mut requests = 0usize;
+    match op {
+        "seq_write" => {
+            let payload = pattern(SEQ_IO, c as u64);
+            let mut at = 0;
+            while at + SEQ_IO <= region {
+                client.write_at(base + at as u64, &payload).expect("write");
+                bytes += SEQ_IO;
+                requests += 1;
+                at += SEQ_IO;
+            }
+        }
+        "seq_read" => {
+            let mut at = 0;
+            while at + SEQ_IO <= region {
+                let got = client.read_at(base + at as u64, SEQ_IO).expect("read");
+                assert_eq!(got.len(), SEQ_IO);
+                bytes += SEQ_IO;
+                requests += 1;
+                at += SEQ_IO;
+            }
+        }
+        "rand_write" | "rand_read" => {
+            let ops = (region / SEQ_IO).max(1) * (SEQ_IO / block).min(16);
+            let payload = pattern(block, c as u64 + 7);
+            let mut state = 0x9E3779B97F4A7C15u64.wrapping_add(c as u64);
+            for _ in 0..ops {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let slot = (state >> 16) as usize % (region / block);
+                let at = base + (slot * block) as u64;
+                if op == "rand_write" {
+                    client.write_at(at, &payload).expect("rand write");
+                } else {
+                    let got = client.read_at(at, block).expect("rand read");
+                    assert_eq!(got.len(), block);
+                }
+                bytes += block;
+                requests += 1;
+            }
+        }
+        other => unreachable!("unknown op {other}"),
+    }
+    (bytes, requests)
+}
+
+fn pattern(len: usize, seed: u64) -> Vec<u8> {
+    (0..len)
+        .map(|i| ((i as u64).wrapping_mul(31).wrapping_add(seed * 131) % 251) as u8)
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn json_report(
+    shards: usize,
+    code: &CodecSpec,
+    symbol: usize,
+    stripes: usize,
+    capacity: usize,
+    workers: usize,
+    results: &[Measurement],
+) -> Json {
+    Json::obj([
+        ("harness", Json::str("net_throughput")),
+        (
+            "config",
+            Json::obj([
+                ("shards", Json::int(shards)),
+                ("code", Json::str(code.to_string())),
+                ("symbol", Json::int(symbol)),
+                ("stripes_per_shard", Json::int(stripes)),
+                ("capacity_bytes", Json::int(capacity)),
+                ("server_workers", Json::int(workers)),
+                ("seq_io_bytes", Json::int(SEQ_IO)),
+                ("rand_io_bytes", Json::int(symbol)),
+            ]),
+        ),
+        (
+            "results",
+            Json::arr(results.iter().map(|m| {
+                Json::obj([
+                    ("phase", Json::str(m.phase)),
+                    ("op", Json::str(m.op)),
+                    ("threads", Json::int(m.threads)),
+                    ("mb_per_s", Json::Num(m.mb_per_s())),
+                    ("req_per_s", Json::Num(m.req_per_s())),
+                    ("bytes", Json::int(m.bytes)),
+                    ("requests", Json::int(m.requests)),
+                    ("seconds", Json::Num(m.seconds)),
+                ])
+            })),
+        ),
+    ])
+}

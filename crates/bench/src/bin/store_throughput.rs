@@ -9,6 +9,9 @@
 //! STAIR `e = (1,2)` against SD `s = 3` (equal sector budgets) and plain
 //! RS as the no-sector-protection baseline.
 //!
+//! Flags: `--json <path>` additionally writes the machine-readable
+//! report documented in `EXPERIMENTS.md`.
+//!
 //! Knobs: `STAIR_STORE_MB` (logical capacity per codec, default 8),
 //! `STAIR_BENCH_REPS` (timed repetitions, default 3),
 //! `STAIR_STORE_THREADS` (scrub/repair workers, default 4),
@@ -19,9 +22,19 @@ use std::time::Instant;
 
 use stair_bench::{print_row, reps, throughput_mbps};
 use stair_code::CodecSpec;
+use stair_net::json::Json;
 use stair_store::{StoreOptions, StripeStore};
 
+struct Measurement {
+    code: String,
+    op: &'static str,
+    mb_per_s: f64,
+    /// Wall-clock seconds, only for one-shot passes (repair).
+    seconds: Option<f64>,
+}
+
 fn main() {
+    let json_path = parse_json_flag();
     let mb: usize = std::env::var("STAIR_STORE_MB")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -45,12 +58,60 @@ fn main() {
         });
     let symbol = 4096usize;
 
+    let mut results: Vec<Measurement> = Vec::new();
     for code in specs {
-        bench_codec(&code, symbol, mb, threads);
+        bench_codec(&code, symbol, mb, threads, &mut results);
+    }
+
+    if let Some(path) = json_path {
+        let report = Json::obj([
+            ("harness", Json::str("store_throughput")),
+            (
+                "config",
+                Json::obj([
+                    ("mb", Json::int(mb)),
+                    ("symbol", Json::int(symbol)),
+                    ("threads", Json::int(threads)),
+                    ("reps", Json::int(reps())),
+                ]),
+            ),
+            (
+                "results",
+                Json::arr(results.iter().map(|m| {
+                    Json::obj([
+                        ("code", Json::str(m.code.clone())),
+                        ("op", Json::str(m.op)),
+                        ("mb_per_s", Json::Num(m.mb_per_s)),
+                        ("seconds", m.seconds.map(Json::Num).unwrap_or(Json::Null)),
+                    ])
+                })),
+            ),
+        ]);
+        std::fs::write(&path, report.to_text()).expect("write --json report");
+        println!("wrote JSON report to {path}");
     }
 }
 
-fn bench_codec(code: &CodecSpec, symbol: usize, mb: usize, threads: usize) {
+/// `--json <path>` from argv (the only flag this harness takes).
+fn parse_json_flag() -> Option<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => None,
+        [flag, path] if flag == "--json" => Some(path.clone()),
+        other => {
+            eprintln!("usage: store_throughput [--json <path>]   (got {other:?})");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn bench_codec(
+    code: &CodecSpec,
+    symbol: usize,
+    mb: usize,
+    threads: usize,
+    results: &mut Vec<Measurement>,
+) {
     let dir = std::env::temp_dir().join(format!(
         "stair-store-bench-{}-{}",
         code.family(),
@@ -90,17 +151,27 @@ fn bench_codec(code: &CodecSpec, symbol: usize, mb: usize, threads: usize) {
         geom.storage_efficiency()
     );
     let label = |what: &str| format!("{:<5} {what}", code.family());
+    let mut push = |op: &'static str, mb_per_s: f64, seconds: Option<f64>| {
+        results.push(Measurement {
+            code: code.to_string(),
+            op,
+            mb_per_s,
+            seconds,
+        });
+    };
 
     let w = throughput_mbps(capacity, reps(), || {
         store.write_at(0, &payload).expect("write");
     });
     print_row(&label("sequential write"), &[("MB/s".into(), w)]);
+    push("seq_write", w, None);
 
     let rd = throughput_mbps(capacity, reps(), || {
         let got = store.read_at(0, capacity).expect("read");
         assert_eq!(got.len(), capacity);
     });
     print_row(&label("sequential read (clean)"), &[("MB/s".into(), rd)]);
+    push("seq_read_clean", rd, None);
 
     // Degrade: the full m whole-device budget, plus a burst (in a still-
     // healthy device) where the code covers one. Device/row choices are
@@ -119,24 +190,25 @@ fn bench_codec(code: &CodecSpec, symbol: usize, mb: usize, threads: usize) {
         assert_eq!(got.len(), capacity);
     });
     print_row(&label("sequential read (degraded)"), &[("MB/s".into(), dg)]);
+    push("seq_read_degraded", dg, None);
 
     let t0 = Instant::now();
     let report = store.repair(threads).expect("repair");
     let secs = t0.elapsed().as_secs_f64();
     assert!(report.complete(), "repair incomplete: {report:?}");
+    let repair_rate = capacity as f64 / secs / (1024.0 * 1024.0);
     print_row(
         &label("online repair"),
-        &[
-            ("MB/s".into(), capacity as f64 / secs / (1024.0 * 1024.0)),
-            ("s".into(), secs),
-        ],
+        &[("MB/s".into(), repair_rate), ("s".into(), secs)],
     );
+    push("repair", repair_rate, Some(secs));
 
     let pr = throughput_mbps(capacity, reps(), || {
         let got = store.read_at(0, capacity).expect("post-repair read");
         assert_eq!(got.len(), capacity);
     });
     print_row(&label("sequential read (repaired)"), &[("MB/s".into(), pr)]);
+    push("seq_read_repaired", pr, None);
 
     let scrub = store.scrub(threads).expect("scrub");
     assert!(scrub.clean(), "scrub not clean after repair: {scrub:?}");

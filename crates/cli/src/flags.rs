@@ -1,0 +1,39 @@
+//! Shared flag-map helpers for every `stair` command module — one
+//! parser per flag type, so error text and accepted syntax cannot
+//! drift between subcommand families.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Parsed command-line flags: `--key value` pairs; valueless flags map
+/// to the empty string (see `parse` in `main.rs`).
+pub type Flags = HashMap<String, String>;
+
+/// An integer flag with a default.
+pub fn usize_flag(flags: &Flags, key: &str, default: usize) -> Result<usize, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key} expects an integer, got `{v}`")),
+    }
+}
+
+/// A byte-offset/length flag with a default.
+pub fn u64_flag(flags: &Flags, key: &str, default: u64) -> Result<u64, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key} expects an integer, got `{v}`")),
+    }
+}
+
+/// The mandatory `--dir` flag.
+pub fn dir_flag(flags: &Flags) -> Result<PathBuf, String> {
+    flags
+        .get("dir")
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
+        .ok_or_else(|| "--dir is required".into())
+}

@@ -9,11 +9,19 @@
 //! stair extract --dir DIR --output FILE
 //! stair corrupt --dir DIR (--device J | --device J --stripe I --sector K [--len L])
 //! stair store   (init|status|write|read|fail|scrub|repair|inject) ...
+//! stair serve   --dir ROOT --addr HOST:PORT [--shards K --code SPEC ...]
+//! stair remote  (status|read|write|fail|scrub|repair|flush|shutdown) --addr A ...
 //! ```
 //!
 //! `stair store init --code sd:6,4,1,2` (or `rs:n,r,m` / `stair:n,r,m,e`)
-//! picks which erasure code protects the store.
+//! picks which erasure code protects the store. `stair serve` hosts a
+//! sharded store over the stair-net protocol; `stair remote` is its
+//! client.
 
+mod flags;
+mod remote_cmd;
+mod serve_cmd;
+mod status_json;
 mod store_cmd;
 
 use std::collections::HashMap;
@@ -32,6 +40,32 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         };
         return match store_cmd::run(&verb, &flags) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("remote") {
+        let Some((verb, flags)) = parse(&args[1..]) else {
+            eprintln!("{}", remote_cmd::REMOTE_USAGE);
+            return ExitCode::FAILURE;
+        };
+        return match remote_cmd::run(&verb, &flags) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        let Some((_, flags)) = parse(&args) else {
+            eprintln!("{}", serve_cmd::SERVE_USAGE);
+            return ExitCode::FAILURE;
+        };
+        return match serve_cmd::run(&flags) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -71,29 +105,28 @@ const USAGE: &str = "usage:
   stair repair  --dir DIR
   stair extract --dir DIR --output FILE
   stair corrupt --dir DIR --device J [--stripe I --sector K --len L]
-  stair store   (init|status|write|read|fail|scrub|repair|inject) --dir DIR ...";
+  stair store   (init|status|write|read|fail|scrub|repair|inject) --dir DIR ...
+  stair serve   --dir ROOT --addr HOST:PORT [--shards K --code SPEC ...]
+  stair remote  (status|read|write|fail|scrub|repair|flush|shutdown) --addr A ...";
 
-type Flags = HashMap<String, String>;
+use flags::{dir_flag, usize_flag, Flags};
 
+/// Parses `<cmd> [--key value | --flag]...`. A `--key` followed by
+/// another `--key` (or by nothing) is a valueless flag and maps to the
+/// empty string, so presence tests like `--json` work.
 fn parse(args: &[String]) -> Option<(String, Flags)> {
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     let cmd = it.next()?.clone();
     let mut flags = HashMap::new();
     while let Some(key) = it.next() {
         let key = key.strip_prefix("--")?;
-        let value = it.next()?;
-        flags.insert(key.to_string(), value.clone());
+        let value = match it.peek() {
+            Some(v) if !v.starts_with("--") => it.next().expect("peeked").clone(),
+            _ => String::new(),
+        };
+        flags.insert(key.to_string(), value);
     }
     Some((cmd, flags))
-}
-
-fn usize_flag(flags: &Flags, key: &str, default: usize) -> Result<usize, String> {
-    match flags.get(key) {
-        None => Ok(default),
-        Some(v) => v
-            .parse()
-            .map_err(|_| format!("--{key} expects an integer, got `{v}`")),
-    }
 }
 
 fn e_flag(flags: &Flags, default: &[usize]) -> Result<Vec<usize>, String> {
@@ -108,13 +141,6 @@ fn e_flag(flags: &Flags, default: &[usize]) -> Result<Vec<usize>, String> {
             })
             .collect(),
     }
-}
-
-fn dir_flag(flags: &Flags) -> Result<PathBuf, String> {
-    flags
-        .get("dir")
-        .map(PathBuf::from)
-        .ok_or_else(|| "--dir is required".into())
 }
 
 fn cmd_info(flags: &Flags) -> Result<(), String> {

@@ -1,0 +1,45 @@
+//! The one JSON serializer for store health — shared by
+//! `stair store status --json` (a single store) and
+//! `stair remote status --json` (every shard behind a server), so the
+//! two surfaces can never drift apart.
+
+use stair_net::json::Json;
+use stair_store::StoreStatus;
+
+/// One store/shard as a JSON object.
+pub fn store_status_json(status: &StoreStatus) -> Json {
+    let devs = |v: &[usize]| Json::arr(v.iter().map(|&d| Json::int(d)));
+    Json::obj([
+        ("codec", Json::str(status.codec.to_string())),
+        ("capacity_bytes", Json::int64(status.capacity)),
+        ("block_size", Json::int(status.block_size)),
+        ("stripes", Json::int(status.stripes)),
+        ("blocks_per_stripe", Json::int(status.blocks_per_stripe)),
+        ("failed_devices", devs(&status.failed_devices)),
+        ("rebuilding_devices", devs(&status.rebuilding_devices)),
+        ("known_bad_sectors", Json::int(status.known_bad_sectors)),
+        ("healthy", Json::Bool(is_healthy(status))),
+    ])
+}
+
+/// A shard list (remote status) as a JSON object with the aggregate.
+pub fn shard_statuses_json(statuses: &[StoreStatus]) -> Json {
+    Json::obj([
+        ("shards", Json::int(statuses.len())),
+        (
+            "total_capacity_bytes",
+            Json::int64(statuses.iter().map(|s| s.capacity).sum()),
+        ),
+        ("healthy", Json::Bool(statuses.iter().all(is_healthy))),
+        (
+            "shard_status",
+            Json::arr(statuses.iter().map(store_status_json)),
+        ),
+    ])
+}
+
+fn is_healthy(status: &StoreStatus) -> bool {
+    status.failed_devices.is_empty()
+        && status.rebuilding_devices.is_empty()
+        && status.known_bad_sectors == 0
+}

@@ -17,7 +17,6 @@
 //! paper compares. The legacy `--n/--r/--m/--e` flags still work and
 //! build a STAIR spec.
 
-use std::collections::HashMap;
 use std::path::PathBuf;
 use std::str::FromStr;
 
@@ -26,14 +25,14 @@ use stair_code::CodecSpec;
 use stair_reliability::BurstModel;
 use stair_store::{StoreOptions, StripeStore};
 
-type Flags = HashMap<String, String>;
+use crate::flags::{dir_flag, u64_flag, usize_flag, Flags};
 
 /// Usage text for the `store` family.
 pub const STORE_USAGE: &str = "usage:
   stair store init   --dir DIR [--code SPEC] [--symbol S --stripes T]
                      (SPEC: stair:n,r,m,e1-e2-... | sd:n,r,m,s | rs:n,r,m;
                       legacy --n N --r R --m M --e E builds a stair spec)
-  stair store status --dir DIR
+  stair store status --dir DIR [--json]
   stair store write  --dir DIR --input FILE [--offset BYTES]
   stair store read   --dir DIR --output FILE [--offset BYTES] [--len BYTES]
   stair store fail   --dir DIR --device J [--stripe I --sector K --len L]
@@ -53,31 +52,6 @@ pub fn run(verb: &str, flags: &Flags) -> Result<(), String> {
         "repair" => cmd_repair(flags),
         "inject" => cmd_inject(flags),
         _ => Err(format!("unknown store command `{verb}`\n{STORE_USAGE}")),
-    }
-}
-
-fn dir_flag(flags: &Flags) -> Result<PathBuf, String> {
-    flags
-        .get("dir")
-        .map(PathBuf::from)
-        .ok_or_else(|| "--dir is required".into())
-}
-
-fn usize_flag(flags: &Flags, key: &str, default: usize) -> Result<usize, String> {
-    match flags.get(key) {
-        None => Ok(default),
-        Some(v) => v
-            .parse()
-            .map_err(|_| format!("--{key} expects an integer, got `{v}`")),
-    }
-}
-
-fn u64_flag(flags: &Flags, key: &str, default: u64) -> Result<u64, String> {
-    match flags.get(key) {
-        None => Ok(default),
-        Some(v) => v
-            .parse()
-            .map_err(|_| format!("--{key} expects an integer, got `{v}`")),
     }
 }
 
@@ -134,6 +108,13 @@ fn cmd_init(flags: &Flags) -> Result<(), String> {
 fn cmd_status(flags: &Flags) -> Result<(), String> {
     let store = open(flags)?;
     let status = store.status();
+    if flags.contains_key("json") {
+        print!(
+            "{}",
+            crate::status_json::store_status_json(&status).to_text()
+        );
+        return Ok(());
+    }
     let geom = store.geometry();
     println!("codec {}", status.codec);
     println!(

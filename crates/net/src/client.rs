@@ -1,0 +1,509 @@
+//! Blocking client for the stair-net protocol.
+//!
+//! [`Client`] owns one connection and reuses it across calls. Large
+//! reads and writes are split into [`MAX_IO_BYTES`]-capped chunks and
+//! **pipelined**: up to a window of requests are in flight before the
+//! first response is awaited, and responses are matched back to chunks
+//! by request ID (the server's worker pool may complete them out of
+//! order). Every response payload is checksum-verified by the frame
+//! layer before it is trusted.
+//!
+//! [`StripedClient`] opens several connections and splits each transfer
+//! across them on scoped threads — the multi-connection mode the
+//! throughput benchmark uses to saturate the server's worker pool from
+//! one process.
+
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::str::FromStr;
+use std::sync::Mutex;
+
+use stair_code::CodecSpec;
+use stair_store::StoreStatus;
+
+use crate::protocol::{
+    read_response, write_request, RepairSummary, Request, Response, ScrubSummary, ServerInfo,
+    WireShardStatus, WriteSummary, MAX_IO_BYTES, PROTOCOL_VERSION,
+};
+use crate::NetError;
+
+/// Chunk requests in flight per connection during pipelined transfers.
+const PIPELINE_WINDOW: usize = 8;
+
+/// A single-connection blocking client.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+    info: ServerInfo,
+}
+
+impl Client {
+    /// Connects and performs the HELLO handshake.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, version mismatches, and protocol errors.
+    pub fn connect(addr: &str) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr).map_err(|e| {
+            NetError::Io(std::io::Error::new(
+                e.kind(),
+                format!("cannot connect to {addr}: {e}"),
+            ))
+        })?;
+        let _ = stream.set_nodelay(true);
+        let mut client = Client {
+            stream,
+            next_id: 1,
+            info: ServerInfo {
+                version: 0,
+                shards: 0,
+                capacity: 0,
+                block_size: 0,
+                range_blocks: 0,
+                codec: String::new(),
+            },
+        };
+        match client.call(&Request::Hello {
+            version: PROTOCOL_VERSION,
+        })? {
+            Response::Hello(info) => {
+                if info.version != PROTOCOL_VERSION {
+                    return Err(NetError::Version {
+                        ours: PROTOCOL_VERSION,
+                        theirs: info.version,
+                    });
+                }
+                client.info = info;
+                Ok(client)
+            }
+            other => Err(unexpected("HELLO", &other)),
+        }
+    }
+
+    /// What the server announced at HELLO time.
+    pub fn info(&self) -> &ServerInfo {
+        &self.info
+    }
+
+    /// Total logical capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.info.capacity
+    }
+
+    /// Logical block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.info.block_size as usize
+    }
+
+    /// One request, one response (server errors become
+    /// [`NetError::Remote`]).
+    fn call(&mut self, req: &Request) -> Result<Response, NetError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_request(&mut self.stream, id, req)?;
+        let (rid, resp) = read_response(&mut self.stream)?;
+        if rid != id {
+            return Err(NetError::Protocol(format!(
+                "response for request {rid} while awaiting {id}"
+            )));
+        }
+        match resp {
+            Response::Error(msg) => Err(NetError::Remote(msg)),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Sends `count` requests keeping up to [`PIPELINE_WINDOW`] in
+    /// flight, matching responses by ID. On the first failure no new
+    /// requests are sent, but outstanding responses are still drained so
+    /// the connection stays usable.
+    fn pipelined(
+        &mut self,
+        count: usize,
+        mut make: impl FnMut(usize) -> Request,
+        mut on_response: impl FnMut(usize, Response) -> Result<(), NetError>,
+    ) -> Result<(), NetError> {
+        let mut pending: HashMap<u64, usize> = HashMap::new();
+        let mut next = 0usize;
+        let mut first_err: Option<NetError> = None;
+        loop {
+            while next < count && pending.len() < PIPELINE_WINDOW && first_err.is_none() {
+                let id = self.next_id;
+                self.next_id += 1;
+                match write_request(&mut self.stream, id, &make(next)) {
+                    Ok(()) => {
+                        pending.insert(id, next);
+                        next += 1;
+                    }
+                    Err(e) => {
+                        first_err = Some(e);
+                        break;
+                    }
+                }
+            }
+            if pending.is_empty() {
+                break;
+            }
+            let (rid, resp) = match read_response(&mut self.stream) {
+                Ok(x) => x,
+                // The stream is broken; outstanding responses are lost.
+                Err(e) => return Err(first_err.unwrap_or(e)),
+            };
+            let Some(chunk) = pending.remove(&rid) else {
+                return Err(NetError::Protocol(format!("unsolicited response {rid}")));
+            };
+            let outcome = match resp {
+                Response::Error(msg) => Err(NetError::Remote(msg)),
+                resp => on_response(chunk, resp),
+            };
+            if let Err(e) = outcome {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Per-shard health snapshots.
+    ///
+    /// # Errors
+    ///
+    /// Transport or server failures.
+    pub fn status(&mut self) -> Result<Vec<StoreStatus>, NetError> {
+        match self.call(&Request::Status)? {
+            Response::Status(shards) => shards.iter().map(store_status).collect(),
+            other => Err(unexpected("STATUS", &other)),
+        }
+    }
+
+    /// Reads `len` bytes at global byte `offset` (chunked + pipelined).
+    ///
+    /// # Errors
+    ///
+    /// Transport, checksum, and server failures.
+    pub fn read_at(&mut self, offset: u64, len: usize) -> Result<Vec<u8>, NetError> {
+        let chunks = chunk_spans(offset, len);
+        let mut out = vec![0u8; len];
+        self.pipelined(
+            chunks.len(),
+            |i| Request::Read {
+                offset: chunks[i].0,
+                len: chunks[i].2 as u32,
+            },
+            |i, resp| {
+                let (_, span_off, want) = chunks[i];
+                match resp {
+                    Response::Data(data) if data.len() == want => {
+                        out[span_off..span_off + want].copy_from_slice(&data);
+                        Ok(())
+                    }
+                    Response::Data(data) => Err(NetError::Protocol(format!(
+                        "READ returned {} bytes, wanted {want}",
+                        data.len()
+                    ))),
+                    other => Err(unexpected("READ", &other)),
+                }
+            },
+        )?;
+        Ok(out)
+    }
+
+    /// Writes `data` at global byte `offset` (chunked + pipelined),
+    /// aggregating the per-chunk summaries.
+    ///
+    /// # Errors
+    ///
+    /// Transport, checksum, and server failures.
+    pub fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<WriteSummary, NetError> {
+        let chunks = chunk_spans(offset, data.len());
+        let mut total = WriteSummary::default();
+        self.pipelined(
+            chunks.len(),
+            |i| {
+                let (at, span_off, len) = chunks[i];
+                Request::Write {
+                    offset: at,
+                    data: data[span_off..span_off + len].to_vec(),
+                }
+            },
+            |_, resp| match resp {
+                Response::Written(w) => {
+                    total.bytes += w.bytes;
+                    total.blocks_written += w.blocks_written;
+                    total.stripes_touched += w.stripes_touched;
+                    total.full_stripe_encodes += w.full_stripe_encodes;
+                    total.delta_updates += w.delta_updates;
+                    total.coalesced = total.coalesced.max(w.coalesced);
+                    Ok(())
+                }
+                other => Err(unexpected("WRITE", &other)),
+            },
+        )?;
+        Ok(total)
+    }
+
+    /// Persists every shard on the server.
+    ///
+    /// # Errors
+    ///
+    /// Transport or server failures.
+    pub fn flush(&mut self) -> Result<(), NetError> {
+        match self.call(&Request::Flush)? {
+            Response::Flushed => Ok(()),
+            other => Err(unexpected("FLUSH", &other)),
+        }
+    }
+
+    /// Declares `device` of `shard` failed.
+    ///
+    /// # Errors
+    ///
+    /// Transport or server failures (bad indices come back as
+    /// [`NetError::Remote`]).
+    pub fn fail_device(&mut self, shard: usize, device: usize) -> Result<(), NetError> {
+        match self.call(&Request::FailDevice {
+            shard: shard as u32,
+            device: device as u32,
+        })? {
+            Response::Failed => Ok(()),
+            other => Err(unexpected("FAIL", &other)),
+        }
+    }
+
+    /// Corrupts a sector burst on one shard device (latent damage).
+    ///
+    /// # Errors
+    ///
+    /// Transport or server failures.
+    pub fn corrupt_sectors(
+        &mut self,
+        shard: usize,
+        device: usize,
+        stripe: usize,
+        row: usize,
+        len: usize,
+    ) -> Result<(), NetError> {
+        match self.call(&Request::CorruptSectors {
+            shard: shard as u32,
+            device: device as u32,
+            stripe: stripe as u32,
+            row: row as u32,
+            len: len as u32,
+        })? {
+            Response::Failed => Ok(()),
+            other => Err(unexpected("FAIL", &other)),
+        }
+    }
+
+    /// Scrubs every shard with `threads` workers each.
+    ///
+    /// # Errors
+    ///
+    /// Transport or server failures.
+    pub fn scrub(&mut self, threads: usize) -> Result<ScrubSummary, NetError> {
+        match self.call(&Request::Scrub {
+            threads: threads as u32,
+        })? {
+            Response::Scrubbed(s) => Ok(s),
+            other => Err(unexpected("SCRUB", &other)),
+        }
+    }
+
+    /// Repairs every shard with `threads` workers each.
+    ///
+    /// # Errors
+    ///
+    /// Transport or server failures.
+    pub fn repair(&mut self, threads: usize) -> Result<RepairSummary, NetError> {
+        match self.call(&Request::Repair {
+            threads: threads as u32,
+        })? {
+            Response::Repaired(r) => Ok(r),
+            other => Err(unexpected("REPAIR", &other)),
+        }
+    }
+
+    /// Asks the server to shut down cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Transport or server failures.
+    pub fn shutdown_server(&mut self) -> Result<(), NetError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("SHUTDOWN", &other)),
+        }
+    }
+}
+
+/// A multi-connection client: each transfer is split into one
+/// contiguous piece per connection and the pieces run on scoped
+/// threads, so a single caller can keep several server workers busy.
+pub struct StripedClient {
+    lanes: Vec<Mutex<Client>>,
+}
+
+impl StripedClient {
+    /// Opens `lanes` connections to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first connection failure.
+    pub fn connect(addr: &str, lanes: usize) -> Result<Self, NetError> {
+        if lanes == 0 {
+            return Err(NetError::Protocol("need at least one lane".into()));
+        }
+        let lanes = (0..lanes)
+            .map(|_| Client::connect(addr).map(Mutex::new))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(StripedClient { lanes })
+    }
+
+    /// Number of connections.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// What the server announced at HELLO time.
+    pub fn info(&self) -> ServerInfo {
+        self.lanes[0]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .info()
+            .clone()
+    }
+
+    /// Splits `[0, len)` into one contiguous piece per lane.
+    fn pieces(&self, len: usize) -> Vec<(usize, usize)> {
+        let lanes = self.lanes.len();
+        let base = len / lanes;
+        let extra = len % lanes;
+        let mut out = Vec::with_capacity(lanes);
+        let mut at = 0;
+        for lane in 0..lanes {
+            let piece = base + usize::from(lane < extra);
+            out.push((at, piece));
+            at += piece;
+        }
+        out
+    }
+
+    /// Reads `len` bytes at `offset`, one piece per connection in
+    /// parallel.
+    ///
+    /// # Errors
+    ///
+    /// The first lane failure wins.
+    pub fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>, NetError> {
+        let pieces = self.pieces(len);
+        let mut out = vec![0u8; len];
+        // Carve `out` into disjoint mutable chunks, one per lane.
+        let mut chunks: Vec<&mut [u8]> = Vec::with_capacity(pieces.len());
+        let mut rest = out.as_mut_slice();
+        for &(_, piece_len) in &pieces {
+            let (head, tail) = std::mem::take(&mut rest).split_at_mut(piece_len);
+            chunks.push(head);
+            rest = tail;
+        }
+        let results: Vec<Result<(), NetError>> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for ((lane, &(start, piece_len)), chunk) in
+                self.lanes.iter().zip(pieces.iter()).zip(chunks)
+            {
+                handles.push(scope.spawn(move |_| {
+                    if piece_len == 0 {
+                        return Ok(());
+                    }
+                    let mut client = lane
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    let data = client.read_at(offset + start as u64, piece_len)?;
+                    chunk.copy_from_slice(&data);
+                    Ok(())
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("lane thread panicked"))
+                .collect()
+        })
+        .expect("lane scope");
+        for r in results {
+            r?;
+        }
+        Ok(out)
+    }
+
+    /// Writes `data` at `offset`, one piece per connection in parallel.
+    ///
+    /// # Errors
+    ///
+    /// The first lane failure wins.
+    pub fn write_at(&self, offset: u64, data: &[u8]) -> Result<WriteSummary, NetError> {
+        let pieces = self.pieces(data.len());
+        let results: Vec<Result<WriteSummary, NetError>> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (lane, &(start, piece_len)) in self.lanes.iter().zip(pieces.iter()) {
+                handles.push(scope.spawn(move |_| {
+                    if piece_len == 0 {
+                        return Ok(WriteSummary::default());
+                    }
+                    let mut client = lane
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    client.write_at(offset + start as u64, &data[start..start + piece_len])
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("lane thread panicked"))
+                .collect()
+        })
+        .expect("lane scope");
+        let mut total = WriteSummary::default();
+        for r in results {
+            let w = r?;
+            total.bytes += w.bytes;
+            total.blocks_written += w.blocks_written;
+            total.stripes_touched += w.stripes_touched;
+            total.full_stripe_encodes += w.full_stripe_encodes;
+            total.delta_updates += w.delta_updates;
+            total.coalesced = total.coalesced.max(w.coalesced);
+        }
+        Ok(total)
+    }
+}
+
+fn unexpected(what: &str, got: &Response) -> NetError {
+    NetError::Protocol(format!("unexpected response to {what}: {got:?}"))
+}
+
+/// Splits `[offset, offset+len)` into `MAX_IO_BYTES`-capped chunks:
+/// `(global_offset, offset_into_span, chunk_len)`.
+fn chunk_spans(offset: u64, len: usize) -> Vec<(u64, usize, usize)> {
+    let cap = MAX_IO_BYTES as usize;
+    let mut out = Vec::new();
+    let mut at = 0usize;
+    while at < len {
+        let piece = cap.min(len - at);
+        out.push((offset + at as u64, at, piece));
+        at += piece;
+    }
+    out
+}
+
+fn store_status(w: &WireShardStatus) -> Result<StoreStatus, NetError> {
+    Ok(StoreStatus {
+        codec: CodecSpec::from_str(&w.codec)
+            .map_err(|e| NetError::Protocol(format!("bad codec spec in status: {e}")))?,
+        capacity: w.capacity,
+        block_size: w.block_size as usize,
+        stripes: w.stripes as usize,
+        blocks_per_stripe: w.blocks_per_stripe as usize,
+        failed_devices: w.failed_devices.iter().map(|&d| d as usize).collect(),
+        rebuilding_devices: w.rebuilding_devices.iter().map(|&d| d as usize).collect(),
+        known_bad_sectors: w.known_bad_sectors as usize,
+    })
+}

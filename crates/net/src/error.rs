@@ -1,0 +1,77 @@
+//! Error type for the network service layer.
+
+use std::fmt;
+use std::io;
+
+/// Errors surfaced by the server, client, and shard set.
+#[derive(Debug)]
+pub enum NetError {
+    /// A socket or file operation failed.
+    Io(io::Error),
+    /// The peer sent bytes that do not parse as a protocol frame, or a
+    /// frame that violates the protocol (bad magic, oversized, truncated).
+    Protocol(String),
+    /// The peer speaks an incompatible protocol version.
+    Version {
+        /// Version this end implements.
+        ours: u32,
+        /// Version the peer announced.
+        theirs: u32,
+    },
+    /// A response payload did not match its frame checksum — the bytes
+    /// were damaged in flight or the server is buggy; do not trust them.
+    Checksum {
+        /// Checksum announced in the frame header.
+        expected: u32,
+        /// Checksum of the payload as received.
+        actual: u32,
+    },
+    /// The server reported an error executing the request.
+    Remote(String),
+    /// The underlying stripe store refused or failed an operation.
+    Store(stair_store::Error),
+    /// The shard layout under the serve root is unusable (missing shards,
+    /// mismatched geometry, not a shard directory).
+    Shards(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            NetError::Version { ours, theirs } => {
+                write!(f, "protocol version mismatch: we speak v{ours}, peer speaks v{theirs}")
+            }
+            NetError::Checksum { expected, actual } => write!(
+                f,
+                "response checksum mismatch: header says {expected:#010x}, payload sums to {actual:#010x}"
+            ),
+            NetError::Remote(msg) => write!(f, "server error: {msg}"),
+            NetError::Store(e) => write!(f, "store error: {e}"),
+            NetError::Shards(msg) => write!(f, "shard layout error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<stair_store::Error> for NetError {
+    fn from(e: stair_store::Error) -> Self {
+        NetError::Store(e)
+    }
+}

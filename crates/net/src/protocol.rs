@@ -1,0 +1,867 @@
+//! The stair-net wire protocol: versioned, length-prefixed binary frames
+//! with request IDs for pipelining and per-response payload checksums.
+//!
+//! # Framing
+//!
+//! Every integer is little-endian. A **request** frame is
+//!
+//! ```text
+//! [u32 len] [u64 request_id] [u8 opcode] [payload …]
+//! ```
+//!
+//! where `len` counts everything after itself (so `9 + payload`). A
+//! **response** frame is
+//!
+//! ```text
+//! [u32 len] [u64 request_id] [u8 status] [u32 checksum] [payload …]
+//! ```
+//!
+//! with `status = 0` for an error (payload is a UTF-8 message) and
+//! `status = opcode` of the request otherwise, and `checksum` the
+//! Fletcher-32 of the payload bytes. Request IDs are chosen by the client
+//! and echoed verbatim; responses may arrive in any order, which is what
+//! makes pipelining across a shared connection possible.
+//!
+//! The HELLO exchange pins the protocol version: the client sends magic
+//! `b"STAIRNET"` plus its version, the server answers with its version
+//! and the store shape ([`ServerInfo`]); either side rejects a mismatch.
+
+use std::io::{Read, Write};
+
+use stair_store::checksum::fletcher32;
+
+use crate::NetError;
+
+/// Protocol version this build speaks.
+pub const PROTOCOL_VERSION: u32 = 1;
+/// Magic bytes opening a HELLO payload.
+pub const MAGIC: &[u8; 8] = b"STAIRNET";
+/// Upper bound on a frame body; anything larger is a protocol error
+/// (prevents a corrupt length prefix from allocating gigabytes).
+pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
+/// Largest data payload a single READ/WRITE request may carry; clients
+/// split bigger transfers into multiple pipelined requests.
+pub const MAX_IO_BYTES: u32 = 4 * 1024 * 1024;
+
+/// Request opcodes (also used as the success status byte of responses).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Version + geometry handshake; must be the first request.
+    Hello = 1,
+    /// Per-shard health and geometry snapshot.
+    Status = 2,
+    /// Read a byte span of the global block space.
+    Read = 3,
+    /// Write a byte span of the global block space.
+    Write = 4,
+    /// Persist checksum tables, health records, and device data.
+    Flush = 5,
+    /// Declare a device failed, or corrupt a sector burst, on one shard.
+    Fail = 6,
+    /// Run a scrub pass over every shard.
+    Scrub = 7,
+    /// Run an online repair pass over every shard.
+    Repair = 8,
+    /// Ask the server to stop accepting work and exit its run loop.
+    Shutdown = 9,
+}
+
+impl Opcode {
+    fn from_u8(b: u8) -> Result<Self, NetError> {
+        Ok(match b {
+            1 => Opcode::Hello,
+            2 => Opcode::Status,
+            3 => Opcode::Read,
+            4 => Opcode::Write,
+            5 => Opcode::Flush,
+            6 => Opcode::Fail,
+            7 => Opcode::Scrub,
+            8 => Opcode::Repair,
+            9 => Opcode::Shutdown,
+            other => return Err(NetError::Protocol(format!("unknown opcode {other}"))),
+        })
+    }
+}
+
+/// A parsed request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Handshake carrying the client's protocol version.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// Health snapshot of every shard.
+    Status,
+    /// Read `len` bytes at global byte `offset`.
+    Read {
+        /// Global byte offset.
+        offset: u64,
+        /// Bytes to read (≤ [`MAX_IO_BYTES`]).
+        len: u32,
+    },
+    /// Write `data` at global byte `offset`.
+    Write {
+        /// Global byte offset.
+        offset: u64,
+        /// Bytes to store (≤ [`MAX_IO_BYTES`]).
+        data: Vec<u8>,
+    },
+    /// Persist everything to disk.
+    Flush,
+    /// Remove a device's backing file on one shard.
+    FailDevice {
+        /// Shard index.
+        shard: u32,
+        /// Device index within the shard.
+        device: u32,
+    },
+    /// Flip bits in `len` consecutive sectors of one shard device
+    /// (latent damage: detected only by a later read or scrub).
+    CorruptSectors {
+        /// Shard index.
+        shard: u32,
+        /// Device index within the shard.
+        device: u32,
+        /// Stripe index within the shard.
+        stripe: u32,
+        /// First row of the burst.
+        row: u32,
+        /// Rows in the burst.
+        len: u32,
+    },
+    /// Scrub every shard with `threads` workers each.
+    Scrub {
+        /// Worker threads per shard.
+        threads: u32,
+    },
+    /// Repair every shard with `threads` workers each.
+    Repair {
+        /// Worker threads per shard.
+        threads: u32,
+    },
+    /// Stop the server.
+    Shutdown,
+}
+
+impl Request {
+    /// The opcode this request travels under.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Request::Hello { .. } => Opcode::Hello,
+            Request::Status => Opcode::Status,
+            Request::Read { .. } => Opcode::Read,
+            Request::Write { .. } => Opcode::Write,
+            Request::Flush => Opcode::Flush,
+            Request::FailDevice { .. } | Request::CorruptSectors { .. } => Opcode::Fail,
+            Request::Scrub { .. } => Opcode::Scrub,
+            Request::Repair { .. } => Opcode::Repair,
+            Request::Shutdown => Opcode::Shutdown,
+        }
+    }
+}
+
+/// What the server tells a client at HELLO time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// The server's protocol version.
+    pub version: u32,
+    /// Number of shards behind the placement map.
+    pub shards: u32,
+    /// Total logical capacity in bytes across all shards.
+    pub capacity: u64,
+    /// Logical block size in bytes.
+    pub block_size: u32,
+    /// Blocks per placement range (= blocks per stripe; the placement
+    /// unit that maps ranges round-robin onto shards).
+    pub range_blocks: u32,
+    /// The codec spec string every shard runs.
+    pub codec: String,
+}
+
+/// One shard's health snapshot on the wire (mirrors
+/// [`stair_store::StoreStatus`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireShardStatus {
+    /// Codec spec string.
+    pub codec: String,
+    /// Logical capacity of the shard in bytes.
+    pub capacity: u64,
+    /// Logical block size in bytes.
+    pub block_size: u32,
+    /// Stripes in the shard.
+    pub stripes: u32,
+    /// Data blocks per stripe.
+    pub blocks_per_stripe: u32,
+    /// Devices currently failed.
+    pub failed_devices: Vec<u32>,
+    /// Devices currently rebuilding.
+    pub rebuilding_devices: Vec<u32>,
+    /// Known-damaged sectors awaiting repair.
+    pub known_bad_sectors: u32,
+}
+
+/// Summary of a server-side write (mirrors [`stair_store::WriteReport`],
+/// plus how many queued requests were coalesced into the same store
+/// pass). When several requests share one pass, the pass counters
+/// (`blocks_written` … `delta_updates`) are attributed to exactly one of
+/// them and the rest carry zeros, so summing the summaries of a chunked
+/// transfer yields exact totals.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WriteSummary {
+    /// Bytes this request stored.
+    pub bytes: u64,
+    /// Logical blocks written (attributed once per coalesced pass).
+    pub blocks_written: u64,
+    /// Stripes touched (attributed once per coalesced pass).
+    pub stripes_touched: u64,
+    /// Full-stripe re-encodes (attributed once per coalesced pass).
+    pub full_stripe_encodes: u64,
+    /// Parity-delta updates (attributed once per coalesced pass).
+    pub delta_updates: u64,
+    /// Requests sharing the coalesced pass (1 = this one alone).
+    pub coalesced: u32,
+}
+
+/// Aggregate scrub outcome across shards.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScrubSummary {
+    /// Stripes walked.
+    pub stripes_scanned: u64,
+    /// Sectors read and checksummed.
+    pub sectors_verified: u64,
+    /// Checksum mismatches found.
+    pub mismatches: u64,
+    /// Failed or rebuilding devices skipped (across shards).
+    pub unavailable_devices: u64,
+    /// Stale bad-sector records cleared.
+    pub records_cleared: u64,
+}
+
+impl ScrubSummary {
+    /// `true` when every shard verified clean.
+    pub fn clean(&self) -> bool {
+        self.mismatches == 0 && self.unavailable_devices == 0
+    }
+}
+
+/// Aggregate repair outcome across shards.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairSummary {
+    /// Devices replaced and rebuilt (across shards).
+    pub devices_replaced: u64,
+    /// Stripes repaired.
+    pub stripes_repaired: u64,
+    /// Sectors rewritten.
+    pub sectors_rewritten: u64,
+    /// Stripes whose damage exceeded coverage.
+    pub unrecoverable_stripes: u64,
+}
+
+impl RepairSummary {
+    /// `true` when nothing was beyond coverage.
+    pub fn complete(&self) -> bool {
+        self.unrecoverable_stripes == 0
+    }
+}
+
+/// A parsed response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// HELLO answer.
+    Hello(ServerInfo),
+    /// STATUS answer: one entry per shard, in shard order.
+    Status(Vec<WireShardStatus>),
+    /// READ answer: the requested bytes.
+    Data(Vec<u8>),
+    /// WRITE answer.
+    Written(WriteSummary),
+    /// FLUSH answer.
+    Flushed,
+    /// FAIL answer.
+    Failed,
+    /// SCRUB answer.
+    Scrubbed(ScrubSummary),
+    /// REPAIR answer.
+    Repaired(RepairSummary),
+    /// SHUTDOWN answer (sent before the server exits).
+    ShuttingDown,
+    /// The request could not be executed.
+    Error(String),
+}
+
+// ---------------------------------------------------------------------
+// Byte-level encoding
+// ---------------------------------------------------------------------
+
+/// Append-only little-endian writer.
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.0.extend_from_slice(v);
+    }
+    /// Length-prefixed string.
+    fn str(&mut self, v: &str) {
+        self.u32(v.len() as u32);
+        self.bytes(v.as_bytes());
+    }
+    fn u32s(&mut self, v: &[u32]) {
+        self.u32(v.len() as u32);
+        for &x in v {
+            self.u32(x);
+        }
+    }
+}
+
+/// Bounds-checked little-endian reader.
+struct Dec<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, at: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], NetError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| NetError::Protocol("truncated frame".into()))?;
+        let out = &self.buf[self.at..end];
+        self.at = end;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8, NetError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, NetError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn u64(&mut self) -> Result<u64, NetError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+    fn str(&mut self) -> Result<String, NetError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| NetError::Protocol("string field is not UTF-8".into()))
+    }
+    fn u32s(&mut self) -> Result<Vec<u32>, NetError> {
+        let len = self.u32()? as usize;
+        // Cap pre-allocation at what the remaining bytes could hold.
+        if len > self.buf.len().saturating_sub(self.at) / 4 {
+            return Err(NetError::Protocol("list length exceeds frame".into()));
+        }
+        (0..len).map(|_| self.u32()).collect()
+    }
+    fn finish(self) -> Result<(), NetError> {
+        if self.at != self.buf.len() {
+            return Err(NetError::Protocol(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.at
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn encode_request_payload(req: &Request) -> Vec<u8> {
+    let mut e = Enc(Vec::new());
+    match req {
+        Request::Hello { version } => {
+            e.bytes(MAGIC);
+            e.u32(*version);
+        }
+        Request::Status | Request::Flush | Request::Shutdown => {}
+        Request::Read { offset, len } => {
+            e.u64(*offset);
+            e.u32(*len);
+        }
+        Request::Write { offset, data } => {
+            e.u64(*offset);
+            e.u32(data.len() as u32);
+            e.bytes(data);
+        }
+        Request::FailDevice { shard, device } => {
+            e.u8(0);
+            e.u32(*shard);
+            e.u32(*device);
+        }
+        Request::CorruptSectors {
+            shard,
+            device,
+            stripe,
+            row,
+            len,
+        } => {
+            e.u8(1);
+            e.u32(*shard);
+            e.u32(*device);
+            e.u32(*stripe);
+            e.u32(*row);
+            e.u32(*len);
+        }
+        Request::Scrub { threads } | Request::Repair { threads } => e.u32(*threads),
+    }
+    e.0
+}
+
+fn decode_request_payload(op: Opcode, payload: &[u8]) -> Result<Request, NetError> {
+    let mut d = Dec::new(payload);
+    let req = match op {
+        Opcode::Hello => {
+            let magic = d.take(MAGIC.len())?;
+            if magic != MAGIC {
+                return Err(NetError::Protocol("bad HELLO magic".into()));
+            }
+            Request::Hello { version: d.u32()? }
+        }
+        Opcode::Status => Request::Status,
+        Opcode::Read => {
+            let offset = d.u64()?;
+            let len = d.u32()?;
+            if len > MAX_IO_BYTES {
+                return Err(NetError::Protocol(format!(
+                    "READ of {len} bytes exceeds the {MAX_IO_BYTES}-byte request cap"
+                )));
+            }
+            Request::Read { offset, len }
+        }
+        Opcode::Write => {
+            let offset = d.u64()?;
+            let len = d.u32()? as usize;
+            let data = d.take(len)?.to_vec();
+            if data.len() as u32 > MAX_IO_BYTES {
+                return Err(NetError::Protocol(format!(
+                    "WRITE of {len} bytes exceeds the {MAX_IO_BYTES}-byte request cap"
+                )));
+            }
+            Request::Write { offset, data }
+        }
+        Opcode::Flush => Request::Flush,
+        Opcode::Fail => match d.u8()? {
+            0 => Request::FailDevice {
+                shard: d.u32()?,
+                device: d.u32()?,
+            },
+            1 => Request::CorruptSectors {
+                shard: d.u32()?,
+                device: d.u32()?,
+                stripe: d.u32()?,
+                row: d.u32()?,
+                len: d.u32()?,
+            },
+            k => return Err(NetError::Protocol(format!("unknown FAIL kind {k}"))),
+        },
+        Opcode::Scrub => Request::Scrub { threads: d.u32()? },
+        Opcode::Repair => Request::Repair { threads: d.u32()? },
+        Opcode::Shutdown => Request::Shutdown,
+    };
+    d.finish()?;
+    Ok(req)
+}
+
+fn encode_response_payload(resp: &Response) -> (u8, Vec<u8>) {
+    let mut e = Enc(Vec::new());
+    let status = match resp {
+        Response::Error(msg) => {
+            e.bytes(msg.as_bytes());
+            0
+        }
+        Response::Hello(info) => {
+            e.u32(info.version);
+            e.u32(info.shards);
+            e.u64(info.capacity);
+            e.u32(info.block_size);
+            e.u32(info.range_blocks);
+            e.str(&info.codec);
+            Opcode::Hello as u8
+        }
+        Response::Status(shards) => {
+            e.u32(shards.len() as u32);
+            for s in shards {
+                e.str(&s.codec);
+                e.u64(s.capacity);
+                e.u32(s.block_size);
+                e.u32(s.stripes);
+                e.u32(s.blocks_per_stripe);
+                e.u32s(&s.failed_devices);
+                e.u32s(&s.rebuilding_devices);
+                e.u32(s.known_bad_sectors);
+            }
+            Opcode::Status as u8
+        }
+        Response::Data(data) => {
+            e.bytes(data);
+            Opcode::Read as u8
+        }
+        Response::Written(w) => {
+            e.u64(w.bytes);
+            e.u64(w.blocks_written);
+            e.u64(w.stripes_touched);
+            e.u64(w.full_stripe_encodes);
+            e.u64(w.delta_updates);
+            e.u32(w.coalesced);
+            Opcode::Write as u8
+        }
+        Response::Flushed => Opcode::Flush as u8,
+        Response::Failed => Opcode::Fail as u8,
+        Response::Scrubbed(s) => {
+            e.u64(s.stripes_scanned);
+            e.u64(s.sectors_verified);
+            e.u64(s.mismatches);
+            e.u64(s.unavailable_devices);
+            e.u64(s.records_cleared);
+            Opcode::Scrub as u8
+        }
+        Response::Repaired(r) => {
+            e.u64(r.devices_replaced);
+            e.u64(r.stripes_repaired);
+            e.u64(r.sectors_rewritten);
+            e.u64(r.unrecoverable_stripes);
+            Opcode::Repair as u8
+        }
+        Response::ShuttingDown => Opcode::Shutdown as u8,
+    };
+    (status, e.0)
+}
+
+fn decode_response_payload(status: u8, payload: &[u8]) -> Result<Response, NetError> {
+    if status == 0 {
+        return Ok(Response::Error(
+            String::from_utf8_lossy(payload).into_owned(),
+        ));
+    }
+    let mut d = Dec::new(payload);
+    let resp = match Opcode::from_u8(status)? {
+        Opcode::Hello => Response::Hello(ServerInfo {
+            version: d.u32()?,
+            shards: d.u32()?,
+            capacity: d.u64()?,
+            block_size: d.u32()?,
+            range_blocks: d.u32()?,
+            codec: d.str()?,
+        }),
+        Opcode::Status => {
+            let count = d.u32()? as usize;
+            let mut shards = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                shards.push(WireShardStatus {
+                    codec: d.str()?,
+                    capacity: d.u64()?,
+                    block_size: d.u32()?,
+                    stripes: d.u32()?,
+                    blocks_per_stripe: d.u32()?,
+                    failed_devices: d.u32s()?,
+                    rebuilding_devices: d.u32s()?,
+                    known_bad_sectors: d.u32()?,
+                });
+            }
+            Response::Status(shards)
+        }
+        Opcode::Read => {
+            let rest = d.buf.len() - d.at;
+            Response::Data(d.take(rest)?.to_vec())
+        }
+        Opcode::Write => Response::Written(WriteSummary {
+            bytes: d.u64()?,
+            blocks_written: d.u64()?,
+            stripes_touched: d.u64()?,
+            full_stripe_encodes: d.u64()?,
+            delta_updates: d.u64()?,
+            coalesced: d.u32()?,
+        }),
+        Opcode::Flush => Response::Flushed,
+        Opcode::Fail => Response::Failed,
+        Opcode::Scrub => Response::Scrubbed(ScrubSummary {
+            stripes_scanned: d.u64()?,
+            sectors_verified: d.u64()?,
+            mismatches: d.u64()?,
+            unavailable_devices: d.u64()?,
+            records_cleared: d.u64()?,
+        }),
+        Opcode::Repair => Response::Repaired(RepairSummary {
+            devices_replaced: d.u64()?,
+            stripes_repaired: d.u64()?,
+            sectors_rewritten: d.u64()?,
+            unrecoverable_stripes: d.u64()?,
+        }),
+        Opcode::Shutdown => Response::ShuttingDown,
+    };
+    d.finish()?;
+    Ok(resp)
+}
+
+// ---------------------------------------------------------------------
+// Frame I/O
+// ---------------------------------------------------------------------
+
+fn read_frame(stream: &mut impl Read) -> Result<Vec<u8>, NetError> {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(NetError::Protocol(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"
+        )));
+    }
+    let mut body = vec![0u8; len as usize];
+    stream.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Writes one request frame.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_request(stream: &mut impl Write, id: u64, req: &Request) -> Result<(), NetError> {
+    let payload = encode_request_payload(req);
+    let mut frame = Vec::with_capacity(4 + 9 + payload.len());
+    frame.extend_from_slice(&(9 + payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&id.to_le_bytes());
+    frame.push(req.opcode() as u8);
+    frame.extend_from_slice(&payload);
+    stream.write_all(&frame)?;
+    Ok(())
+}
+
+/// Reads one request frame, returning `(request_id, request)`.
+///
+/// # Errors
+///
+/// Socket errors, truncated frames, unknown opcodes, or oversized
+/// requests are all rejected.
+pub fn read_request(stream: &mut impl Read) -> Result<(u64, Request), NetError> {
+    let body = read_frame(stream)?;
+    let mut d = Dec::new(&body);
+    let id = d.u64()?;
+    let op = Opcode::from_u8(d.u8()?)?;
+    let payload = &body[d.at..];
+    Ok((id, decode_request_payload(op, payload)?))
+}
+
+/// Writes one response frame (status byte + Fletcher-32 of the payload).
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_response(stream: &mut impl Write, id: u64, resp: &Response) -> Result<(), NetError> {
+    let (status, payload) = encode_response_payload(resp);
+    let sum = fletcher32(&payload);
+    let mut frame = Vec::with_capacity(4 + 13 + payload.len());
+    frame.extend_from_slice(&(13 + payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&id.to_le_bytes());
+    frame.push(status);
+    frame.extend_from_slice(&sum.to_le_bytes());
+    frame.extend_from_slice(&payload);
+    stream.write_all(&frame)?;
+    Ok(())
+}
+
+/// Reads one response frame, verifying the payload checksum. Returns
+/// `(request_id, response)`.
+///
+/// # Errors
+///
+/// Socket errors, malformed frames, and checksum mismatches.
+pub fn read_response(stream: &mut impl Read) -> Result<(u64, Response), NetError> {
+    let body = read_frame(stream)?;
+    let mut d = Dec::new(&body);
+    let id = d.u64()?;
+    let status = d.u8()?;
+    let expected = d.u32()?;
+    let payload = &body[d.at..];
+    let actual = fletcher32(payload);
+    if actual != expected {
+        return Err(NetError::Checksum { expected, actual });
+    }
+    Ok((id, decode_response_payload(status, payload)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let mut wire = Vec::new();
+        write_request(&mut wire, 7, &req).unwrap();
+        let (id, back) = read_request(&mut wire.as_slice()).unwrap();
+        assert_eq!(id, 7);
+        assert_eq!(back, req);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 99, &resp).unwrap();
+        let (id, back) = read_response(&mut wire.as_slice()).unwrap();
+        assert_eq!(id, 99);
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Hello {
+            version: PROTOCOL_VERSION,
+        });
+        round_trip_request(Request::Status);
+        round_trip_request(Request::Read {
+            offset: 123456789,
+            len: 4096,
+        });
+        round_trip_request(Request::Write {
+            offset: 42,
+            data: (0..=255).collect(),
+        });
+        round_trip_request(Request::Flush);
+        round_trip_request(Request::FailDevice {
+            shard: 3,
+            device: 1,
+        });
+        round_trip_request(Request::CorruptSectors {
+            shard: 0,
+            device: 7,
+            stripe: 5,
+            row: 2,
+            len: 3,
+        });
+        round_trip_request(Request::Scrub { threads: 4 });
+        round_trip_request(Request::Repair { threads: 2 });
+        round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::Hello(ServerInfo {
+            version: 1,
+            shards: 4,
+            capacity: 1 << 30,
+            block_size: 512,
+            range_blocks: 20,
+            codec: "stair:8,4,2,1-1-2".into(),
+        }));
+        round_trip_response(Response::Status(vec![WireShardStatus {
+            codec: "sd:8,4,2,3".into(),
+            capacity: 999,
+            block_size: 128,
+            stripes: 12,
+            blocks_per_stripe: 17,
+            failed_devices: vec![1, 5],
+            rebuilding_devices: vec![],
+            known_bad_sectors: 2,
+        }]));
+        round_trip_response(Response::Data(vec![0xAB; 1000]));
+        round_trip_response(Response::Written(WriteSummary {
+            bytes: 512,
+            blocks_written: 4,
+            stripes_touched: 1,
+            full_stripe_encodes: 0,
+            delta_updates: 4,
+            coalesced: 2,
+        }));
+        round_trip_response(Response::Flushed);
+        round_trip_response(Response::Failed);
+        round_trip_response(Response::Scrubbed(ScrubSummary {
+            stripes_scanned: 10,
+            sectors_verified: 320,
+            mismatches: 1,
+            unavailable_devices: 0,
+            records_cleared: 0,
+        }));
+        round_trip_response(Response::Repaired(RepairSummary {
+            devices_replaced: 1,
+            stripes_repaired: 8,
+            sectors_rewritten: 32,
+            unrecoverable_stripes: 0,
+        }));
+        round_trip_response(Response::ShuttingDown);
+        round_trip_response(Response::Error("it broke".into()));
+    }
+
+    #[test]
+    fn corrupted_response_payload_fails_checksum() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 1, &Response::Data(vec![1, 2, 3, 4])).unwrap();
+        let last = wire.len() - 1;
+        wire[last] ^= 0xFF;
+        match read_response(&mut wire.as_slice()) {
+            Err(NetError::Checksum { .. }) => {}
+            other => panic!("expected checksum error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_are_rejected() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, 1, &Request::Status).unwrap();
+        assert!(matches!(
+            read_request(&mut wire[..wire.len() - 1].as_ref()),
+            Err(NetError::Io(_))
+        ));
+        let huge = (MAX_FRAME + 1).to_le_bytes().to_vec();
+        assert!(matches!(
+            read_request(&mut huge.as_slice()),
+            Err(NetError::Protocol(_))
+        ));
+        // A READ larger than the request cap is refused at decode time.
+        let mut wire = Vec::new();
+        write_request(
+            &mut wire,
+            1,
+            &Request::Read {
+                offset: 0,
+                len: MAX_IO_BYTES + 1,
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            read_request(&mut wire.as_slice()),
+            Err(NetError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        // Hand-build a STATUS request frame with an extra byte.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&10u32.to_le_bytes());
+        frame.extend_from_slice(&1u64.to_le_bytes());
+        frame.push(Opcode::Status as u8);
+        frame.push(0xEE);
+        assert!(matches!(
+            read_request(&mut frame.as_slice()),
+            Err(NetError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn bad_hello_magic_is_rejected() {
+        let mut frame = Vec::new();
+        let payload = [b'X'; 12];
+        frame.extend_from_slice(&(9 + payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&1u64.to_le_bytes());
+        frame.push(Opcode::Hello as u8);
+        frame.extend_from_slice(&payload);
+        assert!(matches!(
+            read_request(&mut frame.as_slice()),
+            Err(NetError::Protocol(_))
+        ));
+    }
+}

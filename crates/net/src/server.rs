@@ -1,0 +1,492 @@
+//! The stair-net server: a multi-threaded TCP front end over a
+//! [`ShardSet`].
+//!
+//! # Architecture
+//!
+//! * one **reader thread per connection** parses frames and enqueues
+//!   jobs (HELLO and SHUTDOWN are answered inline);
+//! * a fixed **worker pool** pops jobs and executes them against the
+//!   shard set — stripe locks inside each shard keep concurrent workers
+//!   safe, and different shards share nothing;
+//! * responses are written back under a per-connection mutex, tagged
+//!   with the request ID, so a pipelining client may see completions out
+//!   of order;
+//! * **write batching**: a worker that pops a WRITE drains the other
+//!   WRITEs queued behind it (up to a batch cap) and sorts them by
+//!   offset; adjacent spans are merged into a single store pass, so
+//!   small writes landing in the same stripe coalesce into one
+//!   parity-delta update instead of one per request. Disjoint writes
+//!   commute, so offset order is safe; if any two writes in a batch
+//!   overlap, the batch falls back to arrival order with no merging.
+//!
+//! Shutdown (a SHUTDOWN frame, or [`ServerHandle::shutdown`]) stops the
+//! accept loop, drains the queue, joins every thread, and flushes the
+//! shards before [`Server::run`] returns.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::protocol::{
+    read_request, write_response, RepairSummary, Request, Response, ScrubSummary, ServerInfo,
+    WriteSummary, PROTOCOL_VERSION,
+};
+use crate::shards::{wire_status, ShardSet};
+use crate::NetError;
+
+/// Tunables for [`Server::bind`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Most WRITE requests one worker batches into a single pass.
+    pub write_batch: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            write_batch: 32,
+        }
+    }
+}
+
+/// One queued request plus where its response goes.
+struct Job {
+    writer: Arc<ConnWriter>,
+    id: u64,
+    req: Request,
+}
+
+/// The write half of a connection; workers serialize frames under the
+/// lock. A send to a dead peer is ignored — the reader thread notices
+/// the hangup and retires the connection.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+}
+
+impl ConnWriter {
+    fn send(&self, id: u64, resp: &Response) {
+        // Poisoning here would mean a worker panicked mid-frame; the
+        // stream is unusable either way, so take the guard regardless.
+        let mut stream = self
+            .stream
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _ = write_response(&mut *stream, id, resp);
+    }
+}
+
+struct State {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    /// Cloned handles of *live* connections, shut down to unblock their
+    /// readers at server shutdown. Each reader removes its own entry on
+    /// exit, so dead connections do not leak file descriptors.
+    conns: Mutex<std::collections::HashMap<u64, TcpStream>>,
+}
+
+impl State {
+    fn push(&self, job: Job) {
+        self.queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push_back(job);
+        self.available.notify_one();
+    }
+}
+
+/// A handle for stopping a running server from another thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    state: Arc<State>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// Asks the server to stop: no new connections, queued work drains,
+    /// then [`Server::run`] returns.
+    pub fn shutdown(&self) {
+        begin_shutdown(&self.state, self.addr);
+    }
+}
+
+fn begin_shutdown(state: &State, addr: SocketAddr) {
+    if state.shutdown.swap(true, Ordering::SeqCst) {
+        return; // already shutting down
+    }
+    state.available.notify_all();
+    // Unblock readers parked in read_exact.
+    for conn in state
+        .conns
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .values()
+    {
+        let _ = conn.shutdown(std::net::Shutdown::Both);
+    }
+    // Unblock the accept loop with a throwaway connection.
+    let _ = TcpStream::connect(addr);
+}
+
+/// The TCP storage service.
+pub struct Server {
+    listener: TcpListener,
+    shards: Arc<ShardSet>,
+    state: Arc<State>,
+    config: ServerConfig,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) in front
+    /// of `shards`.
+    ///
+    /// # Errors
+    ///
+    /// A busy port or unroutable address comes back as [`NetError::Io`]
+    /// with the address in the message — no panic.
+    pub fn bind(addr: &str, shards: ShardSet, config: ServerConfig) -> Result<Self, NetError> {
+        if config.workers == 0 {
+            return Err(NetError::Shards("need at least one worker".into()));
+        }
+        let listener = TcpListener::bind(addr).map_err(|e| {
+            NetError::Io(io::Error::new(e.kind(), format!("cannot bind {addr}: {e}")))
+        })?;
+        let local = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            shards: Arc::new(shards),
+            state: Arc::new(State {
+                queue: Mutex::new(VecDeque::new()),
+                available: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+                conns: Mutex::new(std::collections::HashMap::new()),
+            }),
+            config,
+            addr: local,
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle that can stop this server from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            state: Arc::clone(&self.state),
+            addr: self.addr,
+        }
+    }
+
+    /// The HELLO payload this server announces.
+    pub fn info(&self) -> ServerInfo {
+        ServerInfo {
+            version: PROTOCOL_VERSION,
+            shards: self.shards.shard_count() as u32,
+            capacity: self.shards.capacity(),
+            block_size: self.shards.block_size() as u32,
+            range_blocks: self.shards.placement().range_blocks() as u32,
+            codec: self.shards.codec(),
+        }
+    }
+
+    /// Serves until shutdown, then drains, joins every thread, and
+    /// flushes the shards.
+    ///
+    /// # Errors
+    ///
+    /// Only the final flush can fail; per-connection errors retire that
+    /// connection silently.
+    pub fn run(self) -> Result<(), NetError> {
+        let mut workers = Vec::with_capacity(self.config.workers);
+        for _ in 0..self.config.workers {
+            let state = Arc::clone(&self.state);
+            let shards = Arc::clone(&self.shards);
+            let batch = self.config.write_batch.max(1);
+            let info = self.info();
+            workers.push(std::thread::spawn(move || {
+                worker_loop(&state, &shards, &info, batch)
+            }));
+        }
+
+        let mut readers = Vec::new();
+        let mut next_conn: u64 = 0;
+        for stream in self.listener.incoming() {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            // Reap finished reader threads so neither the handle list nor
+            // the live-connection map grows with connection churn.
+            readers.retain(|h: &std::thread::JoinHandle<()>| !h.is_finished());
+            let conn_id = next_conn;
+            next_conn += 1;
+            if let Ok(clone) = stream.try_clone() {
+                self.state
+                    .conns
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .insert(conn_id, clone);
+            }
+            let state = Arc::clone(&self.state);
+            let info = self.info();
+            let addr = self.addr;
+            readers.push(std::thread::spawn(move || {
+                reader_loop(stream, &state, &info, addr);
+                state
+                    .conns
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .remove(&conn_id);
+            }));
+        }
+
+        // Shutdown: wake everything and wait for it to drain.
+        begin_shutdown(&self.state, self.addr);
+        for r in readers {
+            let _ = r.join();
+        }
+        self.state.available.notify_all();
+        for w in workers {
+            let _ = w.join();
+        }
+        self.shards.flush()
+    }
+}
+
+/// Parses frames off one connection until EOF, error, or shutdown.
+fn reader_loop(stream: TcpStream, state: &State, info: &ServerInfo, addr: SocketAddr) {
+    let writer = Arc::new(ConnWriter {
+        stream: match stream.try_clone() {
+            Ok(s) => Mutex::new(s),
+            Err(_) => return,
+        },
+    });
+    let mut stream = stream;
+    loop {
+        let (id, req) = match read_request(&mut stream) {
+            Ok(x) => x,
+            Err(NetError::Protocol(msg)) => {
+                // A malformed frame desynchronizes the stream; report and
+                // hang up rather than guessing where the next frame starts.
+                writer.send(u64::MAX, &Response::Error(format!("protocol error: {msg}")));
+                return;
+            }
+            Err(_) => return, // EOF or socket error
+        };
+        match req {
+            Request::Hello { version } => {
+                if version != PROTOCOL_VERSION {
+                    writer.send(
+                        id,
+                        &Response::Error(format!(
+                            "version mismatch: server speaks v{PROTOCOL_VERSION}, client v{version}"
+                        )),
+                    );
+                    return;
+                }
+                writer.send(id, &Response::Hello(info.clone()));
+            }
+            Request::Shutdown => {
+                writer.send(id, &Response::ShuttingDown);
+                begin_shutdown(state, addr);
+                return;
+            }
+            req => state.push(Job {
+                writer: Arc::clone(&writer),
+                id,
+                req,
+            }),
+        }
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+fn worker_loop(state: &State, shards: &ShardSet, info: &ServerInfo, batch: usize) {
+    loop {
+        let job = {
+            let mut queue = state
+                .queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = state
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        if let Request::Write { offset, data } = job.req {
+            let mut writes = vec![(job.writer, job.id, offset, data)];
+            {
+                let mut queue = state
+                    .queue
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                let mut i = 0;
+                while i < queue.len() && writes.len() < batch {
+                    if matches!(queue[i].req, Request::Write { .. }) {
+                        let Job { writer, id, req } = queue.remove(i).expect("index in range");
+                        let Request::Write { offset, data } = req else {
+                            unreachable!()
+                        };
+                        writes.push((writer, id, offset, data));
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            execute_write_batch(shards, writes);
+        } else {
+            let resp = execute(shards, info, &job.req);
+            job.writer.send(job.id, &resp);
+        }
+    }
+}
+
+/// Executes a batch of WRITEs, merging adjacent spans into single store
+/// passes. Any overlap within the batch forces arrival order, unmerged.
+fn execute_write_batch(shards: &ShardSet, writes: Vec<(Arc<ConnWriter>, u64, u64, Vec<u8>)>) {
+    let mut order: Vec<usize> = (0..writes.len()).collect();
+    order.sort_by_key(|&i| writes[i].2);
+    let overlapping = order.windows(2).any(|w| {
+        let (_, _, off_a, data_a) = &writes[w[0]];
+        off_a + data_a.len() as u64 > writes[w[1]].2
+    });
+    if overlapping {
+        for (writer, id, offset, data) in writes {
+            let resp = write_one(shards, offset, &data, 1);
+            writer.send(id, &resp);
+        }
+        return;
+    }
+    // Merge adjacent runs (sorted, disjoint, so order is immaterial).
+    let mut at = 0;
+    while at < order.len() {
+        let mut members = vec![order[at]];
+        let run_offset = writes[order[at]].2;
+        let mut run: Vec<u8> = writes[order[at]].3.clone();
+        at += 1;
+        while at < order.len() && writes[order[at]].2 == run_offset + run.len() as u64 {
+            run.extend_from_slice(&writes[order[at]].3);
+            members.push(order[at]);
+            at += 1;
+        }
+        let coalesced = members.len() as u32;
+        let resp = write_one(shards, run_offset, &run, coalesced);
+        // The store-pass counters are attributed to the run's first
+        // member only; the rest report zeros (plus their own byte count),
+        // so a client summing its chunk summaries gets exact totals
+        // instead of the pass counted once per coalesced request.
+        for (k, &m) in members.iter().enumerate() {
+            let (writer, id, _, data) = &writes[m];
+            let resp = match &resp {
+                Response::Written(w) => Response::Written(WriteSummary {
+                    bytes: data.len() as u64,
+                    ..if k == 0 {
+                        *w
+                    } else {
+                        WriteSummary {
+                            coalesced,
+                            ..WriteSummary::default()
+                        }
+                    }
+                }),
+                other => other.clone(),
+            };
+            writer.send(*id, &resp);
+        }
+    }
+}
+
+fn write_one(shards: &ShardSet, offset: u64, data: &[u8], coalesced: u32) -> Response {
+    match shards.write_at(offset, data) {
+        Ok(r) => Response::Written(WriteSummary {
+            bytes: data.len() as u64,
+            blocks_written: r.blocks_written as u64,
+            stripes_touched: r.stripes_touched as u64,
+            full_stripe_encodes: r.full_stripe_encodes as u64,
+            delta_updates: r.delta_updates as u64,
+            coalesced,
+        }),
+        Err(e) => Response::Error(e.to_string()),
+    }
+}
+
+/// Executes one non-write request.
+fn execute(shards: &ShardSet, info: &ServerInfo, req: &Request) -> Response {
+    let result = (|| -> Result<Response, NetError> {
+        Ok(match req {
+            Request::Hello { .. } => Response::Hello(info.clone()),
+            Request::Status => Response::Status(shards.status().iter().map(wire_status).collect()),
+            Request::Read { offset, len } => {
+                Response::Data(shards.read_at(*offset, *len as usize)?)
+            }
+            Request::Write { .. } | Request::Shutdown => {
+                unreachable!("handled before execute()")
+            }
+            Request::Flush => {
+                shards.flush()?;
+                Response::Flushed
+            }
+            Request::FailDevice { shard, device } => {
+                shards
+                    .shard(*shard as usize)?
+                    .fail_device(*device as usize)?;
+                Response::Failed
+            }
+            Request::CorruptSectors {
+                shard,
+                device,
+                stripe,
+                row,
+                len,
+            } => {
+                shards.shard(*shard as usize)?.corrupt_sectors(
+                    *device as usize,
+                    *stripe as usize,
+                    *row as usize,
+                    *len as usize,
+                )?;
+                Response::Failed
+            }
+            Request::Scrub { threads } => {
+                let mut total = ScrubSummary::default();
+                for r in shards.scrub((*threads as usize).max(1))? {
+                    total.stripes_scanned += r.stripes_scanned as u64;
+                    total.sectors_verified += r.sectors_verified as u64;
+                    total.mismatches += r.mismatches.len() as u64;
+                    total.unavailable_devices += r.unavailable_devices.len() as u64;
+                    total.records_cleared += r.records_cleared as u64;
+                }
+                Response::Scrubbed(total)
+            }
+            Request::Repair { threads } => {
+                let mut total = RepairSummary::default();
+                for r in shards.repair((*threads as usize).max(1))? {
+                    total.devices_replaced += r.devices_replaced.len() as u64;
+                    total.stripes_repaired += r.stripes_repaired as u64;
+                    total.sectors_rewritten += r.sectors_rewritten as u64;
+                    total.unrecoverable_stripes += r.unrecoverable_stripes.len() as u64;
+                }
+                Response::Repaired(total)
+            }
+        })
+    })();
+    result.unwrap_or_else(|e| Response::Error(e.to_string()))
+}

@@ -10,10 +10,36 @@
 use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::sync::RwLock;
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::checksum::fletcher32;
 use crate::Error;
+
+// Lock poisoning policy: every lock in this module is taken with
+// `unwrap_or_else(PoisonError::into_inner)` instead of `unwrap()`. A
+// poisoned lock only means some other thread panicked while holding it;
+// propagating that panic would turn one crashed worker into a cascade
+// through every thread serving the store (including a network server's
+// whole worker pool). Continuing is sound here because this state is
+// *detection* metadata with no cross-field invariants to break:
+// checksum-table entries are single `u32` assignments (never observable
+// half-written under the lock), and the worst a torn health update can
+// leave behind is a stale or spurious bad-sector record — which makes a
+// read treat the sector as erased and reconstruct it from parity, or a
+// later scrub clear the record. Either way reads stay checksum-correct;
+// poisoning can cost a reconstruction, never data integrity.
+
+fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn mutex_lock<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// File name of the checksum table.
 pub const CHECKSUM_FILE: &str = "checksums.bin";
@@ -191,7 +217,7 @@ impl Integrity {
 
     /// The stored checksum for a sector.
     pub fn expected(&self, stripe: usize, row: usize, dev: usize) -> u32 {
-        self.checksums.read().unwrap()[self.index(stripe, row, dev)]
+        read_lock(&self.checksums)[self.index(stripe, row, dev)]
     }
 
     /// Verifies `data` against the stored checksum.
@@ -204,30 +230,30 @@ impl Integrity {
     pub fn record(&self, stripe: usize, row: usize, dev: usize, data: &[u8]) {
         let sum = fletcher32(data);
         let idx = self.index(stripe, row, dev);
-        self.checksums.write().unwrap()[idx] = sum;
-        self.dirty.lock().unwrap().insert(idx);
+        write_lock(&self.checksums)[idx] = sum;
+        mutex_lock(&self.dirty).insert(idx);
     }
 
     /// Snapshot of the current health record (clones the bad-sector set;
     /// hot per-stripe paths should prefer [`Integrity::device_states`] /
     /// [`Integrity::is_recorded_bad`]).
     pub fn health(&self) -> Health {
-        self.health.read().unwrap().clone()
+        read_lock(&self.health).clone()
     }
 
     /// Per-device states only — cheap (`n` entries) for per-stripe paths.
     pub fn device_states(&self) -> Vec<DeviceState> {
-        self.health.read().unwrap().devices.clone()
+        read_lock(&self.health).devices.clone()
     }
 
     /// Whether a sector is already recorded as bad, without cloning.
     pub fn is_recorded_bad(&self, key: BadSector) -> bool {
-        self.health.read().unwrap().bad_sectors.contains(&key)
+        read_lock(&self.health).bad_sectors.contains(&key)
     }
 
     /// Applies `f` to the health record and returns whether it changed.
     pub fn update_health(&self, f: impl FnOnce(&mut Health)) -> bool {
-        let mut guard = self.health.write().unwrap();
+        let mut guard = write_lock(&self.health);
         let before = guard.clone();
         f(&mut guard);
         *guard != before
@@ -239,18 +265,18 @@ impl Integrity {
     /// persist lock keeps concurrent callers from interleaving.
     pub fn persist(&self) -> Result<(), Error> {
         use std::os::unix::fs::FileExt;
-        let _serial = self.persist_lock.lock().unwrap();
-        let dirty: Vec<usize> = std::mem::take(&mut *self.dirty.lock().unwrap())
+        let _serial = mutex_lock(&self.persist_lock);
+        let dirty: Vec<usize> = std::mem::take(&mut *mutex_lock(&self.dirty))
             .into_iter()
             .collect();
         {
-            let checksums = self.checksums.read().unwrap();
+            let checksums = read_lock(&self.checksums);
             for idx in dirty {
                 self.table_file
                     .write_all_at(&checksums[idx].to_le_bytes(), idx as u64 * 4)?;
             }
         }
-        let health_text = self.health.read().unwrap().to_text();
+        let health_text = read_lock(&self.health).to_text();
         write_atomic(&self.dir, HEALTH_FILE, health_text.as_bytes())?;
         Ok(())
     }
@@ -277,6 +303,32 @@ mod tests {
         assert!(!integ.verify(2, 1, 3, &data));
         integ.record(2, 1, 3, &data);
         assert!(integ.verify(2, 1, 3, &data));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn poisoned_locks_stay_usable() {
+        // Regression: a worker panicking while holding the health lock
+        // used to poison it and turn every later lock().unwrap() into a
+        // panic cascade; now the store keeps serving.
+        let dir = tmpdir("poison");
+        let integ = std::sync::Arc::new(Integrity::create(&dir, 4, 2, 16, 3).unwrap());
+        let clone = std::sync::Arc::clone(&integ);
+        let died = std::thread::spawn(move || {
+            clone.update_health(|_| panic!("worker dies mid-update"));
+        })
+        .join();
+        assert!(died.is_err(), "the worker must have panicked");
+        // Health, checksum, and persist paths all still work.
+        assert_eq!(integ.health().devices.len(), 4);
+        integ.update_health(|h| h.devices[1] = DeviceState::Failed);
+        integ.record(0, 0, 0, &[1u8; 16]);
+        assert!(integ.verify(0, 0, 0, &[1u8; 16]));
+        integ.persist().unwrap();
+        assert_eq!(
+            Integrity::load(&dir, 4, 2, 3).unwrap().health().devices[1],
+            DeviceState::Failed
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -283,9 +283,17 @@ impl StripeStore {
         self.shared.integrity.persist()
     }
 
+    // Stripe locks guard no data (`Mutex<()>` taken for mutual exclusion
+    // only), so a poisoned lock — some worker panicked mid-stripe — is
+    // safe to keep using: damage the panicking thread left on disk is
+    // exactly what checksum verification and degraded reads already
+    // handle. Propagating the panic instead would take down every thread
+    // that later touches the same stripe (the serve path's cascade).
     pub(crate) fn lock_stripe(&self, stripe: usize) -> MutexGuard<'_, ()> {
         let locks = &self.shared.stripe_locks;
-        locks[stripe % locks.len()].lock().unwrap()
+        locks[stripe % locks.len()]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Acquires every stripe lock, quiescing all stripe I/O. Safe against
@@ -295,7 +303,7 @@ impl StripeStore {
         self.shared
             .stripe_locks
             .iter()
-            .map(|l| l.lock().unwrap())
+            .map(|l| l.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
             .collect()
     }
 
