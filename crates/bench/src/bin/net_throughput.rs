@@ -9,7 +9,10 @@
 //! checksums. Each client thread owns one connection and a disjoint
 //! region of the block space, so measurements are contention-free at
 //! the data level and contend only where a real service would (socket,
-//! worker pool, shard locks).
+//! worker pool, shard locks). The timing loops are the device-generic
+//! driver (`stair_bench::driver`) shared with `store_throughput`: the
+//! same code measures a local store and a TCP client, because both are
+//! `BlockDevice`s.
 //!
 //! Flags: `--json <path>` additionally writes the machine-readable
 //! report documented in `EXPERIMENTS.md`.
@@ -19,9 +22,9 @@
 //! default `stair:8,16,2,1-2`), `STAIR_NET_THREADS` (comma list,
 //! default `1,2,4`), `STAIR_NET_WORKERS` (server workers, default 4).
 
-use std::time::Instant;
-
+use stair_bench::driver::{measure_devices, DevMeasurement, DevOp, IoShape};
 use stair_code::CodecSpec;
+use stair_device::BlockDevice;
 use stair_net::json::Json;
 use stair_net::{Client, Server, ServerConfig, ShardSet};
 use stair_store::{StoreOptions, StripeStore};
@@ -42,18 +45,7 @@ struct Measurement {
     phase: &'static str,
     op: &'static str,
     threads: usize,
-    bytes: usize,
-    requests: usize,
-    seconds: f64,
-}
-
-impl Measurement {
-    fn mb_per_s(&self) -> f64 {
-        self.bytes as f64 / self.seconds / (1024.0 * 1024.0)
-    }
-    fn req_per_s(&self) -> f64 {
-        self.requests as f64 / self.seconds
-    }
+    timing: DevMeasurement,
 }
 
 fn main() {
@@ -115,25 +107,46 @@ fn main() {
         capacity as f64 / (1024.0 * 1024.0)
     );
 
+    let shape = IoShape {
+        seq_io: SEQ_IO,
+        rand_io: symbol,
+    };
     let mut results: Vec<Measurement> = Vec::new();
     for phase in ["clean", "degraded"] {
         if phase == "degraded" {
             // One whole device lost on shard 0: reads through that shard
             // reconstruct, writes keep flowing around it.
-            let mut admin = Client::connect(&addr).expect("admin connect");
+            let admin = Client::connect(&addr).expect("admin connect");
             admin.fail_device(0, 1).expect("fail device");
             println!("-- degraded: shard 0 lost device 1 --");
         }
         for &t in &threads {
-            for op in ["seq_write", "seq_read", "rand_write", "rand_read"] {
-                let m = measure(&addr, capacity, phase, op, t, symbol);
+            // One connection per thread, reused across warmup + timed.
+            let clients: Vec<Client> = (0..t)
+                .map(|_| Client::connect(&addr).expect("bench client"))
+                .collect();
+            let devs: Vec<&dyn BlockDevice> =
+                clients.iter().map(|c| c as &dyn BlockDevice).collect();
+            for op in [
+                DevOp::SeqWrite,
+                DevOp::SeqRead,
+                DevOp::RandWrite,
+                DevOp::RandRead,
+            ] {
+                let timing = measure_devices(&devs, op, capacity, shape, 1);
                 println!(
-                    "{:<9} {op:<10} threads={t:<2}  MB/s={:>8.1}  req/s={:>9.1}",
+                    "{:<9} {:<10} threads={t:<2}  MB/s={:>8.1}  req/s={:>9.1}",
                     phase,
-                    m.mb_per_s(),
-                    m.req_per_s()
+                    op.name(),
+                    timing.mb_per_s(),
+                    timing.req_per_s()
                 );
-                results.push(m);
+                results.push(Measurement {
+                    phase,
+                    op: op.name(),
+                    threads: t,
+                    timing,
+                });
             }
         }
     }
@@ -141,7 +154,7 @@ fn main() {
     // Sanity: after all that traffic, a full read still verifies length
     // (contents are per-thread patterns; transport checksums verified
     // every response already).
-    let mut admin = Client::connect(&addr).expect("admin");
+    let admin = Client::connect(&addr).expect("admin");
     let got = admin.read_at(0, capacity).expect("final degraded read");
     assert_eq!(got.len(), capacity);
     admin.shutdown_server().expect("shutdown");
@@ -166,104 +179,6 @@ fn parse_json_flag() -> Option<String> {
             std::process::exit(2);
         }
     }
-}
-
-/// One measurement: `t` clients over disjoint regions, one timed pass.
-fn measure(
-    addr: &str,
-    capacity: usize,
-    phase: &'static str,
-    op: &'static str,
-    t: usize,
-    block: usize,
-) -> Measurement {
-    let region = capacity / t / SEQ_IO * SEQ_IO;
-    assert!(region >= SEQ_IO, "capacity too small for {t} threads");
-    let pass = || -> Vec<(usize, usize)> {
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for c in 0..t {
-                handles.push(scope.spawn(move || run_workload(addr, op, c, region, block)));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("bench thread"))
-                .collect()
-        })
-    };
-    pass(); // warmup (pays connection setup and first-touch costs)
-    let start = Instant::now();
-    let totals = pass();
-    let seconds = start.elapsed().as_secs_f64().max(1e-9);
-    let (bytes, requests) = totals
-        .into_iter()
-        .fold((0, 0), |(b, r), (tb, tr)| (b + tb, r + tr));
-    Measurement {
-        phase,
-        op,
-        threads: t,
-        bytes,
-        requests,
-        seconds,
-    }
-}
-
-/// The per-thread workload body shared by the warmup and timed passes.
-fn run_workload(addr: &str, op: &str, c: usize, region: usize, block: usize) -> (usize, usize) {
-    let mut client = Client::connect(addr).expect("bench client");
-    let base = (c * region) as u64;
-    let mut bytes = 0usize;
-    let mut requests = 0usize;
-    match op {
-        "seq_write" => {
-            let payload = pattern(SEQ_IO, c as u64);
-            let mut at = 0;
-            while at + SEQ_IO <= region {
-                client.write_at(base + at as u64, &payload).expect("write");
-                bytes += SEQ_IO;
-                requests += 1;
-                at += SEQ_IO;
-            }
-        }
-        "seq_read" => {
-            let mut at = 0;
-            while at + SEQ_IO <= region {
-                let got = client.read_at(base + at as u64, SEQ_IO).expect("read");
-                assert_eq!(got.len(), SEQ_IO);
-                bytes += SEQ_IO;
-                requests += 1;
-                at += SEQ_IO;
-            }
-        }
-        "rand_write" | "rand_read" => {
-            let ops = (region / SEQ_IO).max(1) * (SEQ_IO / block).min(16);
-            let payload = pattern(block, c as u64 + 7);
-            let mut state = 0x9E3779B97F4A7C15u64.wrapping_add(c as u64);
-            for _ in 0..ops {
-                state = state
-                    .wrapping_mul(6364136223846793005)
-                    .wrapping_add(1442695040888963407);
-                let slot = (state >> 16) as usize % (region / block);
-                let at = base + (slot * block) as u64;
-                if op == "rand_write" {
-                    client.write_at(at, &payload).expect("rand write");
-                } else {
-                    let got = client.read_at(at, block).expect("rand read");
-                    assert_eq!(got.len(), block);
-                }
-                bytes += block;
-                requests += 1;
-            }
-        }
-        other => unreachable!("unknown op {other}"),
-    }
-    (bytes, requests)
-}
-
-fn pattern(len: usize, seed: u64) -> Vec<u8> {
-    (0..len)
-        .map(|i| ((i as u64).wrapping_mul(31).wrapping_add(seed * 131) % 251) as u8)
-        .collect()
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -298,11 +213,11 @@ fn json_report(
                     ("phase", Json::str(m.phase)),
                     ("op", Json::str(m.op)),
                     ("threads", Json::int(m.threads)),
-                    ("mb_per_s", Json::Num(m.mb_per_s())),
-                    ("req_per_s", Json::Num(m.req_per_s())),
-                    ("bytes", Json::int(m.bytes)),
-                    ("requests", Json::int(m.requests)),
-                    ("seconds", Json::Num(m.seconds)),
+                    ("mb_per_s", Json::Num(m.timing.mb_per_s())),
+                    ("req_per_s", Json::Num(m.timing.req_per_s())),
+                    ("bytes", Json::int(m.timing.bytes)),
+                    ("requests", Json::int(m.timing.requests)),
+                    ("seconds", Json::Num(m.timing.seconds)),
                 ])
             })),
         ),

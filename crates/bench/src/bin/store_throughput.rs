@@ -7,7 +7,10 @@
 //! path: every codec drives the *same* store engine over the same
 //! geometry (`n = 8` devices, `r = 16` sectors/chunk, `m = 2`), with
 //! STAIR `e = (1,2)` against SD `s = 3` (equal sector budgets) and plain
-//! RS as the no-sector-protection baseline.
+//! RS as the no-sector-protection baseline. All timing goes through the
+//! device-generic driver (`stair_bench::driver`) shared with
+//! `net_throughput`, exercising the store through the same
+//! `BlockDevice` trait every other consumer uses.
 //!
 //! Flags: `--json <path>` additionally writes the machine-readable
 //! report documented in `EXPERIMENTS.md`.
@@ -20,8 +23,10 @@
 
 use std::time::Instant;
 
-use stair_bench::{print_row, reps, throughput_mbps};
+use stair_bench::driver::{measure_devices, DevOp, IoShape};
+use stair_bench::{print_row, reps};
 use stair_code::CodecSpec;
+use stair_device::BlockDevice;
 use stair_net::json::Json;
 use stair_store::{StoreOptions, StripeStore};
 
@@ -140,7 +145,6 @@ fn bench_codec(
     let store = StripeStore::create(&dir, &opts).expect("create store");
     let geom = store.geometry().clone();
     let capacity = store.capacity() as usize;
-    let payload: Vec<u8> = (0..capacity).map(|i| (i % 249) as u8).collect();
     println!(
         "== {code}: n={} r={} m={} s={} symbol={symbol} stripes={stripes} ({:.1} MiB data, efficiency {:.3})",
         geom.n,
@@ -160,24 +164,28 @@ fn bench_codec(
         });
     };
 
-    let w = throughput_mbps(capacity, reps(), || {
-        store.write_at(0, &payload).expect("write");
-    });
+    // Whole-capacity transfers, one device handle (the driver still
+    // carves regions and times exactly as it does for the wire).
+    let dev: &dyn BlockDevice = &store;
+    let shape = IoShape {
+        seq_io: capacity,
+        rand_io: symbol,
+    };
+    let run = |op: DevOp| measure_devices(&[dev], op, capacity, shape, reps()).mb_per_s();
+
+    let w = run(DevOp::SeqWrite);
     print_row(&label("sequential write"), &[("MB/s".into(), w)]);
     push("seq_write", w, None);
 
-    let rd = throughput_mbps(capacity, reps(), || {
-        let got = store.read_at(0, capacity).expect("read");
-        assert_eq!(got.len(), capacity);
-    });
+    let rd = run(DevOp::SeqRead);
     print_row(&label("sequential read (clean)"), &[("MB/s".into(), rd)]);
     push("seq_read_clean", rd, None);
 
     // Degrade: the full m whole-device budget, plus a burst (in a still-
     // healthy device) where the code covers one. Device/row choices are
     // derived from the geometry so any STAIR_STORE_CODES spec works.
-    for dev in 0..geom.m {
-        store.fail_device(dev).expect("fail device");
+    for lost in 0..geom.m {
+        store.fail_device(lost).expect("fail device");
     }
     if geom.burst > 0 {
         let burst = geom.burst.min(2).min(geom.r);
@@ -185,10 +193,7 @@ fn bench_codec(
             .corrupt_sectors(geom.m, stripes / 2, 0, burst)
             .expect("burst");
     }
-    let dg = throughput_mbps(capacity, reps(), || {
-        let got = store.read_at(0, capacity).expect("degraded read");
-        assert_eq!(got.len(), capacity);
-    });
+    let dg = run(DevOp::SeqRead);
     print_row(&label("sequential read (degraded)"), &[("MB/s".into(), dg)]);
     push("seq_read_degraded", dg, None);
 
@@ -203,10 +208,7 @@ fn bench_codec(
     );
     push("repair", repair_rate, Some(secs));
 
-    let pr = throughput_mbps(capacity, reps(), || {
-        let got = store.read_at(0, capacity).expect("post-repair read");
-        assert_eq!(got.len(), capacity);
-    });
+    let pr = run(DevOp::SeqRead);
     print_row(&label("sequential read (repaired)"), &[("MB/s".into(), pr)]);
     push("seq_read_repaired", pr, None);
 

@@ -1,0 +1,239 @@
+//! The device-generic throughput driver — the one measurement core
+//! behind both `store_throughput` (a local [`StripeStore`]) and
+//! `net_throughput` (TCP clients against an in-process server).
+//!
+//! Both harnesses used to carry their own timing loops; because every
+//! backend now implements `stair_device::BlockDevice`, the workload
+//! body, the per-thread region carving, the warmup policy, and the
+//! timing arithmetic live here once. A measurement drives one device
+//! handle per thread over disjoint regions — for an in-process store
+//! that is the same `&StripeStore` on every thread (it is `Sync`), for
+//! the wire it is one connection per thread — so the only contention is
+//! whatever the backend really has (stripe locks, sockets, worker
+//! pools).
+//!
+//! [`StripeStore`]: https://docs.rs/stair-store
+
+use std::time::Instant;
+
+use stair_device::BlockDevice;
+
+/// A workload shape. Sequential ops stream `seq_io`-byte transfers;
+/// random ops issue single `rand_io`-byte transfers at uniformly
+/// pseudo-random aligned offsets (the small-I/O shape that exercises
+/// the parity-delta path).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DevOp {
+    /// Sequential writes of `seq_io` bytes.
+    SeqWrite,
+    /// Sequential reads of `seq_io` bytes.
+    SeqRead,
+    /// Random writes of `rand_io` bytes.
+    RandWrite,
+    /// Random reads of `rand_io` bytes.
+    RandRead,
+}
+
+impl DevOp {
+    /// The stable name used in reports (`seq_write`, `rand_read`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            DevOp::SeqWrite => "seq_write",
+            DevOp::SeqRead => "seq_read",
+            DevOp::RandWrite => "rand_write",
+            DevOp::RandRead => "rand_read",
+        }
+    }
+}
+
+/// Transfer sizes for [`measure_devices`].
+#[derive(Clone, Copy, Debug)]
+pub struct IoShape {
+    /// Bytes per sequential transfer.
+    pub seq_io: usize,
+    /// Bytes per random transfer (usually one block).
+    pub rand_io: usize,
+}
+
+/// One timed measurement: aggregated bytes/requests over wall-clock
+/// seconds.
+#[derive(Clone, Copy, Debug)]
+pub struct DevMeasurement {
+    /// Payload bytes transferred in the timed pass.
+    pub bytes: usize,
+    /// Requests issued in the timed pass.
+    pub requests: usize,
+    /// Wall-clock duration of the timed pass.
+    pub seconds: f64,
+}
+
+impl DevMeasurement {
+    /// Throughput in MiB/s.
+    pub fn mb_per_s(&self) -> f64 {
+        self.bytes as f64 / self.seconds / (1024.0 * 1024.0)
+    }
+
+    /// Request rate per second.
+    pub fn req_per_s(&self) -> f64 {
+        self.requests as f64 / self.seconds
+    }
+}
+
+/// Runs `op` over `devs` — one device handle per thread, each confined
+/// to a disjoint region of `[0, capacity)` — with one warmup pass (pays
+/// connection setup and first-touch costs) followed by `passes` timed
+/// passes.
+///
+/// # Panics
+///
+/// Panics if `devs` is empty, `capacity` is too small to give every
+/// thread at least one sequential transfer, or a device call fails
+/// (benchmarks want loud failures, not skewed numbers).
+pub fn measure_devices(
+    devs: &[&dyn BlockDevice],
+    op: DevOp,
+    capacity: usize,
+    shape: IoShape,
+    passes: usize,
+) -> DevMeasurement {
+    assert!(!devs.is_empty(), "need at least one device handle");
+    let region = capacity / devs.len() / shape.seq_io * shape.seq_io;
+    assert!(
+        region >= shape.seq_io,
+        "capacity {capacity} too small for {} thread(s) of {}-byte transfers",
+        devs.len(),
+        shape.seq_io
+    );
+    let pass = || -> (usize, usize) {
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (c, dev) in devs.iter().enumerate() {
+                handles.push(scope.spawn(move || run_workload(*dev, op, c, region, shape)));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("bench thread"))
+                .fold((0, 0), |(b, r), (tb, tr)| (b + tb, r + tr))
+        })
+    };
+    pass(); // warmup
+    let start = Instant::now();
+    let mut bytes = 0;
+    let mut requests = 0;
+    for _ in 0..passes.max(1) {
+        let (b, r) = pass();
+        bytes += b;
+        requests += r;
+    }
+    let seconds = start.elapsed().as_secs_f64().max(1e-9);
+    DevMeasurement {
+        bytes,
+        requests,
+        seconds,
+    }
+}
+
+/// The per-thread workload body shared by warmup and timed passes.
+fn run_workload(
+    dev: &dyn BlockDevice,
+    op: DevOp,
+    c: usize,
+    region: usize,
+    shape: IoShape,
+) -> (usize, usize) {
+    let base = (c * region) as u64;
+    let mut bytes = 0usize;
+    let mut requests = 0usize;
+    match op {
+        DevOp::SeqWrite => {
+            let payload = pattern(shape.seq_io, c as u64);
+            let mut at = 0;
+            while at + shape.seq_io <= region {
+                dev.write_at(base + at as u64, &payload).expect("write");
+                bytes += shape.seq_io;
+                requests += 1;
+                at += shape.seq_io;
+            }
+        }
+        DevOp::SeqRead => {
+            let mut at = 0;
+            while at + shape.seq_io <= region {
+                let got = dev.read_at(base + at as u64, shape.seq_io).expect("read");
+                assert_eq!(got.len(), shape.seq_io);
+                bytes += shape.seq_io;
+                requests += 1;
+                at += shape.seq_io;
+            }
+        }
+        DevOp::RandWrite | DevOp::RandRead => {
+            let block = shape.rand_io;
+            let slots = (region / block).max(1);
+            let ops = (region / shape.seq_io).max(1) * (shape.seq_io / block).min(16);
+            let payload = pattern(block, c as u64 + 7);
+            let mut state = 0x9E3779B97F4A7C15u64.wrapping_add(c as u64);
+            for _ in 0..ops {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let at = base + (((state >> 16) as usize % slots) * block) as u64;
+                if op == DevOp::RandWrite {
+                    dev.write_at(at, &payload).expect("rand write");
+                } else {
+                    let got = dev.read_at(at, block).expect("rand read");
+                    assert_eq!(got.len(), block);
+                }
+                bytes += block;
+                requests += 1;
+            }
+        }
+    }
+    (bytes, requests)
+}
+
+/// A deterministic per-thread byte pattern.
+fn pattern(len: usize, seed: u64) -> Vec<u8> {
+    (0..len)
+        .map(|i| ((i as u64).wrapping_mul(31).wrapping_add(seed * 131) % 251) as u8)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stair_store::{StoreOptions, StripeStore};
+
+    #[test]
+    fn measures_a_real_store_through_the_trait() {
+        let dir = std::env::temp_dir().join(format!("stair-driver-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = StripeStore::create(
+            &dir,
+            &StoreOptions {
+                code: "stair:8,4,2,1-1-2".parse().unwrap(),
+                symbol: 64,
+                stripes: 8,
+            },
+        )
+        .expect("create store");
+        let capacity = store.capacity() as usize;
+        let dev: &dyn BlockDevice = &store;
+        let shape = IoShape {
+            seq_io: capacity / 2,
+            rand_io: 64,
+        };
+        // Two handles to the same store = two concurrent threads.
+        for op in [
+            DevOp::SeqWrite,
+            DevOp::SeqRead,
+            DevOp::RandWrite,
+            DevOp::RandRead,
+        ] {
+            let m = measure_devices(&[dev, dev], op, capacity, shape, 1);
+            assert!(m.bytes > 0, "{op:?} moved no bytes");
+            assert!(m.requests > 0);
+            assert!(m.mb_per_s() > 0.0);
+            assert!(m.req_per_s() > 0.0);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

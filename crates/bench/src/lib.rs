@@ -13,6 +13,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod driver;
+
 use std::time::Instant;
 
 use stair::{Config, MultXorCounts, StairCodec, Stripe};

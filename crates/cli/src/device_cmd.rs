@@ -1,0 +1,263 @@
+//! The `stair dev` subcommand family — and the single data path behind
+//! `stair store` and `stair remote`.
+//!
+//! ```text
+//! stair dev status --dev SPEC [--json]
+//! stair dev read   --dev SPEC --output FILE [--offset BYTES] [--len BYTES]
+//! stair dev write  --dev SPEC --input FILE [--offset BYTES]
+//! stair dev fail   --dev SPEC --device J [--shard S] [--stripe I --sector K --len L]
+//! stair dev scrub  --dev SPEC [--threads T] [--json]
+//! stair dev repair --dev SPEC [--threads T] [--json]
+//! stair dev flush  --dev SPEC
+//! ```
+//!
+//! `SPEC` is a `stair_device::DeviceSpec`: `file:<dir>`,
+//! `shards:<root>[?n=K]`, or `tcp:<host:port>[?lanes=L]`. The legacy
+//! `stair store …` / `stair remote …` verbs are thin aliases that build
+//! the spec from `--dir` / `--addr` and land here, so every backend
+//! runs the identical code and prints the identical output.
+
+use std::path::PathBuf;
+use std::str::FromStr;
+
+use stair_device::{BlockDevice, DeviceSpec};
+use stair_net::{open_admin, open_device};
+
+use crate::flags::{u64_flag, usize_flag, Flags};
+use crate::status_json;
+
+/// Usage text for the `dev` family.
+pub const DEV_USAGE: &str = "usage:
+  stair dev status --dev SPEC [--json]
+  stair dev read   --dev SPEC --output FILE [--offset BYTES] [--len BYTES]
+  stair dev write  --dev SPEC --input FILE [--offset BYTES]
+  stair dev fail   --dev SPEC --device J [--shard S] [--stripe I --sector K --len L]
+  stair dev scrub  --dev SPEC [--threads T] [--json]
+  stair dev repair --dev SPEC [--threads T] [--json]
+  stair dev flush  --dev SPEC
+  (SPEC: file:<dir> | shards:<root>[?n=K] | tcp:<host:port>[?lanes=L])";
+
+/// Dispatches a `stair dev <verb> ...` invocation.
+pub fn run(verb: &str, flags: &Flags) -> Result<(), String> {
+    let spec = flags
+        .get("dev")
+        .filter(|v| !v.is_empty())
+        .ok_or_else(|| format!("--dev is required\n{DEV_USAGE}"))?;
+    let spec = DeviceSpec::from_str(spec).map_err(|e| e.to_string())?;
+    run_with_spec(verb, flags, &spec, "stair dev")
+}
+
+/// Runs one verb against the backend `spec` names. `family` is the
+/// command prefix used in follow-up hints (`"stair store"`,
+/// `"stair remote"`, or `"stair dev"`), so aliases keep suggesting
+/// commands in the caller's own dialect.
+pub fn run_with_spec(
+    verb: &str,
+    flags: &Flags,
+    spec: &DeviceSpec,
+    family: &str,
+) -> Result<(), String> {
+    match verb {
+        "status" => cmd_status(flags, spec),
+        "read" => cmd_read(flags, spec),
+        "write" => cmd_write(flags, spec),
+        "fail" => cmd_fail(flags, spec),
+        "scrub" => cmd_scrub(flags, spec, family),
+        "repair" => cmd_repair(flags, spec),
+        "flush" => cmd_flush(spec),
+        _ => Err(format!("unknown {family} command `{verb}`\n{DEV_USAGE}")),
+    }
+}
+
+fn open(spec: &DeviceSpec) -> Result<Box<dyn BlockDevice>, String> {
+    open_device(spec).map_err(|e| e.to_string())
+}
+
+fn cmd_status(flags: &Flags, spec: &DeviceSpec) -> Result<(), String> {
+    let dev = open(spec)?;
+    let status = dev.status().map_err(|e| e.to_string())?;
+    if flags.contains_key("json") {
+        print!("{}", status_json::device_status_json(&status).to_text());
+        return Ok(());
+    }
+    // `DeviceStatus.shards` is never empty (the open registry and the
+    // wire-status path both enforce it); guard anyway so a future
+    // backend bug degrades to an error, not a panic.
+    let first = status
+        .shards
+        .first()
+        .ok_or_else(|| "device reported no shards".to_string())?;
+    println!("codec {}", first.codec);
+    println!("  backend           : {}", status.backend);
+    println!(
+        "  tolerance         : {} device(s) + {} sector(s) per stripe",
+        first.device_tolerance, first.sector_tolerance
+    );
+    if let Some(efficiency) = storage_efficiency(first) {
+        println!("  storage efficiency: {efficiency:.4}");
+    }
+    println!("  capacity          : {} bytes", status.capacity);
+    println!(
+        "  geometry          : {} shard(s) x {} stripes x {} blocks x {} bytes",
+        status.shards.len(),
+        first.stripes,
+        first.blocks_per_stripe,
+        first.block_size
+    );
+    if status.shards.len() == 1 {
+        println!("  failed devices    : {:?}", first.failed_devices);
+        println!("  rebuilding devices: {:?}", first.rebuilding_devices);
+        println!("  known bad sectors : {}", first.known_bad_sectors);
+    } else {
+        for (i, s) in status.shards.iter().enumerate() {
+            println!(
+                "  shard {i}: failed {:?}, rebuilding {:?}, {} known bad sector(s)",
+                s.failed_devices, s.rebuilding_devices, s.known_bad_sectors
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Data fraction from the codec spec (`data blocks / (n·r)`); `None`
+/// when the codec string does not parse (possible over the wire from a
+/// newer peer).
+fn storage_efficiency(shard: &stair_device::ShardHealth) -> Option<f64> {
+    let spec = stair_code::CodecSpec::from_str(&shard.codec).ok()?;
+    let total = (spec.n() * spec.r()) as f64;
+    (total > 0.0).then(|| shard.blocks_per_stripe as f64 / total)
+}
+
+fn cmd_read(flags: &Flags, spec: &DeviceSpec) -> Result<(), String> {
+    let dev = open(spec)?;
+    let output = flags
+        .get("output")
+        .map(PathBuf::from)
+        .ok_or_else(|| "--output is required".to_string())?;
+    let offset = u64_flag(flags, "offset", 0)?;
+    let default_len = dev.capacity().saturating_sub(offset);
+    let len = u64_flag(flags, "len", default_len)? as usize;
+    let data = dev.read_at(offset, len).map_err(|e| e.to_string())?;
+    std::fs::write(&output, &data).map_err(|e| e.to_string())?;
+    let mode = match dev.status() {
+        Ok(status) if status.healthy() => "clean",
+        Ok(_) => "degraded",
+        // A status failure after a verified read is not worth failing
+        // the read for.
+        Err(_) => "verified",
+    };
+    println!(
+        "read {len} bytes at offset {offset} ({mode}) to {}",
+        output.display()
+    );
+    Ok(())
+}
+
+fn cmd_write(flags: &Flags, spec: &DeviceSpec) -> Result<(), String> {
+    let dev = open(spec)?;
+    let input = flags
+        .get("input")
+        .map(PathBuf::from)
+        .ok_or_else(|| "--input is required".to_string())?;
+    let offset = u64_flag(flags, "offset", 0)?;
+    let data = std::fs::read(&input).map_err(|e| e.to_string())?;
+    let outcome = dev.write_at(offset, &data).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} bytes at offset {offset}: {} stripes touched ({} full re-encodes, {} delta updates)",
+        outcome.bytes, outcome.stripes_touched, outcome.full_stripe_encodes, outcome.delta_updates
+    );
+    Ok(())
+}
+
+fn cmd_fail(flags: &Flags, spec: &DeviceSpec) -> Result<(), String> {
+    let dev = open_admin(spec).map_err(|e| e.to_string())?;
+    let device = usize_flag(flags, "device", usize::MAX)?;
+    if device == usize::MAX {
+        return Err("--device is required".into());
+    }
+    // Defaulting the shard is only safe when there is exactly one;
+    // silently picking shard 0 on a sharded backend would inject the
+    // fault somewhere the operator did not name.
+    let shard = match flags.get("shard") {
+        Some(_) => usize_flag(flags, "shard", 0)?,
+        None => {
+            let shards = dev.status().map_err(|e| e.to_string())?.shards.len();
+            if shards > 1 {
+                return Err(format!(
+                    "--shard is required: this device has {shards} shards"
+                ));
+            }
+            0
+        }
+    };
+    if flags.contains_key("stripe") || flags.contains_key("sector") {
+        let stripe = usize_flag(flags, "stripe", 0)?;
+        let sector = usize_flag(flags, "sector", 0)?;
+        let len = usize_flag(flags, "len", 1)?;
+        dev.corrupt_sectors(shard, device, stripe, sector, len)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "corrupted {len} sector(s) of shard {shard} device {device} in stripe {stripe} (latent until scrub/read)"
+        );
+    } else {
+        dev.fail_device(shard, device).map_err(|e| e.to_string())?;
+        println!("failed shard {shard} device {device}: backing file removed");
+    }
+    Ok(())
+}
+
+fn cmd_scrub(flags: &Flags, spec: &DeviceSpec, family: &str) -> Result<(), String> {
+    let dev = open(spec)?;
+    let threads = usize_flag(flags, "threads", 4)?;
+    let outcome = dev.scrub(threads).map_err(|e| e.to_string())?;
+    if flags.contains_key("json") {
+        print!("{}", status_json::scrub_json(&outcome).to_text());
+        return Ok(());
+    }
+    println!(
+        "scrubbed {} stripes, verified {} sectors: {} mismatches, {} unavailable device(s), {} stale record(s) cleared",
+        outcome.stripes_scanned,
+        outcome.sectors_verified,
+        outcome.mismatches,
+        outcome.unavailable_devices,
+        outcome.records_cleared
+    );
+    if outcome.clean() {
+        println!("device clean");
+    } else {
+        println!("run `{family} repair` to reconstruct");
+    }
+    Ok(())
+}
+
+fn cmd_repair(flags: &Flags, spec: &DeviceSpec) -> Result<(), String> {
+    let dev = open(spec)?;
+    let threads = usize_flag(flags, "threads", 4)?;
+    let outcome = dev.repair(threads).map_err(|e| e.to_string())?;
+    if flags.contains_key("json") {
+        print!("{}", status_json::repair_json(&outcome).to_text());
+    } else {
+        println!(
+            "replaced {} device(s), repaired {} stripe(s), rewrote {} sector(s)",
+            outcome.devices_replaced, outcome.stripes_repaired, outcome.sectors_rewritten
+        );
+        if outcome.complete() {
+            println!("repair complete");
+        }
+    }
+    if outcome.complete() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} stripe(s) beyond coverage (data lost)",
+            outcome.unrecoverable_stripes
+        ))
+    }
+}
+
+fn cmd_flush(spec: &DeviceSpec) -> Result<(), String> {
+    let dev = open(spec)?;
+    dev.flush().map_err(|e| e.to_string())?;
+    println!("flushed");
+    Ok(())
+}

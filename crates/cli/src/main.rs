@@ -11,13 +11,18 @@
 //! stair store   (init|status|write|read|fail|scrub|repair|inject) ...
 //! stair serve   --dir ROOT --addr HOST:PORT [--shards K --code SPEC ...]
 //! stair remote  (status|read|write|fail|scrub|repair|flush|shutdown) --addr A ...
+//! stair dev     (status|read|write|fail|scrub|repair|flush) --dev SPEC ...
 //! ```
 //!
 //! `stair store init --code sd:6,4,1,2` (or `rs:n,r,m` / `stair:n,r,m,e`)
 //! picks which erasure code protects the store. `stair serve` hosts a
 //! sharded store over the stair-net protocol; `stair remote` is its
-//! client.
+//! client. `stair dev` drives *any* backend through the unified
+//! `BlockDevice` API — `--dev file:<dir>`, `shards:<root>?n=K`, or
+//! `tcp:<addr>?lanes=L` — and is the single data path the `store` and
+//! `remote` verbs alias into.
 
+mod device_cmd;
 mod flags;
 mod remote_cmd;
 mod serve_cmd;
@@ -40,6 +45,19 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         };
         return match store_cmd::run(&verb, &flags) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("dev") {
+        let Some((verb, flags)) = parse(&args[1..]) else {
+            eprintln!("{}", device_cmd::DEV_USAGE);
+            return ExitCode::FAILURE;
+        };
+        return match device_cmd::run(&verb, &flags) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -107,7 +125,8 @@ const USAGE: &str = "usage:
   stair corrupt --dir DIR --device J [--stripe I --sector K --len L]
   stair store   (init|status|write|read|fail|scrub|repair|inject) --dir DIR ...
   stair serve   --dir ROOT --addr HOST:PORT [--shards K --code SPEC ...]
-  stair remote  (status|read|write|fail|scrub|repair|flush|shutdown) --addr A ...";
+  stair remote  (status|read|write|fail|scrub|repair|flush|shutdown) --addr A ...
+  stair dev     (status|read|write|fail|scrub|repair|flush) --dev SPEC ...";
 
 use flags::{dir_flag, usize_flag, Flags};
 

@@ -6,18 +6,21 @@
 //! stair remote read     --addr A --output FILE [--offset N] [--len N]
 //! stair remote write    --addr A --input FILE [--offset N]
 //! stair remote fail     --addr A --shard S --device J [--stripe I --sector K --len L]
-//! stair remote scrub    --addr A [--threads T]
-//! stair remote repair   --addr A [--threads T]
+//! stair remote scrub    --addr A [--threads T] [--json]
+//! stair remote repair   --addr A [--threads T] [--json]
 //! stair remote flush    --addr A
 //! stair remote shutdown --addr A
 //! ```
+//!
+//! Only `shutdown` is remote-specific (it is a protocol verb, not a
+//! device operation); everything else is a thin alias for
+//! `stair dev … --dev tcp:ADDR` (see [`crate::device_cmd`]), so the
+//! remote data path is the same code that serves local stores.
 
-use std::path::PathBuf;
-
+use stair_device::DeviceSpec;
 use stair_net::Client;
 
-use crate::flags::{u64_flag, usize_flag, Flags};
-use crate::status_json;
+use crate::flags::Flags;
 
 /// Usage text for the `remote` family.
 pub const REMOTE_USAGE: &str = "usage:
@@ -25,156 +28,38 @@ pub const REMOTE_USAGE: &str = "usage:
   stair remote read     --addr HOST:PORT --output FILE [--offset BYTES] [--len BYTES]
   stair remote write    --addr HOST:PORT --input FILE [--offset BYTES]
   stair remote fail     --addr HOST:PORT --shard S --device J [--stripe I --sector K --len L]
-  stair remote scrub    --addr HOST:PORT [--threads T]
-  stair remote repair   --addr HOST:PORT [--threads T]
+  stair remote scrub    --addr HOST:PORT [--threads T] [--json]
+  stair remote repair   --addr HOST:PORT [--threads T] [--json]
   stair remote flush    --addr HOST:PORT
   stair remote shutdown --addr HOST:PORT";
 
 /// Dispatches a `stair remote <verb> ...` invocation.
 pub fn run(verb: &str, flags: &Flags) -> Result<(), String> {
-    let mut client = connect(flags)?;
+    let addr = addr_flag(flags)?;
     match verb {
-        "status" => cmd_status(&mut client, flags),
-        "read" => cmd_read(&mut client, flags),
-        "write" => cmd_write(&mut client, flags),
-        "fail" => cmd_fail(&mut client, flags),
-        "scrub" => cmd_scrub(&mut client, flags),
-        "repair" => cmd_repair(&mut client, flags),
-        "flush" => client.flush().map_err(|e| e.to_string()).map(|()| {
-            println!("flushed");
-        }),
-        "shutdown" => client
-            .shutdown_server()
-            .map_err(|e| e.to_string())
-            .map(|()| {
-                println!("server shutting down");
-            }),
+        "shutdown" => {
+            let client = Client::connect(&addr).map_err(|e| e.to_string())?;
+            client.shutdown_server().map_err(|e| e.to_string())?;
+            println!("server shutting down");
+            Ok(())
+        }
+        "status" | "read" | "write" | "fail" | "scrub" | "repair" | "flush" => {
+            // Remote fail requires an explicit shard (a server always
+            // has one or more; defaulting silently would be a footgun).
+            if verb == "fail" && !flags.contains_key("shard") {
+                return Err("--shard and --device are required".into());
+            }
+            let spec = DeviceSpec::Tcp { addr, lanes: 1 };
+            crate::device_cmd::run_with_spec(verb, flags, &spec, "stair remote")
+        }
         _ => Err(format!("unknown remote command `{verb}`\n{REMOTE_USAGE}")),
     }
 }
 
-fn connect(flags: &Flags) -> Result<Client, String> {
-    let addr = flags
+fn addr_flag(flags: &Flags) -> Result<String, String> {
+    flags
         .get("addr")
         .filter(|v| !v.is_empty())
-        .ok_or_else(|| format!("--addr is required\n{REMOTE_USAGE}"))?;
-    Client::connect(addr).map_err(|e| e.to_string())
-}
-
-fn cmd_status(client: &mut Client, flags: &Flags) -> Result<(), String> {
-    let statuses = client.status().map_err(|e| e.to_string())?;
-    if flags.contains_key("json") {
-        print!("{}", status_json::shard_statuses_json(&statuses).to_text());
-        return Ok(());
-    }
-    let info = client.info().clone();
-    println!(
-        "{} shard(s) of {} on the wire protocol v{}",
-        info.shards, info.codec, info.version
-    );
-    println!(
-        "  total capacity    : {} bytes ({}-byte blocks, {}-block placement ranges)",
-        info.capacity, info.block_size, info.range_blocks
-    );
-    for (i, s) in statuses.iter().enumerate() {
-        println!(
-            "  shard {i}: failed {:?}, rebuilding {:?}, {} known bad sector(s)",
-            s.failed_devices, s.rebuilding_devices, s.known_bad_sectors
-        );
-    }
-    Ok(())
-}
-
-fn cmd_read(client: &mut Client, flags: &Flags) -> Result<(), String> {
-    let output = flags
-        .get("output")
-        .map(PathBuf::from)
-        .ok_or_else(|| "--output is required".to_string())?;
-    let offset = u64_flag(flags, "offset", 0)?;
-    let default_len = client.capacity().saturating_sub(offset);
-    let len = u64_flag(flags, "len", default_len)? as usize;
-    let data = client.read_at(offset, len).map_err(|e| e.to_string())?;
-    std::fs::write(&output, &data).map_err(|e| e.to_string())?;
-    println!(
-        "read {len} bytes at offset {offset} (checksum-verified) to {}",
-        output.display()
-    );
-    Ok(())
-}
-
-fn cmd_write(client: &mut Client, flags: &Flags) -> Result<(), String> {
-    let input = flags
-        .get("input")
-        .map(PathBuf::from)
-        .ok_or_else(|| "--input is required".to_string())?;
-    let offset = u64_flag(flags, "offset", 0)?;
-    let data = std::fs::read(&input).map_err(|e| e.to_string())?;
-    let report = client.write_at(offset, &data).map_err(|e| e.to_string())?;
-    println!(
-        "wrote {} bytes at offset {offset}: {} stripes touched ({} full re-encodes, {} delta updates)",
-        report.bytes, report.stripes_touched, report.full_stripe_encodes, report.delta_updates
-    );
-    Ok(())
-}
-
-fn cmd_fail(client: &mut Client, flags: &Flags) -> Result<(), String> {
-    let shard = usize_flag(flags, "shard", usize::MAX)?;
-    let device = usize_flag(flags, "device", usize::MAX)?;
-    if shard == usize::MAX || device == usize::MAX {
-        return Err("--shard and --device are required".into());
-    }
-    if flags.contains_key("stripe") || flags.contains_key("sector") {
-        let stripe = usize_flag(flags, "stripe", 0)?;
-        let sector = usize_flag(flags, "sector", 0)?;
-        let len = usize_flag(flags, "len", 1)?;
-        client
-            .corrupt_sectors(shard, device, stripe, sector, len)
-            .map_err(|e| e.to_string())?;
-        println!(
-            "corrupted {len} sector(s) of shard {shard} device {device} in stripe {stripe} (latent until scrub/read)"
-        );
-    } else {
-        client
-            .fail_device(shard, device)
-            .map_err(|e| e.to_string())?;
-        println!("failed shard {shard} device {device}: backing file removed");
-    }
-    Ok(())
-}
-
-fn cmd_scrub(client: &mut Client, flags: &Flags) -> Result<(), String> {
-    let threads = usize_flag(flags, "threads", 4)?;
-    let report = client.scrub(threads).map_err(|e| e.to_string())?;
-    println!(
-        "scrubbed {} stripes, verified {} sectors: {} mismatches, {} unavailable device(s), {} stale record(s) cleared",
-        report.stripes_scanned,
-        report.sectors_verified,
-        report.mismatches,
-        report.unavailable_devices,
-        report.records_cleared
-    );
-    if report.clean() {
-        println!("all shards clean");
-    } else {
-        println!("run `stair remote repair` to reconstruct");
-    }
-    Ok(())
-}
-
-fn cmd_repair(client: &mut Client, flags: &Flags) -> Result<(), String> {
-    let threads = usize_flag(flags, "threads", 4)?;
-    let report = client.repair(threads).map_err(|e| e.to_string())?;
-    println!(
-        "replaced {} device(s), repaired {} stripe(s), rewrote {} sector(s)",
-        report.devices_replaced, report.stripes_repaired, report.sectors_rewritten
-    );
-    if report.complete() {
-        println!("repair complete");
-        Ok(())
-    } else {
-        Err(format!(
-            "{} stripe(s) beyond coverage (data lost)",
-            report.unrecoverable_stripes
-        ))
-    }
+        .cloned()
+        .ok_or_else(|| format!("--addr is required\n{REMOTE_USAGE}"))
 }

@@ -1,45 +1,73 @@
-//! The one JSON serializer for store health — shared by
-//! `stair store status --json` (a single store) and
-//! `stair remote status --json` (every shard behind a server), so the
-//! two surfaces can never drift apart.
+//! The one JSON serializer for device health and maintenance reports —
+//! shared by `stair dev … --json` and the `stair store` /
+//! `stair remote` aliases, so the three surfaces can never drift
+//! apart: `--dev file:…` and `--dev tcp:…` produce byte-identical
+//! shapes.
 
+use stair_device::{DeviceStatus, RepairOutcome, ScrubOutcome, ShardHealth};
 use stair_net::json::Json;
-use stair_store::StoreStatus;
 
-/// One store/shard as a JSON object.
-pub fn store_status_json(status: &StoreStatus) -> Json {
+/// One shard's health as a JSON object.
+fn shard_json(shard: &ShardHealth) -> Json {
     let devs = |v: &[usize]| Json::arr(v.iter().map(|&d| Json::int(d)));
     Json::obj([
-        ("codec", Json::str(status.codec.to_string())),
-        ("capacity_bytes", Json::int64(status.capacity)),
-        ("block_size", Json::int(status.block_size)),
-        ("stripes", Json::int(status.stripes)),
-        ("blocks_per_stripe", Json::int(status.blocks_per_stripe)),
-        ("failed_devices", devs(&status.failed_devices)),
-        ("rebuilding_devices", devs(&status.rebuilding_devices)),
-        ("known_bad_sectors", Json::int(status.known_bad_sectors)),
-        ("healthy", Json::Bool(is_healthy(status))),
+        ("codec", Json::str(shard.codec.clone())),
+        ("capacity_bytes", Json::int64(shard.capacity)),
+        ("block_size", Json::int(shard.block_size)),
+        ("stripes", Json::int(shard.stripes)),
+        ("blocks_per_stripe", Json::int(shard.blocks_per_stripe)),
+        ("device_tolerance", Json::int(shard.device_tolerance)),
+        ("sector_tolerance", Json::int(shard.sector_tolerance)),
+        ("failed_devices", devs(&shard.failed_devices)),
+        ("rebuilding_devices", devs(&shard.rebuilding_devices)),
+        ("known_bad_sectors", Json::int(shard.known_bad_sectors)),
+        ("healthy", Json::Bool(shard.healthy())),
     ])
 }
 
-/// A shard list (remote status) as a JSON object with the aggregate.
-pub fn shard_statuses_json(statuses: &[StoreStatus]) -> Json {
+/// A device's unified status as a JSON object — the same shape for
+/// every backend (a local store is simply a device with one shard).
+pub fn device_status_json(status: &DeviceStatus) -> Json {
     Json::obj([
-        ("shards", Json::int(statuses.len())),
-        (
-            "total_capacity_bytes",
-            Json::int64(statuses.iter().map(|s| s.capacity).sum()),
-        ),
-        ("healthy", Json::Bool(statuses.iter().all(is_healthy))),
+        ("backend", Json::str(status.backend.clone())),
+        ("shards", Json::int(status.shards.len())),
+        ("total_capacity_bytes", Json::int64(status.capacity)),
+        ("block_size", Json::int(status.block_size)),
+        ("healthy", Json::Bool(status.healthy())),
         (
             "shard_status",
-            Json::arr(statuses.iter().map(store_status_json)),
+            Json::arr(status.shards.iter().map(shard_json)),
         ),
     ])
 }
 
-fn is_healthy(status: &StoreStatus) -> bool {
-    status.failed_devices.is_empty()
-        && status.rebuilding_devices.is_empty()
-        && status.known_bad_sectors == 0
+/// A scrub outcome as a JSON object.
+pub fn scrub_json(outcome: &ScrubOutcome) -> Json {
+    Json::obj([
+        ("op", Json::str("scrub")),
+        ("stripes_scanned", Json::int64(outcome.stripes_scanned)),
+        ("sectors_verified", Json::int64(outcome.sectors_verified)),
+        ("mismatches", Json::int64(outcome.mismatches)),
+        (
+            "unavailable_devices",
+            Json::int64(outcome.unavailable_devices),
+        ),
+        ("records_cleared", Json::int64(outcome.records_cleared)),
+        ("clean", Json::Bool(outcome.clean())),
+    ])
+}
+
+/// A repair outcome as a JSON object.
+pub fn repair_json(outcome: &RepairOutcome) -> Json {
+    Json::obj([
+        ("op", Json::str("repair")),
+        ("devices_replaced", Json::int64(outcome.devices_replaced)),
+        ("stripes_repaired", Json::int64(outcome.stripes_repaired)),
+        ("sectors_rewritten", Json::int64(outcome.sectors_rewritten)),
+        (
+            "unrecoverable_stripes",
+            Json::int64(outcome.unrecoverable_stripes),
+        ),
+        ("complete", Json::Bool(outcome.complete())),
+    ])
 }

@@ -3,12 +3,13 @@
 //!
 //! ```text
 //! stair store init   --dir DIR [--code SPEC] [--symbol S --stripes T]
-//! stair store status --dir DIR
+//! stair store status --dir DIR [--json]
 //! stair store write  --dir DIR --input FILE [--offset BYTES]
 //! stair store read   --dir DIR --output FILE [--offset BYTES] [--len BYTES]
 //! stair store fail   --dir DIR --device J [--stripe I --sector K --len L]
-//! stair store scrub  --dir DIR [--threads T]
-//! stair store repair --dir DIR [--threads T]
+//! stair store scrub  --dir DIR [--threads T] [--json]
+//! stair store repair --dir DIR [--threads T] [--json]
+//! stair store flush  --dir DIR
 //! stair store inject --dir DIR --p-sec P [--seed S] [--burst B1,ALPHA]
 //! ```
 //!
@@ -16,12 +17,17 @@
 //! or `rs:n,r,m`), so one store engine benchmarks every code family the
 //! paper compares. The legacy `--n/--r/--m/--e` flags still work and
 //! build a STAIR spec.
+//!
+//! Only `init` and `inject` are store-specific; every data-path verb is
+//! a thin alias for `stair dev … --dev file:DIR` (see
+//! [`crate::device_cmd`]), so the local, sharded, and remote backends
+//! share one implementation.
 
-use std::path::PathBuf;
 use std::str::FromStr;
 
 use stair_arraysim::FailureInjector;
 use stair_code::CodecSpec;
+use stair_device::DeviceSpec;
 use stair_reliability::BurstModel;
 use stair_store::{StoreOptions, StripeStore};
 
@@ -36,21 +42,22 @@ pub const STORE_USAGE: &str = "usage:
   stair store write  --dir DIR --input FILE [--offset BYTES]
   stair store read   --dir DIR --output FILE [--offset BYTES] [--len BYTES]
   stair store fail   --dir DIR --device J [--stripe I --sector K --len L]
-  stair store scrub  --dir DIR [--threads T]
-  stair store repair --dir DIR [--threads T]
+  stair store scrub  --dir DIR [--threads T] [--json]
+  stair store repair --dir DIR [--threads T] [--json]
+  stair store flush  --dir DIR
   stair store inject --dir DIR --p-sec P [--seed S] [--burst B1,ALPHA]";
 
 /// Dispatches a `stair store <verb> ...` invocation.
 pub fn run(verb: &str, flags: &Flags) -> Result<(), String> {
     match verb {
         "init" => cmd_init(flags),
-        "status" => cmd_status(flags),
-        "write" => cmd_write(flags),
-        "read" => cmd_read(flags),
-        "fail" => cmd_fail(flags),
-        "scrub" => cmd_scrub(flags),
-        "repair" => cmd_repair(flags),
         "inject" => cmd_inject(flags),
+        "status" | "read" | "write" | "fail" | "scrub" | "repair" | "flush" => {
+            let spec = DeviceSpec::File {
+                dir: dir_flag(flags)?,
+            };
+            crate::device_cmd::run_with_spec(verb, flags, &spec, "stair store")
+        }
         _ => Err(format!("unknown store command `{verb}`\n{STORE_USAGE}")),
     }
 }
@@ -103,140 +110,6 @@ fn cmd_init(flags: &Flags) -> Result<(), String> {
         store.geometry().n
     );
     Ok(())
-}
-
-fn cmd_status(flags: &Flags) -> Result<(), String> {
-    let store = open(flags)?;
-    let status = store.status();
-    if flags.contains_key("json") {
-        print!(
-            "{}",
-            crate::status_json::store_status_json(&status).to_text()
-        );
-        return Ok(());
-    }
-    let geom = store.geometry();
-    println!("codec {}", status.codec);
-    println!(
-        "  tolerance         : {} device(s) + {} sector(s) per stripe",
-        geom.m, geom.s
-    );
-    println!("  storage efficiency: {:.4}", geom.storage_efficiency());
-    println!("  capacity          : {} bytes", status.capacity);
-    println!(
-        "  geometry          : {} stripes x {} blocks x {} bytes",
-        status.stripes, status.blocks_per_stripe, status.block_size
-    );
-    println!("  failed devices    : {:?}", status.failed_devices);
-    println!("  rebuilding devices: {:?}", status.rebuilding_devices);
-    println!("  known bad sectors : {}", status.known_bad_sectors);
-    Ok(())
-}
-
-fn cmd_write(flags: &Flags) -> Result<(), String> {
-    let store = open(flags)?;
-    let input = flags
-        .get("input")
-        .map(PathBuf::from)
-        .ok_or_else(|| "--input is required".to_string())?;
-    let offset = u64_flag(flags, "offset", 0)?;
-    let data = std::fs::read(&input).map_err(|e| e.to_string())?;
-    let report = store.write_at(offset, &data).map_err(|e| e.to_string())?;
-    println!(
-        "wrote {} bytes at offset {offset}: {} stripes ({} full re-encodes, {} delta updates patching {} parity sectors)",
-        data.len(),
-        report.stripes_touched,
-        report.full_stripe_encodes,
-        report.delta_updates,
-        report.parity_sectors_patched
-    );
-    Ok(())
-}
-
-fn cmd_read(flags: &Flags) -> Result<(), String> {
-    let store = open(flags)?;
-    let output = flags
-        .get("output")
-        .map(PathBuf::from)
-        .ok_or_else(|| "--output is required".to_string())?;
-    let offset = u64_flag(flags, "offset", 0)?;
-    let default_len = store.capacity().saturating_sub(offset);
-    let len = u64_flag(flags, "len", default_len)? as usize;
-    let data = store.read_at(offset, len).map_err(|e| e.to_string())?;
-    std::fs::write(&output, &data).map_err(|e| e.to_string())?;
-    let status = store.status();
-    let mode = if status.failed_devices.is_empty() && status.known_bad_sectors == 0 {
-        "clean"
-    } else {
-        "degraded"
-    };
-    println!(
-        "read {len} bytes at offset {offset} ({mode}) to {}",
-        output.display()
-    );
-    Ok(())
-}
-
-fn cmd_fail(flags: &Flags) -> Result<(), String> {
-    let store = open(flags)?;
-    let device = usize_flag(flags, "device", usize::MAX)?;
-    if device == usize::MAX {
-        return Err("--device is required".into());
-    }
-    if flags.contains_key("stripe") || flags.contains_key("sector") {
-        let stripe = usize_flag(flags, "stripe", 0)?;
-        let sector = usize_flag(flags, "sector", 0)?;
-        let len = usize_flag(flags, "len", 1)?;
-        store
-            .corrupt_sectors(device, stripe, sector, len)
-            .map_err(|e| e.to_string())?;
-        println!("corrupted {len} sector(s) of device {device} in stripe {stripe} (latent until scrub/read)");
-    } else {
-        store.fail_device(device).map_err(|e| e.to_string())?;
-        println!("failed device {device}: backing file removed");
-    }
-    Ok(())
-}
-
-fn cmd_scrub(flags: &Flags) -> Result<(), String> {
-    let store = open(flags)?;
-    let threads = usize_flag(flags, "threads", 4)?;
-    let report = store.scrub(threads).map_err(|e| e.to_string())?;
-    println!(
-        "scrubbed {} stripes, verified {} sectors: {} mismatches, {} unavailable device(s), {} stale record(s) cleared",
-        report.stripes_scanned,
-        report.sectors_verified,
-        report.mismatches.len(),
-        report.unavailable_devices.len(),
-        report.records_cleared
-    );
-    if report.clean() {
-        println!("store clean");
-    } else {
-        println!("run `stair store repair` to reconstruct");
-    }
-    Ok(())
-}
-
-fn cmd_repair(flags: &Flags) -> Result<(), String> {
-    let store = open(flags)?;
-    let threads = usize_flag(flags, "threads", 4)?;
-    let report = store.repair(threads).map_err(|e| e.to_string())?;
-    println!(
-        "replaced {} device(s), repaired {} stripe(s), rewrote {} sector(s)",
-        report.devices_replaced.len(),
-        report.stripes_repaired,
-        report.sectors_rewritten
-    );
-    if report.complete() {
-        println!("repair complete");
-        Ok(())
-    } else {
-        Err(format!(
-            "stripes beyond coverage (data lost): {:?}",
-            report.unrecoverable_stripes
-        ))
-    }
 }
 
 fn cmd_inject(flags: &Flags) -> Result<(), String> {

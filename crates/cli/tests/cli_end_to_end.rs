@@ -1,30 +1,9 @@
 //! End-to-end test of the `stair` binary: encode a file, destroy two
 //! devices and a burst, verify/repair/extract through the CLI surface.
 
-use std::path::PathBuf;
-use std::process::Command;
+mod common;
 
-fn bin() -> PathBuf {
-    // target/debug/stair next to the test executable's directory.
-    let mut path = std::env::current_exe().expect("test exe path");
-    path.pop(); // deps/
-    path.pop(); // debug/
-    path.push(format!("stair{}", std::env::consts::EXE_SUFFIX));
-    path
-}
-
-fn run(args: &[&str]) -> (bool, String) {
-    let out = Command::new(bin())
-        .args(args)
-        .output()
-        .expect("spawn stair binary");
-    let text = format!(
-        "{}{}",
-        String::from_utf8_lossy(&out.stdout),
-        String::from_utf8_lossy(&out.stderr)
-    );
-    (out.status.success(), text)
-}
+use common::run;
 
 #[test]
 fn full_cli_session() {

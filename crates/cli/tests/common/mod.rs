@@ -1,0 +1,121 @@
+//! Helpers shared by the CLI integration tests.
+//!
+//! Each integration-test target compiles its own copy of this module
+//! and uses a different subset of it, so unused-item lints are off.
+#![allow(dead_code)]
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+/// Path of the `stair` binary next to the test executable's directory.
+pub fn bin() -> PathBuf {
+    let mut path = std::env::current_exe().expect("test exe path");
+    path.pop(); // deps/
+    path.pop(); // debug/
+    path.push(format!("stair{}", std::env::consts::EXE_SUFFIX));
+    path
+}
+
+/// Runs the `stair` binary, returning (success, stdout + stderr).
+pub fn run(args: &[&str]) -> (bool, String) {
+    let out = Command::new(bin())
+        .args(args)
+        .output()
+        .expect("spawn stair binary");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+/// Spawns `stair serve` over `dir` on an ephemeral port (2 shards of
+/// `stair:8,4,2,1-1-2`, 128-byte symbols, 8 stripes, plus `extra`
+/// flags) and parses the bound address from its first stdout line.
+pub fn spawn_server(dir: &str, extra: &[&str]) -> (Child, String) {
+    let mut args = vec![
+        "serve",
+        "--dir",
+        dir,
+        "--addr",
+        "127.0.0.1:0",
+        "--shards",
+        "2",
+        "--code",
+        "stair:8,4,2,1-1-2",
+        "--symbol",
+        "128",
+        "--stripes",
+        "8",
+    ];
+    args.extend_from_slice(extra);
+    let mut child = Command::new(bin())
+        .args(&args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn server");
+    let stdout = child.stdout.as_mut().expect("server stdout");
+    let mut first = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut first)
+        .expect("read serve banner");
+    let addr = first
+        .split(" on ")
+        .nth(1)
+        .and_then(|rest| rest.split(" with ").next())
+        .unwrap_or_else(|| panic!("no address in banner: {first:?}"))
+        .trim()
+        .to_string();
+    (child, addr)
+}
+
+/// Extracts the ordered key sequence of a compact JSON document (no
+/// escaped quotes — true for everything the `stair` CLI emits).
+fn key_shape(doc: &str) -> Vec<String> {
+    doc.match_indices('"')
+        .collect::<Vec<_>>()
+        .chunks(2)
+        .filter_map(|pair| match pair {
+            [(open, _), (close, _)] if doc[*close..].starts_with("\":") => {
+                Some(doc[open + 1..*close].to_string())
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// Reduces a unified-status key sequence to top-level keys plus ONE
+/// per-shard block, asserting all shard blocks within the document are
+/// identical.
+fn canonical_status_shape(doc: &str) -> Vec<String> {
+    let keys = key_shape(doc);
+    let Some(first) = keys.iter().position(|k| k == "codec") else {
+        return keys;
+    };
+    let shard_len = keys[first + 1..]
+        .iter()
+        .position(|k| k == "codec")
+        .map_or(keys.len() - first, |gap| gap + 1);
+    let (top, shards) = keys.split_at(first);
+    let blocks: Vec<_> = shards.chunks(shard_len).collect();
+    assert!(
+        blocks.iter().all(|b| *b == blocks[0]),
+        "shard blocks differ within one document: {keys:?}"
+    );
+    let mut out = top.to_vec();
+    out.extend_from_slice(blocks[0]);
+    out
+}
+
+/// Asserts two unified device-status JSON documents have the identical
+/// key shape, independent of how many shards each backend reports.
+pub fn assert_same_status_shape(a: &str, b: &str) {
+    assert_eq!(
+        canonical_status_shape(a),
+        canonical_status_shape(b),
+        "status JSON shapes differ:\n{a}\n{b}"
+    );
+}

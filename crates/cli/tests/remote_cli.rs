@@ -4,70 +4,9 @@
 //! unreachable server) that must exit with an error message, never a
 //! panic.
 
-use std::io::{BufRead, BufReader};
-use std::path::PathBuf;
-use std::process::{Child, Command, Stdio};
+mod common;
 
-fn bin() -> PathBuf {
-    let mut path = std::env::current_exe().expect("test exe path");
-    path.pop(); // deps/
-    path.pop(); // debug/
-    path.push(format!("stair{}", std::env::consts::EXE_SUFFIX));
-    path
-}
-
-fn run(args: &[&str]) -> (bool, String) {
-    let out = Command::new(bin())
-        .args(args)
-        .output()
-        .expect("spawn stair binary");
-    let text = format!(
-        "{}{}",
-        String::from_utf8_lossy(&out.stdout),
-        String::from_utf8_lossy(&out.stderr)
-    );
-    (out.status.success(), text)
-}
-
-/// Spawns `stair serve` on an ephemeral port and parses the bound
-/// address from its first stdout line.
-fn spawn_server(dir: &str, extra: &[&str]) -> (Child, String) {
-    let mut args = vec![
-        "serve",
-        "--dir",
-        dir,
-        "--addr",
-        "127.0.0.1:0",
-        "--shards",
-        "2",
-        "--code",
-        "stair:8,4,2,1-1-2",
-        "--symbol",
-        "128",
-        "--stripes",
-        "8",
-    ];
-    args.extend_from_slice(extra);
-    let mut child = Command::new(bin())
-        .args(&args)
-        .stdout(Stdio::piped())
-        .stderr(Stdio::piped())
-        .spawn()
-        .expect("spawn server");
-    let stdout = child.stdout.as_mut().expect("server stdout");
-    let mut first = String::new();
-    BufReader::new(stdout)
-        .read_line(&mut first)
-        .expect("read serve banner");
-    let addr = first
-        .split(" on ")
-        .nth(1)
-        .and_then(|rest| rest.split(" with ").next())
-        .unwrap_or_else(|| panic!("no address in banner: {first:?}"))
-        .trim()
-        .to_string();
-    (child, addr)
-}
+use common::{run, spawn_server};
 
 #[test]
 fn serve_remote_session_round_trips_degraded_data() {
@@ -148,7 +87,7 @@ fn serve_remote_session_round_trips_degraded_data() {
     assert!(out.contains("repair complete"), "{out}");
     let (ok, out) = run(&["remote", "scrub", "--addr", &addr]);
     assert!(ok, "{out}");
-    assert!(out.contains("all shards clean"), "{out}");
+    assert!(out.contains("device clean"), "{out}");
 
     let (ok, json) = run(&["remote", "status", "--addr", &addr, "--json"]);
     assert!(ok, "{json}");
@@ -221,13 +160,20 @@ fn store_and_remote_status_json_share_one_shape() {
     assert!(ok);
     assert!(server.wait().expect("wait").success());
 
-    // Both went through the same serializer: every per-store key of the
-    // local object appears verbatim in each remote shard object.
+    // Both went through the same serializer: every key of the unified
+    // shape appears verbatim in both documents (a local store is simply
+    // a device with one shard), and each per-shard key in both.
     for key in [
+        "\"backend\":",
+        "\"shards\":",
+        "\"total_capacity_bytes\":",
+        "\"shard_status\":",
         "\"codec\":\"stair:8,4,2,1-1-2\"",
         "\"block_size\":128",
         "\"stripes\":8",
         "\"blocks_per_stripe\":20",
+        "\"device_tolerance\":2",
+        "\"sector_tolerance\":4",
         "\"failed_devices\":[]",
         "\"rebuilding_devices\":[]",
         "\"known_bad_sectors\":0",
@@ -236,8 +182,13 @@ fn store_and_remote_status_json_share_one_shape() {
         assert!(local.contains(key), "local missing {key}: {local}");
         assert!(remote.contains(key), "remote missing {key}: {remote}");
     }
+    assert!(local.contains("\"backend\":\"file\""), "{local}");
+    assert!(local.contains("\"shards\":1"), "{local}");
+    assert!(remote.contains("\"backend\":\"tcp\""), "{remote}");
     assert!(remote.contains("\"shards\":2"), "{remote}");
-    assert!(remote.contains("\"total_capacity_bytes\":"), "{remote}");
+
+    // Identical shapes: the key sequence of the two documents matches.
+    common::assert_same_status_shape(&local, &remote);
 
     std::fs::remove_dir_all(&work).unwrap();
 }

@@ -2,29 +2,9 @@
 //! fail a device + inject a sector burst → degraded read returns the
 //! original data → repair → scrub reports clean.
 
-use std::path::PathBuf;
-use std::process::Command;
+mod common;
 
-fn bin() -> PathBuf {
-    let mut path = std::env::current_exe().expect("test exe path");
-    path.pop(); // deps/
-    path.pop(); // debug/
-    path.push(format!("stair{}", std::env::consts::EXE_SUFFIX));
-    path
-}
-
-fn run(args: &[&str]) -> (bool, String) {
-    let out = Command::new(bin())
-        .args(args)
-        .output()
-        .expect("spawn stair binary");
-    let text = format!(
-        "{}{}",
-        String::from_utf8_lossy(&out.stdout),
-        String::from_utf8_lossy(&out.stderr)
-    );
-    (out.status.success(), text)
-}
+use common::run;
 
 #[test]
 fn store_cli_session() {
@@ -107,7 +87,7 @@ fn store_cli_session() {
 
     // post-repair: scrub clean, reads clean and identical.
     let (ok, out) = run(&["store", "scrub", "--dir", dir_s]);
-    assert!(ok && out.contains("store clean"), "{out}");
+    assert!(ok && out.contains("device clean"), "{out}");
     let final_out = work.join("final.bin");
     let (ok, out) = run(&[
         "store",
@@ -210,7 +190,7 @@ fn store_cli_sd_backed_session() {
     let (ok, out) = run(&["store", "repair", "--dir", dir_s]);
     assert!(ok && out.contains("repair complete"), "{out}");
     let (ok, out) = run(&["store", "scrub", "--dir", dir_s]);
-    assert!(ok && out.contains("store clean"), "{out}");
+    assert!(ok && out.contains("device clean"), "{out}");
 
     let (ok, out) = run(&["store", "status", "--dir", dir_s]);
     assert!(ok, "{out}");
@@ -259,6 +239,6 @@ fn store_cli_inject_detect_repair() {
     let (ok, out) = run(&["store", "repair", "--dir", dir_s]);
     assert!(ok, "{out}");
     let (ok, out) = run(&["store", "scrub", "--dir", dir_s]);
-    assert!(ok && out.contains("store clean"), "{out}");
+    assert!(ok && out.contains("device clean"), "{out}");
     std::fs::remove_dir_all(&work).unwrap();
 }

@@ -92,6 +92,17 @@ impl CodecSpec {
             CodecSpec::Stair { m, .. } | CodecSpec::Sd { m, .. } | CodecSpec::Rs { m, .. } => m,
         }
     }
+
+    /// Tolerated sector failures beyond the `m` devices (STAIR's
+    /// `s = Σ e_i`, SD's `s`, `0` for plain Reed–Solomon) — matches
+    /// `Geometry::s` without building the codec.
+    pub fn s(&self) -> usize {
+        match self {
+            CodecSpec::Stair { e, .. } => e.iter().sum(),
+            CodecSpec::Sd { s, .. } => *s,
+            CodecSpec::Rs { .. } => 0,
+        }
+    }
 }
 
 impl fmt::Display for CodecSpec {
@@ -187,7 +198,10 @@ mod tests {
     fn accessors() {
         let spec: CodecSpec = "sd:6,4,1,2".parse().unwrap();
         assert_eq!((spec.n(), spec.r(), spec.m()), (6, 4, 1));
+        assert_eq!(spec.s(), 2);
         assert_eq!(spec.family(), "sd");
+        assert_eq!("stair:8,4,2,1-1-2".parse::<CodecSpec>().unwrap().s(), 4);
+        assert_eq!("rs:8,4,2".parse::<CodecSpec>().unwrap().s(), 0);
         let spec: CodecSpec = "stair:8,4,2,1-1-2".parse().unwrap();
         assert_eq!(
             spec,

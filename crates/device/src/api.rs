@@ -1,0 +1,105 @@
+//! The object-safe storage traits.
+
+use crate::{DeviceError, DeviceStatus, RepairOutcome, ScrubOutcome, WriteOutcome};
+
+/// The unified data-path API over any storage backend — a local stripe
+/// store, an in-process shard set, or a remote TCP client.
+///
+/// Every method takes `&self`: backends with inherently mutable state
+/// (e.g. a network connection) hide it behind interior mutability, so
+/// any implementation works behind `Arc<dyn BlockDevice>` from many
+/// threads at once. The trait is object-safe by construction; the
+/// `open_device()` registry in `stair-net` hands out
+/// `Box<dyn BlockDevice>` from a [`DeviceSpec`](crate::DeviceSpec).
+pub trait BlockDevice: Send + Sync {
+    /// Total logical capacity in bytes.
+    fn capacity(&self) -> u64;
+
+    /// Logical block size in bytes.
+    fn block_size(&self) -> usize;
+
+    /// Reads `len` bytes at byte `offset`. Degraded backends
+    /// reconstruct transparently; the returned bytes are always
+    /// verified (checksums locally, frame checksums over the wire).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range spans, damage beyond coverage, and backend
+    /// failures.
+    fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>, DeviceError>;
+
+    /// Writes `data` at byte `offset`, returning the aggregated
+    /// [`WriteOutcome`].
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range spans and backend failures.
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<WriteOutcome, DeviceError>;
+
+    /// Persists all state (data, checksums, health records).
+    ///
+    /// # Errors
+    ///
+    /// Backend failures.
+    fn flush(&self) -> Result<(), DeviceError>;
+
+    /// Health snapshot of every shard behind this device.
+    ///
+    /// # Errors
+    ///
+    /// Backend failures (a remote status call can fail; local ones do
+    /// not).
+    fn status(&self) -> Result<DeviceStatus, DeviceError>;
+
+    /// Verifies every sector checksum with `threads` workers per shard.
+    ///
+    /// # Errors
+    ///
+    /// Backend failures (mismatches are reported in the outcome, not as
+    /// errors).
+    fn scrub(&self, threads: usize) -> Result<ScrubOutcome, DeviceError>;
+
+    /// Rebuilds failed devices and damaged sectors online with
+    /// `threads` workers per shard.
+    ///
+    /// # Errors
+    ///
+    /// Backend failures (unrecoverable stripes are reported in the
+    /// outcome, not as errors).
+    fn repair(&self, threads: usize) -> Result<RepairOutcome, DeviceError>;
+}
+
+/// Fault administration, split from [`BlockDevice`] because not every
+/// deployment exposes it — a production remote endpoint may refuse
+/// these with [`DeviceError::Unsupported`] while still serving the full
+/// data path.
+pub trait FaultAdmin {
+    /// Declares `device` of `shard` failed (whole backing file lost).
+    /// Single-store backends only have `shard` 0.
+    ///
+    /// # Errors
+    ///
+    /// Unknown shard/device indices, unsupported backends.
+    fn fail_device(&self, shard: usize, device: usize) -> Result<(), DeviceError>;
+
+    /// Corrupts `len` consecutive sectors of one chunk (latent damage:
+    /// detected only by a later read or scrub).
+    ///
+    /// # Errors
+    ///
+    /// Unknown indices, unsupported backends.
+    fn corrupt_sectors(
+        &self,
+        shard: usize,
+        device: usize,
+        stripe: usize,
+        row: usize,
+        len: usize,
+    ) -> Result<(), DeviceError>;
+}
+
+/// A device that also accepts fault administration — what the CLI's
+/// `fail` verb and the conformance harness open.
+pub trait AdminDevice: BlockDevice + FaultAdmin {}
+
+impl<T: BlockDevice + FaultAdmin> AdminDevice for T {}

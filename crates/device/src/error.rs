@@ -1,0 +1,56 @@
+//! The unified error type every storage backend converts into.
+
+use std::fmt;
+use std::io;
+
+/// Errors surfaced through the [`BlockDevice`](crate::BlockDevice) /
+/// [`FaultAdmin`](crate::FaultAdmin) API, whatever the backend.
+///
+/// Backend crates provide the conversions: `stair_store::Error` and
+/// `stair_net::NetError` both implement `Into<DeviceError>`, so code
+/// written against the trait never sees a backend-specific error type.
+#[derive(Debug)]
+pub enum DeviceError {
+    /// A device spec failed to parse or named an unusable target.
+    Spec(String),
+    /// A request fell outside the device's logical address space.
+    OutOfRange(String),
+    /// The backend does not support the requested operation (e.g. a
+    /// remote client refusing fault administration).
+    Unsupported(String),
+    /// Stored or transferred data failed verification, or damage
+    /// exceeded the codec's coverage.
+    Corrupt(String),
+    /// An underlying file or socket operation failed.
+    Io(io::Error),
+    /// Any other backend-reported failure, in rendered form.
+    Backend(String),
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::Spec(msg) => write!(f, "device spec error: {msg}"),
+            DeviceError::OutOfRange(msg) => write!(f, "out of range: {msg}"),
+            DeviceError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            DeviceError::Corrupt(msg) => write!(f, "data integrity error: {msg}"),
+            DeviceError::Io(e) => write!(f, "i/o error: {e}"),
+            DeviceError::Backend(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeviceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DeviceError {
+    fn from(e: io::Error) -> Self {
+        DeviceError::Io(e)
+    }
+}

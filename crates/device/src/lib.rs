@@ -1,0 +1,47 @@
+//! `stair-device`: one object-safe API over every storage backend.
+//!
+//! PRs 1–3 grew three parallel storage surfaces — the local
+//! [`StripeStore`], the in-process sharded `ShardSet`, and the TCP
+//! `Client`/`StripedClient` — that each re-declared
+//! `read_at`/`write_at`/`status`/`scrub`/`repair` with divergent
+//! receivers, error types, and report structs. This crate is the layer
+//! that collapses them, exactly as `stair-code`'s `ErasureCode` trait
+//! did for the codecs one level down:
+//!
+//! * **[`BlockDevice`]** — the object-safe data-path trait
+//!   (`read_at`/`write_at`/`flush`/`status`/`scrub`/`repair`), all on
+//!   `&self`, all `Send + Sync`, so any backend works behind
+//!   `Arc<dyn BlockDevice>`;
+//! * **[`FaultAdmin`]** — the fault-injection split
+//!   (`fail_device`/`corrupt_sectors`); kept separate because remote or
+//!   production deployments may refuse admin operations;
+//! * **[`DeviceError`]** — the one error enum every backend's failures
+//!   convert into (`stair_store::Error` and `stair_net::NetError`
+//!   provide `From` impls);
+//! * **[`DeviceStatus`]** / **[`WriteOutcome`]** / **[`ScrubOutcome`]**
+//!   / **[`RepairOutcome`]** — unified report types replacing the
+//!   per-backend `WriteReport`/`WriteSummary`/`ScrubReport`/… zoo;
+//! * **[`DeviceSpec`]** — the URI-style grammar (`file:<dir>`,
+//!   `shards:<root>?n=4`, `tcp:<addr>?lanes=4`) naming a backend; the
+//!   `open_device()` registry in `stair-net` turns a spec into a live
+//!   `Box<dyn BlockDevice>`, mirroring `stair_store::build_codec()`.
+//!
+//! This crate is dependency-free on purpose: backends depend on it, not
+//! the other way round, so future layers (write-back caches, replicas,
+//! async frontends) can slot in behind the same trait without touching
+//! the existing engines.
+//!
+//! [`StripeStore`]: https://docs.rs/stair-store
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod api;
+mod error;
+mod report;
+mod spec;
+
+pub use api::{AdminDevice, BlockDevice, FaultAdmin};
+pub use error::DeviceError;
+pub use report::{DeviceStatus, RepairOutcome, ScrubOutcome, ShardHealth, WriteOutcome};
+pub use spec::DeviceSpec;

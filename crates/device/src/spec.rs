@@ -1,0 +1,281 @@
+//! The device spec grammar: one-line, URI-style backend descriptors.
+
+use std::fmt;
+use std::path::PathBuf;
+use std::str::FromStr;
+
+use crate::DeviceError;
+
+/// A parsed device descriptor naming a storage backend.
+///
+/// The grammar (scheme, a target, then optional `?key=value` query
+/// parameters — no spaces, so specs embed in CLI flags and scripts):
+///
+/// ```text
+/// file:<dir>              a single local stripe store
+/// shards:<root>[?n=<k>]   a sharded set under <root> (n asserts the count)
+/// tcp:<host:port>[?lanes=<l>]   a remote server (lanes > 1 stripes the
+///                               transfer over that many connections)
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use stair_device::DeviceSpec;
+///
+/// let spec: DeviceSpec = "shards:/srv/stair?n=4".parse()?;
+/// assert_eq!(spec.to_string(), "shards:/srv/stair?n=4");
+/// assert_eq!(spec.scheme(), "shards");
+/// assert_eq!("tcp:10.0.0.1:7070?lanes=4".parse::<DeviceSpec>()?.scheme(), "tcp");
+/// # Ok::<(), stair_device::DeviceError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeviceSpec {
+    /// A single local stripe store at `dir`.
+    File {
+        /// Store directory.
+        dir: PathBuf,
+    },
+    /// A sharded set of stripe stores under `root`.
+    Shards {
+        /// Root directory holding `shard-NNNN` subdirectories.
+        root: PathBuf,
+        /// Expected shard count; opening fails if the on-disk count
+        /// disagrees. `None` accepts whatever is there.
+        shards: Option<usize>,
+    },
+    /// A remote stair-net server.
+    Tcp {
+        /// `host:port` of the server.
+        addr: String,
+        /// Connections to stripe transfers over (≥ 1).
+        lanes: usize,
+    },
+}
+
+impl DeviceSpec {
+    /// The scheme name (`"file"`, `"shards"`, or `"tcp"`).
+    pub fn scheme(&self) -> &'static str {
+        match self {
+            DeviceSpec::File { .. } => "file",
+            DeviceSpec::Shards { .. } => "shards",
+            DeviceSpec::Tcp { .. } => "tcp",
+        }
+    }
+}
+
+impl fmt::Display for DeviceSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceSpec::File { dir } => write!(f, "file:{}", dir.display()),
+            DeviceSpec::Shards { root, shards } => {
+                write!(f, "shards:{}", root.display())?;
+                if let Some(n) = shards {
+                    write!(f, "?n={n}")?;
+                }
+                Ok(())
+            }
+            DeviceSpec::Tcp { addr, lanes } => {
+                write!(f, "tcp:{addr}")?;
+                if *lanes > 1 {
+                    write!(f, "?lanes={lanes}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A spec's target and its parsed `?key=value` query parameters.
+type TargetAndQuery<'a> = (&'a str, Vec<(&'a str, &'a str)>);
+
+/// Splits `target[?query]` and parses the query into `(key, value)`
+/// pairs, rejecting malformed ones.
+fn split_query<'a>(
+    rest: &'a str,
+    bad: &impl Fn(&str) -> DeviceError,
+) -> Result<TargetAndQuery<'a>, DeviceError> {
+    let Some((target, query)) = rest.split_once('?') else {
+        return Ok((rest, Vec::new()));
+    };
+    let mut params = Vec::new();
+    for pair in query.split('&') {
+        let (key, value) = pair
+            .split_once('=')
+            .ok_or_else(|| bad(&format!("query parameter `{pair}` is not key=value")))?;
+        if key.is_empty() || value.is_empty() {
+            return Err(bad(&format!("query parameter `{pair}` is incomplete")));
+        }
+        params.push((key, value));
+    }
+    Ok((target, params))
+}
+
+impl FromStr for DeviceSpec {
+    type Err = DeviceError;
+
+    fn from_str(text: &str) -> Result<Self, DeviceError> {
+        let bad = |msg: &str| DeviceError::Spec(format!("device spec `{text}`: {msg}"));
+        let (scheme, rest) = text
+            .split_once(':')
+            .ok_or_else(|| bad("expected `scheme:target` (file:, shards:, or tcp:)"))?;
+        let int = |key: &str, v: &str| {
+            v.parse::<usize>()
+                .map_err(|_| bad(&format!("{key} expects an integer, got `{v}`")))
+        };
+        match scheme {
+            "file" => {
+                let (dir, params) = split_query(rest, &bad)?;
+                if let Some((key, _)) = params.first() {
+                    return Err(bad(&format!("file takes no query parameters (got {key})")));
+                }
+                if dir.is_empty() {
+                    return Err(bad("file expects a directory, e.g. file:/srv/store"));
+                }
+                Ok(DeviceSpec::File {
+                    dir: PathBuf::from(dir),
+                })
+            }
+            "shards" => {
+                let (root, params) = split_query(rest, &bad)?;
+                if root.is_empty() {
+                    return Err(bad("shards expects a root directory"));
+                }
+                let mut shards = None;
+                for (key, value) in params {
+                    match key {
+                        "n" if shards.is_none() => {
+                            let n = int("n", value)?;
+                            if n == 0 {
+                                return Err(bad("n must be at least 1"));
+                            }
+                            shards = Some(n);
+                        }
+                        "n" => return Err(bad("duplicate query parameter n")),
+                        other => return Err(bad(&format!("unknown query parameter `{other}`"))),
+                    }
+                }
+                Ok(DeviceSpec::Shards {
+                    root: PathBuf::from(root),
+                    shards,
+                })
+            }
+            "tcp" => {
+                let (addr, params) = split_query(rest, &bad)?;
+                if addr.is_empty() {
+                    return Err(bad("tcp expects host:port, e.g. tcp:127.0.0.1:7070"));
+                }
+                let mut lanes = 1;
+                let mut seen = false;
+                for (key, value) in params {
+                    match key {
+                        "lanes" if !seen => {
+                            lanes = int("lanes", value)?;
+                            if lanes == 0 {
+                                return Err(bad("lanes must be at least 1"));
+                            }
+                            seen = true;
+                        }
+                        "lanes" => return Err(bad("duplicate query parameter lanes")),
+                        other => return Err(bad(&format!("unknown query parameter `{other}`"))),
+                    }
+                }
+                Ok(DeviceSpec::Tcp {
+                    addr: addr.to_string(),
+                    lanes,
+                })
+            }
+            other => Err(bad(&format!(
+                "unknown scheme `{other}` (expected file, shards, or tcp)"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        for text in [
+            "file:/srv/store",
+            "file:relative/dir",
+            "shards:/srv/stair",
+            "shards:/srv/stair?n=4",
+            "tcp:127.0.0.1:7070",
+            "tcp:127.0.0.1:7070?lanes=4",
+            "tcp:example.net:9",
+        ] {
+            let spec: DeviceSpec = text.parse().unwrap();
+            assert_eq!(spec.to_string(), text, "round trip of `{text}`");
+        }
+    }
+
+    #[test]
+    fn parses_to_expected_variants() {
+        assert_eq!(
+            "file:/a/b".parse::<DeviceSpec>().unwrap(),
+            DeviceSpec::File {
+                dir: PathBuf::from("/a/b")
+            }
+        );
+        assert_eq!(
+            "shards:/root?n=3".parse::<DeviceSpec>().unwrap(),
+            DeviceSpec::Shards {
+                root: PathBuf::from("/root"),
+                shards: Some(3)
+            }
+        );
+        // tcp addr keeps its own colon; lanes defaults to 1.
+        assert_eq!(
+            "tcp:10.1.2.3:7070".parse::<DeviceSpec>().unwrap(),
+            DeviceSpec::Tcp {
+                addr: "10.1.2.3:7070".into(),
+                lanes: 1
+            }
+        );
+    }
+
+    #[test]
+    fn lanes_of_one_renders_bare() {
+        let spec: DeviceSpec = "tcp:h:1?lanes=1".parse().unwrap();
+        assert_eq!(spec.to_string(), "tcp:h:1");
+    }
+
+    #[test]
+    fn bad_schemes_are_rejected() {
+        for text in ["", "justapath", "nfs:/x", "FILE:/x", "file", "tcp"] {
+            assert!(
+                text.parse::<DeviceSpec>().is_err(),
+                "`{text}` should not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_targets_and_query_params_are_rejected() {
+        for text in [
+            "file:",
+            "file:/x?n=2",
+            "shards:",
+            "shards:/x?n=",
+            "shards:/x?n=zero",
+            "shards:/x?n=0",
+            "shards:/x?n=2&n=3",
+            "shards:/x?k=2",
+            "shards:/x?n",
+            "tcp:",
+            "tcp:h:1?lanes=0",
+            "tcp:h:1?lanes=a",
+            "tcp:h:1?lanes=2&lanes=3",
+            "tcp:h:1?window=8",
+        ] {
+            let err = text.parse::<DeviceSpec>().unwrap_err();
+            assert!(
+                matches!(err, DeviceError::Spec(_)),
+                "`{text}` should fail as a spec error, got {err:?}"
+            );
+        }
+    }
+}

@@ -6,95 +6,47 @@
 //! first response is awaited, and responses are matched back to chunks
 //! by request ID (the server's worker pool may complete them out of
 //! order). Every response payload is checksum-verified by the frame
-//! layer before it is trusted.
+//! layer before it is trusted, and server-reported failures are
+//! normalized by one shared helper ([`ok_or_remote`]) on both the
+//! simple and the pipelined path.
+//!
+//! The connection lives behind a [`Mutex`], so every method takes
+//! `&self` and a `Client` is `Send + Sync` — usable behind
+//! `Arc<Client>` (or `Arc<dyn BlockDevice>`) from many threads, which
+//! serialize on the connection.
 //!
 //! [`StripedClient`] opens several connections and splits each transfer
 //! across them on scoped threads — the multi-connection mode the
 //! throughput benchmark uses to saturate the server's worker pool from
 //! one process.
+//!
+//! [`ok_or_remote`]: crate::protocol::ok_or_remote
 
 use std::collections::HashMap;
 use std::net::TcpStream;
 use std::str::FromStr;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 use stair_code::CodecSpec;
 use stair_store::StoreStatus;
 
 use crate::protocol::{
-    read_response, write_request, RepairSummary, Request, Response, ScrubSummary, ServerInfo,
-    WireShardStatus, WriteSummary, MAX_IO_BYTES, PROTOCOL_VERSION,
+    ok_or_remote, read_response, write_request, RepairSummary, Request, Response, ScrubSummary,
+    ServerInfo, WireShardStatus, WriteSummary, MAX_IO_BYTES, PROTOCOL_VERSION,
 };
 use crate::NetError;
 
 /// Chunk requests in flight per connection during pipelined transfers.
 const PIPELINE_WINDOW: usize = 8;
 
-/// A single-connection blocking client.
-pub struct Client {
+/// The mutable half of a client: the stream plus the request-ID
+/// counter, locked together for the duration of a call or transfer.
+struct Conn {
     stream: TcpStream,
     next_id: u64,
-    info: ServerInfo,
 }
 
-impl Client {
-    /// Connects and performs the HELLO handshake.
-    ///
-    /// # Errors
-    ///
-    /// Connection failures, version mismatches, and protocol errors.
-    pub fn connect(addr: &str) -> Result<Self, NetError> {
-        let stream = TcpStream::connect(addr).map_err(|e| {
-            NetError::Io(std::io::Error::new(
-                e.kind(),
-                format!("cannot connect to {addr}: {e}"),
-            ))
-        })?;
-        let _ = stream.set_nodelay(true);
-        let mut client = Client {
-            stream,
-            next_id: 1,
-            info: ServerInfo {
-                version: 0,
-                shards: 0,
-                capacity: 0,
-                block_size: 0,
-                range_blocks: 0,
-                codec: String::new(),
-            },
-        };
-        match client.call(&Request::Hello {
-            version: PROTOCOL_VERSION,
-        })? {
-            Response::Hello(info) => {
-                if info.version != PROTOCOL_VERSION {
-                    return Err(NetError::Version {
-                        ours: PROTOCOL_VERSION,
-                        theirs: info.version,
-                    });
-                }
-                client.info = info;
-                Ok(client)
-            }
-            other => Err(unexpected("HELLO", &other)),
-        }
-    }
-
-    /// What the server announced at HELLO time.
-    pub fn info(&self) -> &ServerInfo {
-        &self.info
-    }
-
-    /// Total logical capacity in bytes.
-    pub fn capacity(&self) -> u64 {
-        self.info.capacity
-    }
-
-    /// Logical block size in bytes.
-    pub fn block_size(&self) -> usize {
-        self.info.block_size as usize
-    }
-
+impl Conn {
     /// One request, one response (server errors become
     /// [`NetError::Remote`]).
     fn call(&mut self, req: &Request) -> Result<Response, NetError> {
@@ -107,10 +59,7 @@ impl Client {
                 "response for request {rid} while awaiting {id}"
             )));
         }
-        match resp {
-            Response::Error(msg) => Err(NetError::Remote(msg)),
-            resp => Ok(resp),
-        }
+        ok_or_remote(resp)
     }
 
     /// Sends `count` requests keeping up to [`PIPELINE_WINDOW`] in
@@ -152,11 +101,7 @@ impl Client {
             let Some(chunk) = pending.remove(&rid) else {
                 return Err(NetError::Protocol(format!("unsolicited response {rid}")));
             };
-            let outcome = match resp {
-                Response::Error(msg) => Err(NetError::Remote(msg)),
-                resp => on_response(chunk, resp),
-            };
-            if let Err(e) = outcome {
+            if let Err(e) = ok_or_remote(resp).and_then(|resp| on_response(chunk, resp)) {
                 first_err.get_or_insert(e);
             }
         }
@@ -165,14 +110,81 @@ impl Client {
             Some(e) => Err(e),
         }
     }
+}
+
+/// A single-connection blocking client (`Send + Sync`; calls from
+/// different threads serialize on the connection).
+pub struct Client {
+    conn: Mutex<Conn>,
+    info: ServerInfo,
+}
+
+impl Client {
+    /// Connects and performs the HELLO handshake.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, version mismatches, and protocol errors.
+    pub fn connect(addr: &str) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr).map_err(|e| {
+            NetError::Io(std::io::Error::new(
+                e.kind(),
+                format!("cannot connect to {addr}: {e}"),
+            ))
+        })?;
+        let _ = stream.set_nodelay(true);
+        let mut conn = Conn { stream, next_id: 1 };
+        match conn.call(&Request::Hello {
+            version: PROTOCOL_VERSION,
+        })? {
+            Response::Hello(info) => {
+                if info.version != PROTOCOL_VERSION {
+                    return Err(NetError::Version {
+                        ours: PROTOCOL_VERSION,
+                        theirs: info.version,
+                    });
+                }
+                Ok(Client {
+                    conn: Mutex::new(conn),
+                    info,
+                })
+            }
+            other => Err(unexpected("HELLO", &other)),
+        }
+    }
+
+    /// What the server announced at HELLO time.
+    pub fn info(&self) -> &ServerInfo {
+        &self.info
+    }
+
+    /// Total logical capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.info.capacity
+    }
+
+    /// Logical block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.info.block_size as usize
+    }
+
+    /// Locks the connection. Poisoning means another thread panicked
+    /// mid-call; the stream may hold half a conversation, but the next
+    /// frame either parses or surfaces a protocol error, so the guard
+    /// is taken regardless.
+    fn conn(&self) -> MutexGuard<'_, Conn> {
+        self.conn
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 
     /// Per-shard health snapshots.
     ///
     /// # Errors
     ///
     /// Transport or server failures.
-    pub fn status(&mut self) -> Result<Vec<StoreStatus>, NetError> {
-        match self.call(&Request::Status)? {
+    pub fn status(&self) -> Result<Vec<StoreStatus>, NetError> {
+        match self.conn().call(&Request::Status)? {
             Response::Status(shards) => shards.iter().map(store_status).collect(),
             other => Err(unexpected("STATUS", &other)),
         }
@@ -183,10 +195,10 @@ impl Client {
     /// # Errors
     ///
     /// Transport, checksum, and server failures.
-    pub fn read_at(&mut self, offset: u64, len: usize) -> Result<Vec<u8>, NetError> {
+    pub fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>, NetError> {
         let chunks = chunk_spans(offset, len);
         let mut out = vec![0u8; len];
-        self.pipelined(
+        self.conn().pipelined(
             chunks.len(),
             |i| Request::Read {
                 offset: chunks[i].0,
@@ -216,10 +228,10 @@ impl Client {
     /// # Errors
     ///
     /// Transport, checksum, and server failures.
-    pub fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<WriteSummary, NetError> {
+    pub fn write_at(&self, offset: u64, data: &[u8]) -> Result<WriteSummary, NetError> {
         let chunks = chunk_spans(offset, data.len());
         let mut total = WriteSummary::default();
-        self.pipelined(
+        self.conn().pipelined(
             chunks.len(),
             |i| {
                 let (at, span_off, len) = chunks[i];
@@ -230,12 +242,7 @@ impl Client {
             },
             |_, resp| match resp {
                 Response::Written(w) => {
-                    total.bytes += w.bytes;
-                    total.blocks_written += w.blocks_written;
-                    total.stripes_touched += w.stripes_touched;
-                    total.full_stripe_encodes += w.full_stripe_encodes;
-                    total.delta_updates += w.delta_updates;
-                    total.coalesced = total.coalesced.max(w.coalesced);
+                    total.absorb(&w);
                     Ok(())
                 }
                 other => Err(unexpected("WRITE", &other)),
@@ -249,8 +256,8 @@ impl Client {
     /// # Errors
     ///
     /// Transport or server failures.
-    pub fn flush(&mut self) -> Result<(), NetError> {
-        match self.call(&Request::Flush)? {
+    pub fn flush(&self) -> Result<(), NetError> {
+        match self.conn().call(&Request::Flush)? {
             Response::Flushed => Ok(()),
             other => Err(unexpected("FLUSH", &other)),
         }
@@ -262,8 +269,8 @@ impl Client {
     ///
     /// Transport or server failures (bad indices come back as
     /// [`NetError::Remote`]).
-    pub fn fail_device(&mut self, shard: usize, device: usize) -> Result<(), NetError> {
-        match self.call(&Request::FailDevice {
+    pub fn fail_device(&self, shard: usize, device: usize) -> Result<(), NetError> {
+        match self.conn().call(&Request::FailDevice {
             shard: shard as u32,
             device: device as u32,
         })? {
@@ -278,14 +285,14 @@ impl Client {
     ///
     /// Transport or server failures.
     pub fn corrupt_sectors(
-        &mut self,
+        &self,
         shard: usize,
         device: usize,
         stripe: usize,
         row: usize,
         len: usize,
     ) -> Result<(), NetError> {
-        match self.call(&Request::CorruptSectors {
+        match self.conn().call(&Request::CorruptSectors {
             shard: shard as u32,
             device: device as u32,
             stripe: stripe as u32,
@@ -302,8 +309,8 @@ impl Client {
     /// # Errors
     ///
     /// Transport or server failures.
-    pub fn scrub(&mut self, threads: usize) -> Result<ScrubSummary, NetError> {
-        match self.call(&Request::Scrub {
+    pub fn scrub(&self, threads: usize) -> Result<ScrubSummary, NetError> {
+        match self.conn().call(&Request::Scrub {
             threads: threads as u32,
         })? {
             Response::Scrubbed(s) => Ok(s),
@@ -316,8 +323,8 @@ impl Client {
     /// # Errors
     ///
     /// Transport or server failures.
-    pub fn repair(&mut self, threads: usize) -> Result<RepairSummary, NetError> {
-        match self.call(&Request::Repair {
+    pub fn repair(&self, threads: usize) -> Result<RepairSummary, NetError> {
+        match self.conn().call(&Request::Repair {
             threads: threads as u32,
         })? {
             Response::Repaired(r) => Ok(r),
@@ -330,8 +337,8 @@ impl Client {
     /// # Errors
     ///
     /// Transport or server failures.
-    pub fn shutdown_server(&mut self) -> Result<(), NetError> {
-        match self.call(&Request::Shutdown)? {
+    pub fn shutdown_server(&self) -> Result<(), NetError> {
+        match self.conn().call(&Request::Shutdown)? {
             Response::ShuttingDown => Ok(()),
             other => Err(unexpected("SHUTDOWN", &other)),
         }
@@ -342,7 +349,7 @@ impl Client {
 /// contiguous piece per connection and the pieces run on scoped
 /// threads, so a single caller can keep several server workers busy.
 pub struct StripedClient {
-    lanes: Vec<Mutex<Client>>,
+    lanes: Vec<Client>,
 }
 
 impl StripedClient {
@@ -356,7 +363,7 @@ impl StripedClient {
             return Err(NetError::Protocol("need at least one lane".into()));
         }
         let lanes = (0..lanes)
-            .map(|_| Client::connect(addr).map(Mutex::new))
+            .map(|_| Client::connect(addr))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(StripedClient { lanes })
     }
@@ -366,13 +373,15 @@ impl StripedClient {
         self.lanes.len()
     }
 
+    /// The first lane — control-plane calls (status, scrub, …) go down
+    /// one connection.
+    pub(crate) fn lane0(&self) -> &Client {
+        &self.lanes[0]
+    }
+
     /// What the server announced at HELLO time.
     pub fn info(&self) -> ServerInfo {
-        self.lanes[0]
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .info()
-            .clone()
+        self.lanes[0].info().clone()
     }
 
     /// Splits `[0, len)` into one contiguous piece per lane.
@@ -416,10 +425,7 @@ impl StripedClient {
                     if piece_len == 0 {
                         return Ok(());
                     }
-                    let mut client = lane
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
-                    let data = client.read_at(offset + start as u64, piece_len)?;
+                    let data = lane.read_at(offset + start as u64, piece_len)?;
                     chunk.copy_from_slice(&data);
                     Ok(())
                 }));
@@ -450,10 +456,7 @@ impl StripedClient {
                     if piece_len == 0 {
                         return Ok(WriteSummary::default());
                     }
-                    let mut client = lane
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
-                    client.write_at(offset + start as u64, &data[start..start + piece_len])
+                    lane.write_at(offset + start as u64, &data[start..start + piece_len])
                 }));
             }
             handles
@@ -464,13 +467,7 @@ impl StripedClient {
         .expect("lane scope");
         let mut total = WriteSummary::default();
         for r in results {
-            let w = r?;
-            total.bytes += w.bytes;
-            total.blocks_written += w.blocks_written;
-            total.stripes_touched += w.stripes_touched;
-            total.full_stripe_encodes += w.full_stripe_encodes;
-            total.delta_updates += w.delta_updates;
-            total.coalesced = total.coalesced.max(w.coalesced);
+            total.absorb(&r?);
         }
         Ok(total)
     }
@@ -506,4 +503,17 @@ fn store_status(w: &WireShardStatus) -> Result<StoreStatus, NetError> {
         rebuilding_devices: w.rebuilding_devices.iter().map(|&d| d as usize).collect(),
         known_bad_sectors: w.known_bad_sectors as usize,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The trait-object data path requires clients to be shareable.
+    #[test]
+    fn clients_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Client>();
+        assert_send_sync::<StripedClient>();
+    }
 }

@@ -1,0 +1,284 @@
+//! [`BlockDevice`] / [`FaultAdmin`] implementations for the sharded
+//! and remote backends, plus the [`open_device`] registry that turns a
+//! [`DeviceSpec`] into a live device — the storage-layer mirror of
+//! `stair_store::build_codec()`.
+
+use stair_device::{
+    BlockDevice, DeviceError, DeviceSpec, DeviceStatus, FaultAdmin, RepairOutcome, ScrubOutcome,
+    ShardHealth, WriteOutcome,
+};
+use stair_store::{shard_health, StoreStatus, StripeStore};
+
+use crate::protocol::{RepairSummary, ScrubSummary, WriteSummary};
+use crate::{Client, ShardSet, StripedClient};
+
+/// Opens the backend a spec names as a data-path device.
+///
+/// `file:` and `shards:` targets must already exist on disk (`stair
+/// store init` / `stair serve` create them); `tcp:` targets must have a
+/// server listening.
+///
+/// # Errors
+///
+/// Unusable targets (missing store, shard-count mismatch, unreachable
+/// server) surface as [`DeviceError`]s.
+pub fn open_device(spec: &DeviceSpec) -> Result<Box<dyn BlockDevice>, DeviceError> {
+    open_admin(spec).map(|dev| dev as Box<dyn BlockDevice>)
+}
+
+/// Opens the backend a spec names with fault administration attached —
+/// what the CLI's `fail` verb and the conformance harness use. Every
+/// built-in backend accepts admin operations; a future production
+/// frontend can register one that refuses them.
+///
+/// # Errors
+///
+/// Same conditions as [`open_device`].
+pub fn open_admin(spec: &DeviceSpec) -> Result<Box<dyn stair_device::AdminDevice>, DeviceError> {
+    Ok(match spec {
+        DeviceSpec::File { dir } => Box::new(StripeStore::open(dir)?),
+        DeviceSpec::Shards { root, shards } => {
+            let set = ShardSet::open(root)?;
+            if let Some(n) = shards {
+                if set.shard_count() != *n {
+                    return Err(DeviceError::Spec(format!(
+                        "{} holds {} shard(s) but the spec asked for n={n}",
+                        root.display(),
+                        set.shard_count()
+                    )));
+                }
+            }
+            Box::new(set)
+        }
+        DeviceSpec::Tcp { addr, lanes } => {
+            if *lanes <= 1 {
+                Box::new(Client::connect(addr)?)
+            } else {
+                Box::new(StripedClient::connect(addr, *lanes)?)
+            }
+        }
+    })
+}
+
+/// Builds the unified status, enforcing the `DeviceStatus` contract
+/// that `shards` is never empty (a `ShardSet` guarantees it by
+/// construction; a remote peer's STATUS response cannot be trusted to).
+fn device_status(backend: &str, statuses: &[StoreStatus]) -> Result<DeviceStatus, DeviceError> {
+    let shards: Vec<ShardHealth> = statuses.iter().map(shard_health).collect();
+    let Some(first) = shards.first() else {
+        return Err(DeviceError::Backend(format!(
+            "{backend} backend reported no shards"
+        )));
+    };
+    Ok(DeviceStatus {
+        backend: backend.into(),
+        capacity: shards.iter().map(|s| s.capacity).sum(),
+        block_size: first.block_size,
+        shards,
+    })
+}
+
+fn write_outcome(w: &WriteSummary) -> WriteOutcome {
+    WriteOutcome {
+        bytes: w.bytes,
+        blocks_written: w.blocks_written,
+        stripes_touched: w.stripes_touched,
+        full_stripe_encodes: w.full_stripe_encodes,
+        delta_updates: w.delta_updates,
+    }
+}
+
+fn scrub_outcome(s: &ScrubSummary) -> ScrubOutcome {
+    ScrubOutcome {
+        stripes_scanned: s.stripes_scanned,
+        sectors_verified: s.sectors_verified,
+        mismatches: s.mismatches,
+        unavailable_devices: s.unavailable_devices,
+        records_cleared: s.records_cleared,
+    }
+}
+
+fn repair_outcome(r: &RepairSummary) -> RepairOutcome {
+    RepairOutcome {
+        devices_replaced: r.devices_replaced,
+        stripes_repaired: r.stripes_repaired,
+        sectors_rewritten: r.sectors_rewritten,
+        unrecoverable_stripes: r.unrecoverable_stripes,
+    }
+}
+
+// ---------------------------------------------------------------------
+// shards: — the in-process sharded set
+// ---------------------------------------------------------------------
+
+impl BlockDevice for ShardSet {
+    fn capacity(&self) -> u64 {
+        ShardSet::capacity(self)
+    }
+
+    fn block_size(&self) -> usize {
+        ShardSet::block_size(self)
+    }
+
+    fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>, DeviceError> {
+        Ok(ShardSet::read_at(self, offset, len)?)
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<WriteOutcome, DeviceError> {
+        let report = ShardSet::write_at(self, offset, data)?;
+        Ok(stair_store::write_outcome(&report, data.len() as u64))
+    }
+
+    fn flush(&self) -> Result<(), DeviceError> {
+        Ok(ShardSet::flush(self)?)
+    }
+
+    fn status(&self) -> Result<DeviceStatus, DeviceError> {
+        device_status("shards", &ShardSet::status(self))
+    }
+
+    fn scrub(&self, threads: usize) -> Result<ScrubOutcome, DeviceError> {
+        let mut total = ScrubOutcome::default();
+        for report in ShardSet::scrub(self, threads)? {
+            total.absorb(&stair_store::scrub_outcome(&report));
+        }
+        Ok(total)
+    }
+
+    fn repair(&self, threads: usize) -> Result<RepairOutcome, DeviceError> {
+        let mut total = RepairOutcome::default();
+        for report in ShardSet::repair(self, threads)? {
+            total.absorb(&stair_store::repair_outcome(&report));
+        }
+        Ok(total)
+    }
+}
+
+impl FaultAdmin for ShardSet {
+    fn fail_device(&self, shard: usize, device: usize) -> Result<(), DeviceError> {
+        Ok(self.shard(shard)?.fail_device(device)?)
+    }
+
+    fn corrupt_sectors(
+        &self,
+        shard: usize,
+        device: usize,
+        stripe: usize,
+        row: usize,
+        len: usize,
+    ) -> Result<(), DeviceError> {
+        Ok(self
+            .shard(shard)?
+            .corrupt_sectors(device, stripe, row, len)?)
+    }
+}
+
+// ---------------------------------------------------------------------
+// tcp: — the remote clients
+// ---------------------------------------------------------------------
+
+impl BlockDevice for Client {
+    fn capacity(&self) -> u64 {
+        Client::capacity(self)
+    }
+
+    fn block_size(&self) -> usize {
+        Client::block_size(self)
+    }
+
+    fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>, DeviceError> {
+        Ok(Client::read_at(self, offset, len)?)
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<WriteOutcome, DeviceError> {
+        Ok(write_outcome(&Client::write_at(self, offset, data)?))
+    }
+
+    fn flush(&self) -> Result<(), DeviceError> {
+        Ok(Client::flush(self)?)
+    }
+
+    fn status(&self) -> Result<DeviceStatus, DeviceError> {
+        device_status("tcp", &Client::status(self)?)
+    }
+
+    fn scrub(&self, threads: usize) -> Result<ScrubOutcome, DeviceError> {
+        Ok(scrub_outcome(&Client::scrub(self, threads)?))
+    }
+
+    fn repair(&self, threads: usize) -> Result<RepairOutcome, DeviceError> {
+        Ok(repair_outcome(&Client::repair(self, threads)?))
+    }
+}
+
+impl FaultAdmin for Client {
+    fn fail_device(&self, shard: usize, device: usize) -> Result<(), DeviceError> {
+        Ok(Client::fail_device(self, shard, device)?)
+    }
+
+    fn corrupt_sectors(
+        &self,
+        shard: usize,
+        device: usize,
+        stripe: usize,
+        row: usize,
+        len: usize,
+    ) -> Result<(), DeviceError> {
+        Ok(Client::corrupt_sectors(
+            self, shard, device, stripe, row, len,
+        )?)
+    }
+}
+
+impl BlockDevice for StripedClient {
+    fn capacity(&self) -> u64 {
+        self.info().capacity
+    }
+
+    fn block_size(&self) -> usize {
+        self.info().block_size as usize
+    }
+
+    fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>, DeviceError> {
+        Ok(StripedClient::read_at(self, offset, len)?)
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<WriteOutcome, DeviceError> {
+        Ok(write_outcome(&StripedClient::write_at(self, offset, data)?))
+    }
+
+    fn flush(&self) -> Result<(), DeviceError> {
+        Ok(self.lane0().flush()?)
+    }
+
+    fn status(&self) -> Result<DeviceStatus, DeviceError> {
+        device_status("tcp", &self.lane0().status()?)
+    }
+
+    fn scrub(&self, threads: usize) -> Result<ScrubOutcome, DeviceError> {
+        Ok(scrub_outcome(&self.lane0().scrub(threads)?))
+    }
+
+    fn repair(&self, threads: usize) -> Result<RepairOutcome, DeviceError> {
+        Ok(repair_outcome(&self.lane0().repair(threads)?))
+    }
+}
+
+impl FaultAdmin for StripedClient {
+    fn fail_device(&self, shard: usize, device: usize) -> Result<(), DeviceError> {
+        Ok(self.lane0().fail_device(shard, device)?)
+    }
+
+    fn corrupt_sectors(
+        &self,
+        shard: usize,
+        device: usize,
+        stripe: usize,
+        row: usize,
+        len: usize,
+    ) -> Result<(), DeviceError> {
+        Ok(self
+            .lane0()
+            .corrupt_sectors(shard, device, stripe, row, len)?)
+    }
+}

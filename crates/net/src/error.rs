@@ -75,3 +75,20 @@ impl From<stair_store::Error> for NetError {
         NetError::Store(e)
     }
 }
+
+impl From<NetError> for stair_device::DeviceError {
+    fn from(e: NetError) -> Self {
+        use stair_device::DeviceError;
+        match e {
+            NetError::Io(io) => DeviceError::Io(io),
+            NetError::Checksum { .. } => DeviceError::Corrupt(e.to_string()),
+            // A store error that crossed the wire keeps its category.
+            NetError::Store(e) => e.into(),
+            // Remote errors arrive rendered; recover the two categories
+            // consumers branch on.
+            NetError::Remote(msg) if msg.contains("out of range") => DeviceError::OutOfRange(msg),
+            NetError::Remote(msg) if msg.contains("unrecoverable") => DeviceError::Corrupt(msg),
+            e => DeviceError::Backend(e.to_string()),
+        }
+    }
+}

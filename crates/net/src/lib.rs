@@ -21,7 +21,11 @@
 //!   clients; the striped variant fans one transfer out over several
 //!   connections;
 //! * **[`json`]** — a dependency-free JSON builder for the `--json`
-//!   surfaces of the CLI and benchmarks.
+//!   surfaces of the CLI and benchmarks;
+//! * **[`open_device`] / [`open_admin`]** — the registry turning a
+//!   `stair_device::DeviceSpec` (`file:…`, `shards:…`, `tcp:…`) into a
+//!   live `Box<dyn BlockDevice>`; every backend here implements the
+//!   unified trait.
 //!
 //! # Example
 //!
@@ -38,7 +42,7 @@
 //! let addr = server.local_addr().to_string();
 //! let running = std::thread::spawn(move || server.run());
 //!
-//! let mut client = Client::connect(&addr)?;
+//! let client = Client::connect(&addr)?;
 //! let payload: Vec<u8> = (0..client.capacity() as usize).map(|i| i as u8).collect();
 //! client.write_at(0, &payload)?;
 //! client.fail_device(0, 3)?; // lose a device on shard 0 …
@@ -53,6 +57,7 @@
 #![warn(missing_docs)]
 
 mod client;
+mod device_impl;
 mod error;
 pub mod json;
 mod placement;
@@ -61,6 +66,7 @@ mod server;
 mod shards;
 
 pub use client::{Client, StripedClient};
+pub use device_impl::{open_admin, open_device};
 pub use error::NetError;
 pub use placement::{Placement, ShardSpan};
 pub use server::{Server, ServerConfig, ServerHandle};

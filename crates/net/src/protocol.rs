@@ -239,6 +239,21 @@ pub struct ScrubSummary {
     pub records_cleared: u64,
 }
 
+impl WriteSummary {
+    /// Folds another chunk's summary into this one. `coalesced` takes
+    /// the max (it counts requests sharing one store pass, not an
+    /// additive total); everything else sums, so aggregating a chunked
+    /// transfer yields exact totals.
+    pub fn absorb(&mut self, w: &WriteSummary) {
+        self.bytes += w.bytes;
+        self.blocks_written += w.blocks_written;
+        self.stripes_touched += w.stripes_touched;
+        self.full_stripe_encodes += w.full_stripe_encodes;
+        self.delta_updates += w.delta_updates;
+        self.coalesced = self.coalesced.max(w.coalesced);
+    }
+}
+
 impl ScrubSummary {
     /// `true` when every shard verified clean.
     pub fn clean(&self) -> bool {
@@ -676,6 +691,22 @@ pub fn write_response(stream: &mut impl Write, id: u64, resp: &Response) -> Resu
     Ok(())
 }
 
+/// Normalizes a checksum-verified response: a [`Response::Error`]
+/// becomes [`NetError::Remote`], anything else passes through. The one
+/// post-verification step shared by the client's simple (`call`) and
+/// pipelined paths, so server-reported failures cannot be interpreted
+/// differently on the two.
+///
+/// # Errors
+///
+/// [`NetError::Remote`] carrying the server's message.
+pub fn ok_or_remote(resp: Response) -> Result<Response, NetError> {
+    match resp {
+        Response::Error(msg) => Err(NetError::Remote(msg)),
+        resp => Ok(resp),
+    }
+}
+
 /// Reads one response frame, verifying the payload checksum. Returns
 /// `(request_id, response)`.
 ///
@@ -793,6 +824,53 @@ mod tests {
         }));
         round_trip_response(Response::ShuttingDown);
         round_trip_response(Response::Error("it broke".into()));
+    }
+
+    #[test]
+    fn ok_or_remote_maps_only_error_responses() {
+        match ok_or_remote(Response::Error("disk on fire".into())) {
+            Err(NetError::Remote(msg)) => assert_eq!(msg, "disk on fire"),
+            other => panic!("expected Remote, got {other:?}"),
+        }
+        assert!(matches!(
+            ok_or_remote(Response::Data(vec![1, 2])),
+            Ok(Response::Data(_))
+        ));
+        assert!(matches!(
+            ok_or_remote(Response::Flushed),
+            Ok(Response::Flushed)
+        ));
+    }
+
+    #[test]
+    fn write_summaries_absorb_chunked_totals() {
+        let mut total = WriteSummary {
+            bytes: 100,
+            blocks_written: 4,
+            stripes_touched: 1,
+            full_stripe_encodes: 1,
+            delta_updates: 0,
+            coalesced: 3,
+        };
+        total.absorb(&WriteSummary {
+            bytes: 28,
+            blocks_written: 1,
+            stripes_touched: 1,
+            full_stripe_encodes: 0,
+            delta_updates: 1,
+            coalesced: 2,
+        });
+        assert_eq!(
+            total,
+            WriteSummary {
+                bytes: 128,
+                blocks_written: 5,
+                stripes_touched: 2,
+                full_stripe_encodes: 1,
+                delta_updates: 1,
+                coalesced: 3,
+            }
+        );
     }
 
     #[test]

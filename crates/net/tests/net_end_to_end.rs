@@ -79,7 +79,7 @@ fn eight_clients_mixed_rw_with_mid_traffic_device_failure() {
             let barrier = &barrier;
             let verified_degraded = &verified_degraded;
             scope.spawn(move || {
-                let mut client = Client::connect(&addr).expect("client connect");
+                let client = Client::connect(&addr).expect("client connect");
                 let offset = (c * region) as u64;
                 for round in 0..ROUNDS {
                     barrier.wait();
@@ -112,7 +112,7 @@ fn eight_clients_mixed_rw_with_mid_traffic_device_failure() {
         }
         // The failure injector: at the FAIL_AT boundary, kill a device
         // on shard 1 while clients are mid-round.
-        let mut admin = Client::connect(&addr).expect("admin connect");
+        let admin = Client::connect(&addr).expect("admin connect");
         for round in 0..ROUNDS {
             barrier.wait();
             if round == FAIL_AT {
@@ -123,7 +123,7 @@ fn eight_clients_mixed_rw_with_mid_traffic_device_failure() {
     assert_eq!(verified_degraded.load(Ordering::Relaxed), CLIENTS);
 
     // The failure is visible in status, reads still verify end to end.
-    let mut admin = Client::connect(&addr).expect("admin");
+    let admin = Client::connect(&addr).expect("admin");
     let status = admin.status().expect("status");
     assert_eq!(status.len(), 4);
     assert_eq!(status[1].failed_devices, vec![2]);
@@ -157,7 +157,7 @@ fn striped_client_round_trips_across_lanes() {
         payload[1001..3004].to_vec()
     );
 
-    let mut admin = Client::connect(&addr).expect("admin");
+    let admin = Client::connect(&addr).expect("admin");
     admin.shutdown_server().expect("shutdown");
     server.join().expect("server thread").expect("server run");
     std::fs::remove_dir_all(&dir).unwrap();
@@ -166,7 +166,7 @@ fn striped_client_round_trips_across_lanes() {
 #[test]
 fn damage_beyond_coverage_comes_back_as_remote_error() {
     let (addr, server, dir) = start_server("beyond", 2, 2);
-    let mut client = Client::connect(&addr).expect("client");
+    let client = Client::connect(&addr).expect("client");
     let capacity = client.capacity() as usize;
     client
         .write_at(0, &pattern(capacity, 3))
@@ -208,7 +208,7 @@ fn server_survives_abrupt_client_disconnects() {
         let client = Client::connect(&addr).expect("connect");
         drop(client); // no goodbye
     }
-    let mut client = Client::connect(&addr).expect("connect after hangups");
+    let client = Client::connect(&addr).expect("connect after hangups");
     assert_eq!(client.status().expect("status").len(), 2);
     client.shutdown_server().expect("shutdown");
     server.join().expect("server thread").expect("server run");
@@ -223,7 +223,7 @@ fn writes_persist_across_server_restart() {
     let addr = server.local_addr().to_string();
     let run = std::thread::spawn(move || server.run());
 
-    let mut client = Client::connect(&addr).expect("client");
+    let client = Client::connect(&addr).expect("client");
     let capacity = client.capacity() as usize;
     let payload = pattern(capacity, 11);
     client.write_at(0, &payload).expect("write");
@@ -236,7 +236,7 @@ fn writes_persist_across_server_restart() {
     let server = Server::bind("127.0.0.1:0", set, ServerConfig::default()).expect("rebind");
     let addr = server.local_addr().to_string();
     let run = std::thread::spawn(move || server.run());
-    let mut client = Client::connect(&addr).expect("client 2");
+    let client = Client::connect(&addr).expect("client 2");
     assert_eq!(client.read_at(0, capacity).expect("read"), payload);
     client.shutdown_server().expect("shutdown 2");
     run.join().expect("thread 2").expect("run 2");

@@ -63,6 +63,7 @@
 pub mod checksum;
 mod codec;
 mod device;
+mod device_impl;
 mod error;
 mod inject;
 mod integrity;
@@ -73,6 +74,7 @@ mod scrub;
 mod store;
 
 pub use codec::build_codec;
+pub use device_impl::{repair_outcome, scrub_outcome, shard_health, write_outcome};
 pub use error::Error;
 pub use inject::InjectionOutcome;
 pub use integrity::{BadSector, DeviceState, Health};

@@ -9,6 +9,7 @@
 pub use stair;
 pub use stair_arraysim as arraysim;
 pub use stair_code as code;
+pub use stair_device as device;
 pub use stair_gf as gf;
 pub use stair_gfmatrix as gfmatrix;
 pub use stair_net as net;
