@@ -1,0 +1,259 @@
+//! The batch-size axis: req/s and submission-latency percentiles for
+//! single-op vs batched small-block I/O, on every backend of the
+//! unified device API — `file:` (a local stripe store), `shards:` (the
+//! in-process shard set), and `tcp:` (a loopback server crossing the
+//! full protocol stack).
+//!
+//! Each measurement walks the block space in consecutive single-block
+//! ops, submitting them `B` at a time through `BlockDevice::submit`
+//! (`B = 1` is the plain `read_at`/`write_at` baseline). Consecutive
+//! blocks share stripes, so growing `B` amortizes exactly what the
+//! batched data path promises: stripe locks and codec passes locally,
+//! request frames over the wire. Expected shape: write req/s grows
+//! steeply with `B` (each batch pays one parity decision per stripe
+//! instead of one per block, and one round trip per shard instead of
+//! one per op); read req/s grows mainly on `tcp:` (locally the clean
+//! read path was already cheap).
+//!
+//! Flags: `--json <path>` writes the machine-readable report
+//! documented in `EXPERIMENTS.md`.
+//!
+//! Environment knobs: `STAIR_BATCH_MB` (logical capacity, default 2),
+//! `STAIR_BATCH_SIZES` (comma list, default `1,4,16,64`),
+//! `STAIR_BATCH_BACKENDS` (comma list of `file,shards,tcp`, default all
+//! three), `STAIR_BATCH_CODE` (codec spec, default `stair:8,16,2,1-2`),
+//! `STAIR_BATCH_SHARDS` (shard count for shards/tcp, default 2).
+
+use stair_bench::driver::{measure_batched, DevMeasurement};
+use stair_code::CodecSpec;
+use stair_device::BlockDevice;
+use stair_net::json::Json;
+use stair_net::{Client, Server, ServerConfig, ShardSet};
+use stair_store::{StoreOptions, StripeStore};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+struct Measurement {
+    backend: &'static str,
+    op: &'static str,
+    batch: usize,
+    timing: DevMeasurement,
+}
+
+fn main() {
+    let json_path = parse_json_flag();
+    let mb = env_usize("STAIR_BATCH_MB", 2);
+    let shards = env_usize("STAIR_BATCH_SHARDS", 2).max(1);
+    let code: CodecSpec = std::env::var("STAIR_BATCH_CODE")
+        .unwrap_or_else(|_| "stair:8,16,2,1-2".into())
+        .parse()
+        .expect("bad STAIR_BATCH_CODE spec");
+    let sizes: Vec<usize> = std::env::var("STAIR_BATCH_SIZES")
+        .unwrap_or_else(|_| "1,4,16,64".into())
+        .split(',')
+        .map(|s| s.trim().parse().expect("bad STAIR_BATCH_SIZES entry"))
+        .collect();
+    let backends: Vec<String> = std::env::var("STAIR_BATCH_BACKENDS")
+        .unwrap_or_else(|_| "file,shards,tcp".into())
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .collect();
+    let symbol = 512usize;
+
+    let root = std::env::temp_dir().join(format!("stair-batch-sweep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // Size stripes so data capacity ≈ the requested MB (per backend).
+    let probe_dir = root.join("probe");
+    let per_stripe = StripeStore::create(
+        &probe_dir,
+        &StoreOptions {
+            code: code.clone(),
+            symbol,
+            stripes: 1,
+        },
+    )
+    .expect("probe store")
+    .capacity() as usize;
+    std::fs::remove_dir_all(&probe_dir).expect("clean probe");
+
+    println!(
+        "== batch_sweep: {code}, symbol {symbol}, ~{mb} MiB per backend, batch sizes {sizes:?}"
+    );
+    let mut results: Vec<Measurement> = Vec::new();
+    for backend in &backends {
+        match backend.as_str() {
+            "file" => {
+                let stripes = (mb << 20).div_ceil(per_stripe).max(2);
+                let dir = root.join("file");
+                let store = StripeStore::create(
+                    &dir,
+                    &StoreOptions {
+                        code: code.clone(),
+                        symbol,
+                        stripes,
+                    },
+                )
+                .expect("create store");
+                sweep("file", &store, &sizes, &mut results);
+                std::fs::remove_dir_all(&dir).expect("cleanup file");
+            }
+            "shards" => {
+                let stripes = (mb << 20).div_ceil(per_stripe * shards).max(2);
+                let dir = root.join("shards");
+                let set = ShardSet::create(
+                    &dir,
+                    shards,
+                    &StoreOptions {
+                        code: code.clone(),
+                        symbol,
+                        stripes,
+                    },
+                )
+                .expect("create shards");
+                sweep("shards", &set, &sizes, &mut results);
+                std::fs::remove_dir_all(&dir).expect("cleanup shards");
+            }
+            "tcp" => {
+                let stripes = (mb << 20).div_ceil(per_stripe * shards).max(2);
+                let dir = root.join("tcp");
+                let set = ShardSet::create(
+                    &dir,
+                    shards,
+                    &StoreOptions {
+                        code: code.clone(),
+                        symbol,
+                        stripes,
+                    },
+                )
+                .expect("create shards");
+                let server =
+                    Server::bind("127.0.0.1:0", set, ServerConfig::default()).expect("bind");
+                let addr = server.local_addr().to_string();
+                let handle = server.handle();
+                let running = std::thread::spawn(move || server.run());
+                let client = Client::connect(&addr).expect("connect");
+                sweep("tcp", &client, &sizes, &mut results);
+                handle.shutdown();
+                running.join().expect("server thread").expect("server run");
+                std::fs::remove_dir_all(&dir).expect("cleanup tcp");
+            }
+            other => panic!("unknown STAIR_BATCH_BACKENDS entry `{other}`"),
+        }
+    }
+
+    // The headline claim must hold on every backend that ran both ends
+    // of the axis: batched writes beat single-op submission on req/s.
+    for backend in &backends {
+        let rate = |batch: usize| {
+            results
+                .iter()
+                .find(|m| m.backend == backend.as_str() && m.op == "write" && m.batch == batch)
+                .map(|m| m.timing.req_per_s())
+        };
+        if let (Some(single), Some(batched)) = (rate(sizes[0]), sizes.last().and_then(|&b| rate(b)))
+        {
+            println!(
+                "-- {backend}: write req/s x{:.1} at batch={} vs {}",
+                batched / single,
+                sizes.last().unwrap(),
+                sizes[0]
+            );
+        }
+    }
+
+    if let Some(path) = json_path {
+        let report = json_report(&code, symbol, shards, &sizes, &results);
+        std::fs::write(&path, report.to_text()).expect("write --json report");
+        println!("wrote JSON report to {path}");
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+fn sweep(
+    backend: &'static str,
+    dev: &dyn BlockDevice,
+    sizes: &[usize],
+    results: &mut Vec<Measurement>,
+) {
+    let capacity = dev.capacity() as usize;
+    let block = dev.block_size();
+    for &batch in sizes {
+        for (op, write) in [("write", true), ("read", false)] {
+            let timing = measure_batched(&[dev], write, capacity, block, batch, 1);
+            println!(
+                "{backend:<7} {op:<5} batch={batch:<3} req/s={:>9.0}  MB/s={:>7.1}  p50={:>7.0}us  p99={:>7.0}us",
+                timing.req_per_s(),
+                timing.mb_per_s(),
+                timing.lat_p50_us,
+                timing.lat_p99_us
+            );
+            results.push(Measurement {
+                backend,
+                op,
+                batch,
+                timing,
+            });
+        }
+    }
+}
+
+/// `--json <path>` from argv (the only flag this harness takes).
+fn parse_json_flag() -> Option<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => None,
+        [flag, path] if flag == "--json" => Some(path.clone()),
+        other => {
+            eprintln!("usage: batch_sweep [--json <path>]   (got {other:?})");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn json_report(
+    code: &CodecSpec,
+    symbol: usize,
+    shards: usize,
+    sizes: &[usize],
+    results: &[Measurement],
+) -> Json {
+    Json::obj([
+        ("harness", Json::str("batch_sweep")),
+        (
+            "config",
+            Json::obj([
+                ("code", Json::str(code.to_string())),
+                ("symbol", Json::int(symbol)),
+                ("shards", Json::int(shards)),
+                (
+                    "batch_sizes",
+                    Json::arr(sizes.iter().map(|&b| Json::int(b))),
+                ),
+            ]),
+        ),
+        (
+            "results",
+            Json::arr(results.iter().map(|m| {
+                Json::obj([
+                    ("backend", Json::str(m.backend)),
+                    ("op", Json::str(m.op)),
+                    ("batch", Json::int(m.batch)),
+                    ("req_per_s", Json::Num(m.timing.req_per_s())),
+                    ("mb_per_s", Json::Num(m.timing.mb_per_s())),
+                    ("lat_p50_us", Json::Num(m.timing.lat_p50_us)),
+                    ("lat_p99_us", Json::Num(m.timing.lat_p99_us)),
+                    ("lat_max_us", Json::Num(m.timing.lat_max_us)),
+                    ("bytes", Json::int(m.timing.bytes)),
+                    ("requests", Json::int(m.timing.requests)),
+                    ("seconds", Json::Num(m.timing.seconds)),
+                ])
+            })),
+        ),
+    ])
+}

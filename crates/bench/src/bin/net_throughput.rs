@@ -135,11 +135,13 @@ fn main() {
             ] {
                 let timing = measure_devices(&devs, op, capacity, shape, 1);
                 println!(
-                    "{:<9} {:<10} threads={t:<2}  MB/s={:>8.1}  req/s={:>9.1}",
+                    "{:<9} {:<10} threads={t:<2}  MB/s={:>8.1}  req/s={:>9.1}  p50={:>7.0}us  p99={:>7.0}us",
                     phase,
                     op.name(),
                     timing.mb_per_s(),
-                    timing.req_per_s()
+                    timing.req_per_s(),
+                    timing.lat_p50_us,
+                    timing.lat_p99_us
                 );
                 results.push(Measurement {
                     phase,
@@ -215,6 +217,9 @@ fn json_report(
                     ("threads", Json::int(m.threads)),
                     ("mb_per_s", Json::Num(m.timing.mb_per_s())),
                     ("req_per_s", Json::Num(m.timing.req_per_s())),
+                    ("lat_p50_us", Json::Num(m.timing.lat_p50_us)),
+                    ("lat_p99_us", Json::Num(m.timing.lat_p99_us)),
+                    ("lat_max_us", Json::Num(m.timing.lat_max_us)),
                     ("bytes", Json::int(m.timing.bytes)),
                     ("requests", Json::int(m.timing.requests)),
                     ("seconds", Json::Num(m.timing.seconds)),

@@ -36,6 +36,9 @@ struct Measurement {
     mb_per_s: f64,
     /// Wall-clock seconds, only for one-shot passes (repair).
     seconds: Option<f64>,
+    /// Per-request latency `(p50, p99, max)` in µs; `None` for one-shot
+    /// passes that issue no per-request calls (repair).
+    lat_us: Option<(f64, f64, f64)>,
 }
 
 fn main() {
@@ -83,10 +86,16 @@ fn main() {
             (
                 "results",
                 Json::arr(results.iter().map(|m| {
+                    let lat = |pick: fn((f64, f64, f64)) -> f64| {
+                        m.lat_us.map(|l| Json::Num(pick(l))).unwrap_or(Json::Null)
+                    };
                     Json::obj([
                         ("code", Json::str(m.code.clone())),
                         ("op", Json::str(m.op)),
                         ("mb_per_s", Json::Num(m.mb_per_s)),
+                        ("lat_p50_us", lat(|l| l.0)),
+                        ("lat_p99_us", lat(|l| l.1)),
+                        ("lat_max_us", lat(|l| l.2)),
                         ("seconds", m.seconds.map(Json::Num).unwrap_or(Json::Null)),
                     ])
                 })),
@@ -155,14 +164,16 @@ fn bench_codec(
         geom.storage_efficiency()
     );
     let label = |what: &str| format!("{:<5} {what}", code.family());
-    let mut push = |op: &'static str, mb_per_s: f64, seconds: Option<f64>| {
-        results.push(Measurement {
-            code: code.to_string(),
-            op,
-            mb_per_s,
-            seconds,
-        });
-    };
+    let mut push =
+        |op: &'static str, mb_per_s: f64, seconds: Option<f64>, lat_us: Option<(f64, f64, f64)>| {
+            results.push(Measurement {
+                code: code.to_string(),
+                op,
+                mb_per_s,
+                seconds,
+                lat_us,
+            });
+        };
 
     // Whole-capacity transfers, one device handle (the driver still
     // carves regions and times exactly as it does for the wire).
@@ -171,15 +182,21 @@ fn bench_codec(
         seq_io: capacity,
         rand_io: symbol,
     };
-    let run = |op: DevOp| measure_devices(&[dev], op, capacity, shape, reps()).mb_per_s();
+    let run = |op: DevOp| {
+        let m = measure_devices(&[dev], op, capacity, shape, reps());
+        (
+            m.mb_per_s(),
+            Some((m.lat_p50_us, m.lat_p99_us, m.lat_max_us)),
+        )
+    };
 
-    let w = run(DevOp::SeqWrite);
+    let (w, lat) = run(DevOp::SeqWrite);
     print_row(&label("sequential write"), &[("MB/s".into(), w)]);
-    push("seq_write", w, None);
+    push("seq_write", w, None, lat);
 
-    let rd = run(DevOp::SeqRead);
+    let (rd, lat) = run(DevOp::SeqRead);
     print_row(&label("sequential read (clean)"), &[("MB/s".into(), rd)]);
-    push("seq_read_clean", rd, None);
+    push("seq_read_clean", rd, None, lat);
 
     // Degrade: the full m whole-device budget, plus a burst (in a still-
     // healthy device) where the code covers one. Device/row choices are
@@ -193,9 +210,9 @@ fn bench_codec(
             .corrupt_sectors(geom.m, stripes / 2, 0, burst)
             .expect("burst");
     }
-    let dg = run(DevOp::SeqRead);
+    let (dg, lat) = run(DevOp::SeqRead);
     print_row(&label("sequential read (degraded)"), &[("MB/s".into(), dg)]);
-    push("seq_read_degraded", dg, None);
+    push("seq_read_degraded", dg, None, lat);
 
     let t0 = Instant::now();
     let report = store.repair(threads).expect("repair");
@@ -206,11 +223,11 @@ fn bench_codec(
         &label("online repair"),
         &[("MB/s".into(), repair_rate), ("s".into(), secs)],
     );
-    push("repair", repair_rate, Some(secs));
+    push("repair", repair_rate, Some(secs), None);
 
-    let pr = run(DevOp::SeqRead);
+    let (pr, lat) = run(DevOp::SeqRead);
     print_row(&label("sequential read (repaired)"), &[("MB/s".into(), pr)]);
-    push("seq_read_repaired", pr, None);
+    push("seq_read_repaired", pr, None, lat);
 
     let scrub = store.scrub(threads).expect("scrub");
     assert!(scrub.clean(), "scrub not clean after repair: {scrub:?}");

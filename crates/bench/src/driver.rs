@@ -16,7 +16,7 @@
 
 use std::time::Instant;
 
-use stair_device::BlockDevice;
+use stair_device::{BlockDevice, IoBatch};
 
 /// A workload shape. Sequential ops stream `seq_io`-byte transfers;
 /// random ops issue single `rand_io`-byte transfers at uniformly
@@ -56,15 +56,24 @@ pub struct IoShape {
 }
 
 /// One timed measurement: aggregated bytes/requests over wall-clock
-/// seconds.
+/// seconds, plus submission-latency percentiles. One latency sample is
+/// taken per *submission* — a single `read_at`/`write_at` call on the
+/// per-op paths, one whole `submit` call on the batched path — so the
+/// percentiles answer "how long did the caller wait per call".
 #[derive(Clone, Copy, Debug)]
 pub struct DevMeasurement {
     /// Payload bytes transferred in the timed pass.
     pub bytes: usize,
-    /// Requests issued in the timed pass.
+    /// Requests (logical ops) issued in the timed pass.
     pub requests: usize,
     /// Wall-clock duration of the timed pass.
     pub seconds: f64,
+    /// Median submission latency in microseconds.
+    pub lat_p50_us: f64,
+    /// 99th-percentile submission latency in microseconds.
+    pub lat_p99_us: f64,
+    /// Worst submission latency in microseconds.
+    pub lat_max_us: f64,
 }
 
 impl DevMeasurement {
@@ -77,6 +86,28 @@ impl DevMeasurement {
     pub fn req_per_s(&self) -> f64 {
         self.requests as f64 / self.seconds
     }
+
+    fn from_totals(bytes: usize, requests: usize, seconds: f64, mut lat_us: Vec<f64>) -> Self {
+        lat_us.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        DevMeasurement {
+            bytes,
+            requests,
+            seconds,
+            lat_p50_us: percentile(&lat_us, 50.0),
+            lat_p99_us: percentile(&lat_us, 99.0),
+            lat_max_us: lat_us.last().copied().unwrap_or(0.0),
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample (0 when
+/// empty).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
 }
 
 /// Runs `op` over `devs` — one device handle per thread, each confined
@@ -104,7 +135,7 @@ pub fn measure_devices(
         devs.len(),
         shape.seq_io
     );
-    let pass = || -> (usize, usize) {
+    let pass = || -> (usize, usize, Vec<f64>) {
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (c, dev) in devs.iter().enumerate() {
@@ -113,24 +144,129 @@ pub fn measure_devices(
             handles
                 .into_iter()
                 .map(|h| h.join().expect("bench thread"))
-                .fold((0, 0), |(b, r), (tb, tr)| (b + tb, r + tr))
+                .fold((0, 0, Vec::new()), |(b, r, mut l), (tb, tr, tl)| {
+                    l.extend(tl);
+                    (b + tb, r + tr, l)
+                })
         })
     };
     pass(); // warmup
     let start = Instant::now();
     let mut bytes = 0;
     let mut requests = 0;
+    let mut lat_us = Vec::new();
     for _ in 0..passes.max(1) {
-        let (b, r) = pass();
+        let (b, r, l) = pass();
         bytes += b;
         requests += r;
+        lat_us.extend(l);
     }
     let seconds = start.elapsed().as_secs_f64().max(1e-9);
-    DevMeasurement {
-        bytes,
-        requests,
-        seconds,
+    DevMeasurement::from_totals(bytes, requests, seconds, lat_us)
+}
+
+/// Runs a batched small-I/O workload over `devs`: each thread walks its
+/// region in consecutive `block`-sized single-block ops, submitting
+/// them `batch` at a time through [`BlockDevice::submit`]. `batch == 1`
+/// issues plain `read_at`/`write_at` calls instead — the single-op
+/// baseline the batched axis is compared against.
+///
+/// # Panics
+///
+/// Panics if `devs` is empty, the per-thread region cannot hold one
+/// block, or a device call fails.
+pub fn measure_batched(
+    devs: &[&dyn BlockDevice],
+    write: bool,
+    capacity: usize,
+    block: usize,
+    batch: usize,
+    passes: usize,
+) -> DevMeasurement {
+    assert!(!devs.is_empty(), "need at least one device handle");
+    let region = capacity / devs.len() / block * block;
+    assert!(
+        region >= block,
+        "capacity {capacity} too small for {} thread(s) of {block}-byte blocks",
+        devs.len()
+    );
+    let pass = || -> (usize, usize, Vec<f64>) {
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (c, dev) in devs.iter().enumerate() {
+                handles
+                    .push(scope.spawn(move || run_batched(*dev, write, c, region, block, batch)));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("bench thread"))
+                .fold((0, 0, Vec::new()), |(b, r, mut l), (tb, tr, tl)| {
+                    l.extend(tl);
+                    (b + tb, r + tr, l)
+                })
+        })
+    };
+    pass(); // warmup
+    let start = Instant::now();
+    let mut bytes = 0;
+    let mut requests = 0;
+    let mut lat_us = Vec::new();
+    for _ in 0..passes.max(1) {
+        let (b, r, l) = pass();
+        bytes += b;
+        requests += r;
+        lat_us.extend(l);
     }
+    let seconds = start.elapsed().as_secs_f64().max(1e-9);
+    DevMeasurement::from_totals(bytes, requests, seconds, lat_us)
+}
+
+/// The per-thread batched workload body.
+fn run_batched(
+    dev: &dyn BlockDevice,
+    write: bool,
+    c: usize,
+    region: usize,
+    block: usize,
+    batch: usize,
+) -> (usize, usize, Vec<f64>) {
+    let base = (c * region) as u64;
+    let slots = region / block;
+    let payload = pattern(block, c as u64 + 11);
+    let mut bytes = 0usize;
+    let mut requests = 0usize;
+    let mut lat_us = Vec::with_capacity(slots / batch.max(1) + 1);
+    let mut slot = 0usize;
+    while slot < slots {
+        let group = batch.max(1).min(slots - slot);
+        let t0 = Instant::now();
+        if batch <= 1 {
+            let at = base + (slot * block) as u64;
+            if write {
+                dev.write_at(at, &payload).expect("bench write");
+            } else {
+                let got = dev.read_at(at, block).expect("bench read");
+                assert_eq!(got.len(), block);
+            }
+        } else {
+            let mut ops = IoBatch::new();
+            for k in 0..group {
+                let at = base + ((slot + k) * block) as u64;
+                if write {
+                    ops.write(at, payload.clone());
+                } else {
+                    ops.read(at, block);
+                }
+            }
+            let result = dev.submit(&ops).expect("bench submit");
+            assert_eq!(result.results.len(), group);
+        }
+        lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        bytes += group * block;
+        requests += group;
+        slot += group;
+    }
+    (bytes, requests, lat_us)
 }
 
 /// The per-thread workload body shared by warmup and timed passes.
@@ -140,16 +276,19 @@ fn run_workload(
     c: usize,
     region: usize,
     shape: IoShape,
-) -> (usize, usize) {
+) -> (usize, usize, Vec<f64>) {
     let base = (c * region) as u64;
     let mut bytes = 0usize;
     let mut requests = 0usize;
+    let mut lat_us = Vec::new();
     match op {
         DevOp::SeqWrite => {
             let payload = pattern(shape.seq_io, c as u64);
             let mut at = 0;
             while at + shape.seq_io <= region {
+                let t0 = Instant::now();
                 dev.write_at(base + at as u64, &payload).expect("write");
+                lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
                 bytes += shape.seq_io;
                 requests += 1;
                 at += shape.seq_io;
@@ -158,7 +297,9 @@ fn run_workload(
         DevOp::SeqRead => {
             let mut at = 0;
             while at + shape.seq_io <= region {
+                let t0 = Instant::now();
                 let got = dev.read_at(base + at as u64, shape.seq_io).expect("read");
+                lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
                 assert_eq!(got.len(), shape.seq_io);
                 bytes += shape.seq_io;
                 requests += 1;
@@ -176,18 +317,20 @@ fn run_workload(
                     .wrapping_mul(6364136223846793005)
                     .wrapping_add(1442695040888963407);
                 let at = base + (((state >> 16) as usize % slots) * block) as u64;
+                let t0 = Instant::now();
                 if op == DevOp::RandWrite {
                     dev.write_at(at, &payload).expect("rand write");
                 } else {
                     let got = dev.read_at(at, block).expect("rand read");
                     assert_eq!(got.len(), block);
                 }
+                lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
                 bytes += block;
                 requests += 1;
             }
         }
     }
-    (bytes, requests)
+    (bytes, requests, lat_us)
 }
 
 /// A deterministic per-thread byte pattern.
@@ -233,7 +376,30 @@ mod tests {
             assert!(m.requests > 0);
             assert!(m.mb_per_s() > 0.0);
             assert!(m.req_per_s() > 0.0);
+            assert!(m.lat_p50_us > 0.0, "{op:?} has no latency samples");
+            assert!(m.lat_p50_us <= m.lat_p99_us && m.lat_p99_us <= m.lat_max_us);
+        }
+
+        // The batched axis covers the same region, at every batch size,
+        // for both the per-op baseline (batch 1) and true batches.
+        for batch in [1usize, 4, 64] {
+            for write in [true, false] {
+                let m = measure_batched(&[dev, dev], write, capacity, 64, batch, 1);
+                assert_eq!(m.bytes, capacity / 2 * 2, "batch={batch} write={write}");
+                assert!(m.req_per_s() > 0.0);
+                assert!(m.lat_max_us >= m.lat_p50_us);
+            }
         }
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50.0);
+        assert_eq!(percentile(&sorted, 99.0), 99.0);
+        assert_eq!(percentile(&sorted, 100.0), 100.0);
+        assert_eq!(percentile(&[7.5], 50.0), 7.5);
+        assert_eq!(percentile(&[], 50.0), 0.0);
     }
 }

@@ -5,11 +5,28 @@
 //! stair dev status --dev SPEC [--json]
 //! stair dev read   --dev SPEC --output FILE [--offset BYTES] [--len BYTES]
 //! stair dev write  --dev SPEC --input FILE [--offset BYTES]
+//! stair dev batch  --dev SPEC --from SCRIPT
 //! stair dev fail   --dev SPEC --device J [--shard S] [--stripe I --sector K --len L]
 //! stair dev scrub  --dev SPEC [--threads T] [--json]
 //! stair dev repair --dev SPEC [--threads T] [--json]
 //! stair dev flush  --dev SPEC
 //! ```
+//!
+//! `batch` replays an **op-script** — one op per line, `#` comments and
+//! blank lines ignored:
+//!
+//! ```text
+//! # read  <offset> <len>
+//! # write <offset> <hex-bytes>
+//! write 0 deadbeef
+//! read  0 4
+//! ```
+//!
+//! The whole script is submitted as one `IoBatch` through
+//! `BlockDevice::submit`, so it costs one stripe lock and one codec
+//! decision per touched stripe locally, and one request frame per
+//! shard over the wire. Results print as one JSON object whose shape
+//! is identical across backends.
 //!
 //! `SPEC` is a `stair_device::DeviceSpec`: `file:<dir>`,
 //! `shards:<root>[?n=K]`, or `tcp:<host:port>[?lanes=L]`. The legacy
@@ -20,7 +37,8 @@
 use std::path::PathBuf;
 use std::str::FromStr;
 
-use stair_device::{BlockDevice, DeviceSpec};
+use stair_device::{BatchResult, BlockDevice, DeviceSpec, IoBatch, IoOp, OpResult};
+use stair_net::json::Json;
 use stair_net::{open_admin, open_device};
 
 use crate::flags::{u64_flag, usize_flag, Flags};
@@ -31,11 +49,14 @@ pub const DEV_USAGE: &str = "usage:
   stair dev status --dev SPEC [--json]
   stair dev read   --dev SPEC --output FILE [--offset BYTES] [--len BYTES]
   stair dev write  --dev SPEC --input FILE [--offset BYTES]
+  stair dev batch  --dev SPEC --from SCRIPT
   stair dev fail   --dev SPEC --device J [--shard S] [--stripe I --sector K --len L]
   stair dev scrub  --dev SPEC [--threads T] [--json]
   stair dev repair --dev SPEC [--threads T] [--json]
   stair dev flush  --dev SPEC
-  (SPEC: file:<dir> | shards:<root>[?n=K] | tcp:<host:port>[?lanes=L])";
+  (SPEC: file:<dir> | shards:<root>[?n=K] | tcp:<host:port>[?lanes=L])
+  (SCRIPT lines: `read <offset> <len>` | `write <offset> <hex-bytes>`;
+   `#` comments and blank lines ignored; results print as JSON)";
 
 /// Dispatches a `stair dev <verb> ...` invocation.
 pub fn run(verb: &str, flags: &Flags) -> Result<(), String> {
@@ -61,6 +82,7 @@ pub fn run_with_spec(
         "status" => cmd_status(flags, spec),
         "read" => cmd_read(flags, spec),
         "write" => cmd_write(flags, spec),
+        "batch" => cmd_batch(flags, spec),
         "fail" => cmd_fail(flags, spec),
         "scrub" => cmd_scrub(flags, spec, family),
         "repair" => cmd_repair(flags, spec),
@@ -167,6 +189,123 @@ fn cmd_write(flags: &Flags, spec: &DeviceSpec) -> Result<(), String> {
         outcome.bytes, outcome.stripes_touched, outcome.full_stripe_encodes, outcome.delta_updates
     );
     Ok(())
+}
+
+fn cmd_batch(flags: &Flags, spec: &DeviceSpec) -> Result<(), String> {
+    let from = flags
+        .get("from")
+        .filter(|v| !v.is_empty())
+        .ok_or_else(|| format!("--from is required\n{DEV_USAGE}"))?;
+    let text =
+        std::fs::read_to_string(from).map_err(|e| format!("cannot read op-script {from}: {e}"))?;
+    let batch = parse_op_script(&text)?;
+    let dev = open(spec)?;
+    let result = dev.submit(&batch).map_err(|e| e.to_string())?;
+    print!("{}", batch_json(&batch, &result).to_text());
+    Ok(())
+}
+
+/// Parses the op-script grammar: one `read <offset> <len>` or
+/// `write <offset> <hex-bytes>` per line; `#` comments and blank lines
+/// are skipped. Errors carry the 1-based line number.
+fn parse_op_script(text: &str) -> Result<IoBatch, String> {
+    let mut batch = IoBatch::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |what: &str| format!("op-script line {}: {what}", lineno + 1);
+        let mut words = line.split_whitespace();
+        let (verb, offset, arg) = (words.next(), words.next(), words.next());
+        if words.next().is_some() {
+            return Err(at("expected exactly `<verb> <offset> <arg>`"));
+        }
+        let (Some(verb), Some(offset), Some(arg)) = (verb, offset, arg) else {
+            return Err(at(
+                "expected `read <offset> <len>` or `write <offset> <hex>`",
+            ));
+        };
+        let offset: u64 = offset
+            .parse()
+            .map_err(|_| at(&format!("bad offset `{offset}`")))?;
+        match verb {
+            "read" => {
+                let len: usize = arg
+                    .parse()
+                    .map_err(|_| at(&format!("bad length `{arg}`")))?;
+                batch.read(offset, len);
+            }
+            "write" => {
+                batch.write(offset, from_hex(arg).map_err(|e| at(&e))?);
+            }
+            other => return Err(at(&format!("unknown op `{other}`"))),
+        }
+    }
+    Ok(batch)
+}
+
+fn from_hex(s: &str) -> Result<Vec<u8>, String> {
+    if !s.len().is_multiple_of(2) {
+        return Err(format!("hex data `{s}` has odd length"));
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(&s[i..i + 2], 16)
+                .map_err(|_| format!("bad hex byte `{}`", &s[i..i + 2]))
+        })
+        .collect()
+}
+
+fn to_hex(data: &[u8]) -> String {
+    data.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Renders a batch's results as one JSON object — the identical shape
+/// for every backend, so CI can diff `file:` against `tcp:` replays.
+fn batch_json(batch: &IoBatch, result: &BatchResult) -> Json {
+    let per_op = batch.ops().iter().zip(&result.results).map(|(op, r)| {
+        match (op, r) {
+            (IoOp::Read { offset, len }, OpResult::Read(data)) => Json::obj([
+                ("op", Json::str("read")),
+                ("offset", Json::int64(*offset)),
+                ("len", Json::int(*len)),
+                ("data", Json::str(to_hex(data))),
+            ]),
+            (IoOp::Write { offset, .. }, OpResult::Write(w)) => Json::obj([
+                ("op", Json::str("write")),
+                ("offset", Json::int64(*offset)),
+                ("bytes", Json::int64(w.bytes)),
+                ("blocks_written", Json::int64(w.blocks_written)),
+                ("stripes_touched", Json::int64(w.stripes_touched)),
+                ("full_stripe_encodes", Json::int64(w.full_stripe_encodes)),
+                ("delta_updates", Json::int64(w.delta_updates)),
+            ]),
+            // `submit` contracts results to line up with ops; a backend
+            // violating that is a bug worth surfacing as malformed JSON
+            // rather than a panic.
+            _ => Json::obj([("op", Json::str("mismatch"))]),
+        }
+    });
+    Json::obj([
+        ("op", Json::str("batch")),
+        ("ops", Json::int(batch.len())),
+        ("results", Json::arr(per_op)),
+        (
+            "write_totals",
+            Json::obj([
+                ("bytes", Json::int64(result.write.bytes)),
+                ("blocks_written", Json::int64(result.write.blocks_written)),
+                ("stripes_touched", Json::int64(result.write.stripes_touched)),
+                (
+                    "full_stripe_encodes",
+                    Json::int64(result.write.full_stripe_encodes),
+                ),
+                ("delta_updates", Json::int64(result.write.delta_updates)),
+            ]),
+        ),
+    ])
 }
 
 fn cmd_fail(flags: &Flags, spec: &DeviceSpec) -> Result<(), String> {

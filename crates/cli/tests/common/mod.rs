@@ -110,6 +110,17 @@ fn canonical_status_shape(doc: &str) -> Vec<String> {
     out
 }
 
+/// Asserts two JSON documents have the identical ordered key sequence
+/// — the shape check for backend-independent outputs like `stair dev
+/// batch` results.
+pub fn assert_same_key_shape(a: &str, b: &str) {
+    assert_eq!(
+        key_shape(a),
+        key_shape(b),
+        "JSON key shapes differ:\n{a}\n{b}"
+    );
+}
+
 /// Asserts two unified device-status JSON documents have the identical
 /// key shape, independent of how many shards each backend reports.
 pub fn assert_same_status_shape(a: &str, b: &str) {

@@ -144,6 +144,129 @@ fn dev_cli_runs_identical_sessions_on_file_and_tcp_backends() {
     std::fs::remove_dir_all(&work).unwrap();
 }
 
+/// Replays one op-script through `stair dev batch`, returning the JSON.
+fn replay(dev: &str, script: &std::path::Path) -> String {
+    let (ok, json) = run(&[
+        "dev",
+        "batch",
+        "--dev",
+        dev,
+        "--from",
+        script.to_str().unwrap(),
+    ]);
+    assert!(ok, "{dev} batch: {json}");
+    json
+}
+
+#[test]
+fn dev_batch_replays_the_same_op_script_on_file_and_tcp() {
+    let work = std::env::temp_dir().join(format!("stair-dev-batch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&work);
+    std::fs::create_dir_all(&work).unwrap();
+
+    // An op-script with scattered writes, then reads of the same spans:
+    // comments, blank lines, and an unaligned cross-block write.
+    let script = work.join("ops.txt");
+    std::fs::write(
+        &script,
+        "# batch smoke script\n\
+         write 0 aabbccdd\n\
+         write 256 00112233445566778899\n\
+         \n\
+         write 130 feedface # trailing comment\n\
+         read 0 4\n\
+         read 256 10\n\
+         read 130 4\n",
+    )
+    .unwrap();
+
+    let store_dir = work.join("store");
+    let (ok, out) = run(&[
+        "store",
+        "init",
+        "--dir",
+        store_dir.to_str().unwrap(),
+        "--code",
+        "stair:8,4,2,1-1-2",
+        "--symbol",
+        "128",
+        "--stripes",
+        "16",
+    ]);
+    assert!(ok, "{out}");
+    let file_spec = format!("file:{}", store_dir.display());
+    let file_json = replay(&file_spec, &script);
+
+    let root = work.join("net-root");
+    let (mut server, addr) = spawn_server(root.to_str().unwrap(), &[]);
+    let tcp_spec = format!("tcp:{addr}");
+    let tcp_json = replay(&tcp_spec, &script);
+
+    // Reads echo exactly what the writes stored, on both backends.
+    for json in [&file_json, &tcp_json] {
+        assert!(json.contains("\"op\":\"batch\""), "{json}");
+        assert!(json.contains("\"ops\":6"), "{json}");
+        assert!(json.contains("\"data\":\"aabbccdd\""), "{json}");
+        assert!(json.contains("\"data\":\"00112233445566778899\""), "{json}");
+        assert!(json.contains("\"data\":\"feedface\""), "{json}");
+    }
+    // Identical JSON key shape across backends.
+    common::assert_same_key_shape(&file_json, &tcp_json);
+
+    // The resulting device bytes are identical: read both back in full.
+    let file_out = work.join("file.bin");
+    let tcp_out = work.join("tcp.bin");
+    let (ok, _) = run(&[
+        "dev",
+        "read",
+        "--dev",
+        &file_spec,
+        "--output",
+        file_out.to_str().unwrap(),
+        "--len",
+        "1024",
+    ]);
+    assert!(ok);
+    let (ok, _) = run(&[
+        "dev",
+        "read",
+        "--dev",
+        &tcp_spec,
+        "--output",
+        tcp_out.to_str().unwrap(),
+        "--len",
+        "1024",
+    ]);
+    assert!(ok);
+    assert_eq!(
+        std::fs::read(&file_out).unwrap(),
+        std::fs::read(&tcp_out).unwrap()
+    );
+
+    let (ok, _) = run(&["remote", "shutdown", "--addr", &addr]);
+    assert!(ok);
+    assert!(server.wait().expect("server wait").success());
+
+    // Malformed scripts are clean errors with a line number.
+    let bad = work.join("bad.txt");
+    std::fs::write(&bad, "write 0 abc\n").unwrap(); // odd-length hex
+    let (ok, out) = run(&[
+        "dev",
+        "batch",
+        "--dev",
+        &file_spec,
+        "--from",
+        bad.to_str().unwrap(),
+    ]);
+    assert!(!ok);
+    assert!(out.contains("op-script line 1"), "{out}");
+    let (ok, out) = run(&["dev", "batch", "--dev", &file_spec]);
+    assert!(!ok);
+    assert!(out.contains("--from is required"), "{out}");
+
+    std::fs::remove_dir_all(&work).unwrap();
+}
+
 #[test]
 fn dev_cli_rejects_bad_specs_cleanly() {
     let (ok, out) = run(&["dev", "status", "--dev", "nfs:/somewhere"]);

@@ -1,6 +1,9 @@
 //! The object-safe storage traits.
 
-use crate::{DeviceError, DeviceStatus, RepairOutcome, ScrubOutcome, WriteOutcome};
+use crate::{
+    BatchResult, DeviceError, DeviceStatus, IoBatch, IoOp, OpResult, RepairOutcome, ScrubOutcome,
+    WriteOutcome,
+};
 
 /// The unified data-path API over any storage backend — a local stripe
 /// store, an in-process shard set, or a remote TCP client.
@@ -35,6 +38,34 @@ pub trait BlockDevice: Send + Sync {
     ///
     /// Out-of-range spans and backend failures.
     fn write_at(&self, offset: u64, data: &[u8]) -> Result<WriteOutcome, DeviceError>;
+
+    /// Submits a scatter-gather batch, returning per-op results in
+    /// submission order plus the aggregated write outcome.
+    ///
+    /// The default implementation loops over `read_at`/`write_at`, so
+    /// every existing implementor stays source-compatible. Native
+    /// backends override it to amortize work across ops: a stripe
+    /// store takes each stripe lock once with one
+    /// re-encode-vs-parity-delta decision per touched stripe, a shard
+    /// set splits by placement and runs shards in parallel, a remote
+    /// client ships the whole batch in one request frame per shard.
+    /// Overlap semantics and failure behavior are specified on
+    /// [`IoBatch`].
+    ///
+    /// # Errors
+    ///
+    /// The first failing op aborts the batch; writes that already
+    /// executed stay applied.
+    fn submit(&self, batch: &IoBatch) -> Result<BatchResult, DeviceError> {
+        let mut results = Vec::with_capacity(batch.len());
+        for op in batch.ops() {
+            results.push(match op {
+                IoOp::Read { offset, len } => OpResult::Read(self.read_at(*offset, *len)?),
+                IoOp::Write { offset, data } => OpResult::Write(self.write_at(*offset, data)?),
+            });
+        }
+        Ok(BatchResult::from_results(results))
+    }
 
     /// Persists all state (data, checksums, health records).
     ///

@@ -1,0 +1,304 @@
+//! Scatter-gather batch I/O: many reads and writes submitted as one
+//! unit through [`BlockDevice::submit`](crate::BlockDevice::submit).
+//!
+//! One-op-per-call `read_at`/`write_at` makes N small writes to the
+//! same stripe pay N lock acquisitions, N codec passes, and (over a
+//! wire) N round trips. A batch names all N ops up front, so a backend
+//! can group them — per stripe for a local store (one lock, one
+//! re-encode-vs-parity-delta decision), per shard for a sharded or
+//! remote one (parallel execution, one request frame per shard).
+//!
+//! # Semantics
+//!
+//! * Results come back **per op, in submission order**
+//!   ([`BatchResult::results`]), plus one aggregated [`WriteOutcome`].
+//! * Backends may reorder and merge **disjoint** ops freely; ops whose
+//!   byte ranges conflict (a write overlapping anything) must take
+//!   effect as if executed one at a time in submission order.
+//!   [`IoBatch::has_conflicts`] is the shared detector backends use to
+//!   fall back to the sequential path.
+//! * A batch is not atomic: the first failing op aborts the rest, and
+//!   writes that already executed stay applied. Callers needing
+//!   all-or-nothing run their own journal above the device.
+
+use crate::WriteOutcome;
+
+/// One operation in a batch: a read or a write of a byte span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IoOp {
+    /// Read `len` bytes at byte `offset`.
+    Read {
+        /// Byte offset in the device's logical space.
+        offset: u64,
+        /// Bytes to read.
+        len: usize,
+    },
+    /// Write `data` at byte `offset`.
+    Write {
+        /// Byte offset in the device's logical space.
+        offset: u64,
+        /// Bytes to store.
+        data: Vec<u8>,
+    },
+}
+
+impl IoOp {
+    /// The op's starting byte offset.
+    pub fn offset(&self) -> u64 {
+        match self {
+            IoOp::Read { offset, .. } | IoOp::Write { offset, .. } => *offset,
+        }
+    }
+
+    /// Bytes the op touches.
+    pub fn byte_len(&self) -> usize {
+        match self {
+            IoOp::Read { len, .. } => *len,
+            IoOp::Write { data, .. } => data.len(),
+        }
+    }
+
+    /// One byte past the op's span (`offset + byte_len`).
+    pub fn end(&self) -> u64 {
+        self.offset() + self.byte_len() as u64
+    }
+
+    /// `true` for writes.
+    pub fn is_write(&self) -> bool {
+        matches!(self, IoOp::Write { .. })
+    }
+}
+
+/// An ordered list of [`IoOp`]s submitted as one unit.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IoBatch {
+    ops: Vec<IoOp>,
+}
+
+impl IoBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        IoBatch::default()
+    }
+
+    /// Appends a read of `len` bytes at `offset`.
+    pub fn read(&mut self, offset: u64, len: usize) -> &mut Self {
+        self.ops.push(IoOp::Read { offset, len });
+        self
+    }
+
+    /// Appends a write of `data` at `offset`.
+    pub fn write(&mut self, offset: u64, data: Vec<u8>) -> &mut Self {
+        self.ops.push(IoOp::Write { offset, data });
+        self
+    }
+
+    /// Appends an already-built op.
+    pub fn push(&mut self, op: IoOp) {
+        self.ops.push(op);
+    }
+
+    /// The ops, in submission order.
+    pub fn ops(&self) -> &[IoOp] {
+        &self.ops
+    }
+
+    /// Consumes the batch into its ops.
+    pub fn into_ops(self) -> Vec<IoOp> {
+        self.ops
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when the batch holds no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// `true` when any two ops overlap and at least one of the pair is
+    /// a write — the condition under which execution order is
+    /// observable, so backends must fall back to submission order
+    /// instead of regrouping. Overlapping reads are not conflicts.
+    pub fn has_conflicts(&self) -> bool {
+        // Sweep the spans in start order, tracking the furthest end seen
+        // over all ops and over writes alone; a later-starting op
+        // conflicts exactly when it begins before the relevant frontier.
+        let mut spans: Vec<(u64, u64, bool)> = self
+            .ops
+            .iter()
+            .filter(|op| op.byte_len() > 0)
+            .map(|op| (op.offset(), op.end(), op.is_write()))
+            .collect();
+        spans.sort_unstable();
+        let (mut any_end, mut write_end) = (0u64, 0u64);
+        for (start, end, is_write) in spans {
+            if start < write_end || (is_write && start < any_end) {
+                return true;
+            }
+            any_end = any_end.max(end);
+            if is_write {
+                write_end = write_end.max(end);
+            }
+        }
+        false
+    }
+}
+
+impl From<Vec<IoOp>> for IoBatch {
+    fn from(ops: Vec<IoOp>) -> Self {
+        IoBatch { ops }
+    }
+}
+
+impl FromIterator<IoOp> for IoBatch {
+    fn from_iter<I: IntoIterator<Item = IoOp>>(iter: I) -> Self {
+        IoBatch {
+            ops: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// The result of one batch op, same-index as its [`IoOp`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpResult {
+    /// The bytes a read returned.
+    Read(Vec<u8>),
+    /// What a write did. When several batch writes share one store
+    /// pass, the pass counters (`stripes_touched`,
+    /// `full_stripe_encodes`) are attributed to the first write of the
+    /// pass and the rest carry zeros (plus their own `bytes` /
+    /// `blocks_written`), so summing per-op outcomes yields exact
+    /// totals.
+    Write(WriteOutcome),
+}
+
+/// Per-op results in submission order, plus the aggregated write
+/// outcome across the whole batch.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchResult {
+    /// One entry per submitted op, in submission order.
+    pub results: Vec<OpResult>,
+    /// All write outcomes folded together.
+    pub write: WriteOutcome,
+}
+
+impl BatchResult {
+    /// Builds the result, computing the aggregate from the per-op
+    /// write outcomes.
+    pub fn from_results(results: Vec<OpResult>) -> Self {
+        let mut write = WriteOutcome::default();
+        for r in &results {
+            if let OpResult::Write(w) = r {
+                write.absorb(w);
+            }
+        }
+        BatchResult { results, write }
+    }
+}
+
+/// The zeroed per-op result slots a backend fills in while executing a
+/// batch: reads get a zeroed buffer of their length, writes an empty
+/// outcome. Every native `submit` implementation seeds with this, so
+/// result slots and ops can never disagree on kind.
+pub fn seed_results(ops: &[IoOp]) -> Vec<OpResult> {
+    ops.iter()
+        .map(|op| match op {
+            IoOp::Read { len, .. } => OpResult::Read(vec![0u8; *len]),
+            IoOp::Write { .. } => OpResult::Write(WriteOutcome::default()),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_builder_keeps_submission_order() {
+        let mut batch = IoBatch::new();
+        batch.read(0, 4).write(8, vec![1, 2]).read(16, 1);
+        assert_eq!(batch.len(), 3);
+        assert!(!batch.is_empty());
+        assert_eq!(
+            batch.ops()[1],
+            IoOp::Write {
+                offset: 8,
+                data: vec![1, 2]
+            }
+        );
+        assert_eq!(batch.ops()[0].byte_len(), 4);
+        assert_eq!(batch.ops()[1].end(), 10);
+        assert!(batch.ops()[1].is_write());
+        assert!(!batch.ops()[2].is_write());
+    }
+
+    #[test]
+    fn conflict_detection() {
+        // Disjoint ops: no conflict.
+        let mut batch = IoBatch::new();
+        batch.write(0, vec![0; 4]).read(4, 4).write(8, vec![0; 4]);
+        assert!(!batch.has_conflicts());
+
+        // Overlapping reads: no conflict.
+        let mut batch = IoBatch::new();
+        batch.read(0, 8).read(4, 8);
+        assert!(!batch.has_conflicts());
+
+        // Write overlapping a read, either order: conflict.
+        let mut batch = IoBatch::new();
+        batch.read(0, 8).write(7, vec![0; 2]);
+        assert!(batch.has_conflicts());
+        let mut batch = IoBatch::new();
+        batch.write(7, vec![0; 2]).read(0, 8);
+        assert!(batch.has_conflicts());
+
+        // Write overlapping a write: conflict.
+        let mut batch = IoBatch::new();
+        batch.write(0, vec![0; 4]).write(3, vec![0; 4]);
+        assert!(batch.has_conflicts());
+
+        // Zero-length ops never conflict.
+        let mut batch = IoBatch::new();
+        batch.write(0, vec![0; 4]).write(2, Vec::new()).read(2, 0);
+        assert!(!batch.has_conflicts());
+
+        // Adjacent (touching, not overlapping) spans: no conflict.
+        let mut batch = IoBatch::new();
+        batch.write(0, vec![0; 4]).write(4, vec![0; 4]);
+        assert!(!batch.has_conflicts());
+    }
+
+    #[test]
+    fn batch_result_aggregates_write_outcomes() {
+        let result = BatchResult::from_results(vec![
+            OpResult::Read(vec![1, 2, 3]),
+            OpResult::Write(WriteOutcome {
+                bytes: 10,
+                blocks_written: 1,
+                stripes_touched: 1,
+                full_stripe_encodes: 0,
+                delta_updates: 1,
+            }),
+            OpResult::Write(WriteOutcome {
+                bytes: 20,
+                blocks_written: 2,
+                stripes_touched: 0,
+                full_stripe_encodes: 0,
+                delta_updates: 2,
+            }),
+        ]);
+        assert_eq!(
+            result.write,
+            WriteOutcome {
+                bytes: 30,
+                blocks_written: 3,
+                stripes_touched: 1,
+                full_stripe_encodes: 0,
+                delta_updates: 3,
+            }
+        );
+    }
+}

@@ -9,9 +9,13 @@
 //! did for the codecs one level down:
 //!
 //! * **[`BlockDevice`]** — the object-safe data-path trait
-//!   (`read_at`/`write_at`/`flush`/`status`/`scrub`/`repair`), all on
-//!   `&self`, all `Send + Sync`, so any backend works behind
+//!   (`read_at`/`write_at`/`submit`/`flush`/`status`/`scrub`/`repair`),
+//!   all on `&self`, all `Send + Sync`, so any backend works behind
 //!   `Arc<dyn BlockDevice>`;
+//! * **[`IoBatch`] / [`IoOp`] / [`BatchResult`]** — the scatter-gather
+//!   batch types behind `submit`: many ops named up front so a backend
+//!   can group them (per stripe locally, per shard remotely) instead of
+//!   paying per-op locks, codec passes, and round trips;
 //! * **[`FaultAdmin`]** — the fault-injection split
 //!   (`fail_device`/`corrupt_sectors`); kept separate because remote or
 //!   production deployments may refuse admin operations;
@@ -37,11 +41,13 @@
 #![warn(missing_docs)]
 
 mod api;
+mod batch;
 mod error;
 mod report;
 mod spec;
 
 pub use api::{AdminDevice, BlockDevice, FaultAdmin};
+pub use batch::{seed_results, BatchResult, IoBatch, IoOp, OpResult};
 pub use error::DeviceError;
 pub use report::{DeviceStatus, RepairOutcome, ScrubOutcome, ShardHealth, WriteOutcome};
 pub use spec::DeviceSpec;

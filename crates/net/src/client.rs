@@ -10,15 +10,23 @@
 //! normalized by one shared helper ([`ok_or_remote`]) on both the
 //! simple and the pipelined path.
 //!
+//! **Batches** ([`Client::submit`]) ship many ops in one BATCH frame —
+//! one round trip instead of one per op — and [`StripedClient::submit`]
+//! splits a batch by placement so each touched shard gets exactly one
+//! request frame, executed across the lanes in parallel.
+//!
+//! **Resilience**: a broken connection is not a dead client. Any call
+//! that hits a transport error drops the connection and the next call
+//! redials transparently; *idempotent* requests (reads, status, flush,
+//! scrub, repair, read-only batches) additionally retry once after
+//! reconnecting, so a server restart or dropped socket between ops is
+//! invisible to read-path callers. Writes and fault injection never
+//! auto-retry: the caller decides whether to reissue them.
+//!
 //! The connection lives behind a [`Mutex`], so every method takes
 //! `&self` and a `Client` is `Send + Sync` — usable behind
 //! `Arc<Client>` (or `Arc<dyn BlockDevice>`) from many threads, which
 //! serialize on the connection.
-//!
-//! [`StripedClient`] opens several connections and splits each transfer
-//! across them on scoped threads — the multi-connection mode the
-//! throughput benchmark uses to saturate the server's worker pool from
-//! one process.
 //!
 //! [`ok_or_remote`]: crate::protocol::ok_or_remote
 
@@ -28,16 +36,31 @@ use std::str::FromStr;
 use std::sync::{Mutex, MutexGuard};
 
 use stair_code::CodecSpec;
+use stair_device::{seed_results, BatchResult, IoBatch, IoOp, OpResult};
 use stair_store::StoreStatus;
 
+use crate::device_impl::write_outcome;
 use crate::protocol::{
-    ok_or_remote, read_response, write_request, RepairSummary, Request, Response, ScrubSummary,
-    ServerInfo, WireShardStatus, WriteSummary, MAX_IO_BYTES, PROTOCOL_VERSION,
+    ok_or_remote, read_response, write_request, BatchReply, RepairSummary, Request, Response,
+    ScrubSummary, ServerInfo, WireShardStatus, WriteSummary, MAX_BATCH_OPS, MAX_IO_BYTES,
+    PROTOCOL_VERSION,
 };
 use crate::NetError;
 
 /// Chunk requests in flight per connection during pipelined transfers.
 const PIPELINE_WINDOW: usize = 8;
+
+/// Stitch-back map: per sub-op, `(global op index, byte offset of the
+/// fragment within that op's span)`.
+type StitchMap = Vec<(usize, usize)>;
+
+/// What a frame op looked like, for response validation after the op
+/// itself has moved into the request: `(is_write, byte length)`.
+type OpSpec = (bool, usize);
+
+/// Everything needed to fold one frame's response back into the
+/// batch's result slots: the stitch map plus the per-op specs.
+type FrameMeta = (StitchMap, Vec<OpSpec>);
 
 /// The mutable half of a client: the stream plus the request-ID
 /// counter, locked together for the duration of a call or transfer.
@@ -115,7 +138,8 @@ impl Conn {
 /// A single-connection blocking client (`Send + Sync`; calls from
 /// different threads serialize on the connection).
 pub struct Client {
-    conn: Mutex<Conn>,
+    addr: String,
+    conn: Mutex<Option<Conn>>,
     info: ServerInfo,
 }
 
@@ -126,31 +150,12 @@ impl Client {
     ///
     /// Connection failures, version mismatches, and protocol errors.
     pub fn connect(addr: &str) -> Result<Self, NetError> {
-        let stream = TcpStream::connect(addr).map_err(|e| {
-            NetError::Io(std::io::Error::new(
-                e.kind(),
-                format!("cannot connect to {addr}: {e}"),
-            ))
-        })?;
-        let _ = stream.set_nodelay(true);
-        let mut conn = Conn { stream, next_id: 1 };
-        match conn.call(&Request::Hello {
-            version: PROTOCOL_VERSION,
-        })? {
-            Response::Hello(info) => {
-                if info.version != PROTOCOL_VERSION {
-                    return Err(NetError::Version {
-                        ours: PROTOCOL_VERSION,
-                        theirs: info.version,
-                    });
-                }
-                Ok(Client {
-                    conn: Mutex::new(conn),
-                    info,
-                })
-            }
-            other => Err(unexpected("HELLO", &other)),
-        }
+        let (conn, info) = dial(addr)?;
+        Ok(Client {
+            addr: addr.to_string(),
+            conn: Mutex::new(Some(conn)),
+            info,
+        })
     }
 
     /// What the server announced at HELLO time.
@@ -168,14 +173,57 @@ impl Client {
         self.info.block_size as usize
     }
 
-    /// Locks the connection. Poisoning means another thread panicked
-    /// mid-call; the stream may hold half a conversation, but the next
-    /// frame either parses or surfaces a protocol error, so the guard
-    /// is taken regardless.
-    fn conn(&self) -> MutexGuard<'_, Conn> {
+    /// Locks the connection slot. Poisoning means another thread
+    /// panicked mid-call; the stream may hold half a conversation, but
+    /// the next frame either parses or surfaces a protocol error, so
+    /// the guard is taken regardless.
+    fn slot(&self) -> MutexGuard<'_, Option<Conn>> {
         self.conn
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Runs `f` against a live connection, redialing a dropped one
+    /// first. A transport failure ([`NetError::Io`]) marks the
+    /// connection dead; when `idempotent` is set the call then redials
+    /// and retries **once** — re-running an idempotent request cannot
+    /// change the outcome, so a socket that died between ops is
+    /// invisible to the caller. Non-idempotent requests surface the
+    /// error (the dead connection still heals on the next call).
+    /// Protocol and checksum failures also retire the connection (the
+    /// stream may be desynchronized) but never retry.
+    fn with_conn<T>(
+        &self,
+        idempotent: bool,
+        mut f: impl FnMut(&mut Conn) -> Result<T, NetError>,
+    ) -> Result<T, NetError> {
+        let mut slot = self.slot();
+        for attempt in 0..2 {
+            if slot.is_none() {
+                let (conn, info) = dial(&self.addr)?;
+                if info.capacity != self.info.capacity || info.block_size != self.info.block_size {
+                    return Err(NetError::Protocol(format!(
+                        "server at {} changed shape across reconnect ({} bytes / {}-byte blocks, was {} / {})",
+                        self.addr, info.capacity, info.block_size,
+                        self.info.capacity, self.info.block_size,
+                    )));
+                }
+                *slot = Some(conn);
+            }
+            match f(slot.as_mut().expect("connected above")) {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    let transport = matches!(e, NetError::Io(_));
+                    if transport || matches!(e, NetError::Protocol(_) | NetError::Checksum { .. }) {
+                        *slot = None;
+                    }
+                    if !(transport && idempotent && attempt == 0) {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        unreachable!("loop returns on the second attempt")
     }
 
     /// Per-shard health snapshots.
@@ -184,13 +232,14 @@ impl Client {
     ///
     /// Transport or server failures.
     pub fn status(&self) -> Result<Vec<StoreStatus>, NetError> {
-        match self.conn().call(&Request::Status)? {
+        match self.with_conn(true, |conn| conn.call(&Request::Status))? {
             Response::Status(shards) => shards.iter().map(store_status).collect(),
             other => Err(unexpected("STATUS", &other)),
         }
     }
 
     /// Reads `len` bytes at global byte `offset` (chunked + pipelined).
+    /// Retries once over a fresh connection if the socket breaks.
     ///
     /// # Errors
     ///
@@ -198,32 +247,36 @@ impl Client {
     pub fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>, NetError> {
         let chunks = chunk_spans(offset, len);
         let mut out = vec![0u8; len];
-        self.conn().pipelined(
-            chunks.len(),
-            |i| Request::Read {
-                offset: chunks[i].0,
-                len: chunks[i].2 as u32,
-            },
-            |i, resp| {
-                let (_, span_off, want) = chunks[i];
-                match resp {
-                    Response::Data(data) if data.len() == want => {
-                        out[span_off..span_off + want].copy_from_slice(&data);
-                        Ok(())
+        self.with_conn(true, |conn| {
+            conn.pipelined(
+                chunks.len(),
+                |i| Request::Read {
+                    offset: chunks[i].0,
+                    len: chunks[i].2 as u32,
+                },
+                |i, resp| {
+                    let (_, span_off, want) = chunks[i];
+                    match resp {
+                        Response::Data(data) if data.len() == want => {
+                            out[span_off..span_off + want].copy_from_slice(&data);
+                            Ok(())
+                        }
+                        Response::Data(data) => Err(NetError::Protocol(format!(
+                            "READ returned {} bytes, wanted {want}",
+                            data.len()
+                        ))),
+                        other => Err(unexpected("READ", &other)),
                     }
-                    Response::Data(data) => Err(NetError::Protocol(format!(
-                        "READ returned {} bytes, wanted {want}",
-                        data.len()
-                    ))),
-                    other => Err(unexpected("READ", &other)),
-                }
-            },
-        )?;
+                },
+            )
+        })?;
         Ok(out)
     }
 
     /// Writes `data` at global byte `offset` (chunked + pipelined),
-    /// aggregating the per-chunk summaries.
+    /// aggregating the per-chunk summaries. Never auto-retried: after a
+    /// transport failure the caller cannot know which chunks landed,
+    /// and reissuing a write is the caller's decision.
     ///
     /// # Errors
     ///
@@ -231,24 +284,81 @@ impl Client {
     pub fn write_at(&self, offset: u64, data: &[u8]) -> Result<WriteSummary, NetError> {
         let chunks = chunk_spans(offset, data.len());
         let mut total = WriteSummary::default();
-        self.conn().pipelined(
-            chunks.len(),
-            |i| {
-                let (at, span_off, len) = chunks[i];
-                Request::Write {
-                    offset: at,
-                    data: data[span_off..span_off + len].to_vec(),
-                }
-            },
-            |_, resp| match resp {
-                Response::Written(w) => {
-                    total.absorb(&w);
-                    Ok(())
-                }
-                other => Err(unexpected("WRITE", &other)),
-            },
-        )?;
+        self.with_conn(false, |conn| {
+            conn.pipelined(
+                chunks.len(),
+                |i| {
+                    let (at, span_off, len) = chunks[i];
+                    Request::Write {
+                        offset: at,
+                        data: data[span_off..span_off + len].to_vec(),
+                    }
+                },
+                |_, resp| match resp {
+                    Response::Written(w) => {
+                        total.absorb(&w);
+                        Ok(())
+                    }
+                    other => Err(unexpected("WRITE", &other)),
+                },
+            )
+        })?;
         Ok(total)
+    }
+
+    /// Submits a scatter-gather batch: every op travels in one BATCH
+    /// frame (several frames only past the per-request caps), so N
+    /// small ops cost one round trip instead of N. Read-only batches
+    /// are idempotent and retry once over a fresh connection; batches
+    /// containing writes do not.
+    ///
+    /// # Errors
+    ///
+    /// Transport, checksum, and server failures; a failing op aborts
+    /// the whole batch server-side.
+    pub fn submit(&self, batch: &IoBatch) -> Result<BatchResult, NetError> {
+        let frames = batch_frames(batch.ops());
+        let mut results = seed_results(batch.ops());
+        if frames.is_empty() {
+            return Ok(BatchResult::from_results(results));
+        }
+        let idempotent = batch.ops().iter().all(|op| !op.is_write());
+        // Conflicting ops must take effect in submission order. Within
+        // one frame the server guarantees it (one submit call); across
+        // frames the worker pool may execute pipelined requests out of
+        // order, so a conflicted multi-frame batch serializes: each
+        // frame completes before the next is sent.
+        let ordered = frames.len() > 1 && batch.has_conflicts();
+        // Split each frame into its payload and the metadata needed to
+        // fold the response back. Write payloads *move* into requests
+        // (writes are never retried, so the second copy would be pure
+        // waste); read-only batches may be resent on retry, and read
+        // ops carry no data, so recreating them by clone is free.
+        let (metas, mut payloads): (Vec<FrameMeta>, Vec<Vec<IoOp>>) = frames
+            .into_iter()
+            .map(|f| ((f.map, f.specs), f.ops))
+            .unzip();
+        self.with_conn(idempotent, |conn| {
+            let mut request = |i: usize| Request::Batch {
+                ops: if idempotent {
+                    payloads[i].clone()
+                } else {
+                    std::mem::take(&mut payloads[i])
+                },
+            };
+            if ordered {
+                for (i, meta) in metas.iter().enumerate() {
+                    let resp = conn.call(&request(i))?;
+                    apply_batch_response(meta, resp, &mut results)?;
+                }
+                Ok(())
+            } else {
+                conn.pipelined(metas.len(), &mut request, |i, resp| {
+                    apply_batch_response(&metas[i], resp, &mut results)
+                })
+            }
+        })?;
+        Ok(BatchResult::from_results(results))
     }
 
     /// Persists every shard on the server.
@@ -257,7 +367,7 @@ impl Client {
     ///
     /// Transport or server failures.
     pub fn flush(&self) -> Result<(), NetError> {
-        match self.conn().call(&Request::Flush)? {
+        match self.with_conn(true, |conn| conn.call(&Request::Flush))? {
             Response::Flushed => Ok(()),
             other => Err(unexpected("FLUSH", &other)),
         }
@@ -270,9 +380,11 @@ impl Client {
     /// Transport or server failures (bad indices come back as
     /// [`NetError::Remote`]).
     pub fn fail_device(&self, shard: usize, device: usize) -> Result<(), NetError> {
-        match self.conn().call(&Request::FailDevice {
-            shard: shard as u32,
-            device: device as u32,
+        match self.with_conn(false, |conn| {
+            conn.call(&Request::FailDevice {
+                shard: shard as u32,
+                device: device as u32,
+            })
         })? {
             Response::Failed => Ok(()),
             other => Err(unexpected("FAIL", &other)),
@@ -292,12 +404,14 @@ impl Client {
         row: usize,
         len: usize,
     ) -> Result<(), NetError> {
-        match self.conn().call(&Request::CorruptSectors {
-            shard: shard as u32,
-            device: device as u32,
-            stripe: stripe as u32,
-            row: row as u32,
-            len: len as u32,
+        match self.with_conn(false, |conn| {
+            conn.call(&Request::CorruptSectors {
+                shard: shard as u32,
+                device: device as u32,
+                stripe: stripe as u32,
+                row: row as u32,
+                len: len as u32,
+            })
         })? {
             Response::Failed => Ok(()),
             other => Err(unexpected("FAIL", &other)),
@@ -310,8 +424,10 @@ impl Client {
     ///
     /// Transport or server failures.
     pub fn scrub(&self, threads: usize) -> Result<ScrubSummary, NetError> {
-        match self.conn().call(&Request::Scrub {
-            threads: threads as u32,
+        match self.with_conn(true, |conn| {
+            conn.call(&Request::Scrub {
+                threads: threads as u32,
+            })
         })? {
             Response::Scrubbed(s) => Ok(s),
             other => Err(unexpected("SCRUB", &other)),
@@ -324,8 +440,10 @@ impl Client {
     ///
     /// Transport or server failures.
     pub fn repair(&self, threads: usize) -> Result<RepairSummary, NetError> {
-        match self.conn().call(&Request::Repair {
-            threads: threads as u32,
+        match self.with_conn(true, |conn| {
+            conn.call(&Request::Repair {
+                threads: threads as u32,
+            })
         })? {
             Response::Repaired(r) => Ok(r),
             other => Err(unexpected("REPAIR", &other)),
@@ -338,11 +456,134 @@ impl Client {
     ///
     /// Transport or server failures.
     pub fn shutdown_server(&self) -> Result<(), NetError> {
-        match self.conn().call(&Request::Shutdown)? {
+        match self.with_conn(false, |conn| conn.call(&Request::Shutdown))? {
             Response::ShuttingDown => Ok(()),
             other => Err(unexpected("SHUTDOWN", &other)),
         }
     }
+}
+
+/// Dials `addr` and performs the HELLO handshake.
+fn dial(addr: &str) -> Result<(Conn, ServerInfo), NetError> {
+    let stream = TcpStream::connect(addr).map_err(|e| {
+        NetError::Io(std::io::Error::new(
+            e.kind(),
+            format!("cannot connect to {addr}: {e}"),
+        ))
+    })?;
+    let _ = stream.set_nodelay(true);
+    let mut conn = Conn { stream, next_id: 1 };
+    match conn.call(&Request::Hello {
+        version: PROTOCOL_VERSION,
+    })? {
+        Response::Hello(info) => {
+            if info.version != PROTOCOL_VERSION {
+                return Err(NetError::Version {
+                    ours: PROTOCOL_VERSION,
+                    theirs: info.version,
+                });
+            }
+            Ok((conn, info))
+        }
+        other => Err(unexpected("HELLO", &other)),
+    }
+}
+
+/// One wire frame's worth of batch ops, the stitch-back map, and the
+/// per-op `(is_write, len)` specs kept for response validation after
+/// the ops move into the request.
+#[derive(Default)]
+struct Frame {
+    ops: Vec<IoOp>,
+    map: StitchMap,
+    specs: Vec<OpSpec>,
+}
+
+/// Folds one BATCH response into the result slots its frame maps to.
+fn apply_batch_response(
+    (map, specs): &FrameMeta,
+    resp: Response,
+    results: &mut [OpResult],
+) -> Result<(), NetError> {
+    let Response::Batched(replies) = resp else {
+        return Err(unexpected("BATCH", &resp));
+    };
+    if replies.len() != specs.len() {
+        return Err(NetError::Protocol(format!(
+            "BATCH returned {} replies for {} ops",
+            replies.len(),
+            specs.len()
+        )));
+    }
+    for (j, reply) in replies.into_iter().enumerate() {
+        let (op_idx, span_off) = map[j];
+        let (is_write, len) = specs[j];
+        match (reply, is_write, &mut results[op_idx]) {
+            (BatchReply::Data(data), false, OpResult::Read(out)) => {
+                if data.len() != len {
+                    return Err(NetError::Protocol(format!(
+                        "batch read returned {} bytes, wanted {len}",
+                        data.len()
+                    )));
+                }
+                out[span_off..span_off + data.len()].copy_from_slice(&data);
+            }
+            (BatchReply::Written(w), true, OpResult::Write(total)) => {
+                total.absorb(&write_outcome(&w));
+            }
+            _ => {
+                return Err(NetError::Protocol(
+                    "batch reply kind does not match its op".into(),
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Packs ops into BATCH frames: fragments capped at [`MAX_IO_BYTES`]
+/// per op, frames capped at [`MAX_BATCH_OPS`] ops and a combined
+/// [`MAX_IO_BYTES`] byte budget — mirroring what the server's decoder
+/// enforces. Small batches (the common case) land in exactly one
+/// frame, i.e. one round trip.
+fn batch_frames(ops: &[IoOp]) -> Vec<Frame> {
+    let cap = MAX_IO_BYTES as usize;
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut cur = Frame::default();
+    let mut budget = 0usize;
+    for (i, op) in ops.iter().enumerate() {
+        let mut at = 0usize;
+        loop {
+            let piece = (op.byte_len() - at).min(cap);
+            if !cur.ops.is_empty()
+                && (budget + piece > cap || cur.ops.len() >= MAX_BATCH_OPS as usize)
+            {
+                frames.push(std::mem::take(&mut cur));
+                budget = 0;
+            }
+            cur.ops.push(match op {
+                IoOp::Read { offset, .. } => IoOp::Read {
+                    offset: offset + at as u64,
+                    len: piece,
+                },
+                IoOp::Write { offset, data } => IoOp::Write {
+                    offset: offset + at as u64,
+                    data: data[at..at + piece].to_vec(),
+                },
+            });
+            cur.map.push((i, at));
+            cur.specs.push((op.is_write(), piece));
+            budget += piece;
+            at += piece;
+            if at >= op.byte_len() {
+                break;
+            }
+        }
+    }
+    if !cur.ops.is_empty() {
+        frames.push(cur);
+    }
+    frames
 }
 
 /// A multi-connection client: each transfer is split into one
@@ -471,6 +712,66 @@ impl StripedClient {
         }
         Ok(total)
     }
+
+    /// Submits a batch with **one request frame per touched shard**:
+    /// ops are grouped by the server's placement map (reconstructed
+    /// from the HELLO geometry), each shard group ships as a single
+    /// BATCH frame, and the groups run across the lanes in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Span errors surface before anything is sent; afterwards the
+    /// first shard failure wins.
+    pub fn submit(&self, batch: &IoBatch) -> Result<BatchResult, NetError> {
+        let info = self.lanes[0].info();
+        let placement = info.placement()?;
+        let groups = crate::placement::split_batch(&placement, batch.ops())?;
+        let mut results = seed_results(batch.ops());
+        // Rebuild each fragment with its *global* offset (split_batch
+        // localizes offsets for in-process shard stores; the wire
+        // speaks the global space) — the grouping is what we're after.
+        let work: Vec<(usize, Vec<IoOp>, StitchMap)> = groups
+            .into_iter()
+            .map(|g| {
+                let ops = g
+                    .ops
+                    .into_iter()
+                    .zip(&g.map)
+                    .map(|(local, &(op_idx, span_off))| {
+                        let offset = batch.ops()[op_idx].offset() + span_off as u64;
+                        match local {
+                            IoOp::Read { len, .. } => IoOp::Read { offset, len },
+                            IoOp::Write { data, .. } => IoOp::Write { offset, data },
+                        }
+                    })
+                    .collect();
+                (g.shard, ops, g.map)
+            })
+            .collect();
+        // One touched shard sends inline — no lane threads at width 1.
+        let subs: Vec<(StitchMap, Result<BatchResult, NetError>)> = if work.len() == 1 {
+            let (shard, ops, map) = work.into_iter().next().expect("one group");
+            let lane = &self.lanes[shard % self.lanes.len()];
+            vec![(map, lane.submit(&IoBatch::from(ops)))]
+        } else {
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (shard, ops, map) in work {
+                    let lane = &self.lanes[shard % self.lanes.len()];
+                    handles.push(scope.spawn(move |_| (map, lane.submit(&IoBatch::from(ops)))));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("lane batch thread"))
+                    .collect()
+            })
+            .expect("lane scope")
+        };
+        for (map, sub) in subs {
+            crate::device_impl::stitch(&mut results, &map, sub?.results)?;
+        }
+        Ok(BatchResult::from_results(results))
+    }
 }
 
 fn unexpected(what: &str, got: &Response) -> NetError {
@@ -515,5 +816,66 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Client>();
         assert_send_sync::<StripedClient>();
+    }
+
+    #[test]
+    fn small_batches_pack_into_one_frame() {
+        // 64 single-block ops: one frame, map in submission order.
+        let ops: Vec<IoOp> = (0..64u64)
+            .map(|k| IoOp::Write {
+                offset: k * 512,
+                data: vec![k as u8; 512],
+            })
+            .collect();
+        let frames = batch_frames(&ops);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].ops.len(), 64);
+        assert_eq!(frames[0].map[63], (63, 0));
+    }
+
+    #[test]
+    fn oversize_ops_and_budgets_split_frames() {
+        // One op bigger than the per-request cap fragments, and the
+        // fragments spill across frames.
+        let big = MAX_IO_BYTES as usize + 10;
+        let frames = batch_frames(&[IoOp::Read {
+            offset: 0,
+            len: big,
+        }]);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(
+            frames[0].ops[0],
+            IoOp::Read {
+                offset: 0,
+                len: MAX_IO_BYTES as usize
+            }
+        );
+        assert_eq!(
+            frames[1].ops[0],
+            IoOp::Read {
+                offset: MAX_IO_BYTES as u64,
+                len: 10
+            }
+        );
+        assert_eq!(frames[1].map[0], (0, MAX_IO_BYTES as usize));
+
+        // Two half-cap ops exceed the combined budget → two frames.
+        let half = MAX_IO_BYTES as usize / 2 + 1;
+        let frames = batch_frames(&[
+            IoOp::Read {
+                offset: 0,
+                len: half,
+            },
+            IoOp::Read {
+                offset: half as u64,
+                len: half,
+            },
+        ]);
+        assert_eq!(frames.len(), 2);
+
+        // Zero-length ops still travel (and get a reply slot).
+        let frames = batch_frames(&[IoOp::Read { offset: 5, len: 0 }]);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].ops[0], IoOp::Read { offset: 5, len: 0 });
     }
 }

@@ -4,13 +4,14 @@
 //! `stair_store::build_codec()`.
 
 use stair_device::{
-    BlockDevice, DeviceError, DeviceSpec, DeviceStatus, FaultAdmin, RepairOutcome, ScrubOutcome,
-    ShardHealth, WriteOutcome,
+    seed_results, BatchResult, BlockDevice, DeviceError, DeviceSpec, DeviceStatus, FaultAdmin,
+    IoBatch, OpResult, RepairOutcome, ScrubOutcome, ShardHealth, WriteOutcome,
 };
 use stair_store::{shard_health, StoreStatus, StripeStore};
 
+use crate::placement::split_batch;
 use crate::protocol::{RepairSummary, ScrubSummary, WriteSummary};
-use crate::{Client, ShardSet, StripedClient};
+use crate::{Client, NetError, ShardSet, StripedClient};
 
 /// Opens the backend a spec names as a data-path device.
 ///
@@ -78,7 +79,7 @@ fn device_status(backend: &str, statuses: &[StoreStatus]) -> Result<DeviceStatus
     })
 }
 
-fn write_outcome(w: &WriteSummary) -> WriteOutcome {
+pub(crate) fn write_outcome(w: &WriteSummary) -> WriteOutcome {
     WriteOutcome {
         bytes: w.bytes,
         blocks_written: w.blocks_written,
@@ -86,6 +87,44 @@ fn write_outcome(w: &WriteSummary) -> WriteOutcome {
         full_stripe_encodes: w.full_stripe_encodes,
         delta_updates: w.delta_updates,
     }
+}
+
+/// Stitches one sub-batch's results back into the global result slots:
+/// `map[j]` names the global op and the byte offset sub-op `j` covers.
+/// Read bytes are copied into place; write outcomes fold additively.
+pub(crate) fn stitch(
+    results: &mut [OpResult],
+    map: &[(usize, usize)],
+    sub: Vec<OpResult>,
+) -> Result<(), NetError> {
+    if sub.len() != map.len() {
+        return Err(NetError::Protocol(format!(
+            "batch produced {} results for {} sub-ops",
+            sub.len(),
+            map.len()
+        )));
+    }
+    for (reply, &(op_idx, span_off)) in sub.into_iter().zip(map) {
+        match (reply, &mut results[op_idx]) {
+            (OpResult::Read(data), OpResult::Read(out)) => {
+                let end = span_off + data.len();
+                if end > out.len() {
+                    return Err(NetError::Protocol(format!(
+                        "batch read fragment [{span_off}, {end}) exceeds the op's {} bytes",
+                        out.len()
+                    )));
+                }
+                out[span_off..end].copy_from_slice(&data);
+            }
+            (OpResult::Write(w), OpResult::Write(total)) => total.absorb(&w),
+            _ => {
+                return Err(NetError::Protocol(
+                    "batch sub-result kind does not match its op".into(),
+                ))
+            }
+        }
+    }
+    Ok(())
 }
 
 fn scrub_outcome(s: &ScrubSummary) -> ScrubOutcome {
@@ -127,6 +166,45 @@ impl BlockDevice for ShardSet {
     fn write_at(&self, offset: u64, data: &[u8]) -> Result<WriteOutcome, DeviceError> {
         let report = ShardSet::write_at(self, offset, data)?;
         Ok(stair_store::write_outcome(&report, data.len() as u64))
+    }
+
+    /// Splits the batch by placement and executes the shard groups in
+    /// parallel — shards share nothing, and each group runs the stripe
+    /// store's native batched path (one lock + one codec decision per
+    /// touched stripe). Conflicting ops always share the shard their
+    /// overlap lands on, where submission order is preserved.
+    fn submit(&self, batch: &IoBatch) -> Result<BatchResult, DeviceError> {
+        let groups = split_batch(self.placement(), batch.ops())?;
+        let mut results = seed_results(batch.ops());
+        let (maps, work): (Vec<_>, Vec<_>) = groups
+            .into_iter()
+            .map(|g| (g.map, (g.shard, g.ops)))
+            .unzip();
+        // One touched shard — the common shape batching optimizes for —
+        // runs inline; spawning threads buys nothing at width 1.
+        let subs: Vec<Result<BatchResult, NetError>> = if work.len() == 1 {
+            let (shard, ops) = work.into_iter().next().expect("one group");
+            vec![(|| Ok(self.shard(shard)?.submit(&IoBatch::from(ops))?))()]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = work
+                    .into_iter()
+                    .map(|(shard, ops)| {
+                        scope.spawn(move || -> Result<BatchResult, NetError> {
+                            Ok(self.shard(shard)?.submit(&IoBatch::from(ops))?)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard batch thread"))
+                    .collect()
+            })
+        };
+        for (map, sub) in maps.iter().zip(subs) {
+            stitch(&mut results, map, sub?.results)?;
+        }
+        Ok(BatchResult::from_results(results))
     }
 
     fn flush(&self) -> Result<(), DeviceError> {
@@ -194,6 +272,10 @@ impl BlockDevice for Client {
         Ok(write_outcome(&Client::write_at(self, offset, data)?))
     }
 
+    fn submit(&self, batch: &IoBatch) -> Result<BatchResult, DeviceError> {
+        Ok(Client::submit(self, batch)?)
+    }
+
     fn flush(&self) -> Result<(), DeviceError> {
         Ok(Client::flush(self)?)
     }
@@ -245,6 +327,10 @@ impl BlockDevice for StripedClient {
 
     fn write_at(&self, offset: u64, data: &[u8]) -> Result<WriteOutcome, DeviceError> {
         Ok(write_outcome(&StripedClient::write_at(self, offset, data)?))
+    }
+
+    fn submit(&self, batch: &IoBatch) -> Result<BatchResult, DeviceError> {
+        Ok(StripedClient::submit(self, batch)?)
     }
 
     fn flush(&self) -> Result<(), DeviceError> {

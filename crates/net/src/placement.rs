@@ -17,6 +17,8 @@
 //! touches every shard in turn, so concurrent sequential clients spread
 //! across all shards instead of queueing on one.
 
+use stair_device::IoOp;
+
 use crate::NetError;
 
 /// The placement map: pure arithmetic, shared by server and tooling.
@@ -142,6 +144,64 @@ impl Placement {
     }
 }
 
+/// One shard's share of a batch: shard-local ops plus, per op, where
+/// its result stitches back into the global batch.
+#[derive(Debug)]
+pub struct ShardBatch {
+    /// The shard these ops run on.
+    pub shard: usize,
+    /// Shard-local ops (offsets in the shard's local byte space), in
+    /// global submission order.
+    pub ops: Vec<IoOp>,
+    /// Per local op: `(global op index, byte offset of this fragment
+    /// within the global op's span)`.
+    pub map: Vec<(usize, usize)>,
+}
+
+/// Splits a batch by placement into one [`ShardBatch`] per touched
+/// shard, shards in ascending order. Submission order is preserved
+/// within each shard, so conflicting ops (which always share the
+/// shard their overlap lands on) keep their observable ordering.
+///
+/// # Errors
+///
+/// Returns [`NetError::Shards`] if any op's span exceeds capacity —
+/// detected before anything executes.
+pub fn split_batch(placement: &Placement, ops: &[IoOp]) -> Result<Vec<ShardBatch>, NetError> {
+    let mut out: Vec<ShardBatch> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        for span in placement.split(op.offset(), op.byte_len())? {
+            let local = match op {
+                IoOp::Read { .. } => IoOp::Read {
+                    offset: span.local_offset,
+                    len: span.len,
+                },
+                IoOp::Write { data, .. } => IoOp::Write {
+                    offset: span.local_offset,
+                    data: data[span.span_offset..span.span_offset + span.len].to_vec(),
+                },
+            };
+            let at = match out.binary_search_by_key(&span.shard, |b| b.shard) {
+                Ok(at) => at,
+                Err(at) => {
+                    out.insert(
+                        at,
+                        ShardBatch {
+                            shard: span.shard,
+                            ops: Vec::new(),
+                            map: Vec::new(),
+                        },
+                    );
+                    at
+                }
+            };
+            out[at].ops.push(local);
+            out[at].map.push((i, span.span_offset));
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,5 +253,72 @@ mod tests {
         let spans = p.split(0, 300).unwrap();
         assert_eq!(spans.len(), 1);
         assert_eq!(spans[0].len, 300);
+    }
+
+    #[test]
+    fn split_batch_groups_by_shard_and_keeps_order() {
+        // 3 shards, 4-block ranges, 2 ranges per shard, 10-byte blocks:
+        // range k → shard k % 3, range bytes = 40.
+        let p = Placement::new(3, 4, 2, 10);
+        let ops = vec![
+            IoOp::Write {
+                offset: 0,
+                data: vec![1; 40],
+            }, // range 0 → shard 0
+            IoOp::Read {
+                offset: 40,
+                len: 40,
+            }, // range 1 → shard 1
+            IoOp::Write {
+                offset: 35,
+                data: vec![2; 10],
+            }, // crosses range 0 → 1, splits across shards 0 and 1
+            IoOp::Read { offset: 5, len: 10 }, // shard 0 again
+        ];
+        let shards = split_batch(&p, &ops).unwrap();
+        assert_eq!(shards.len(), 2);
+        // Shard 0: op 0, the head of op 2, op 3 — in submission order.
+        assert_eq!(shards[0].shard, 0);
+        assert_eq!(shards[0].map, vec![(0, 0), (2, 0), (3, 0)]);
+        assert_eq!(
+            shards[0].ops[1],
+            IoOp::Write {
+                offset: 35,
+                data: vec![2; 5]
+            }
+        );
+        // Shard 1: op 1, then the tail of op 2 (span offset 5, local
+        // offset 0 of range 1's shard-local bytes).
+        assert_eq!(shards[1].shard, 1);
+        assert_eq!(shards[1].map, vec![(1, 0), (2, 5)]);
+        assert_eq!(
+            shards[1].ops[1],
+            IoOp::Write {
+                offset: 0,
+                data: vec![2; 5]
+            }
+        );
+
+        // A 64-single-block batch landing in one range produces exactly
+        // one shard group — the "one request frame per shard" shape.
+        let one_stripe: Vec<IoOp> = (0..40u64)
+            .map(|k| IoOp::Write {
+                offset: k,
+                data: vec![k as u8],
+            })
+            .collect();
+        let shards = split_batch(&p, &one_stripe).unwrap();
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].ops.len(), 40);
+
+        // Out-of-range ops poison the whole split.
+        assert!(split_batch(
+            &p,
+            &[IoOp::Read {
+                offset: p.capacity(),
+                len: 1
+            }]
+        )
+        .is_err());
     }
 }

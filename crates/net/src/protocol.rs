@@ -25,23 +25,32 @@
 //! The HELLO exchange pins the protocol version: the client sends magic
 //! `b"STAIRNET"` plus its version, the server answers with its version
 //! and the store shape ([`ServerInfo`]); either side rejects a mismatch.
+//!
+//! Version history: v1 shipped the nine base opcodes; v2 added the
+//! [`Opcode::Batch`] frame (many ops in one request, one checksummed
+//! response) with every v1 opcode unchanged on the wire.
 
 use std::io::{Read, Write};
 
+use stair_device::IoOp;
 use stair_store::checksum::fletcher32;
 
 use crate::NetError;
 
 /// Protocol version this build speaks.
-pub const PROTOCOL_VERSION: u32 = 1;
+pub const PROTOCOL_VERSION: u32 = 2;
 /// Magic bytes opening a HELLO payload.
 pub const MAGIC: &[u8; 8] = b"STAIRNET";
 /// Upper bound on a frame body; anything larger is a protocol error
 /// (prevents a corrupt length prefix from allocating gigabytes).
 pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
 /// Largest data payload a single READ/WRITE request may carry; clients
-/// split bigger transfers into multiple pipelined requests.
+/// split bigger transfers into multiple pipelined requests. A BATCH
+/// frame's combined byte budget (write data plus requested read
+/// lengths) honours the same cap.
 pub const MAX_IO_BYTES: u32 = 4 * 1024 * 1024;
+/// Most ops one BATCH frame may carry.
+pub const MAX_BATCH_OPS: u32 = 4096;
 
 /// Request opcodes (also used as the success status byte of responses).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -65,6 +74,8 @@ pub enum Opcode {
     Repair = 8,
     /// Ask the server to stop accepting work and exit its run loop.
     Shutdown = 9,
+    /// Submit many read/write ops as one frame (protocol v2).
+    Batch = 10,
 }
 
 impl Opcode {
@@ -79,6 +90,7 @@ impl Opcode {
             7 => Opcode::Scrub,
             8 => Opcode::Repair,
             9 => Opcode::Shutdown,
+            10 => Opcode::Batch,
             other => return Err(NetError::Protocol(format!("unknown opcode {other}"))),
         })
     }
@@ -143,6 +155,14 @@ pub enum Request {
     },
     /// Stop the server.
     Shutdown,
+    /// Execute `ops` as one scatter-gather batch; the response carries
+    /// one reply per op, in submission order.
+    Batch {
+        /// The ops, in submission order, offsets in the global block
+        /// space. Per-op spans and the combined byte budget are capped
+        /// at [`MAX_IO_BYTES`], the count at [`MAX_BATCH_OPS`].
+        ops: Vec<IoOp>,
+    },
 }
 
 impl Request {
@@ -158,6 +178,7 @@ impl Request {
             Request::Scrub { .. } => Opcode::Scrub,
             Request::Repair { .. } => Opcode::Repair,
             Request::Shutdown => Opcode::Shutdown,
+            Request::Batch { .. } => Opcode::Batch,
         }
     }
 }
@@ -178,6 +199,42 @@ pub struct ServerInfo {
     pub range_blocks: u32,
     /// The codec spec string every shard runs.
     pub codec: String,
+}
+
+impl ServerInfo {
+    /// Reconstructs the server's placement map from the HELLO geometry
+    /// — what lets a client group a batch by shard without a second
+    /// round trip.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] when the announced geometry is degenerate
+    /// (zero shards/blocks, or a capacity that does not tile into
+    /// whole ranges).
+    pub fn placement(&self) -> Result<crate::Placement, NetError> {
+        let range_bytes = u64::from(self.range_blocks) * u64::from(self.block_size);
+        if self.shards == 0 || range_bytes == 0 {
+            return Err(NetError::Protocol(format!(
+                "degenerate server geometry: {} shard(s) of {}-byte ranges",
+                self.shards, range_bytes
+            )));
+        }
+        let ranges_per_shard = self.capacity / range_bytes / u64::from(self.shards);
+        if ranges_per_shard == 0
+            || ranges_per_shard * range_bytes * u64::from(self.shards) != self.capacity
+        {
+            return Err(NetError::Protocol(format!(
+                "server capacity {} does not tile into {} shard(s) of {}-byte ranges",
+                self.capacity, self.shards, range_bytes
+            )));
+        }
+        Ok(crate::Placement::new(
+            self.shards as usize,
+            self.range_blocks as usize,
+            ranges_per_shard as usize,
+            self.block_size as usize,
+        ))
+    }
 }
 
 /// One shard's health snapshot on the wire (mirrors
@@ -281,6 +338,16 @@ impl RepairSummary {
     }
 }
 
+/// One op's reply inside a [`Response::Batched`], same-index as the
+/// request's op list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchReply {
+    /// The bytes a read op returned.
+    Data(Vec<u8>),
+    /// What a write op did.
+    Written(WriteSummary),
+}
+
 /// A parsed response.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Response {
@@ -300,6 +367,8 @@ pub enum Response {
     Scrubbed(ScrubSummary),
     /// REPAIR answer.
     Repaired(RepairSummary),
+    /// BATCH answer: one reply per op, in submission order.
+    Batched(Vec<BatchReply>),
     /// SHUTDOWN answer (sent before the server exits).
     ShuttingDown,
     /// The request could not be executed.
@@ -434,6 +503,24 @@ fn encode_request_payload(req: &Request) -> Vec<u8> {
             e.u32(*len);
         }
         Request::Scrub { threads } | Request::Repair { threads } => e.u32(*threads),
+        Request::Batch { ops } => {
+            e.u32(ops.len() as u32);
+            for op in ops {
+                match op {
+                    IoOp::Read { offset, len } => {
+                        e.u8(0);
+                        e.u64(*offset);
+                        e.u32(*len as u32);
+                    }
+                    IoOp::Write { offset, data } => {
+                        e.u8(1);
+                        e.u64(*offset);
+                        e.u32(data.len() as u32);
+                        e.bytes(data);
+                    }
+                }
+            }
+        }
     }
     e.0
 }
@@ -488,6 +575,47 @@ fn decode_request_payload(op: Opcode, payload: &[u8]) -> Result<Request, NetErro
         Opcode::Scrub => Request::Scrub { threads: d.u32()? },
         Opcode::Repair => Request::Repair { threads: d.u32()? },
         Opcode::Shutdown => Request::Shutdown,
+        Opcode::Batch => {
+            let count = d.u32()?;
+            if count > MAX_BATCH_OPS {
+                return Err(NetError::Protocol(format!(
+                    "BATCH of {count} ops exceeds the {MAX_BATCH_OPS}-op cap"
+                )));
+            }
+            // The combined byte budget (write payloads plus requested
+            // read lengths) shares the single-request cap, so a batch
+            // frame can never demand more memory than a READ/WRITE.
+            let mut budget = 0u64;
+            let mut ops = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let kind = d.u8()?;
+                let offset = d.u64()?;
+                let len = d.u32()?;
+                if len > MAX_IO_BYTES {
+                    return Err(NetError::Protocol(format!(
+                        "batch op of {len} bytes exceeds the {MAX_IO_BYTES}-byte request cap"
+                    )));
+                }
+                budget += u64::from(len);
+                if budget > u64::from(MAX_IO_BYTES) {
+                    return Err(NetError::Protocol(format!(
+                        "batch byte budget {budget} exceeds the {MAX_IO_BYTES}-byte request cap"
+                    )));
+                }
+                ops.push(match kind {
+                    0 => IoOp::Read {
+                        offset,
+                        len: len as usize,
+                    },
+                    1 => IoOp::Write {
+                        offset,
+                        data: d.take(len as usize)?.to_vec(),
+                    },
+                    k => return Err(NetError::Protocol(format!("unknown batch op kind {k}"))),
+                });
+            }
+            Request::Batch { ops }
+        }
     };
     d.finish()?;
     Ok(req)
@@ -538,6 +666,28 @@ fn encode_response_payload(resp: &Response) -> (u8, Vec<u8>) {
         }
         Response::Flushed => Opcode::Flush as u8,
         Response::Failed => Opcode::Fail as u8,
+        Response::Batched(replies) => {
+            e.u32(replies.len() as u32);
+            for reply in replies {
+                match reply {
+                    BatchReply::Data(data) => {
+                        e.u8(0);
+                        e.u32(data.len() as u32);
+                        e.bytes(data);
+                    }
+                    BatchReply::Written(w) => {
+                        e.u8(1);
+                        e.u64(w.bytes);
+                        e.u64(w.blocks_written);
+                        e.u64(w.stripes_touched);
+                        e.u64(w.full_stripe_encodes);
+                        e.u64(w.delta_updates);
+                        e.u32(w.coalesced);
+                    }
+                }
+            }
+            Opcode::Batch as u8
+        }
         Response::Scrubbed(s) => {
             e.u64(s.stripes_scanned);
             e.u64(s.sectors_verified);
@@ -605,6 +755,33 @@ fn decode_response_payload(status: u8, payload: &[u8]) -> Result<Response, NetEr
         }),
         Opcode::Flush => Response::Flushed,
         Opcode::Fail => Response::Failed,
+        Opcode::Batch => {
+            let count = d.u32()?;
+            if count > MAX_BATCH_OPS {
+                return Err(NetError::Protocol(format!(
+                    "BATCH response of {count} replies exceeds the {MAX_BATCH_OPS}-op cap"
+                )));
+            }
+            let mut replies = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                replies.push(match d.u8()? {
+                    0 => {
+                        let len = d.u32()? as usize;
+                        BatchReply::Data(d.take(len)?.to_vec())
+                    }
+                    1 => BatchReply::Written(WriteSummary {
+                        bytes: d.u64()?,
+                        blocks_written: d.u64()?,
+                        stripes_touched: d.u64()?,
+                        full_stripe_encodes: d.u64()?,
+                        delta_updates: d.u64()?,
+                        coalesced: d.u32()?,
+                    }),
+                    k => return Err(NetError::Protocol(format!("unknown batch reply kind {k}"))),
+                });
+            }
+            Response::Batched(replies)
+        }
         Opcode::Scrub => Response::Scrubbed(ScrubSummary {
             stripes_scanned: d.u64()?,
             sectors_verified: d.u64()?,
@@ -776,6 +953,47 @@ mod tests {
         round_trip_request(Request::Scrub { threads: 4 });
         round_trip_request(Request::Repair { threads: 2 });
         round_trip_request(Request::Shutdown);
+        round_trip_request(Request::Batch {
+            ops: vec![
+                IoOp::Read {
+                    offset: 512,
+                    len: 64,
+                },
+                IoOp::Write {
+                    offset: 0,
+                    data: (0..=127).collect(),
+                },
+                IoOp::Read { offset: 9, len: 0 },
+            ],
+        });
+        round_trip_request(Request::Batch { ops: vec![] });
+    }
+
+    #[test]
+    fn batch_caps_are_enforced_at_decode_time() {
+        // Op count over the cap.
+        let ops = vec![IoOp::Read { offset: 0, len: 1 }; MAX_BATCH_OPS as usize + 1];
+        let mut wire = Vec::new();
+        write_request(&mut wire, 1, &Request::Batch { ops }).unwrap();
+        assert!(matches!(
+            read_request(&mut wire.as_slice()),
+            Err(NetError::Protocol(_))
+        ));
+        // Combined byte budget over the cap, even though each op is
+        // individually inside it.
+        let ops = vec![
+            IoOp::Read {
+                offset: 0,
+                len: MAX_IO_BYTES as usize / 2 + 1,
+            };
+            2
+        ];
+        let mut wire = Vec::new();
+        write_request(&mut wire, 1, &Request::Batch { ops }).unwrap();
+        assert!(matches!(
+            read_request(&mut wire.as_slice()),
+            Err(NetError::Protocol(_))
+        ));
     }
 
     #[test]
@@ -822,6 +1040,19 @@ mod tests {
             sectors_rewritten: 32,
             unrecoverable_stripes: 0,
         }));
+        round_trip_response(Response::Batched(vec![
+            BatchReply::Data(vec![7; 96]),
+            BatchReply::Written(WriteSummary {
+                bytes: 64,
+                blocks_written: 1,
+                stripes_touched: 1,
+                full_stripe_encodes: 0,
+                delta_updates: 1,
+                coalesced: 1,
+            }),
+            BatchReply::Data(Vec::new()),
+        ]));
+        round_trip_response(Response::Batched(vec![]));
         round_trip_response(Response::ShuttingDown);
         round_trip_response(Response::Error("it broke".into()));
     }

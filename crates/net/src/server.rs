@@ -29,9 +29,11 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
+use stair_device::{BlockDevice, IoBatch, OpResult};
+
 use crate::protocol::{
-    read_request, write_response, RepairSummary, Request, Response, ScrubSummary, ServerInfo,
-    WriteSummary, PROTOCOL_VERSION,
+    read_request, write_response, BatchReply, RepairSummary, Request, Response, ScrubSummary,
+    ServerInfo, WriteSummary, PROTOCOL_VERSION,
 };
 use crate::shards::{wire_status, ShardSet};
 use crate::NetError;
@@ -112,6 +114,23 @@ impl ServerHandle {
     /// then [`Server::run`] returns.
     pub fn shutdown(&self) {
         begin_shutdown(&self.state, self.addr);
+    }
+
+    /// Forcibly drops every live client connection while the server
+    /// keeps serving — an operational lever (shed all sessions, e.g.
+    /// before a config change) and the hook the client-resilience
+    /// regression test uses to kill sockets between ops. Clients
+    /// reconnect on their next call.
+    pub fn disconnect_all(&self) {
+        for conn in self
+            .state
+            .conns
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .values()
+        {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
     }
 }
 
@@ -353,7 +372,7 @@ fn worker_loop(state: &State, shards: &ShardSet, info: &ServerInfo, batch: usize
             }
             execute_write_batch(shards, writes);
         } else {
-            let resp = execute(shards, info, &job.req);
+            let resp = execute(shards, info, job.req);
             job.writer.send(job.id, &resp);
         }
     }
@@ -428,26 +447,47 @@ fn write_one(shards: &ShardSet, offset: u64, data: &[u8], coalesced: u32) -> Res
     }
 }
 
-/// Executes one non-write request.
-fn execute(shards: &ShardSet, info: &ServerInfo, req: &Request) -> Response {
+/// Executes one non-write request. Takes the request by value so batch
+/// payloads move straight into the shard set's submit instead of being
+/// re-copied per request.
+fn execute(shards: &ShardSet, info: &ServerInfo, req: Request) -> Response {
     let result = (|| -> Result<Response, NetError> {
         Ok(match req {
             Request::Hello { .. } => Response::Hello(info.clone()),
             Request::Status => Response::Status(shards.status().iter().map(wire_status).collect()),
-            Request::Read { offset, len } => {
-                Response::Data(shards.read_at(*offset, *len as usize)?)
-            }
+            Request::Read { offset, len } => Response::Data(shards.read_at(offset, len as usize)?),
             Request::Write { .. } | Request::Shutdown => {
                 unreachable!("handled before execute()")
             }
+            // A BATCH executes as one unit through the shard set's
+            // native submit: split by placement, shards in parallel,
+            // one stripe lock + one codec decision per touched stripe.
+            Request::Batch { ops } => match shards.submit(&IoBatch::from(ops)) {
+                Ok(result) => Response::Batched(
+                    result
+                        .results
+                        .into_iter()
+                        .map(|r| match r {
+                            OpResult::Read(data) => BatchReply::Data(data),
+                            OpResult::Write(w) => BatchReply::Written(WriteSummary {
+                                bytes: w.bytes,
+                                blocks_written: w.blocks_written,
+                                stripes_touched: w.stripes_touched,
+                                full_stripe_encodes: w.full_stripe_encodes,
+                                delta_updates: w.delta_updates,
+                                coalesced: 1,
+                            }),
+                        })
+                        .collect(),
+                ),
+                Err(e) => Response::Error(e.to_string()),
+            },
             Request::Flush => {
                 shards.flush()?;
                 Response::Flushed
             }
             Request::FailDevice { shard, device } => {
-                shards
-                    .shard(*shard as usize)?
-                    .fail_device(*device as usize)?;
+                shards.shard(shard as usize)?.fail_device(device as usize)?;
                 Response::Failed
             }
             Request::CorruptSectors {
@@ -457,17 +497,17 @@ fn execute(shards: &ShardSet, info: &ServerInfo, req: &Request) -> Response {
                 row,
                 len,
             } => {
-                shards.shard(*shard as usize)?.corrupt_sectors(
-                    *device as usize,
-                    *stripe as usize,
-                    *row as usize,
-                    *len as usize,
+                shards.shard(shard as usize)?.corrupt_sectors(
+                    device as usize,
+                    stripe as usize,
+                    row as usize,
+                    len as usize,
                 )?;
                 Response::Failed
             }
             Request::Scrub { threads } => {
                 let mut total = ScrubSummary::default();
-                for r in shards.scrub((*threads as usize).max(1))? {
+                for r in shards.scrub((threads as usize).max(1))? {
                     total.stripes_scanned += r.stripes_scanned as u64;
                     total.sectors_verified += r.sectors_verified as u64;
                     total.mismatches += r.mismatches.len() as u64;
@@ -478,7 +518,7 @@ fn execute(shards: &ShardSet, info: &ServerInfo, req: &Request) -> Response {
             }
             Request::Repair { threads } => {
                 let mut total = RepairSummary::default();
-                for r in shards.repair((*threads as usize).max(1))? {
+                for r in shards.repair((threads as usize).max(1))? {
                     total.devices_replaced += r.devices_replaced.len() as u64;
                     total.stripes_repaired += r.stripes_repaired as u64;
                     total.sectors_rewritten += r.sectors_rewritten as u64;

@@ -2,8 +2,8 @@
 //! [`StripeStore`] — the `file:` backend of the unified device API.
 
 use stair_device::{
-    BlockDevice, DeviceError, DeviceStatus, FaultAdmin, RepairOutcome, ScrubOutcome, ShardHealth,
-    WriteOutcome,
+    BatchResult, BlockDevice, DeviceError, DeviceStatus, FaultAdmin, IoBatch, RepairOutcome,
+    ScrubOutcome, ShardHealth, WriteOutcome,
 };
 
 use crate::{Error, RepairReport, ScrubReport, StoreStatus, StripeStore, WriteReport};
@@ -86,6 +86,10 @@ impl BlockDevice for StripeStore {
     fn write_at(&self, offset: u64, data: &[u8]) -> Result<WriteOutcome, DeviceError> {
         let report = StripeStore::write_at(self, offset, data)?;
         Ok(write_outcome(&report, data.len() as u64))
+    }
+
+    fn submit(&self, batch: &IoBatch) -> Result<BatchResult, DeviceError> {
+        Ok(StripeStore::submit(self, batch)?)
     }
 
     fn flush(&self) -> Result<(), DeviceError> {

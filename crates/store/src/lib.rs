@@ -60,6 +60,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 pub mod checksum;
 mod codec;
 mod device;
@@ -82,4 +83,4 @@ pub use layout::{BlockLocation, BlockMap};
 pub use meta::StoreMeta;
 pub use repair::RepairReport;
 pub use scrub::ScrubReport;
-pub use store::{StoreOptions, StoreStatus, StripeStore, WriteReport};
+pub use store::{IoStats, StoreOptions, StoreStatus, StripeStore, WriteReport};

@@ -26,6 +26,7 @@
 //! reshaping between the I/O layer and the math.
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use stair_code::{CellIdx, CodeError, CodecSpec, ErasureCode, ErasureSet, Geometry, StripeBuf};
@@ -104,6 +105,51 @@ pub struct StoreStatus {
     pub known_bad_sectors: usize,
 }
 
+/// A point-in-time snapshot of the store's data-path instrumentation:
+/// cumulative counts since the store handle family was opened (handles
+/// cloned from one [`StripeStore`] share counters). The batched submit
+/// path exists to shrink exactly these numbers — a batch of N
+/// same-stripe writes should cost one lock acquisition and one codec
+/// pass, not N — so tests and benchmarks assert on deltas of this
+/// snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Stripe-lock acquisitions (foreground I/O, scrub, and repair all
+    /// take stripe locks).
+    pub stripe_locks: u64,
+    /// Full-stripe encode passes (`ErasureCode::encode`).
+    pub encode_passes: u64,
+    /// Parity-delta update calls (`ErasureCode::update`), one per
+    /// dirty cell.
+    pub delta_update_calls: u64,
+    /// Recovery plan applications (`ErasureCode::apply`) on the
+    /// foreground read/write path.
+    pub recover_passes: u64,
+}
+
+/// The live counters behind [`IoStats`]; relaxed ordering is enough
+/// because readers only ever want monotonic totals, not ordering
+/// against data operations.
+#[derive(Default)]
+pub(crate) struct Counters {
+    stripe_locks: AtomicU64,
+    encode_passes: AtomicU64,
+    delta_update_calls: AtomicU64,
+    recover_passes: AtomicU64,
+}
+
+impl Counters {
+    pub(crate) fn count_encode(&self) {
+        self.encode_passes.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn count_update(&self) {
+        self.delta_update_calls.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn count_recover(&self) {
+        self.recover_passes.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 pub(crate) struct Shared {
     pub(crate) dir: PathBuf,
     pub(crate) meta: StoreMeta,
@@ -112,6 +158,7 @@ pub(crate) struct Shared {
     pub(crate) blocks: BlockMap,
     pub(crate) devices: DeviceSet,
     pub(crate) integrity: Integrity,
+    pub(crate) counters: Counters,
     stripe_locks: Vec<Mutex<()>>,
 }
 
@@ -204,6 +251,7 @@ impl StripeStore {
                 blocks,
                 devices,
                 integrity,
+                counters: Counters::default(),
                 stripe_locks,
             }),
         })
@@ -291,9 +339,26 @@ impl StripeStore {
     // that later touches the same stripe (the serve path's cascade).
     pub(crate) fn lock_stripe(&self, stripe: usize) -> MutexGuard<'_, ()> {
         let locks = &self.shared.stripe_locks;
+        self.shared
+            .counters
+            .stripe_locks
+            .fetch_add(1, Ordering::Relaxed);
         locks[stripe % locks.len()]
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Snapshot of the cumulative data-path instrumentation counters.
+    /// Clones of one store share counters, so a handle cloned before
+    /// traffic observes everything the other handles did.
+    pub fn io_stats(&self) -> IoStats {
+        let c = &self.shared.counters;
+        IoStats {
+            stripe_locks: c.stripe_locks.load(Ordering::Relaxed),
+            encode_passes: c.encode_passes.load(Ordering::Relaxed),
+            delta_update_calls: c.delta_update_calls.load(Ordering::Relaxed),
+            recover_passes: c.recover_passes.load(Ordering::Relaxed),
+        }
     }
 
     /// Acquires every stripe lock, quiescing all stripe I/O. Safe against
@@ -406,7 +471,7 @@ impl StripeStore {
     }
 
     /// Copies the overlap of `block` with the request window into `out`.
-    fn copy_block(&self, block: usize, cell_data: &[u8], offset: u64, out: &mut [u8]) {
+    pub(crate) fn copy_block(&self, block: usize, cell_data: &[u8], offset: u64, out: &mut [u8]) {
         let sym = self.block_size() as u64;
         let block_start = block as u64 * sym;
         let req_end = offset + out.len() as u64;
@@ -423,8 +488,23 @@ impl StripeStore {
         offset: u64,
         out: &mut [u8],
     ) -> Result<(), Error> {
-        let sh = &self.shared;
         let _guard = self.lock_stripe(stripe_idx);
+        self.read_stripe_blocks_locked(stripe_idx, blocks, offset, out)
+    }
+
+    /// [`read_stripe_blocks`](Self::read_stripe_blocks) minus the lock
+    /// acquisition — the batched submit path holds each stripe lock
+    /// once across many ops and calls this per read fragment.
+    ///
+    /// Callers must hold the stripe lock.
+    pub(crate) fn read_stripe_blocks_locked(
+        &self,
+        stripe_idx: usize,
+        blocks: std::ops::Range<usize>,
+        offset: u64,
+        out: &mut [u8],
+    ) -> Result<(), Error> {
+        let sh = &self.shared;
         let devices = sh.integrity.device_states();
 
         // Fast path: every wanted sector reads back and verifies.
@@ -471,6 +551,7 @@ impl StripeStore {
                 .plan_recover(&erased, &wanted)
                 .map_err(|e| self.unrecoverable(stripe_idx, &erased, e))?;
             sh.codec.apply(&plan, &mut stripe)?;
+            sh.counters.count_recover();
         }
         for block in blocks {
             let (row, dev) = sh.blocks.locate(block)?.cell;
@@ -480,7 +561,7 @@ impl StripeStore {
         Ok(())
     }
 
-    fn unrecoverable(&self, stripe: usize, erased: &ErasureSet, e: CodeError) -> Error {
+    pub(crate) fn unrecoverable(&self, stripe: usize, erased: &ErasureSet, e: CodeError) -> Error {
         match e {
             CodeError::Unrecoverable(_) => Error::Unrecoverable {
                 stripe,
@@ -534,6 +615,31 @@ impl StripeStore {
         Ok((stripe, ErasureSet::new(erased)))
     }
 
+    /// Loads the stripe and, when anything was erased, restores every
+    /// lost cell via a full recovery plan — the shape the write paths
+    /// need before patching (parity deltas are computed against a
+    /// consistent stripe). Returns the restored buffer plus the set
+    /// that had been erased (its members now hold reconstructed
+    /// contents).
+    ///
+    /// Callers must hold the stripe lock.
+    pub(crate) fn load_stripe_restored(
+        &self,
+        stripe_idx: usize,
+    ) -> Result<(StripeBuf, ErasureSet), Error> {
+        let sh = &self.shared;
+        let (mut stripe, erased) = self.load_stripe_degraded(stripe_idx)?;
+        if !erased.is_empty() {
+            let plan = sh
+                .codec
+                .plan(&erased)
+                .map_err(|e| self.unrecoverable(stripe_idx, &erased, e))?;
+            sh.codec.apply(&plan, &mut stripe)?;
+            sh.counters.count_recover();
+        }
+        Ok((stripe, erased))
+    }
+
     // ------------------------------------------------------------------
     // Write path
     // ------------------------------------------------------------------
@@ -567,7 +673,7 @@ impl StripeStore {
 
     /// The byte window of `block` that overlaps the write request, as
     /// (slice of incoming data, start offset within the block).
-    fn incoming_for_block<'d>(
+    pub(crate) fn incoming_for_block<'d>(
         &self,
         block: usize,
         offset: u64,
@@ -610,20 +716,14 @@ impl StripeStore {
             let start = (blocks.start as u64 * sym as u64 - offset) as usize;
             stripe.write_cells(&geom.data_cells, &data[start..start + per * sym])?;
             sh.codec.encode(&mut stripe)?;
+            sh.counters.count_encode();
             self.write_back_cells(stripe_idx, &stripe, None)?;
             report.full_stripe_encodes += 1;
             return Ok(());
         }
 
         // Partial write: load (and if degraded, first restore) the stripe.
-        let (mut stripe, erased) = self.load_stripe_degraded(stripe_idx)?;
-        if !erased.is_empty() {
-            let plan = sh
-                .codec
-                .plan(&erased)
-                .map_err(|e| self.unrecoverable(stripe_idx, &erased, e))?;
-            sh.codec.apply(&plan, &mut stripe)?;
-        }
+        let (mut stripe, erased) = self.load_stripe_restored(stripe_idx)?;
         let mut touched: std::collections::BTreeSet<CellIdx> = std::collections::BTreeSet::new();
         for block in blocks {
             let loc = sh.blocks.locate(block)?;
@@ -631,6 +731,7 @@ impl StripeStore {
             let mut contents = stripe.cell(loc.cell).to_vec();
             contents[at..at + incoming.len()].copy_from_slice(incoming);
             let patched = sh.codec.update(&mut stripe, loc.cell, &contents)?;
+            sh.counters.count_update();
             report.delta_updates += 1;
             report.parity_sectors_patched += patched.len();
             touched.insert(loc.cell);
@@ -651,7 +752,7 @@ impl StripeStore {
     /// written, otherwise a write landing on a stripe the repair pass has
     /// already rebuilt would be lost when the device is promoted back to
     /// healthy. Rewritten cells are removed from the bad-sector map.
-    fn write_back_cells(
+    pub(crate) fn write_back_cells(
         &self,
         stripe_idx: usize,
         stripe: &StripeBuf,
