@@ -27,7 +27,7 @@
 use stair_bench::driver::{measure_batched, DevMeasurement};
 use stair_code::CodecSpec;
 use stair_device::BlockDevice;
-use stair_net::json::Json;
+use stair_net::json::{metrics_json, Json};
 use stair_net::{Client, Server, ServerConfig, ShardSet};
 use stair_store::{StoreOptions, StripeStore};
 
@@ -86,6 +86,7 @@ fn main() {
         "== batch_sweep: {code}, symbol {symbol}, ~{mb} MiB per backend, batch sizes {sizes:?}"
     );
     let mut results: Vec<Measurement> = Vec::new();
+    let mut metrics: Vec<Json> = Vec::new();
     for backend in &backends {
         match backend.as_str() {
             "file" => {
@@ -100,7 +101,7 @@ fn main() {
                     },
                 )
                 .expect("create store");
-                sweep("file", &store, &sizes, &mut results);
+                sweep("file", &store, &sizes, &mut results, &mut metrics);
                 std::fs::remove_dir_all(&dir).expect("cleanup file");
             }
             "shards" => {
@@ -116,7 +117,7 @@ fn main() {
                     },
                 )
                 .expect("create shards");
-                sweep("shards", &set, &sizes, &mut results);
+                sweep("shards", &set, &sizes, &mut results, &mut metrics);
                 std::fs::remove_dir_all(&dir).expect("cleanup shards");
             }
             "tcp" => {
@@ -138,7 +139,7 @@ fn main() {
                 let handle = server.handle();
                 let running = std::thread::spawn(move || server.run());
                 let client = Client::connect(&addr).expect("connect");
-                sweep("tcp", &client, &sizes, &mut results);
+                sweep("tcp", &client, &sizes, &mut results, &mut metrics);
                 handle.shutdown();
                 running.join().expect("server thread").expect("server run");
                 std::fs::remove_dir_all(&dir).expect("cleanup tcp");
@@ -168,7 +169,7 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        let report = json_report(&code, symbol, shards, &sizes, &results);
+        let report = json_report(&code, symbol, shards, &sizes, &results, metrics);
         std::fs::write(&path, report.to_text()).expect("write --json report");
         println!("wrote JSON report to {path}");
     }
@@ -180,6 +181,7 @@ fn sweep(
     dev: &dyn BlockDevice,
     sizes: &[usize],
     results: &mut Vec<Measurement>,
+    metrics: &mut Vec<Json>,
 ) {
     let capacity = dev.capacity() as usize;
     let block = dev.block_size();
@@ -201,6 +203,14 @@ fn sweep(
             });
         }
     }
+    // The backend's own registry view of the sweep, in the same shape
+    // `stair dev metrics --json` reports (for `tcp` it crosses the wire
+    // via the METRICS opcode, so these are the *server's* counters).
+    let snap = dev.metrics().expect("backend metrics");
+    metrics.push(Json::obj([
+        ("backend", Json::str(backend)),
+        ("metrics", metrics_json(&snap)),
+    ]));
 }
 
 /// `--json <path>` from argv (the only flag this harness takes).
@@ -222,6 +232,7 @@ fn json_report(
     shards: usize,
     sizes: &[usize],
     results: &[Measurement],
+    metrics: Vec<Json>,
 ) -> Json {
     Json::obj([
         ("harness", Json::str("batch_sweep")),
@@ -255,5 +266,6 @@ fn json_report(
                 ])
             })),
         ),
+        ("metrics", Json::arr(metrics)),
     ])
 }

@@ -25,7 +25,7 @@
 use stair_bench::driver::{measure_devices, DevMeasurement, DevOp, IoShape};
 use stair_code::CodecSpec;
 use stair_device::BlockDevice;
-use stair_net::json::Json;
+use stair_net::json::{metrics_json, Json};
 use stair_net::{Client, Server, ServerConfig, ShardSet};
 use stair_store::{StoreOptions, StripeStore};
 
@@ -159,12 +159,31 @@ fn main() {
     let admin = Client::connect(&addr).expect("admin");
     let got = admin.read_at(0, capacity).expect("final degraded read");
     assert_eq!(got.len(), capacity);
+
+    // Pull the server's registry over the METRICS opcode — per-opcode
+    // request counts, latency histograms, store counters — so the JSON
+    // report carries the service's own view of the run.
+    let server_metrics = admin.metrics().expect("server metrics");
+    println!(
+        "-- server metrics: {} write req, {} read req over the wire",
+        server_metrics.counter("srv.req.write").unwrap_or(0),
+        server_metrics.counter("srv.req.read").unwrap_or(0)
+    );
     admin.shutdown_server().expect("shutdown");
     running.join().expect("server thread").expect("server run");
     std::fs::remove_dir_all(&dir).expect("cleanup");
 
     if let Some(path) = json_path {
-        let report = json_report(shards, &code, symbol, stripes, capacity, workers, &results);
+        let report = json_report(
+            shards,
+            &code,
+            symbol,
+            stripes,
+            capacity,
+            workers,
+            &results,
+            &server_metrics,
+        );
         std::fs::write(&path, report.to_text()).expect("write --json report");
         println!("wrote JSON report to {path}");
     }
@@ -192,6 +211,7 @@ fn json_report(
     capacity: usize,
     workers: usize,
     results: &[Measurement],
+    server_metrics: &stair_obs::MetricsSnapshot,
 ) -> Json {
     Json::obj([
         ("harness", Json::str("net_throughput")),
@@ -226,5 +246,6 @@ fn json_report(
                 ])
             })),
         ),
+        ("metrics", metrics_json(server_metrics)),
     ])
 }

@@ -27,7 +27,7 @@ use stair_bench::driver::{measure_devices, DevOp, IoShape};
 use stair_bench::{print_row, reps};
 use stair_code::CodecSpec;
 use stair_device::BlockDevice;
-use stair_net::json::Json;
+use stair_net::json::{metrics_json, Json};
 use stair_store::{StoreOptions, StripeStore};
 
 struct Measurement {
@@ -67,8 +67,9 @@ fn main() {
     let symbol = 4096usize;
 
     let mut results: Vec<Measurement> = Vec::new();
+    let mut metrics: Vec<Json> = Vec::new();
     for code in specs {
-        bench_codec(&code, symbol, mb, threads, &mut results);
+        bench_codec(&code, symbol, mb, threads, &mut results, &mut metrics);
     }
 
     if let Some(path) = json_path {
@@ -100,6 +101,7 @@ fn main() {
                     ])
                 })),
             ),
+            ("metrics", Json::arr(metrics)),
         ]);
         std::fs::write(&path, report.to_text()).expect("write --json report");
         println!("wrote JSON report to {path}");
@@ -125,6 +127,7 @@ fn bench_codec(
     mb: usize,
     threads: usize,
     results: &mut Vec<Measurement>,
+    metrics: &mut Vec<Json>,
 ) {
     let dir = std::env::temp_dir().join(format!(
         "stair-store-bench-{}-{}",
@@ -235,5 +238,14 @@ fn bench_codec(
         "   scrub clean: {} sectors verified across {} stripes",
         scrub.sectors_verified, scrub.stripes_scanned
     );
+
+    // The engine's own registry view of the run, in the same shape
+    // `stair dev metrics --json` reports (gf.* counters are process-
+    // global, so they accumulate across codecs).
+    let snap = store.metrics().expect("store metrics");
+    metrics.push(Json::obj([
+        ("code", Json::str(code.to_string())),
+        ("metrics", metrics_json(&snap)),
+    ]));
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }

@@ -17,6 +17,7 @@
 use std::time::Instant;
 
 use stair_device::{BlockDevice, IoBatch};
+use stair_obs::{Histogram, HistogramSnapshot};
 
 /// A workload shape. Sequential ops stream `seq_io`-byte transfers;
 /// random ops issue single `rand_io`-byte transfers at uniformly
@@ -56,11 +57,15 @@ pub struct IoShape {
 }
 
 /// One timed measurement: aggregated bytes/requests over wall-clock
-/// seconds, plus submission-latency percentiles. One latency sample is
+/// seconds, plus submission-latency quantiles. One latency sample is
 /// taken per *submission* — a single `read_at`/`write_at` call on the
 /// per-op paths, one whole `submit` call on the batched path — so the
-/// percentiles answer "how long did the caller wait per call".
-#[derive(Clone, Copy, Debug)]
+/// quantiles answer "how long did the caller wait per call". Samples
+/// go through the same log₂ [`Histogram`] the device/net stack records
+/// into, so a bench quantile and a `stair dev metrics` quantile mean
+/// the same thing (nearest-rank bucket upper bound, clamped to the
+/// observed max; within one bucket's relative error of exact).
+#[derive(Clone, Debug)]
 pub struct DevMeasurement {
     /// Payload bytes transferred in the timed pass.
     pub bytes: usize,
@@ -74,6 +79,8 @@ pub struct DevMeasurement {
     pub lat_p99_us: f64,
     /// Worst submission latency in microseconds.
     pub lat_max_us: f64,
+    /// The full submission-latency distribution (microsecond samples).
+    pub latency: HistogramSnapshot,
 }
 
 impl DevMeasurement {
@@ -87,27 +94,18 @@ impl DevMeasurement {
         self.requests as f64 / self.seconds
     }
 
-    fn from_totals(bytes: usize, requests: usize, seconds: f64, mut lat_us: Vec<f64>) -> Self {
-        lat_us.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    fn from_totals(bytes: usize, requests: usize, seconds: f64, lat_us: &Histogram) -> Self {
+        let latency = lat_us.snapshot();
         DevMeasurement {
             bytes,
             requests,
             seconds,
-            lat_p50_us: percentile(&lat_us, 50.0),
-            lat_p99_us: percentile(&lat_us, 99.0),
-            lat_max_us: lat_us.last().copied().unwrap_or(0.0),
+            lat_p50_us: latency.p50() as f64,
+            lat_p99_us: latency.p99() as f64,
+            lat_max_us: latency.max as f64,
+            latency,
         }
     }
-}
-
-/// Nearest-rank percentile of an ascending-sorted sample (0 when
-/// empty).
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
 }
 
 /// Runs `op` over `devs` — one device handle per thread, each confined
@@ -135,34 +133,31 @@ pub fn measure_devices(
         devs.len(),
         shape.seq_io
     );
-    let pass = || -> (usize, usize, Vec<f64>) {
+    let pass = |lat_us: &Histogram| -> (usize, usize) {
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (c, dev) in devs.iter().enumerate() {
-                handles.push(scope.spawn(move || run_workload(*dev, op, c, region, shape)));
+                let lat = lat_us.clone();
+                handles.push(scope.spawn(move || run_workload(*dev, op, c, region, shape, &lat)));
             }
             handles
                 .into_iter()
                 .map(|h| h.join().expect("bench thread"))
-                .fold((0, 0, Vec::new()), |(b, r, mut l), (tb, tr, tl)| {
-                    l.extend(tl);
-                    (b + tb, r + tr, l)
-                })
+                .fold((0, 0), |(b, r), (tb, tr)| (b + tb, r + tr))
         })
     };
-    pass(); // warmup
+    pass(&Histogram::new()); // warmup (samples discarded)
+    let lat_us = Histogram::new();
     let start = Instant::now();
     let mut bytes = 0;
     let mut requests = 0;
-    let mut lat_us = Vec::new();
     for _ in 0..passes.max(1) {
-        let (b, r, l) = pass();
+        let (b, r) = pass(&lat_us);
         bytes += b;
         requests += r;
-        lat_us.extend(l);
     }
     let seconds = start.elapsed().as_secs_f64().max(1e-9);
-    DevMeasurement::from_totals(bytes, requests, seconds, lat_us)
+    DevMeasurement::from_totals(bytes, requests, seconds, &lat_us)
 }
 
 /// Runs a batched small-I/O workload over `devs`: each thread walks its
@@ -190,35 +185,33 @@ pub fn measure_batched(
         "capacity {capacity} too small for {} thread(s) of {block}-byte blocks",
         devs.len()
     );
-    let pass = || -> (usize, usize, Vec<f64>) {
+    let pass = |lat_us: &Histogram| -> (usize, usize) {
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (c, dev) in devs.iter().enumerate() {
-                handles
-                    .push(scope.spawn(move || run_batched(*dev, write, c, region, block, batch)));
+                let lat = lat_us.clone();
+                handles.push(
+                    scope.spawn(move || run_batched(*dev, write, c, region, block, batch, &lat)),
+                );
             }
             handles
                 .into_iter()
                 .map(|h| h.join().expect("bench thread"))
-                .fold((0, 0, Vec::new()), |(b, r, mut l), (tb, tr, tl)| {
-                    l.extend(tl);
-                    (b + tb, r + tr, l)
-                })
+                .fold((0, 0), |(b, r), (tb, tr)| (b + tb, r + tr))
         })
     };
-    pass(); // warmup
+    pass(&Histogram::new()); // warmup (samples discarded)
+    let lat_us = Histogram::new();
     let start = Instant::now();
     let mut bytes = 0;
     let mut requests = 0;
-    let mut lat_us = Vec::new();
     for _ in 0..passes.max(1) {
-        let (b, r, l) = pass();
+        let (b, r) = pass(&lat_us);
         bytes += b;
         requests += r;
-        lat_us.extend(l);
     }
     let seconds = start.elapsed().as_secs_f64().max(1e-9);
-    DevMeasurement::from_totals(bytes, requests, seconds, lat_us)
+    DevMeasurement::from_totals(bytes, requests, seconds, &lat_us)
 }
 
 /// The per-thread batched workload body.
@@ -229,13 +222,13 @@ fn run_batched(
     region: usize,
     block: usize,
     batch: usize,
-) -> (usize, usize, Vec<f64>) {
+    lat_us: &Histogram,
+) -> (usize, usize) {
     let base = (c * region) as u64;
     let slots = region / block;
     let payload = pattern(block, c as u64 + 11);
     let mut bytes = 0usize;
     let mut requests = 0usize;
-    let mut lat_us = Vec::with_capacity(slots / batch.max(1) + 1);
     let mut slot = 0usize;
     while slot < slots {
         let group = batch.max(1).min(slots - slot);
@@ -261,12 +254,12 @@ fn run_batched(
             let result = dev.submit(&ops).expect("bench submit");
             assert_eq!(result.results.len(), group);
         }
-        lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        lat_us.record(t0.elapsed().as_micros() as u64);
         bytes += group * block;
         requests += group;
         slot += group;
     }
-    (bytes, requests, lat_us)
+    (bytes, requests)
 }
 
 /// The per-thread workload body shared by warmup and timed passes.
@@ -276,11 +269,11 @@ fn run_workload(
     c: usize,
     region: usize,
     shape: IoShape,
-) -> (usize, usize, Vec<f64>) {
+    lat_us: &Histogram,
+) -> (usize, usize) {
     let base = (c * region) as u64;
     let mut bytes = 0usize;
     let mut requests = 0usize;
-    let mut lat_us = Vec::new();
     match op {
         DevOp::SeqWrite => {
             let payload = pattern(shape.seq_io, c as u64);
@@ -288,7 +281,7 @@ fn run_workload(
             while at + shape.seq_io <= region {
                 let t0 = Instant::now();
                 dev.write_at(base + at as u64, &payload).expect("write");
-                lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+                lat_us.record(t0.elapsed().as_micros() as u64);
                 bytes += shape.seq_io;
                 requests += 1;
                 at += shape.seq_io;
@@ -299,7 +292,7 @@ fn run_workload(
             while at + shape.seq_io <= region {
                 let t0 = Instant::now();
                 let got = dev.read_at(base + at as u64, shape.seq_io).expect("read");
-                lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+                lat_us.record(t0.elapsed().as_micros() as u64);
                 assert_eq!(got.len(), shape.seq_io);
                 bytes += shape.seq_io;
                 requests += 1;
@@ -324,13 +317,13 @@ fn run_workload(
                     let got = dev.read_at(at, block).expect("rand read");
                     assert_eq!(got.len(), block);
                 }
-                lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+                lat_us.record(t0.elapsed().as_micros() as u64);
                 bytes += block;
                 requests += 1;
             }
         }
     }
-    (bytes, requests, lat_us)
+    (bytes, requests)
 }
 
 /// A deterministic per-thread byte pattern.
@@ -376,7 +369,12 @@ mod tests {
             assert!(m.requests > 0);
             assert!(m.mb_per_s() > 0.0);
             assert!(m.req_per_s() > 0.0);
-            assert!(m.lat_p50_us > 0.0, "{op:?} has no latency samples");
+            assert!(
+                m.latency.count() == m.requests as u64,
+                "{op:?} has {} latency samples for {} requests",
+                m.latency.count(),
+                m.requests
+            );
             assert!(m.lat_p50_us <= m.lat_p99_us && m.lat_p99_us <= m.lat_max_us);
         }
 
@@ -394,12 +392,26 @@ mod tests {
     }
 
     #[test]
-    fn percentile_is_nearest_rank() {
-        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
-        assert_eq!(percentile(&sorted, 50.0), 50.0);
-        assert_eq!(percentile(&sorted, 99.0), 99.0);
-        assert_eq!(percentile(&sorted, 100.0), 100.0);
-        assert_eq!(percentile(&[7.5], 50.0), 7.5);
-        assert_eq!(percentile(&[], 50.0), 0.0);
+    fn quantiles_come_from_the_shared_histogram() {
+        // The driver's percentiles are exactly the obs histogram's
+        // estimates — same buckets, same nearest-rank rule — so bench
+        // reports and `stair dev metrics` quantiles are comparable.
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let m = DevMeasurement::from_totals(100, 100, 1.0, &h);
+        let snap = h.snapshot();
+        assert_eq!(m.lat_p50_us, snap.p50() as f64);
+        assert_eq!(m.lat_p99_us, snap.p99() as f64);
+        assert_eq!(m.lat_max_us, 100.0);
+        assert_eq!(m.latency, snap);
+        // Bucket-bound guarantee: exact ≤ estimate < 2·exact.
+        assert!(m.lat_p50_us >= 50.0 && m.lat_p50_us < 100.0);
+        assert!(m.lat_p99_us >= 99.0 && m.lat_p99_us < 198.0);
+
+        let empty = DevMeasurement::from_totals(0, 0, 1.0, &Histogram::new());
+        assert_eq!(empty.lat_p50_us, 0.0);
+        assert_eq!(empty.lat_max_us, 0.0);
     }
 }

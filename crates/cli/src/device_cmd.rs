@@ -37,7 +37,7 @@
 use std::path::PathBuf;
 use std::str::FromStr;
 
-use stair_device::{BatchResult, BlockDevice, DeviceSpec, IoBatch, IoOp, OpResult};
+use stair_device::{BatchResult, BlockDevice, DeviceSpec, Instrumented, IoBatch, IoOp, OpResult};
 use stair_net::json::Json;
 use stair_net::{open_admin, open_device};
 
@@ -54,9 +54,12 @@ pub const DEV_USAGE: &str = "usage:
   stair dev scrub  --dev SPEC [--threads T] [--json]
   stair dev repair --dev SPEC [--threads T] [--json]
   stair dev flush  --dev SPEC
+  stair dev metrics --dev SPEC [--json] [--from SCRIPT]
   (SPEC: file:<dir> | shards:<root>[?n=K] | tcp:<host:port>[?lanes=L])
   (SCRIPT lines: `read <offset> <len>` | `write <offset> <hex-bytes>`;
-   `#` comments and blank lines ignored; results print as JSON)";
+   `#` comments and blank lines ignored; results print as JSON)
+  (metrics --from replays a SCRIPT through the instrumented device
+   first, so per-op latency histograms are populated)";
 
 /// Dispatches a `stair dev <verb> ...` invocation.
 pub fn run(verb: &str, flags: &Flags) -> Result<(), String> {
@@ -87,6 +90,7 @@ pub fn run_with_spec(
         "scrub" => cmd_scrub(flags, spec, family),
         "repair" => cmd_repair(flags, spec),
         "flush" => cmd_flush(spec),
+        "metrics" => cmd_metrics(flags, spec),
         _ => Err(format!("unknown {family} command `{verb}`\n{DEV_USAGE}")),
     }
 }
@@ -398,5 +402,57 @@ fn cmd_flush(spec: &DeviceSpec) -> Result<(), String> {
     let dev = open(spec)?;
     dev.flush().map_err(|e| e.to_string())?;
     println!("flushed");
+    Ok(())
+}
+
+/// `stair dev metrics`: wraps the backend in [`Instrumented`] so the
+/// local view gains `dev.*` per-op latency/byte metrics, optionally
+/// replays an op-script through it (`--from`, same grammar as `batch`)
+/// to populate them, then prints the combined snapshot — the wrapper's
+/// registry merged with whatever the backend itself reports (`store.*`
+/// and `gf.*` locally, the server's `srv.*` counters over `tcp:`).
+fn cmd_metrics(flags: &Flags, spec: &DeviceSpec) -> Result<(), String> {
+    let dev = Instrumented::new(open(spec)?);
+    if let Some(from) = flags.get("from").filter(|v| !v.is_empty()) {
+        let text = std::fs::read_to_string(from)
+            .map_err(|e| format!("cannot read op-script {from}: {e}"))?;
+        let batch = parse_op_script(&text)?;
+        dev.submit(&batch).map_err(|e| e.to_string())?;
+    }
+    let snap = dev.metrics().map_err(|e| e.to_string())?;
+    if flags.contains_key("json") {
+        print!("{}", status_json::metrics_json(&snap).to_text());
+        return Ok(());
+    }
+    println!("counters:");
+    for (name, v) in &snap.counters {
+        println!("  {name:<28} {v}");
+    }
+    println!("gauges:");
+    for (name, v) in &snap.gauges {
+        println!("  {name:<28} {v}");
+    }
+    println!("latency histograms (us):");
+    for (name, h) in &snap.histograms {
+        println!(
+            "  {name:<28} count {} p50 {} p99 {} max {}",
+            h.count(),
+            h.p50(),
+            h.p99(),
+            h.max
+        );
+    }
+    println!("slow ops captured: {}", snap.slow_ops.len());
+    for ev in &snap.slow_ops {
+        println!(
+            "  t+{}us {} shard {} {} bytes in {}us ({})",
+            ev.t_us,
+            ev.kind,
+            ev.shard,
+            ev.bytes,
+            ev.duration_us,
+            if ev.ok { "ok" } else { "failed" }
+        );
+    }
     Ok(())
 }

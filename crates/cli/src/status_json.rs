@@ -6,6 +6,15 @@
 
 use stair_device::{DeviceStatus, RepairOutcome, ScrubOutcome, ShardHealth};
 use stair_net::json::Json;
+use stair_obs::MetricsSnapshot;
+
+/// A metrics snapshot as a JSON object — the serializer `stair dev
+/// metrics` and `stair remote metrics` share with the bench drivers
+/// (arrays of uniform objects, so the key shape is identical across
+/// backends whose metric-name sets differ).
+pub fn metrics_json(snap: &MetricsSnapshot) -> Json {
+    stair_net::json::metrics_json(snap)
+}
 
 /// One shard's health as a JSON object.
 fn shard_json(shard: &ShardHealth) -> Json {

@@ -74,7 +74,7 @@ pub fn spawn_server(dir: &str, extra: &[&str]) -> (Child, String) {
 
 /// Extracts the ordered key sequence of a compact JSON document (no
 /// escaped quotes — true for everything the `stair` CLI emits).
-fn key_shape(doc: &str) -> Vec<String> {
+pub fn key_shape(doc: &str) -> Vec<String> {
     doc.match_indices('"')
         .collect::<Vec<_>>()
         .chunks(2)

@@ -1,5 +1,7 @@
 //! The object-safe storage traits.
 
+use stair_obs::MetricsSnapshot;
+
 use crate::{
     BatchResult, DeviceError, DeviceStatus, IoBatch, IoOp, OpResult, RepairOutcome, ScrubOutcome,
     WriteOutcome,
@@ -98,6 +100,72 @@ pub trait BlockDevice: Send + Sync {
     /// Backend failures (unrecoverable stripes are reported in the
     /// outcome, not as errors).
     fn repair(&self, threads: usize) -> Result<RepairOutcome, DeviceError>;
+
+    /// A metrics snapshot for this backend: operation counters, latency
+    /// histograms, progress gauges, and captured slow ops.
+    ///
+    /// The default returns an empty snapshot, so implementors without
+    /// native instrumentation stay source-compatible. Backends with
+    /// their own registries override it (a stripe store folds in its
+    /// `IoStats` and the GF kernel counters; a remote client pulls the
+    /// server's registry over the wire); the
+    /// [`Instrumented`](crate::Instrumented) wrapper adds per-op
+    /// latency/byte accounting in front of any of them.
+    ///
+    /// # Errors
+    ///
+    /// Backend failures (a remote snapshot call can fail; local ones do
+    /// not).
+    fn metrics(&self) -> Result<MetricsSnapshot, DeviceError> {
+        Ok(MetricsSnapshot::default())
+    }
+}
+
+/// Forwarding impl so a boxed device is itself a device — what lets
+/// wrappers like [`Instrumented`](crate::Instrumented) sit in front of
+/// whatever `open_device()` returned. Every method forwards (including
+/// the ones with default bodies, so a backend's native `submit` and
+/// `metrics` are never shadowed by the trait defaults).
+impl BlockDevice for Box<dyn BlockDevice> {
+    fn capacity(&self) -> u64 {
+        (**self).capacity()
+    }
+
+    fn block_size(&self) -> usize {
+        (**self).block_size()
+    }
+
+    fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>, DeviceError> {
+        (**self).read_at(offset, len)
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<WriteOutcome, DeviceError> {
+        (**self).write_at(offset, data)
+    }
+
+    fn submit(&self, batch: &IoBatch) -> Result<BatchResult, DeviceError> {
+        (**self).submit(batch)
+    }
+
+    fn flush(&self) -> Result<(), DeviceError> {
+        (**self).flush()
+    }
+
+    fn status(&self) -> Result<DeviceStatus, DeviceError> {
+        (**self).status()
+    }
+
+    fn scrub(&self, threads: usize) -> Result<ScrubOutcome, DeviceError> {
+        (**self).scrub(threads)
+    }
+
+    fn repair(&self, threads: usize) -> Result<RepairOutcome, DeviceError> {
+        (**self).repair(threads)
+    }
+
+    fn metrics(&self) -> Result<MetricsSnapshot, DeviceError> {
+        (**self).metrics()
+    }
 }
 
 /// Fault administration, split from [`BlockDevice`] because not every

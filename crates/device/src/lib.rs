@@ -30,10 +30,15 @@
 //!   `open_device()` registry in `stair-net` turns a spec into a live
 //!   `Box<dyn BlockDevice>`, mirroring `stair_store::build_codec()`.
 //!
-//! This crate is dependency-free on purpose: backends depend on it, not
-//! the other way round, so future layers (write-back caches, replicas,
-//! async frontends) can slot in behind the same trait without touching
-//! the existing engines.
+//! * **[`Instrumented`]** — a wrapper recording per-op and per-batch
+//!   latency, byte counts, and slow ops for any backend into a
+//!   `stair-obs` registry; [`BlockDevice::metrics`] surfaces the
+//!   combined snapshot.
+//!
+//! This crate depends only on `stair-obs` (itself dependency-free):
+//! backends depend on it, not the other way round, so future layers
+//! (write-back caches, replicas, async frontends) can slot in behind
+//! the same trait without touching the existing engines.
 //!
 //! [`StripeStore`]: https://docs.rs/stair-store
 
@@ -43,11 +48,13 @@
 mod api;
 mod batch;
 mod error;
+mod instrument;
 mod report;
 mod spec;
 
 pub use api::{AdminDevice, BlockDevice, FaultAdmin};
 pub use batch::{seed_results, BatchResult, IoBatch, IoOp, OpResult};
 pub use error::DeviceError;
+pub use instrument::Instrumented;
 pub use report::{DeviceStatus, RepairOutcome, ScrubOutcome, ShardHealth, WriteOutcome};
 pub use spec::DeviceSpec;

@@ -450,6 +450,20 @@ impl Client {
         }
     }
 
+    /// Pulls the server's metrics snapshot: per-opcode request counters
+    /// and latency histograms, connection gauges, slow-op captures, and
+    /// the aggregated `store.*`/`gf.*` counters across shards.
+    ///
+    /// # Errors
+    ///
+    /// Transport or server failures.
+    pub fn metrics(&self) -> Result<stair_obs::MetricsSnapshot, NetError> {
+        match self.with_conn(true, |conn| conn.call(&Request::Metrics))? {
+            Response::Metrics(snap) => Ok(snap),
+            other => Err(unexpected("METRICS", &other)),
+        }
+    }
+
     /// Asks the server to shut down cleanly.
     ///
     /// # Errors
@@ -623,6 +637,16 @@ impl StripedClient {
     /// What the server announced at HELLO time.
     pub fn info(&self) -> ServerInfo {
         self.lanes[0].info().clone()
+    }
+
+    /// Pulls the server's metrics snapshot down lane 0 (the metrics are
+    /// server-side and connection-independent, so one lane suffices).
+    ///
+    /// # Errors
+    ///
+    /// Transport or server failures.
+    pub fn metrics(&self) -> Result<stair_obs::MetricsSnapshot, NetError> {
+        self.lane0().metrics()
     }
 
     /// Splits `[0, len)` into one contiguous piece per lane.

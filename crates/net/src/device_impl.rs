@@ -230,6 +230,10 @@ impl BlockDevice for ShardSet {
         }
         Ok(total)
     }
+
+    fn metrics(&self) -> Result<stair_obs::MetricsSnapshot, DeviceError> {
+        Ok(ShardSet::metrics(self))
+    }
 }
 
 impl FaultAdmin for ShardSet {
@@ -291,6 +295,10 @@ impl BlockDevice for Client {
     fn repair(&self, threads: usize) -> Result<RepairOutcome, DeviceError> {
         Ok(repair_outcome(&Client::repair(self, threads)?))
     }
+
+    fn metrics(&self) -> Result<stair_obs::MetricsSnapshot, DeviceError> {
+        Ok(Client::metrics(self)?)
+    }
 }
 
 impl FaultAdmin for Client {
@@ -347,6 +355,10 @@ impl BlockDevice for StripedClient {
 
     fn repair(&self, threads: usize) -> Result<RepairOutcome, DeviceError> {
         Ok(repair_outcome(&self.lane0().repair(threads)?))
+    }
+
+    fn metrics(&self) -> Result<stair_obs::MetricsSnapshot, DeviceError> {
+        Ok(StripedClient::metrics(self)?)
     }
 }
 

@@ -61,6 +61,58 @@ impl Json {
     }
 }
 
+/// Renders a metrics snapshot as the one JSON shape every surface
+/// shares (`stair dev metrics`, `stair remote metrics`, and the bench
+/// drivers' `--json` output): counters, gauges, histograms, and slow
+/// ops as **arrays of uniform objects**, so the key shape is identical
+/// across backends even though the metric *name* sets differ.
+pub fn metrics_json(snap: &stair_obs::MetricsSnapshot) -> Json {
+    Json::obj([
+        (
+            "counters",
+            Json::arr(snap.counters.iter().map(|(name, v)| {
+                Json::obj([
+                    ("name", Json::str(name.clone())),
+                    ("value", Json::int64(*v)),
+                ])
+            })),
+        ),
+        (
+            "gauges",
+            Json::arr(snap.gauges.iter().map(|(name, v)| {
+                Json::obj([("name", Json::str(name.clone())), ("value", Json::Int(*v))])
+            })),
+        ),
+        (
+            "histograms",
+            Json::arr(snap.histograms.iter().map(|(name, h)| {
+                Json::obj([
+                    ("name", Json::str(name.clone())),
+                    ("count", Json::int64(h.count())),
+                    ("sum_us", Json::int64(h.sum)),
+                    ("mean_us", Json::Num(h.mean())),
+                    ("p50_us", Json::int64(h.p50())),
+                    ("p99_us", Json::int64(h.p99())),
+                    ("max_us", Json::int64(h.max)),
+                ])
+            })),
+        ),
+        (
+            "slow_ops",
+            Json::arr(snap.slow_ops.iter().map(|ev| {
+                Json::obj([
+                    ("t_us", Json::int64(ev.t_us)),
+                    ("kind", Json::str(ev.kind.clone())),
+                    ("shard", Json::int(ev.shard as usize)),
+                    ("bytes", Json::int64(ev.bytes)),
+                    ("duration_us", Json::int64(ev.duration_us)),
+                    ("ok", Json::Bool(ev.ok)),
+                ])
+            })),
+        ),
+    ])
+}
+
 fn escape(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
     f.write_str("\"")?;
     for c in s.chars() {

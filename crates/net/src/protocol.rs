@@ -28,11 +28,15 @@
 //!
 //! Version history: v1 shipped the nine base opcodes; v2 added the
 //! [`Opcode::Batch`] frame (many ops in one request, one checksummed
-//! response) with every v1 opcode unchanged on the wire.
+//! response) with every v1 opcode unchanged on the wire, and later
+//! grew the [`Opcode::Metrics`] frame (pull the server's metrics
+//! snapshot) the same way — additive, so the version number did not
+//! bump and older peers simply never send the new opcode.
 
 use std::io::{Read, Write};
 
 use stair_device::IoOp;
+use stair_obs::{HistogramSnapshot, MetricsSnapshot, TraceEvent, BUCKETS};
 use stair_store::checksum::fletcher32;
 
 use crate::NetError;
@@ -76,9 +80,29 @@ pub enum Opcode {
     Shutdown = 9,
     /// Submit many read/write ops as one frame (protocol v2).
     Batch = 10,
+    /// Pull the server's metrics snapshot (protocol v2, additive).
+    Metrics = 11,
 }
 
 impl Opcode {
+    /// The lowercase wire name, used as the metric-name suffix for
+    /// per-opcode counters (`srv.req.<name>`) and histograms.
+    pub fn name(self) -> &'static str {
+        match self {
+            Opcode::Hello => "hello",
+            Opcode::Status => "status",
+            Opcode::Read => "read",
+            Opcode::Write => "write",
+            Opcode::Flush => "flush",
+            Opcode::Fail => "fail",
+            Opcode::Scrub => "scrub",
+            Opcode::Repair => "repair",
+            Opcode::Shutdown => "shutdown",
+            Opcode::Batch => "batch",
+            Opcode::Metrics => "metrics",
+        }
+    }
+
     fn from_u8(b: u8) -> Result<Self, NetError> {
         Ok(match b {
             1 => Opcode::Hello,
@@ -91,6 +115,7 @@ impl Opcode {
             8 => Opcode::Repair,
             9 => Opcode::Shutdown,
             10 => Opcode::Batch,
+            11 => Opcode::Metrics,
             other => return Err(NetError::Protocol(format!("unknown opcode {other}"))),
         })
     }
@@ -163,6 +188,10 @@ pub enum Request {
         /// at [`MAX_IO_BYTES`], the count at [`MAX_BATCH_OPS`].
         ops: Vec<IoOp>,
     },
+    /// Pull the server's metrics snapshot (request/connection counters,
+    /// latency histograms, slow-op captures, plus the store's own
+    /// counters aggregated across shards).
+    Metrics,
 }
 
 impl Request {
@@ -179,6 +208,7 @@ impl Request {
             Request::Repair { .. } => Opcode::Repair,
             Request::Shutdown => Opcode::Shutdown,
             Request::Batch { .. } => Opcode::Batch,
+            Request::Metrics => Opcode::Metrics,
         }
     }
 }
@@ -369,6 +399,8 @@ pub enum Response {
     Repaired(RepairSummary),
     /// BATCH answer: one reply per op, in submission order.
     Batched(Vec<BatchReply>),
+    /// METRICS answer: the server's snapshot at the time of the request.
+    Metrics(MetricsSnapshot),
     /// SHUTDOWN answer (sent before the server exits).
     ShuttingDown,
     /// The request could not be executed.
@@ -473,7 +505,7 @@ fn encode_request_payload(req: &Request) -> Vec<u8> {
             e.bytes(MAGIC);
             e.u32(*version);
         }
-        Request::Status | Request::Flush | Request::Shutdown => {}
+        Request::Status | Request::Flush | Request::Shutdown | Request::Metrics => {}
         Request::Read { offset, len } => {
             e.u64(*offset);
             e.u32(*len);
@@ -616,9 +648,113 @@ fn decode_request_payload(op: Opcode, payload: &[u8]) -> Result<Request, NetErro
             }
             Request::Batch { ops }
         }
+        Opcode::Metrics => Request::Metrics,
     };
     d.finish()?;
     Ok(req)
+}
+
+/// Most slow-op records one METRICS response may carry (the server-side
+/// journal retains far fewer; this bounds hostile frames).
+const MAX_SLOW_OPS: u32 = 1024;
+/// Most named metrics of one kind a METRICS response may carry.
+const MAX_METRICS: u32 = 65_536;
+
+fn encode_metrics(e: &mut Enc, snap: &MetricsSnapshot) {
+    e.u32(snap.counters.len() as u32);
+    for (name, v) in &snap.counters {
+        e.str(name);
+        e.u64(*v);
+    }
+    e.u32(snap.gauges.len() as u32);
+    for (name, v) in &snap.gauges {
+        e.str(name);
+        e.u64(*v as u64);
+    }
+    e.u32(snap.histograms.len() as u32);
+    for (name, h) in &snap.histograms {
+        e.str(name);
+        e.u32(h.buckets.len() as u32);
+        for &b in &h.buckets {
+            e.u64(b);
+        }
+        e.u64(h.sum);
+        e.u64(h.max);
+    }
+    e.u32(snap.slow_ops.len() as u32);
+    for ev in &snap.slow_ops {
+        e.u64(ev.t_us);
+        e.str(&ev.kind);
+        e.u32(ev.shard);
+        e.u64(ev.bytes);
+        e.u64(ev.duration_us);
+        e.u8(ev.ok as u8);
+    }
+}
+
+fn decode_metrics(d: &mut Dec<'_>) -> Result<MetricsSnapshot, NetError> {
+    let mut snap = MetricsSnapshot::default();
+    let counters = d.u32()?;
+    if counters > MAX_METRICS {
+        return Err(NetError::Protocol("metrics counter list too long".into()));
+    }
+    for _ in 0..counters {
+        let name = d.str()?;
+        snap.counters.push((name, d.u64()?));
+    }
+    let gauges = d.u32()?;
+    if gauges > MAX_METRICS {
+        return Err(NetError::Protocol("metrics gauge list too long".into()));
+    }
+    for _ in 0..gauges {
+        let name = d.str()?;
+        snap.gauges.push((name, d.u64()? as i64));
+    }
+    let hists = d.u32()?;
+    if hists > MAX_METRICS {
+        return Err(NetError::Protocol("metrics histogram list too long".into()));
+    }
+    for _ in 0..hists {
+        let name = d.str()?;
+        let buckets = d.u32()? as usize;
+        if buckets > BUCKETS {
+            return Err(NetError::Protocol(format!(
+                "histogram with {buckets} buckets exceeds the {BUCKETS}-bucket cap"
+            )));
+        }
+        let mut h = HistogramSnapshot::default();
+        for _ in 0..buckets {
+            h.buckets.push(d.u64()?);
+        }
+        h.sum = d.u64()?;
+        h.max = d.u64()?;
+        snap.histograms.push((name, h));
+    }
+    let slow = d.u32()?;
+    if slow > MAX_SLOW_OPS {
+        return Err(NetError::Protocol("metrics slow-op list too long".into()));
+    }
+    for _ in 0..slow {
+        let t_us = d.u64()?;
+        let kind = d.str()?;
+        let shard = d.u32()?;
+        let bytes = d.u64()?;
+        let duration_us = d.u64()?;
+        let ok = match d.u8()? {
+            0 => false,
+            1 => true,
+            k => return Err(NetError::Protocol(format!("bad slow-op ok byte {k}"))),
+        };
+        snap.slow_ops.push(TraceEvent {
+            t_us,
+            kind,
+            shard,
+            bytes,
+            duration_us,
+            ok,
+        });
+    }
+    Ok(snap)
 }
 
 fn encode_response_payload(resp: &Response) -> (u8, Vec<u8>) {
@@ -687,6 +823,10 @@ fn encode_response_payload(resp: &Response) -> (u8, Vec<u8>) {
                 }
             }
             Opcode::Batch as u8
+        }
+        Response::Metrics(snap) => {
+            encode_metrics(&mut e, snap);
+            Opcode::Metrics as u8
         }
         Response::Scrubbed(s) => {
             e.u64(s.stripes_scanned);
@@ -782,6 +922,7 @@ fn decode_response_payload(status: u8, payload: &[u8]) -> Result<Response, NetEr
             }
             Response::Batched(replies)
         }
+        Opcode::Metrics => Response::Metrics(decode_metrics(&mut d)?),
         Opcode::Scrub => Response::Scrubbed(ScrubSummary {
             stripes_scanned: d.u64()?,
             sectors_verified: d.u64()?,
@@ -967,6 +1108,65 @@ mod tests {
             ],
         });
         round_trip_request(Request::Batch { ops: vec![] });
+        round_trip_request(Request::Metrics);
+    }
+
+    #[test]
+    fn metrics_responses_round_trip() {
+        round_trip_response(Response::Metrics(MetricsSnapshot::default()));
+        let mut snap = MetricsSnapshot::default();
+        snap.add_counter("srv.req.read", 17);
+        snap.add_counter("store.stripe_locks", 3);
+        snap.add_gauge("srv.connections", -1);
+        snap.add_histogram(
+            "srv.lat_us.read",
+            &HistogramSnapshot {
+                buckets: vec![0, 2, 5, 1],
+                sum: 44,
+                max: 7,
+            },
+        );
+        snap.slow_ops.push(TraceEvent {
+            t_us: 123_456,
+            kind: "write".into(),
+            shard: 2,
+            bytes: 4096,
+            duration_us: 15_000,
+            ok: true,
+        });
+        snap.slow_ops.push(TraceEvent {
+            t_us: 200_000,
+            kind: "scrub".into(),
+            shard: 0,
+            bytes: 0,
+            duration_us: 99_000,
+            ok: false,
+        });
+        round_trip_response(Response::Metrics(snap));
+    }
+
+    #[test]
+    fn metrics_decode_caps_hostile_lengths() {
+        // A histogram claiming more than BUCKETS buckets is refused
+        // before any allocation happens.
+        let mut e = Enc(Vec::new());
+        e.u32(0); // counters
+        e.u32(0); // gauges
+        e.u32(1); // histograms
+        e.str("h");
+        e.u32(BUCKETS as u32 + 1);
+        let payload = e.0;
+        let sum = fletcher32(&payload);
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(13 + payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&5u64.to_le_bytes());
+        frame.push(Opcode::Metrics as u8);
+        frame.extend_from_slice(&sum.to_le_bytes());
+        frame.extend_from_slice(&payload);
+        assert!(matches!(
+            read_response(&mut frame.as_slice()),
+            Err(NetError::Protocol(_))
+        ));
     }
 
     #[test]

@@ -28,8 +28,10 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
-use stair_device::{BlockDevice, IoBatch, OpResult};
+use stair_device::{BlockDevice, IoBatch, IoOp, OpResult};
+use stair_obs::MetricsRegistry;
 
 use crate::protocol::{
     read_request, write_response, BatchReply, RepairSummary, Request, Response, ScrubSummary,
@@ -90,6 +92,9 @@ struct State {
     /// readers at server shutdown. Each reader removes its own entry on
     /// exit, so dead connections do not leak file descriptors.
     conns: Mutex<std::collections::HashMap<u64, TcpStream>>,
+    /// Per-opcode request counters, latency histograms, and the trace
+    /// journal; served back over the METRICS opcode.
+    registry: MetricsRegistry,
 }
 
 impl State {
@@ -185,6 +190,7 @@ impl Server {
                 available: Condvar::new(),
                 shutdown: AtomicBool::new(false),
                 conns: Mutex::new(std::collections::HashMap::new()),
+                registry: MetricsRegistry::new(),
             }),
             config,
             addr: local,
@@ -254,11 +260,14 @@ impl Server {
                     .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .insert(conn_id, clone);
             }
+            self.state.registry.counter("srv.connections_total").inc();
+            self.state.registry.gauge("srv.connections").add(1);
             let state = Arc::clone(&self.state);
             let info = self.info();
             let addr = self.addr;
             readers.push(std::thread::spawn(move || {
                 reader_loop(stream, &state, &info, addr);
+                state.registry.gauge("srv.connections").add(-1);
                 state
                     .conns
                     .lock()
@@ -302,7 +311,9 @@ fn reader_loop(stream: TcpStream, state: &State, info: &ServerInfo, addr: Socket
         };
         match req {
             Request::Hello { version } => {
+                state.registry.counter("srv.req.hello").inc();
                 if version != PROTOCOL_VERSION {
+                    state.registry.counter("srv.errors.hello").inc();
                     writer.send(
                         id,
                         &Response::Error(format!(
@@ -314,6 +325,7 @@ fn reader_loop(stream: TcpStream, state: &State, info: &ServerInfo, addr: Socket
                 writer.send(id, &Response::Hello(info.clone()));
             }
             Request::Shutdown => {
+                state.registry.counter("srv.req.shutdown").inc();
                 writer.send(id, &Response::ShuttingDown);
                 begin_shutdown(state, addr);
                 return;
@@ -370,17 +382,66 @@ fn worker_loop(state: &State, shards: &ShardSet, info: &ServerInfo, batch: usize
                     }
                 }
             }
-            execute_write_batch(shards, writes);
+            execute_write_batch(shards, &state.registry, writes);
         } else {
-            let resp = execute(shards, info, job.req);
+            let kind = job.req.opcode().name();
+            let bytes = request_bytes(&job.req);
+            let start = Instant::now();
+            let resp = execute(shards, info, &state.registry, job.req);
+            let elapsed = start.elapsed();
+            record_request(&state.registry, kind, bytes, elapsed, &resp);
             job.writer.send(job.id, &resp);
         }
     }
 }
 
+/// The byte count a request moves (write payloads plus requested read
+/// lengths); what the journal and throughput counters attribute to it.
+fn request_bytes(req: &Request) -> u64 {
+    match req {
+        Request::Read { len, .. } => u64::from(*len),
+        Request::Write { data, .. } => data.len() as u64,
+        Request::Batch { ops } => ops
+            .iter()
+            .map(|op| match op {
+                IoOp::Read { len, .. } => *len as u64,
+                IoOp::Write { data, .. } => data.len() as u64,
+            })
+            .sum(),
+        _ => 0,
+    }
+}
+
+/// Charges one completed request to the per-opcode counters, latency
+/// histogram, byte counter, and trace journal.
+fn record_request(
+    registry: &MetricsRegistry,
+    kind: &str,
+    bytes: u64,
+    elapsed: std::time::Duration,
+    resp: &Response,
+) {
+    let ok = !matches!(resp, Response::Error(_));
+    registry.counter(&format!("srv.req.{kind}")).inc();
+    if !ok {
+        registry.counter(&format!("srv.errors.{kind}")).inc();
+    }
+    registry
+        .histogram(&format!("srv.lat_us.{kind}"))
+        .record(elapsed.as_micros() as u64);
+    if bytes > 0 {
+        registry.counter(&format!("srv.bytes.{kind}")).add(bytes);
+    }
+    registry.record_op(kind, 0, bytes, elapsed, ok);
+}
+
 /// Executes a batch of WRITEs, merging adjacent spans into single store
 /// passes. Any overlap within the batch forces arrival order, unmerged.
-fn execute_write_batch(shards: &ShardSet, writes: Vec<(Arc<ConnWriter>, u64, u64, Vec<u8>)>) {
+fn execute_write_batch(
+    shards: &ShardSet,
+    registry: &MetricsRegistry,
+    writes: Vec<(Arc<ConnWriter>, u64, u64, Vec<u8>)>,
+) {
     let mut order: Vec<usize> = (0..writes.len()).collect();
     order.sort_by_key(|&i| writes[i].2);
     let overlapping = order.windows(2).any(|w| {
@@ -389,7 +450,9 @@ fn execute_write_batch(shards: &ShardSet, writes: Vec<(Arc<ConnWriter>, u64, u64
     });
     if overlapping {
         for (writer, id, offset, data) in writes {
+            let start = Instant::now();
             let resp = write_one(shards, offset, &data, 1);
+            record_request(registry, "write", data.len() as u64, start.elapsed(), &resp);
             writer.send(id, &resp);
         }
         return;
@@ -407,7 +470,14 @@ fn execute_write_batch(shards: &ShardSet, writes: Vec<(Arc<ConnWriter>, u64, u64
             at += 1;
         }
         let coalesced = members.len() as u32;
+        let start = Instant::now();
         let resp = write_one(shards, run_offset, &run, coalesced);
+        let elapsed = start.elapsed();
+        // Each coalesced member counts as its own request (with its own
+        // byte count) but shares the run's store-pass latency.
+        for &m in &members {
+            record_request(registry, "write", writes[m].3.len() as u64, elapsed, &resp);
+        }
         // The store-pass counters are attributed to the run's first
         // member only; the rest report zeros (plus their own byte count),
         // so a client summing its chunk summaries gets exact totals
@@ -450,11 +520,23 @@ fn write_one(shards: &ShardSet, offset: u64, data: &[u8], coalesced: u32) -> Res
 /// Executes one non-write request. Takes the request by value so batch
 /// payloads move straight into the shard set's submit instead of being
 /// re-copied per request.
-fn execute(shards: &ShardSet, info: &ServerInfo, req: Request) -> Response {
+fn execute(
+    shards: &ShardSet,
+    info: &ServerInfo,
+    registry: &MetricsRegistry,
+    req: Request,
+) -> Response {
     let result = (|| -> Result<Response, NetError> {
         Ok(match req {
             Request::Hello { .. } => Response::Hello(info.clone()),
             Request::Status => Response::Status(shards.status().iter().map(wire_status).collect()),
+            // The server's own request metrics plus the aggregated
+            // store counters, one frame.
+            Request::Metrics => {
+                let mut snap = registry.snapshot();
+                snap.merge(&shards.metrics());
+                Response::Metrics(snap)
+            }
             Request::Read { offset, len } => Response::Data(shards.read_at(offset, len as usize)?),
             Request::Write { .. } | Request::Shutdown => {
                 unreachable!("handled before execute()")

@@ -262,6 +262,19 @@ impl ShardSet {
             .map(|s| s.repair(threads).map_err(NetError::from))
             .collect()
     }
+
+    /// Aggregated metrics across every shard: the per-shard `store.*`
+    /// counters summed, plus the process-global `gf.*` field-arithmetic
+    /// counters folded in exactly once (they are shared by every codec
+    /// instance, so per-shard merging would multiply them).
+    pub fn metrics(&self) -> stair_obs::MetricsSnapshot {
+        let mut snap = stair_obs::MetricsSnapshot::default();
+        for store in &self.stores {
+            snap.merge(&store.store_metrics());
+        }
+        snap.merge(&stair_store::gf_metrics());
+        snap
+    }
 }
 
 /// Converts a store status to its wire form.

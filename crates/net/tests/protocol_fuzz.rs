@@ -15,6 +15,7 @@ use stair_net::protocol::{
     MAX_FRAME, PROTOCOL_VERSION,
 };
 use stair_net::NetError;
+use stair_obs::{HistogramSnapshot, MetricsSnapshot, TraceEvent};
 
 /// A representative valid request frame of every opcode family.
 fn sample_requests() -> Vec<Vec<u8>> {
@@ -50,6 +51,7 @@ fn sample_requests() -> Vec<Vec<u8>> {
             ],
         },
         Request::Shutdown,
+        Request::Metrics,
     ];
     reqs.iter()
         .map(|r| {
@@ -60,12 +62,36 @@ fn sample_requests() -> Vec<Vec<u8>> {
         .collect()
 }
 
+fn sample_metrics() -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::default();
+    snap.add_counter("srv.req.read", 12);
+    snap.add_gauge("srv.connections", 2);
+    snap.add_histogram(
+        "srv.lat_us.read",
+        &HistogramSnapshot {
+            buckets: vec![0, 1, 3],
+            sum: 9,
+            max: 3,
+        },
+    );
+    snap.slow_ops.push(TraceEvent {
+        t_us: 77,
+        kind: "read".into(),
+        shard: 1,
+        bytes: 4096,
+        duration_us: 20_000,
+        ok: true,
+    });
+    snap
+}
+
 fn sample_responses() -> Vec<Vec<u8>> {
     let resps = [
         Response::Data(vec![1, 2, 3, 4, 5]),
         Response::Written(WriteSummary::default()),
         Response::Flushed,
         Response::Batched(vec![]),
+        Response::Metrics(sample_metrics()),
         Response::Error("nope".into()),
     ];
     resps

@@ -1,0 +1,236 @@
+//! Fixed-bucket log₂ histograms for latency (or any `u64`) samples.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Bucket count: one per possible bit width of a `u64` (0..=64).
+pub const BUCKETS: usize = 65;
+
+/// The largest value bucket `i` holds: 0 for bucket 0, `2^i - 1`
+/// otherwise (saturating at `u64::MAX` for the last bucket).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        1..=63 => (1u64 << i) - 1,
+        _ => u64::MAX,
+    }
+}
+
+/// Which bucket a value lands in: its bit width.
+fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+struct Inner {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A lock-free log₂ histogram handle. Clones share the same cells, so a
+/// handle registered once can be recorded into from any thread.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<Inner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            inner: Arc::new(Inner {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        let inner = &self.inner;
+        inner.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(v, Ordering::Relaxed);
+        inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded so far (the sum of all bucket counts, so
+    /// a concurrent snapshot can never show a count the buckets do not
+    /// back).
+    pub fn count(&self) -> u64 {
+        self.inner
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// A point-in-time plain-data copy.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets: Vec<u64> = self
+            .inner
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        HistogramSnapshot {
+            buckets,
+            sum: self.inner.sum.load(Ordering::Relaxed),
+            max: self.inner.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]: plain data, mergeable,
+/// serializable by whoever owns a wire or JSON format.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts, trailing zero buckets trimmed (index =
+    /// bit width of the samples it holds; never longer than
+    /// [`BUCKETS`]).
+    pub buckets: Vec<u64>,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / count as f64
+        }
+    }
+
+    /// Nearest-rank quantile estimate for `q` in `[0, 1]`: the upper
+    /// bound of the bucket holding the rank-`⌈q·count⌉` sample, clamped
+    /// to the observed maximum. For the exact nearest-rank value `x`
+    /// this guarantees `x ≤ estimate < 2·x` (and `estimate = 0` iff
+    /// `x = 0`). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate in the same units as the samples.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Folds another snapshot into this one: buckets add pairwise, sums
+    /// add, max takes the max.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_bit_widths() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(255), 8);
+        assert_eq!(bucket_index(256), 9);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(3), 7);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_bound_the_exact_nearest_rank() {
+        let h = Histogram::new();
+        let samples: Vec<u64> = (1..=1000).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 1000);
+        assert_eq!(snap.max, 1000);
+        assert_eq!(snap.sum, 500500);
+        // Exact nearest-rank p50 of 1..=1000 is 500 (bucket 9, upper
+        // 511); p99 is 990 (bucket 10, upper 1023, clamped to max).
+        assert_eq!(snap.p50(), 511);
+        assert_eq!(snap.p99(), 1000);
+    }
+
+    #[test]
+    fn empty_and_single_sample_edge_cases() {
+        let h = Histogram::new();
+        let empty = h.snapshot();
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.mean(), 0.0);
+        h.record(0);
+        let zero = h.snapshot();
+        assert_eq!(zero.count(), 1);
+        assert_eq!(zero.p50(), 0);
+        assert_eq!(zero.p99(), 0);
+        h.record(7);
+        let snap = h.snapshot();
+        assert_eq!(snap.p99(), 7);
+        assert_eq!(snap.max, 7);
+    }
+
+    #[test]
+    fn merge_adds_buckets_and_keeps_max() {
+        let a = Histogram::new();
+        a.record(3);
+        a.record(100);
+        let b = Histogram::new();
+        b.record(5000);
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+        assert_eq!(snap.count(), 3);
+        assert_eq!(snap.sum, 5103);
+        assert_eq!(snap.max, 5000);
+        assert_eq!(snap.p99(), 5000);
+    }
+}

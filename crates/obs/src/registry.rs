@@ -1,0 +1,182 @@
+//! The metrics registry: named atomic counters, gauges, and histograms.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::hist::Histogram;
+use crate::journal::Journal;
+use crate::snapshot::MetricsSnapshot;
+
+/// A monotonically increasing counter handle. Clones share the cell.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: a value that can move both ways. Clones share the
+/// cell.
+#[derive(Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (negative to decrease).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A registry of named metrics plus an embedded trace [`Journal`].
+///
+/// Registration (`counter`/`gauge`/`histogram`) takes a short lock to
+/// look up or create the named cell and hands back a lock-free handle;
+/// hot paths register once and increment forever. [`snapshot`] walks
+/// the registered names (sorted — `BTreeMap` order) and copies every
+/// cell into plain data.
+///
+/// [`snapshot`]: MetricsRegistry::snapshot
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    journal: Journal,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The embedded trace journal (ring buffer + slow-op capture).
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Convenience: journal one completed op.
+    pub fn record_op(&self, kind: &str, shard: u32, bytes: u64, duration: Duration, ok: bool) {
+        self.journal.record(kind, shard, bytes, duration, ok);
+    }
+
+    /// A point-in-time copy of every registered metric plus the
+    /// journal's slow ops, names sorted.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(name, h)| (name.clone(), h.snapshot()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+            slow_ops: self.journal.slow_ops(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_cells_by_name() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("ops");
+        let b = reg.counter("ops");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("ops").get(), 3);
+
+        let g = reg.gauge("depth");
+        g.set(5);
+        reg.gauge("depth").add(-2);
+        assert_eq!(g.get(), 3);
+
+        reg.histogram("lat").record(100);
+        assert_eq!(reg.histogram("lat").count(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z.last").add(1);
+        reg.counter("a.first").add(2);
+        reg.gauge("mid").set(-7);
+        reg.histogram("lat").record(42);
+        reg.journal().set_slow_threshold_us(0);
+        reg.record_op("read", 1, 64, Duration::from_micros(9), true);
+
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("a.first".to_string(), 2), ("z.last".to_string(), 1)]
+        );
+        assert_eq!(snap.gauges, vec![("mid".to_string(), -7)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].1.count(), 1);
+        assert_eq!(snap.slow_ops.len(), 1);
+        assert_eq!(snap.slow_ops[0].kind, "read");
+    }
+}

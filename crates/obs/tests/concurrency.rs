@@ -1,0 +1,83 @@
+//! Satellite: N threads hammering one registry lose no increments, and
+//! snapshots taken mid-flight are torn-free — every number a snapshot
+//! shows is a value the metric actually passed through (counters and
+//! histogram counts only move up, histogram counts are always backed by
+//! bucket contents).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use stair_obs::MetricsRegistry;
+
+const THREADS: u64 = 8;
+const PER_THREAD: u64 = 25_000;
+
+#[test]
+fn concurrent_hammering_loses_no_increments() {
+    let reg = Arc::new(MetricsRegistry::new());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // A snapshotter races the writers, asserting torn-free reads: the
+    // histogram's count is derived from its buckets, so it can never
+    // exceed what was recorded, and successive snapshots never go
+    // backwards.
+    let snapshotter = {
+        let reg = Arc::clone(&reg);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut last_count = 0u64;
+            let mut last_hist = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let snap = reg.snapshot();
+                let count = snap.counter("ops").unwrap_or(0);
+                assert!(count >= last_count, "counter went backwards");
+                assert!(count <= THREADS * PER_THREAD, "counter overshot");
+                last_count = count;
+                if let Some(h) = snap.histogram("lat") {
+                    let hist_count = h.count();
+                    assert!(hist_count >= last_hist, "histogram count went backwards");
+                    assert!(hist_count <= THREADS * PER_THREAD, "histogram overshot");
+                    assert!(
+                        h.sum >= h.max,
+                        "sum {} cannot be below max {} once anything was recorded",
+                        h.sum,
+                        h.max
+                    );
+                    last_hist = hist_count;
+                }
+            }
+        })
+    };
+
+    let writers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let reg = Arc::clone(&reg);
+            std::thread::spawn(move || {
+                let ops = reg.counter("ops");
+                let bytes = reg.counter("bytes");
+                let depth = reg.gauge("depth");
+                let lat = reg.histogram("lat");
+                for i in 0..PER_THREAD {
+                    ops.inc();
+                    bytes.add(3);
+                    depth.add(if i % 2 == 0 { 1 } else { -1 });
+                    lat.record(t * 1000 + i % 100);
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().expect("writer panicked");
+    }
+    stop.store(true, Ordering::Relaxed);
+    snapshotter.join().expect("snapshotter panicked");
+
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("ops"), Some(THREADS * PER_THREAD));
+    assert_eq!(snap.counter("bytes"), Some(THREADS * PER_THREAD * 3));
+    // PER_THREAD is even, so each thread's gauge deltas cancel exactly.
+    assert_eq!(snap.gauge("depth"), Some(0));
+    let h = snap.histogram("lat").expect("histogram registered");
+    assert_eq!(h.count(), THREADS * PER_THREAD);
+    assert_eq!(h.buckets.iter().sum::<u64>(), THREADS * PER_THREAD);
+}

@@ -1,0 +1,56 @@
+//! Regression: the process-global `stair-gf` operation counters — the
+//! ones the observability layer reports as `gf.mult_xors` /
+//! `gf.region_bytes` — tick exactly as the paper's schedule costs
+//! predict when a known geometry encodes and decodes.
+
+use stair::{Config, EncodingMethod, StairCodec, Stripe};
+use stair_gf::counters;
+
+/// One test function on purpose: the counters are process-global, so
+/// measurements must not interleave with concurrent tests in this
+/// binary.
+#[test]
+fn encode_and_decode_tick_the_global_counters_as_planned() {
+    let codec: StairCodec = StairCodec::new(Config::new(8, 4, 2, &[1, 1, 2]).unwrap()).unwrap();
+    let symbol = 16usize;
+    let counts = codec.mult_xor_counts();
+
+    let measure = |f: &mut dyn FnMut()| {
+        let (m0, b0) = (counters::mult_xors(), counters::region_bytes());
+        f();
+        (counters::mult_xors() - m0, counters::region_bytes() - b0)
+    };
+
+    // Encoding: the measured Mult_XOR count equals the planned schedule
+    // cost for each method (which the codec's own tests tie to the
+    // analytic Eq. 5/6 formulas), and every operation moved one
+    // symbol-sized region.
+    for (method, expected) in [
+        (EncodingMethod::Upstairs, counts.upstairs),
+        (EncodingMethod::Downstairs, counts.downstairs),
+        (EncodingMethod::Standard, counts.standard),
+    ] {
+        let mut stripe = Stripe::new(codec.config().clone(), symbol).unwrap();
+        stripe.fill_pattern(3);
+        let (mults, bytes) = measure(&mut || codec.encode_with(method, &mut stripe).unwrap());
+        assert_eq!(mults as usize, expected, "{method:?} Mult_XORs");
+        assert_eq!(bytes as usize, expected * symbol, "{method:?} bytes");
+    }
+
+    // Decoding the worst-case pattern: the executed plan costs exactly
+    // what it planned.
+    let mut stripe = Stripe::new(codec.config().clone(), symbol).unwrap();
+    stripe.fill_pattern(9);
+    codec.encode(&mut stripe).unwrap();
+    let pristine = stripe.clone();
+    let erased: Vec<(usize, usize)> = (0..4)
+        .flat_map(|i| [(i, 6), (i, 7)])
+        .chain([(3, 3), (3, 4), (2, 5), (3, 5)])
+        .collect();
+    stripe.erase(&erased).unwrap();
+    let plan = codec.plan_decode(&erased).unwrap();
+    let (mults, bytes) = measure(&mut || codec.decode(&mut stripe, &erased).unwrap());
+    assert_eq!(stripe, pristine);
+    assert_eq!(mults as usize, plan.mult_xors(), "decode Mult_XORs");
+    assert_eq!(bytes as usize, plan.mult_xors() * symbol, "decode bytes");
+}

@@ -70,6 +70,21 @@ pub fn repair_outcome(report: &RepairReport) -> RepairOutcome {
     }
 }
 
+/// Snapshots the process-global `stair-gf` field-arithmetic counters as
+/// `gf.*` metrics.
+///
+/// The gf counters are process-wide (every codec instance shares them),
+/// so they must be folded into a metrics snapshot exactly **once** by
+/// the top-level caller — never per store, or a sharded aggregate would
+/// multiply them by the shard count. [`StripeStore::store_metrics`]
+/// deliberately excludes them for this reason.
+pub fn gf_metrics() -> stair_obs::MetricsSnapshot {
+    let mut snap = stair_obs::MetricsSnapshot::default();
+    snap.add_counter("gf.mult_xors", stair_gf::counters::mult_xors());
+    snap.add_counter("gf.region_bytes", stair_gf::counters::region_bytes());
+    snap
+}
+
 impl BlockDevice for StripeStore {
     fn capacity(&self) -> u64 {
         StripeStore::capacity(self)
@@ -112,6 +127,12 @@ impl BlockDevice for StripeStore {
 
     fn repair(&self, threads: usize) -> Result<RepairOutcome, DeviceError> {
         Ok(repair_outcome(&StripeStore::repair(self, threads)?))
+    }
+
+    fn metrics(&self) -> Result<stair_obs::MetricsSnapshot, DeviceError> {
+        let mut snap = self.store_metrics();
+        snap.merge(&gf_metrics());
+        Ok(snap)
     }
 }
 

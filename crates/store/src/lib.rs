@@ -75,7 +75,7 @@ mod scrub;
 mod store;
 
 pub use codec::build_codec;
-pub use device_impl::{repair_outcome, scrub_outcome, shard_health, write_outcome};
+pub use device_impl::{gf_metrics, repair_outcome, scrub_outcome, shard_health, write_outcome};
 pub use error::Error;
 pub use inject::InjectionOutcome;
 pub use integrity::{BadSector, DeviceState, Health};

@@ -54,6 +54,9 @@ impl StripeStore {
     pub fn repair(&self, threads: usize) -> Result<RepairReport, Error> {
         assert!(threads > 0, "need at least one repair thread");
         let sh = &self.shared;
+        sh.counters
+            .repair_stripes_done
+            .store(0, std::sync::atomic::Ordering::Relaxed);
 
         // Phase 1: attach replacement files for failed devices. Devices
         // already in `Rebuilding` (an interrupted earlier pass) are picked
@@ -109,6 +112,10 @@ impl StripeStore {
                                 unrecoverable.lock().unwrap().push(stripe);
                             }
                         }
+                        self.shared
+                            .counters
+                            .repair_stripes_done
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     }
                     Ok::<(), Error>(())
                 }));

@@ -55,6 +55,9 @@ impl StripeStore {
         assert!(threads > 0, "need at least one scrub thread");
         let sh = &self.shared;
         let stripes = sh.meta.stripes;
+        sh.counters
+            .scrub_stripes_done
+            .store(0, std::sync::atomic::Ordering::Relaxed);
         let health = sh.integrity.health();
         let unavailable: Vec<usize> = (0..sh.geometry.n)
             .filter(|&d| health.devices[d] != DeviceState::Healthy)
@@ -151,6 +154,9 @@ impl StripeStore {
                     }
                 }
             }
+            sh.counters
+                .scrub_stripes_done
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
         mismatches.lock().unwrap().extend(local_bad);
         *verified.lock().unwrap() += local_ok;

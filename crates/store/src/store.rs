@@ -136,6 +136,13 @@ pub(crate) struct Counters {
     encode_passes: AtomicU64,
     delta_update_calls: AtomicU64,
     recover_passes: AtomicU64,
+    /// Progress gauge: stripes completed by the current (or last) scrub
+    /// pass. Reset when a pass starts, so a concurrent metrics reader
+    /// watches it climb from 0 to the stripe count.
+    pub(crate) scrub_stripes_done: AtomicU64,
+    /// Progress gauge: stripes completed by the current (or last)
+    /// repair pass.
+    pub(crate) repair_stripes_done: AtomicU64,
 }
 
 impl Counters {
@@ -359,6 +366,32 @@ impl StripeStore {
             delta_update_calls: c.delta_update_calls.load(Ordering::Relaxed),
             recover_passes: c.recover_passes.load(Ordering::Relaxed),
         }
+    }
+
+    /// This store's [`IoStats`] and scrub/repair progress folded into a
+    /// metrics snapshot under `store.*` names — the per-instance half of
+    /// [`BlockDevice::metrics`](stair_device::BlockDevice::metrics)
+    /// (process-global GF kernel counters are added once by the caller,
+    /// via [`gf_metrics`](crate::gf_metrics), so aggregating several
+    /// stores does not multiply them).
+    pub fn store_metrics(&self) -> stair_obs::MetricsSnapshot {
+        let stats = self.io_stats();
+        let c = &self.shared.counters;
+        let mut snap = stair_obs::MetricsSnapshot::default();
+        snap.add_counter("store.stripe_locks", stats.stripe_locks);
+        snap.add_counter("store.encode_passes", stats.encode_passes);
+        snap.add_counter("store.delta_update_calls", stats.delta_update_calls);
+        snap.add_counter("store.recover_passes", stats.recover_passes);
+        snap.add_gauge(
+            "store.scrub.stripes_done",
+            c.scrub_stripes_done.load(Ordering::Relaxed) as i64,
+        );
+        snap.add_gauge(
+            "store.repair.stripes_done",
+            c.repair_stripes_done.load(Ordering::Relaxed) as i64,
+        );
+        snap.add_gauge("store.stripes", self.stripe_count() as i64);
+        snap
     }
 
     /// Acquires every stripe lock, quiescing all stripe I/O. Safe against

@@ -13,6 +13,7 @@ pub use stair_device as device;
 pub use stair_gf as gf;
 pub use stair_gfmatrix as gfmatrix;
 pub use stair_net as net;
+pub use stair_obs as obs;
 pub use stair_reliability as reliability;
 pub use stair_rs as rs;
 pub use stair_sd as sd;
