@@ -1,0 +1,105 @@
+//! L4 `error-conversions`: the device layer promises that every
+//! registered crate error converts into the umbrella error its
+//! consumers match on (`DeviceError` for the data path, `CodeError`
+//! for the codecs). A missing `From` impl silently forces callers back
+//! to `map_err` ad-hockery — this pins the registry.
+
+use crate::findings::{Finding, Lint};
+use crate::workspace::Workspace;
+
+/// `(source crate, source type, target type)` — the conversion promises.
+pub const REGISTRY: &[(&str, &str, &str)] = &[
+    ("store", "Error", "DeviceError"),
+    ("net", "NetError", "DeviceError"),
+    ("stair", "Error", "CodeError"),
+    ("sd", "Error", "CodeError"),
+    ("rs", "Error", "CodeError"),
+];
+
+/// One `impl From<Src> for Dst` found in source.
+struct FromImpl {
+    /// Identifiers appearing in the `Src` path (e.g. `stair_store`,
+    /// `Error`).
+    src_idents: Vec<String>,
+    /// Last identifier of the `Dst` path.
+    dst: String,
+    /// Crate the impl lives in.
+    crate_name: String,
+}
+
+/// Appends a finding per registry entry with no matching impl.
+pub fn run(ws: &Workspace, out: &mut Vec<Finding>) {
+    let mut impls = Vec::new();
+    for f in &ws.files {
+        collect_from_impls(f, &mut impls);
+    }
+    for &(src_crate, src_type, dst_type) in REGISTRY {
+        let found = impls.iter().any(|i| {
+            i.dst == dst_type
+                && i.src_idents.iter().any(|s| s == src_type)
+                && (i.crate_name == src_crate
+                    || i.src_idents
+                        .iter()
+                        .any(|s| s == src_crate || *s == format!("stair_{src_crate}")))
+        });
+        if !found {
+            out.push(Finding::new(
+                Lint::ErrorConversions,
+                &format!("crates/{src_crate}/src/lib.rs"),
+                0,
+                0,
+                format!(
+                    "no `impl From<{src_type}> for {dst_type}` found for crate `{src_crate}`; \
+                     the device layer promises this conversion (see stair-check REGISTRY)"
+                ),
+                &format!("{src_crate}::{src_type} -> {dst_type}"),
+            ));
+        }
+    }
+}
+
+fn collect_from_impls(f: &crate::workspace::SourceFile, out: &mut Vec<FromImpl>) {
+    let tf = &f.tf;
+    let n = tf.code.len();
+    for ci in 0..n {
+        if !(tf.is_ident(ci, "impl") && tf.is_ident(ci + 1, "From") && tf.is_punct(ci + 2, "<")) {
+            continue;
+        }
+        // Collect the generic argument up to the matching `>`.
+        let mut depth = 1i32;
+        let mut k = ci + 3;
+        let mut src_idents = Vec::new();
+        while k < n && depth > 0 {
+            match tf.ctext(k) {
+                "<" => depth += 1,
+                ">" => depth -= 1,
+                t => {
+                    if tf.is_ident(k, t) {
+                        src_idents.push(t.to_string());
+                    }
+                }
+            }
+            k += 1;
+        }
+        if !tf.is_ident(k, "for") {
+            continue;
+        }
+        // Target path: idents until `{` / `where`.
+        let mut dst = String::new();
+        k += 1;
+        while k < n && !tf.is_punct(k, "{") && !tf.is_ident(k, "where") {
+            let t = tf.ctext(k);
+            if tf.is_ident(k, t) {
+                dst = t.to_string();
+            }
+            k += 1;
+        }
+        if !dst.is_empty() {
+            out.push(FromImpl {
+                src_idents,
+                dst,
+                crate_name: f.crate_name.clone(),
+            });
+        }
+    }
+}

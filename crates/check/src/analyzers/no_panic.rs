@@ -1,0 +1,107 @@
+//! L2 `no-panic-in-lib` (and the opt-in `index-in-lib`): library crates
+//! in the zone list return errors, they do not abort the process. The
+//! conformance suites and the server's request loop both assume a bad
+//! input surfaces as `Err`, never as a worker-thread panic.
+
+use crate::analyzers::{lock_poison, PANIC_FREE_CRATES};
+use crate::findings::{Finding, Lint};
+use crate::lexer::TokKind;
+use crate::workspace::{FileKind, SourceFile, Workspace};
+
+/// Panicking macros the lint flags (`assert!` family is allowed:
+/// asserting an internal invariant is a bug-detector, not control
+/// flow on input).
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Appends findings for panic sites (always) and indexing sites (the
+/// opt-in `index-in-lib` lint; the driver drops them unless denied).
+pub fn run(ws: &Workspace, out: &mut Vec<Finding>) {
+    for f in &ws.files {
+        if f.kind != FileKind::LibSrc || !PANIC_FREE_CRATES.contains(&f.crate_name.as_str()) {
+            continue;
+        }
+        scan_file(f, out);
+    }
+}
+
+fn scan_file(f: &SourceFile, out: &mut Vec<Finding>) {
+    let tf = &f.tf;
+    let n = tf.code.len();
+    for ci in 0..n {
+        let tok = *tf.ctok(ci);
+        if tok.kind != TokKind::Ident || f.in_test_span(tok.start) {
+            continue;
+        }
+        let text = tf.ctext(ci);
+        // `.unwrap()` / `.expect(` — but a lock-guard consumption is
+        // L1's finding, not a duplicate here.
+        if (text == "unwrap" || text == "expect")
+            && tf.is_punct(ci.wrapping_sub(1), ".")
+            && tf.is_punct(ci + 1, "(")
+        {
+            if ci >= 5 && lock_poison::is_guard_acquisition(f, ci - 5) {
+                continue;
+            }
+            if waived(f, tok.line) {
+                continue;
+            }
+            out.push(Finding::new(
+                Lint::NoPanicInLib,
+                &f.rel,
+                tok.line,
+                tok.col,
+                format!(
+                    "`{text}` in library crate `{}`: return an error instead, or waive with \
+                     `// check: panic-ok <reason>`",
+                    f.crate_name
+                ),
+                tf.line_text(tok.line),
+            ));
+            continue;
+        }
+        // `panic!(…)` and friends.
+        if PANIC_MACROS.contains(&text) && tf.is_punct(ci + 1, "!") {
+            if waived(f, tok.line) {
+                continue;
+            }
+            out.push(Finding::new(
+                Lint::NoPanicInLib,
+                &f.rel,
+                tok.line,
+                tok.col,
+                format!(
+                    "`{text}!` in library crate `{}`: return an error instead, or waive with \
+                     `// check: panic-ok <reason>`",
+                    f.crate_name
+                ),
+                tf.line_text(tok.line),
+            ));
+            continue;
+        }
+        // Opt-in: `expr[i]` indexing (can panic on out-of-bounds).
+        if tf.is_punct(ci + 1, "[") && !tf.is_punct(ci.wrapping_sub(1), "#") {
+            let key = Lint::IndexInLib.waiver_key().unwrap_or("index-ok");
+            if f.waived(key, tok.line) {
+                continue;
+            }
+            let bracket = tf.ctok(ci + 1);
+            out.push(Finding::new(
+                Lint::IndexInLib,
+                &f.rel,
+                bracket.line,
+                bracket.col,
+                format!(
+                    "indexing after `{text}` in library crate `{}` can panic; prefer `get()` or \
+                     waive with `// check: index-ok <reason>`",
+                    f.crate_name
+                ),
+                tf.line_text(bracket.line),
+            ));
+        }
+    }
+}
+
+fn waived(f: &SourceFile, line: u32) -> bool {
+    let key = Lint::NoPanicInLib.waiver_key().unwrap_or("panic-ok");
+    f.waived(key, line)
+}

@@ -1,0 +1,174 @@
+//! The `check.allow` baseline: grandfathered findings that do not fail
+//! the build, plus the freshness guard that keeps the file honest.
+//!
+//! Format, one entry per line:
+//!
+//! ```text
+//! # comment
+//! <fingerprint> <lint-id> <file> [note…]
+//! ```
+//!
+//! The fingerprint is the identity; the lint id and file are recorded
+//! so humans can read the file, and are cross-checked on load. An
+//! entry no current finding matches becomes a `stale-baseline` finding
+//! — the baseline may only shrink silently, never rot.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::Path;
+
+use crate::findings::{Finding, Lint};
+
+/// One baseline entry.
+#[derive(Clone, Debug)]
+pub struct Entry {
+    /// The finding fingerprint this entry suppresses.
+    pub fingerprint: String,
+    /// Lint id recorded next to it (informational).
+    pub lint: String,
+    /// File recorded next to it (informational).
+    pub file: String,
+    /// 1-based line in `check.allow`, for stale reports.
+    pub line: u32,
+}
+
+/// The parsed baseline file.
+#[derive(Default)]
+pub struct Baseline {
+    /// Entries in file order.
+    pub entries: Vec<Entry>,
+    /// The baseline file's workspace-relative name (for messages).
+    pub name: String,
+}
+
+impl Baseline {
+    /// Loads `path`; a missing file is an empty baseline, not an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rendered message on malformed entries (wrong field
+    /// count, non-hex fingerprint) — a corrupt baseline must not
+    /// silently allow everything.
+    pub fn load(path: &Path, name: &str) -> Result<Baseline, String> {
+        let text = match fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(_) => {
+                return Ok(Baseline {
+                    entries: Vec::new(),
+                    name: name.to_string(),
+                })
+            }
+        };
+        let mut entries = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(fp), Some(lint), Some(file)) = (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!(
+                    "{name}:{}: malformed baseline entry (want `<fingerprint> <lint> <file> [note]`): {line}",
+                    i + 1
+                ));
+            };
+            if fp.len() != 16 || !fp.bytes().all(|b| b.is_ascii_hexdigit()) {
+                return Err(format!(
+                    "{name}:{}: `{fp}` is not a 16-hex-char fingerprint",
+                    i + 1
+                ));
+            }
+            entries.push(Entry {
+                fingerprint: fp.to_string(),
+                lint: lint.to_string(),
+                file: file.to_string(),
+                line: i as u32 + 1,
+            });
+        }
+        Ok(Baseline {
+            entries,
+            name: name.to_string(),
+        })
+    }
+
+    /// Splits `findings` into (active, baselined) and appends a
+    /// `stale-baseline` finding for every entry nothing matched.
+    pub fn apply(&self, findings: Vec<Finding>) -> (Vec<Finding>, Vec<Finding>) {
+        let allowed: BTreeSet<&str> = self
+            .entries
+            .iter()
+            .map(|e| e.fingerprint.as_str())
+            .collect();
+        let mut matched: BTreeSet<String> = BTreeSet::new();
+        let mut active = Vec::new();
+        let mut baselined = Vec::new();
+        for f in findings {
+            if allowed.contains(f.fingerprint.as_str()) {
+                matched.insert(f.fingerprint.clone());
+                baselined.push(f);
+            } else {
+                active.push(f);
+            }
+        }
+        for e in &self.entries {
+            if !matched.contains(&e.fingerprint) {
+                active.push(Finding::new(
+                    Lint::StaleBaseline,
+                    &self.name,
+                    e.line,
+                    1,
+                    format!(
+                        "baseline entry `{}` ({} in {}) matches no current finding; delete it",
+                        e.fingerprint, e.lint, e.file
+                    ),
+                    &e.fingerprint,
+                ));
+            }
+        }
+        (active, baselined)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::findings::Lint;
+
+    fn bl(text: &str) -> Baseline {
+        let dir = std::env::temp_dir().join(format!("check-bl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("check.allow");
+        std::fs::write(&p, text).unwrap();
+        Baseline::load(&p, "check.allow").unwrap()
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let b = Baseline::load(Path::new("/nonexistent/check.allow"), "check.allow").unwrap();
+        assert!(b.entries.is_empty());
+    }
+
+    #[test]
+    fn matched_entries_suppress_unmatched_go_stale() {
+        let f = Finding::new(Lint::NoPanicInLib, "a.rs", 3, 1, "m".into(), "ctx");
+        let fp = f.fingerprint.clone();
+        let b = bl(&format!(
+            "# header\n{fp} no-panic-in-lib a.rs legacy\ndeadbeefdeadbeef no-panic-in-lib b.rs gone\n"
+        ));
+        let (active, baselined) = b.apply(vec![f]);
+        assert_eq!(baselined.len(), 1);
+        assert_eq!(active.len(), 1);
+        assert_eq!(active[0].lint, Lint::StaleBaseline);
+        assert!(active[0].message.contains("deadbeefdeadbeef"));
+    }
+
+    #[test]
+    fn malformed_entries_error() {
+        let dir = std::env::temp_dir().join(format!("check-bl2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("check.allow");
+        std::fs::write(&p, "not-a-fingerprint lint file\n").unwrap();
+        assert!(Baseline::load(&p, "check.allow").is_err());
+    }
+}

@@ -1,0 +1,15 @@
+// Fixture: a CodecSpec with two families; README fixtures either
+// document both (`stair:`, `xor:`) or miss one.
+pub enum CodecSpec {
+    Stair { n: usize },
+    Xor { n: usize },
+}
+
+impl CodecSpec {
+    pub fn family(&self) -> &'static str {
+        match self {
+            CodecSpec::Stair { .. } => "stair",
+            CodecSpec::Xor { .. } => "xor",
+        }
+    }
+}

@@ -1,0 +1,15 @@
+// Fixture: a DeviceSpec with two schemes; README fixtures either
+// document both (`file:`, `mem:`) or miss one.
+pub enum DeviceSpec {
+    File { dir: String },
+    Mem { bytes: u64 },
+}
+
+impl DeviceSpec {
+    pub fn scheme(&self) -> &'static str {
+        match self {
+            DeviceSpec::File { .. } => "file",
+            DeviceSpec::Mem { .. } => "mem",
+        }
+    }
+}

@@ -1,0 +1,32 @@
+// Fixture: true positive for error-conversions — the net → DeviceError
+// conversion is missing (a near-miss `TryFrom` does not count), the
+// other four are present.
+pub struct DeviceError;
+pub struct CodeError;
+
+impl From<stair_store::Error> for DeviceError {
+    fn from(_: stair_store::Error) -> Self {
+        DeviceError
+    }
+}
+impl TryFrom<stair_net::NetError> for DeviceError {
+    type Error = ();
+    fn try_from(_: stair_net::NetError) -> Result<Self, ()> {
+        Ok(DeviceError)
+    }
+}
+impl From<stair::Error> for CodeError {
+    fn from(_: stair::Error) -> Self {
+        CodeError
+    }
+}
+impl From<stair_sd::Error> for CodeError {
+    fn from(_: stair_sd::Error) -> Self {
+        CodeError
+    }
+}
+impl From<stair_rs::Error> for CodeError {
+    fn from(_: stair_rs::Error) -> Self {
+        CodeError
+    }
+}

@@ -1,0 +1,31 @@
+// Fixture: the complete conversion registry — every promised
+// `From` impl present, written with qualified source paths so crate
+// attribution resolves lexically.
+pub struct DeviceError;
+pub struct CodeError;
+
+impl From<stair_store::Error> for DeviceError {
+    fn from(_: stair_store::Error) -> Self {
+        DeviceError
+    }
+}
+impl From<stair_net::NetError> for DeviceError {
+    fn from(_: stair_net::NetError) -> Self {
+        DeviceError
+    }
+}
+impl From<stair::Error> for CodeError {
+    fn from(_: stair::Error) -> Self {
+        CodeError
+    }
+}
+impl From<stair_sd::Error> for CodeError {
+    fn from(_: stair_sd::Error) -> Self {
+        CodeError
+    }
+}
+impl From<stair_rs::Error> for CodeError {
+    fn from(_: stair_rs::Error) -> Self {
+        CodeError
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: true positives for lock-poison. Three violations: a mutex
+// unwrap, an rwlock-read expect, and an unwrap_or_else whose closure
+// does NOT recover via into_inner.
+use std::sync::{Mutex, RwLock};
+
+pub fn mutex_unwrap(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap()
+}
+
+pub fn rwlock_expect(l: &RwLock<u64>) -> u64 {
+    *l.read().expect("poisoned")
+}
+
+pub fn lazy_without_recovery(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap_or_else(|_| panic!("still panics"))
+}

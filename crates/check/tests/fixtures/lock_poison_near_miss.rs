@@ -1,0 +1,29 @@
+// Fixture: near-miss negatives for lock-poison. Every site here is
+// legal: the approved idiom, a justified waiver, an io::Read::read
+// call (arguments — not a guard acquisition), and a deferred guard.
+use std::io::Read;
+use std::sync::{Mutex, PoisonError, RwLock};
+
+pub fn idiom_closure(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+pub fn idiom_path(l: &RwLock<u64>) -> u64 {
+    *l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub fn waived(m: &Mutex<u64>) -> u64 {
+    // check: lock-ok fixture demonstrates the waiver comment
+    *m.lock().unwrap()
+}
+
+pub fn io_read_is_not_a_guard(r: &mut impl Read) -> u64 {
+    let mut buf = [0u8; 8];
+    r.read(&mut buf).unwrap();
+    u64::from_le_bytes(buf)
+}
+
+pub fn deferred_consumption(m: &Mutex<u64>) -> u64 {
+    let guard = m.lock();
+    *guard.unwrap_or_else(|e| e.into_inner())
+}

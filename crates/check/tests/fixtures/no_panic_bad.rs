@@ -1,0 +1,15 @@
+// Fixture: true positives for no-panic-in-lib. Three violations in
+// library code: a bare unwrap, an expect, and a panic! macro.
+pub fn bare_unwrap(v: Option<u64>) -> u64 {
+    v.unwrap()
+}
+
+pub fn bare_expect(v: Option<u64>) -> u64 {
+    v.expect("must exist")
+}
+
+pub fn explicit_panic(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+}

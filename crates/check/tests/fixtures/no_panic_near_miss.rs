@@ -1,0 +1,29 @@
+// Fixture: near-miss negatives for no-panic-in-lib. Non-panicking
+// unwrap_* variants, a waived expect, asserts (allowed), and unwraps
+// confined to a #[cfg(test)] module.
+pub fn unwrap_variants(v: Option<u64>) -> u64 {
+    v.unwrap_or(0) + v.unwrap_or_else(|| 1) + v.unwrap_or_default()
+}
+
+pub fn waived_expect(v: Option<u64>) -> u64 {
+    // check: panic-ok fixture demonstrates the waiver comment
+    v.expect("justified")
+}
+
+pub fn asserts_are_fine(a: u64, b: u64) {
+    assert!(a <= b);
+    assert_eq!(a.min(b), a);
+    debug_assert_ne!(a, u64::MAX);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u64> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        let r: Result<u64, String> = Ok(4);
+        r.expect("tests are exempt");
+        unreachable!("even this is fine in a test");
+    }
+}

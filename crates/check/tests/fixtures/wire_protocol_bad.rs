@@ -1,0 +1,30 @@
+// Fixture: an incoherent protocol.rs. Deliberate defects:
+//   * discriminants 1 and 3 — the table has a gap at 2;
+//   * from_u8 is missing the Status arm and accepts an undeclared 9;
+//   * name() has no arm for Status;
+//   * ALL is missing Status.
+pub const PROTOCOL_VERSION: u32 = 2;
+pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+pub enum Opcode {
+    Hello = 1,
+    Status = 3,
+}
+
+impl Opcode {
+    pub const ALL: [Opcode; 1] = [Opcode::Hello];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Opcode::Hello => "hello",
+        }
+    }
+
+    fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            1 => Opcode::Hello,
+            9 => Opcode::Hello,
+            _ => return None,
+        }
+    }
+}

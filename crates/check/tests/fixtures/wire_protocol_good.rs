@@ -1,0 +1,30 @@
+// Fixture: a coherent mini protocol.rs — dense discriminants, mirrored
+// from_u8, full name() coverage, complete ALL.
+pub const PROTOCOL_VERSION: u32 = 2;
+pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
+pub const MAX_IO_BYTES: u32 = 4 * 1024 * 1024;
+pub const MAX_BATCH_OPS: u32 = 4096;
+
+pub enum Opcode {
+    Hello = 1,
+    Status = 2,
+}
+
+impl Opcode {
+    pub const ALL: [Opcode; 2] = [Opcode::Hello, Opcode::Status];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Opcode::Hello => "hello",
+            Opcode::Status => "status",
+        }
+    }
+
+    fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            1 => Opcode::Hello,
+            2 => Opcode::Status,
+            _ => return None,
+        }
+    }
+}

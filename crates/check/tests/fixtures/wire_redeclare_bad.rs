@@ -1,0 +1,7 @@
+// Fixture: true positive for wire-constants — a client redeclaring a
+// cap instead of importing it from protocol.rs.
+pub const MAX_IO_BYTES: u32 = 4 * 1024 * 1024;
+
+pub fn chunk(len: usize) -> usize {
+    len.min(MAX_IO_BYTES as usize)
+}

@@ -1,0 +1,9 @@
+// Fixture: near-miss negative for wire-constants — *using* the wire
+// constants (imported) is fine; so is a locally-named different cap.
+use crate::protocol::{MAX_IO_BYTES, PROTOCOL_VERSION};
+
+pub const LOCAL_WINDOW_BYTES: u32 = 1024;
+
+pub fn ok(version: u32, len: u32) -> bool {
+    version == PROTOCOL_VERSION && len <= MAX_IO_BYTES && len >= LOCAL_WINDOW_BYTES
+}

@@ -1,0 +1,146 @@
+//! Lexer robustness properties: whatever bytes come in, `lex` never
+//! panics, token spans are sound (in-bounds, strictly increasing,
+//! non-overlapping), and every non-whitespace byte is covered by
+//! exactly one token. Plus literal round-trips: a string / raw string
+//! / comment lexes as one token whose span reproduces it exactly.
+
+use proptest::prelude::*;
+use stair_check::lexer::{str_contents, TokKind, TokenFile};
+
+/// Asserts the span invariants for `src`'s token stream.
+fn assert_sound(src: &str) {
+    let tf = TokenFile::lex(src.to_string());
+    let mut prev_end = 0usize;
+    for (i, t) in tf.toks.iter().enumerate() {
+        assert!(t.start < t.end, "token {i} has empty span");
+        assert!(t.end <= src.len(), "token {i} ends past EOF");
+        assert!(t.start >= prev_end, "token {i} overlaps its predecessor");
+        // Gaps between tokens are pure whitespace.
+        assert!(
+            src.as_bytes()[prev_end..t.start]
+                .iter()
+                .all(u8::is_ascii_whitespace),
+            "uncovered non-whitespace bytes before token {i}"
+        );
+        // Spans sit on char boundaries so slicing cannot panic.
+        assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+        prev_end = t.end;
+    }
+    assert!(
+        src.as_bytes()[prev_end..]
+            .iter()
+            .all(u8::is_ascii_whitespace),
+        "uncovered non-whitespace tail"
+    );
+}
+
+/// Builds a string from charset indices (the shim has no regex-string
+/// strategies, so contents are generated this way).
+fn from_charset(charset: &[char], picks: &[usize]) -> String {
+    picks.iter().map(|&i| charset[i % charset.len()]).collect()
+}
+
+/// Escape-free string-literal contents.
+const INNER: &[char] = &[
+    'a', 'b', 'z', '0', '9', ' ', '.', ',', '_', '-', ':', ';', '=',
+];
+/// Raw-string contents may additionally hold quotes and backslashes.
+const RAW_INNER: &[char] = &['a', 'q', '"', '\\', ' ', '.', '/', '*'];
+/// Rust-ish fragments whose concatenation stresses the tricky lexer
+/// paths: raw-string fences, comment openers, stray escapes.
+const PIECES: &[&str] = &[
+    "r#\"",
+    "\"#",
+    "\"",
+    "'",
+    "b\"",
+    "r#x",
+    "//",
+    "/*",
+    "*/",
+    "\\",
+    "\n",
+    "ident",
+    "'a",
+    "0x1f",
+    "1.5",
+    "::",
+    "=>",
+    "#[cfg(test)]",
+    "r\"",
+    "…",
+    "b'q'",
+    "$",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes (lossily decoded) never panic the lexer and
+    /// always produce a sound token stream.
+    #[test]
+    fn random_bytes_lex_soundly(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        assert_sound(&src);
+    }
+
+    /// Rust-ish soup — quotes, fences, slashes, idents — also lexes
+    /// soundly (this is the region where raw strings and nested
+    /// comments live).
+    #[test]
+    fn rusty_soup_lexes_soundly(picks in proptest::collection::vec(0usize..PIECES.len(), 0..40)) {
+        let src: String = picks.iter().map(|&i| PIECES[i]).collect();
+        assert_sound(&src);
+    }
+
+    /// A plain string literal with arbitrary escape-free contents is
+    /// one `Str` token whose span round-trips the literal exactly.
+    #[test]
+    fn plain_strings_round_trip(picks in proptest::collection::vec(0usize..INNER.len(), 0..24)) {
+        let inner = from_charset(INNER, &picks);
+        let lit = format!("\"{inner}\"");
+        let src = format!("x = {lit};");
+        let tf = TokenFile::lex(src.clone());
+        let strs: Vec<usize> = (0..tf.toks.len())
+            .filter(|&i| tf.toks[i].kind == TokKind::Str)
+            .collect();
+        prop_assert_eq!(strs.len(), 1);
+        prop_assert_eq!(tf.text(strs[0]), lit.as_str());
+        prop_assert_eq!(str_contents(tf.text(strs[0])), inner.as_str());
+    }
+
+    /// Raw strings may contain quotes and backslashes; the `#` fence
+    /// still delimits exactly one token.
+    #[test]
+    fn raw_strings_round_trip(picks in proptest::collection::vec(0usize..RAW_INNER.len(), 0..24)) {
+        let inner = from_charset(RAW_INNER, &picks);
+        // A `"#` inside the contents would close the fence early; the
+        // charset cannot produce `#`, so the fence is safe.
+        let lit = format!("r#\"{inner}\"#");
+        let src = format!("let s = {lit};");
+        let tf = TokenFile::lex(src.clone());
+        let strs: Vec<usize> = (0..tf.toks.len())
+            .filter(|&i| tf.toks[i].kind == TokKind::Str)
+            .collect();
+        prop_assert_eq!(strs.len(), 1);
+        prop_assert_eq!(tf.text(strs[0]), lit.as_str());
+        prop_assert_eq!(str_contents(tf.text(strs[0])), inner.as_str());
+    }
+
+    /// A line comment runs to (not through) the newline, whatever is in
+    /// it — including quote and comment openers.
+    #[test]
+    fn line_comments_round_trip(picks in proptest::collection::vec(0usize..RAW_INNER.len(), 0..24)) {
+        let inner = from_charset(RAW_INNER, &picks);
+        let src = format!("a //{inner}\nb");
+        let tf = TokenFile::lex(src.clone());
+        let comments: Vec<usize> = (0..tf.toks.len())
+            .filter(|&i| tf.toks[i].kind == TokKind::LineComment)
+            .collect();
+        prop_assert_eq!(comments.len(), 1);
+        prop_assert_eq!(tf.text(comments[0]), format!("//{inner}").as_str());
+        // `a` before, `b` after — the comment swallowed nothing else.
+        prop_assert_eq!(tf.ctext(0), "a");
+        prop_assert_eq!(tf.ctext(1), "b");
+    }
+}

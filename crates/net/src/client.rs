@@ -210,6 +210,7 @@ impl Client {
                 }
                 *slot = Some(conn);
             }
+            // check: panic-ok slot was filled two lines up; None here is a local logic bug
             match f(slot.as_mut().expect("connected above")) {
                 Ok(v) => return Ok(v),
                 Err(e) => {
@@ -223,6 +224,7 @@ impl Client {
                 }
             }
         }
+        // check: panic-ok the retry loop returns on attempt 1; falling out is a logic bug
         unreachable!("loop returns on the second attempt")
     }
 
@@ -697,9 +699,11 @@ impl StripedClient {
             }
             handles
                 .into_iter()
+                // check: panic-ok a panicked lane thread is a bug — propagate, don't mask as NetError
                 .map(|h| h.join().expect("lane thread panicked"))
                 .collect()
         })
+        // check: panic-ok crossbeam scope only errs if a child panicked; propagate
         .expect("lane scope");
         for r in results {
             r?;
@@ -726,9 +730,11 @@ impl StripedClient {
             }
             handles
                 .into_iter()
+                // check: panic-ok a panicked lane thread is a bug — propagate, don't mask as NetError
                 .map(|h| h.join().expect("lane thread panicked"))
                 .collect()
         })
+        // check: panic-ok crossbeam scope only errs if a child panicked; propagate
         .expect("lane scope");
         let mut total = WriteSummary::default();
         for r in results {
@@ -774,6 +780,7 @@ impl StripedClient {
             .collect();
         // One touched shard sends inline — no lane threads at width 1.
         let subs: Vec<(StitchMap, Result<BatchResult, NetError>)> = if work.len() == 1 {
+            // check: panic-ok guarded by work.len() == 1 on the line above
             let (shard, ops, map) = work.into_iter().next().expect("one group");
             let lane = &self.lanes[shard % self.lanes.len()];
             vec![(map, lane.submit(&IoBatch::from(ops)))]
@@ -786,9 +793,11 @@ impl StripedClient {
                 }
                 handles
                     .into_iter()
+                    // check: panic-ok a panicked lane thread is a bug — propagate, don't mask as NetError
                     .map(|h| h.join().expect("lane batch thread"))
                     .collect()
             })
+            // check: panic-ok crossbeam scope only errs if a child panicked; propagate
             .expect("lane scope")
         };
         for (map, sub) in subs {

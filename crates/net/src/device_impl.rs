@@ -183,6 +183,7 @@ impl BlockDevice for ShardSet {
         // One touched shard — the common shape batching optimizes for —
         // runs inline; spawning threads buys nothing at width 1.
         let subs: Vec<Result<BatchResult, NetError>> = if work.len() == 1 {
+            // check: panic-ok guarded by work.len() == 1 on the line above
             let (shard, ops) = work.into_iter().next().expect("one group");
             vec![(|| Ok(self.shard(shard)?.submit(&IoBatch::from(ops))?))()]
         } else {
@@ -197,6 +198,7 @@ impl BlockDevice for ShardSet {
                     .collect();
                 handles
                     .into_iter()
+                    // check: panic-ok a panicked shard thread is a bug — propagate, don't mask as NetError
                     .map(|h| h.join().expect("shard batch thread"))
                     .collect()
             })

@@ -85,6 +85,23 @@ pub enum Opcode {
 }
 
 impl Opcode {
+    /// Every opcode, in discriminant order. Keep in sync with the enum
+    /// — stair-check (wire-constants) and the density test below both
+    /// fail the build if a variant is missing here.
+    pub const ALL: [Opcode; 11] = [
+        Opcode::Hello,
+        Opcode::Status,
+        Opcode::Read,
+        Opcode::Write,
+        Opcode::Flush,
+        Opcode::Fail,
+        Opcode::Scrub,
+        Opcode::Repair,
+        Opcode::Shutdown,
+        Opcode::Batch,
+        Opcode::Metrics,
+    ];
+
     /// The lowercase wire name, used as the metric-name suffix for
     /// per-opcode counters (`srv.req.<name>`) and histograms.
     pub fn name(self) -> &'static str {
@@ -1372,5 +1389,31 @@ mod tests {
             read_request(&mut frame.as_slice()),
             Err(NetError::Protocol(_))
         ));
+    }
+
+    #[test]
+    fn opcode_table_is_dense_and_collision_free() {
+        let mut seen = std::collections::BTreeSet::new();
+        for op in Opcode::ALL {
+            assert!(seen.insert(op as u8), "duplicate discriminant for {op:?}");
+            // Round trip: the discriminant decodes back to the variant.
+            assert_eq!(Opcode::from_u8(op as u8).unwrap(), op);
+        }
+        // Dense from 1 with no gaps: every byte in 1..=N decodes, and
+        // everything outside is rejected.
+        let n = Opcode::ALL.len() as u8;
+        assert_eq!(*seen.iter().min().unwrap(), 1);
+        assert_eq!(*seen.iter().max().unwrap(), n);
+        assert_eq!(seen.len(), n as usize);
+        assert!(Opcode::from_u8(0).is_err());
+        assert!(Opcode::from_u8(n + 1).is_err());
+    }
+
+    #[test]
+    fn opcode_wire_names_are_unique() {
+        let mut names = std::collections::BTreeSet::new();
+        for op in Opcode::ALL {
+            assert!(names.insert(op.name()), "duplicate wire name for {op:?}");
+        }
     }
 }

@@ -372,8 +372,10 @@ fn worker_loop(state: &State, shards: &ShardSet, info: &ServerInfo, batch: usize
                 let mut i = 0;
                 while i < queue.len() && writes.len() < batch {
                     if matches!(queue[i].req, Request::Write { .. }) {
+                        // check: panic-ok i < queue.len() is the loop condition; remove(i) cannot miss
                         let Job { writer, id, req } = queue.remove(i).expect("index in range");
                         let Request::Write { offset, data } = req else {
+                            // check: panic-ok the matches! guard two lines up admits only Request::Write
                             unreachable!()
                         };
                         writes.push((writer, id, offset, data));
@@ -539,6 +541,7 @@ fn execute(
             }
             Request::Read { offset, len } => Response::Data(shards.read_at(offset, len as usize)?),
             Request::Write { .. } | Request::Shutdown => {
+                // check: panic-ok the run loop intercepts writes and shutdowns before execute()
                 unreachable!("handled before execute()")
             }
             // A BATCH executes as one unit through the shard set's

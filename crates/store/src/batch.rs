@@ -135,6 +135,7 @@ impl StripeStore {
             for f in frags {
                 let offset = batch.ops()[f.op].offset();
                 let OpResult::Read(out) = &mut results[f.op] else {
+                    // check: panic-ok planner invariant: read fragments index read results
                     unreachable!("read fragment indexed a write result")
                 };
                 self.read_stripe_blocks_locked(stripe_idx, f.blocks.clone(), offset, out)?;
@@ -153,6 +154,7 @@ impl StripeStore {
             let mut stripe = StripeBuf::new(geom.r, geom.n, sym)?;
             for f in frags {
                 let IoOp::Write { offset, data } = &batch.ops()[f.op] else {
+                    // check: panic-ok full_cover arithmetic leaves no room for read fragments
                     unreachable!("full stripe cover leaves no room for reads")
                 };
                 for block in f.blocks.clone() {
@@ -202,6 +204,7 @@ impl StripeStore {
                     // cannot have changed the bytes a read wants.
                     let offset = *offset;
                     let OpResult::Read(out) = &mut results[f.op] else {
+                        // check: panic-ok planner invariant: write fragments index write results
                         unreachable!("read fragment indexed a write result")
                     };
                     for block in f.blocks.clone() {
@@ -231,6 +234,7 @@ impl StripeStore {
 fn write_slot(results: &mut [OpResult], i: usize) -> &mut WriteOutcome {
     match &mut results[i] {
         OpResult::Write(w) => w,
+        // check: panic-ok planner invariant: write fragments index write results
         OpResult::Read(_) => unreachable!("write fragment indexed a read result"),
     }
 }

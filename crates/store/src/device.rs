@@ -82,7 +82,10 @@ impl DeviceSet {
 
     /// Whether device `j`'s backing file is currently present.
     pub fn is_present(&self, device: usize) -> bool {
-        self.slots[device].read().unwrap().is_some()
+        self.slots[device]
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_some()
     }
 
     fn offset(&self, stripe: usize, row: usize) -> u64 {
@@ -104,7 +107,7 @@ impl DeviceSet {
         buf: &mut [u8],
     ) -> Result<SectorRead, Error> {
         debug_assert_eq!(buf.len(), self.symbol);
-        let slot = self.slots[device].read().unwrap();
+        let slot = self.slots[device].read().unwrap_or_else(|e| e.into_inner());
         let Some(file) = slot.as_ref() else {
             return Ok(SectorRead::Missing);
         };
@@ -128,7 +131,7 @@ impl DeviceSet {
         data: &[u8],
     ) -> Result<(), Error> {
         debug_assert_eq!(data.len(), self.symbol);
-        let slot = self.slots[device].read().unwrap();
+        let slot = self.slots[device].read().unwrap_or_else(|e| e.into_inner());
         let Some(file) = slot.as_ref() else {
             return Err(Error::Device(format!(
                 "device {device} has no backing file (failed?)"
@@ -140,7 +143,9 @@ impl DeviceSet {
 
     /// Drops the handle and deletes the backing file (device failure).
     pub fn remove(&self, device: usize) -> Result<(), Error> {
-        let mut slot = self.slots[device].write().unwrap();
+        let mut slot = self.slots[device]
+            .write()
+            .unwrap_or_else(|e| e.into_inner());
         *slot = None;
         let path = self.dir.join(device_file_name(device));
         match std::fs::remove_file(&path) {
@@ -153,7 +158,9 @@ impl DeviceSet {
     /// Creates a fresh zero-filled replacement file for `device` (the
     /// first step of online repair).
     pub fn replace(&self, device: usize) -> Result<(), Error> {
-        let mut slot = self.slots[device].write().unwrap();
+        let mut slot = self.slots[device]
+            .write()
+            .unwrap_or_else(|e| e.into_inner());
         let file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -168,7 +175,7 @@ impl DeviceSet {
     /// Flushes all live device files to disk.
     pub fn sync(&self) -> Result<(), Error> {
         for slot in &self.slots {
-            if let Some(file) = slot.read().unwrap().as_ref() {
+            if let Some(file) = slot.read().unwrap_or_else(|e| e.into_inner()).as_ref() {
                 file.sync_data()?;
             }
         }

@@ -19,9 +19,9 @@ use crate::Error;
 /// File name of the superblock inside a store directory.
 pub const META_FILE: &str = "store.meta";
 /// Magic first line; bump the version when the layout changes.
-pub const MAGIC: &str = "stair-store v2";
+pub const META_MAGIC: &str = "stair-store v2";
 /// Previous superblock version, still accepted on load.
-pub const MAGIC_V1: &str = "stair-store v1";
+pub const META_MAGIC_V1: &str = "stair-store v1";
 
 /// The immutable shape of a store.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -51,7 +51,7 @@ impl StoreMeta {
     /// Serializes to the superblock text format.
     pub fn to_text(&self) -> String {
         format!(
-            "{MAGIC}\ncodec {}\nsymbol {}\nstripes {}\n",
+            "{META_MAGIC}\ncodec {}\nsymbol {}\nstripes {}\n",
             self.codec, self.symbol, self.stripes
         )
     }
@@ -78,10 +78,10 @@ impl StoreMeta {
         let mut lines = text.lines();
         let magic = lines.next().unwrap_or_default();
         let meta = match magic {
-            MAGIC => Self::parse_v2(lines),
-            MAGIC_V1 => Self::parse_v1(lines),
+            META_MAGIC => Self::parse_v2(lines),
+            META_MAGIC_V1 => Self::parse_v1(lines),
             other => Err(Error::Meta(format!(
-                "bad magic `{other}`, expected `{MAGIC}` (or legacy `{MAGIC_V1}`)"
+                "bad magic `{other}`, expected `{META_MAGIC}` (or legacy `{META_MAGIC_V1}`)"
             ))),
         }?;
         meta.validate()?;

@@ -105,11 +105,14 @@ impl StripeStore {
                         match self.repair_stripe(stripe)? {
                             RepairOutcome::Clean => {}
                             RepairOutcome::Repaired(sectors) => {
-                                *repaired.lock().unwrap() += 1;
-                                *rewritten.lock().unwrap() += sectors;
+                                *repaired.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+                                *rewritten.lock().unwrap_or_else(|e| e.into_inner()) += sectors;
                             }
                             RepairOutcome::Unrecoverable => {
-                                unrecoverable.lock().unwrap().push(stripe);
+                                unrecoverable
+                                    .lock()
+                                    .unwrap_or_else(|e| e.into_inner())
+                                    .push(stripe);
                             }
                         }
                         self.shared
@@ -122,9 +125,11 @@ impl StripeStore {
             }
             handles
                 .into_iter()
+                // check: panic-ok a panicked repair worker is a bug — propagate, don't mask as Error
                 .map(|h| h.join().expect("repair worker panicked"))
                 .collect::<Vec<_>>()
         })
+        // check: panic-ok crossbeam scope only errs if a child panicked; propagate
         .expect("repair scope panicked");
         for r in results {
             r?;
@@ -132,7 +137,9 @@ impl StripeStore {
 
         // Phase 3: promote fully rebuilt replacements. Only devices still
         // in `Rebuilding` — one re-failed concurrently must stay failed.
-        let mut unrecoverable = unrecoverable.into_inner().unwrap();
+        let mut unrecoverable = unrecoverable
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner());
         unrecoverable.sort_unstable();
         if unrecoverable.is_empty() {
             sh.integrity.update_health(|h| {
@@ -148,8 +155,8 @@ impl StripeStore {
 
         Ok(RepairReport {
             devices_replaced: rebuilding,
-            stripes_repaired: repaired.into_inner().unwrap(),
-            sectors_rewritten: rewritten.into_inner().unwrap(),
+            stripes_repaired: repaired.into_inner().unwrap_or_else(|e| e.into_inner()),
+            sectors_rewritten: rewritten.into_inner().unwrap_or_else(|e| e.into_inner()),
             unrecoverable_stripes: unrecoverable,
         })
     }

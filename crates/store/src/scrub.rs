@@ -84,15 +84,17 @@ impl StripeStore {
                 }
                 handles
                     .into_iter()
+                    // check: panic-ok a panicked scrub worker is a bug — propagate, don't mask as Error
                     .map(|h| h.join().expect("scrub worker panicked"))
                     .collect::<Vec<_>>()
             })
+            // check: panic-ok crossbeam scope only errs if a child panicked; propagate
             .expect("scrub scope panicked");
         for r in results {
             r?;
         }
 
-        let mismatches = mismatches.into_inner().unwrap();
+        let mismatches = mismatches.into_inner().unwrap_or_else(|e| e.into_inner());
         // Reconcile against the snapshot taken when the pass started: a
         // record from *before* the pass whose sector now verifies is
         // stale and cleared; records added concurrently (by degraded
@@ -117,7 +119,7 @@ impl StripeStore {
 
         Ok(ScrubReport {
             stripes_scanned: stripes,
-            sectors_verified: verified.into_inner().unwrap(),
+            sectors_verified: verified.into_inner().unwrap_or_else(|e| e.into_inner()),
             mismatches,
             unavailable_devices: unavailable,
             records_cleared,
@@ -158,8 +160,11 @@ impl StripeStore {
                 .scrub_stripes_done
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
-        mismatches.lock().unwrap().extend(local_bad);
-        *verified.lock().unwrap() += local_ok;
+        mismatches
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .extend(local_bad);
+        *verified.lock().unwrap_or_else(|e| e.into_inner()) += local_ok;
         Ok(())
     }
 }
