@@ -46,6 +46,7 @@ struct Measurement {
 }
 
 fn main() {
+    stair_bench::trace_from_env();
     let json_path = parse_json_flag();
     let mb = env_usize("STAIR_BATCH_MB", 2);
     let shards = env_usize("STAIR_BATCH_SHARDS", 2).max(1);

@@ -49,6 +49,7 @@ struct Measurement {
 }
 
 fn main() {
+    stair_bench::trace_from_env();
     let json_path = parse_json_flag();
     let mb = env_usize("STAIR_NET_MB", 4);
     let shards = env_usize("STAIR_NET_SHARDS", 4).max(1);
@@ -96,6 +97,7 @@ fn main() {
         ServerConfig {
             workers,
             write_batch: 32,
+            ..ServerConfig::default()
         },
     )
     .expect("bind server");

@@ -42,6 +42,7 @@ struct Measurement {
 }
 
 fn main() {
+    stair_bench::trace_from_env();
     let json_path = parse_json_flag();
     let mb: usize = std::env::var("STAIR_STORE_MB")
         .ok()

@@ -17,6 +17,7 @@
 use std::time::Instant;
 
 use stair_device::{BlockDevice, IoBatch};
+use stair_obs::trace::{self, names};
 use stair_obs::{Histogram, HistogramSnapshot};
 
 /// A workload shape. Sequential ops stream `seq_io`-byte transfers;
@@ -233,6 +234,11 @@ fn run_batched(
     while slot < slots {
         let group = batch.max(1).min(slots - slot);
         let t0 = Instant::now();
+        // One trace root per measured submission (no-op unless tracing
+        // is enabled), so its duration is the same interval the latency
+        // histogram samples — percentiles and traces cross-check.
+        let mut tag = trace::root_span(names::BENCH_SUBMIT);
+        tag.set_bytes((group * block) as u64);
         if batch <= 1 {
             let at = base + (slot * block) as u64;
             if write {
@@ -254,6 +260,7 @@ fn run_batched(
             let result = dev.submit(&ops).expect("bench submit");
             assert_eq!(result.results.len(), group);
         }
+        tag.finish();
         lat_us.record(t0.elapsed().as_micros() as u64);
         bytes += group * block;
         requests += group;
@@ -280,7 +287,10 @@ fn run_workload(
             let mut at = 0;
             while at + shape.seq_io <= region {
                 let t0 = Instant::now();
+                let mut tag = trace::root_span(names::BENCH_SUBMIT);
+                tag.set_bytes(shape.seq_io as u64);
                 dev.write_at(base + at as u64, &payload).expect("write");
+                tag.finish();
                 lat_us.record(t0.elapsed().as_micros() as u64);
                 bytes += shape.seq_io;
                 requests += 1;
@@ -291,7 +301,10 @@ fn run_workload(
             let mut at = 0;
             while at + shape.seq_io <= region {
                 let t0 = Instant::now();
+                let mut tag = trace::root_span(names::BENCH_SUBMIT);
+                tag.set_bytes(shape.seq_io as u64);
                 let got = dev.read_at(base + at as u64, shape.seq_io).expect("read");
+                tag.finish();
                 lat_us.record(t0.elapsed().as_micros() as u64);
                 assert_eq!(got.len(), shape.seq_io);
                 bytes += shape.seq_io;
@@ -311,12 +324,15 @@ fn run_workload(
                     .wrapping_add(1442695040888963407);
                 let at = base + (((state >> 16) as usize % slots) * block) as u64;
                 let t0 = Instant::now();
+                let mut tag = trace::root_span(names::BENCH_SUBMIT);
+                tag.set_bytes(block as u64);
                 if op == DevOp::RandWrite {
                     dev.write_at(at, &payload).expect("rand write");
                 } else {
                     let got = dev.read_at(at, block).expect("rand read");
                     assert_eq!(got.len(), block);
                 }
+                tag.finish();
                 lat_us.record(t0.elapsed().as_micros() as u64);
                 bytes += block;
                 requests += 1;

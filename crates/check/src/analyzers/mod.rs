@@ -7,6 +7,7 @@ pub mod doc_drift;
 pub mod error_conv;
 pub mod lock_poison;
 pub mod no_panic;
+pub mod spans;
 pub mod wire;
 
 use crate::workspace::Workspace;
@@ -22,4 +23,5 @@ pub fn run_all(ws: &Workspace, out: &mut Vec<crate::findings::Finding>) {
     error_conv::run(ws, out);
     doc_drift::run(ws, out);
     counters::run(ws, out);
+    spans::run(ws, out);
 }

@@ -25,12 +25,15 @@ pub enum Lint {
     DocDrift,
     /// L6: declared-but-dead or mentioned-but-undeclared metrics.
     CounterDiscipline,
+    /// L7: span names recorded outside the declared `stair-obs` set,
+    /// or declared span names nothing ever records.
+    SpanDiscipline,
     /// A baseline entry that no current finding matches.
     StaleBaseline,
 }
 
 /// Every lint, in reporting order.
-pub const ALL_LINTS: [Lint; 8] = [
+pub const ALL_LINTS: [Lint; 9] = [
     Lint::LockPoison,
     Lint::NoPanicInLib,
     Lint::IndexInLib,
@@ -38,6 +41,7 @@ pub const ALL_LINTS: [Lint; 8] = [
     Lint::ErrorConversions,
     Lint::DocDrift,
     Lint::CounterDiscipline,
+    Lint::SpanDiscipline,
     Lint::StaleBaseline,
 ];
 
@@ -52,6 +56,7 @@ impl Lint {
             Lint::ErrorConversions => "error-conversions",
             Lint::DocDrift => "doc-drift",
             Lint::CounterDiscipline => "counter-discipline",
+            Lint::SpanDiscipline => "span-discipline",
             Lint::StaleBaseline => "stale-baseline",
         }
     }
@@ -64,6 +69,7 @@ impl Lint {
             Lint::NoPanicInLib => Some("panic-ok"),
             Lint::IndexInLib => Some("index-ok"),
             Lint::CounterDiscipline => Some("metric-ok"),
+            Lint::SpanDiscipline => Some("span-ok"),
             // Wire/doc/error coherence and baseline freshness are
             // workspace-level facts; a site comment cannot waive them.
             Lint::WireConstants | Lint::ErrorConversions | Lint::DocDrift | Lint::StaleBaseline => {
@@ -89,6 +95,10 @@ impl Lint {
             Lint::ErrorConversions => "registered error types need their promised From impls",
             Lint::DocDrift => "README tables must name every opcode/scheme/codec family in code",
             Lint::CounterDiscipline => "every metric must be both produced and consumed somewhere",
+            Lint::SpanDiscipline => {
+                "span names live in stair-obs `names`: record only declared names, declare only \
+                 recorded ones"
+            }
             Lint::StaleBaseline => "check.allow entries must match a current finding",
         }
     }

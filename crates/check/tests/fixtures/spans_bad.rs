@@ -1,0 +1,10 @@
+// Fixture: true positives for span-discipline. One span recorded
+// under a literal that *is* declared (should use the constant), one
+// under a name the schema has never heard of.
+use crate::trace::{names, root_span, span};
+
+pub fn traced_op() {
+    let _declared = span("fix.live");
+    let _undeclared = root_span("fix.rogue");
+    let _fine = span(names::LIVE_SPAN);
+}

@@ -1,0 +1,14 @@
+// Fixture: the span-name schema as stair-obs declares it — a `names`
+// module of string constants. `DEAD_SPAN` is declared but nothing in
+// the fixture workspace records it.
+pub mod names {
+    /// A span every fixture records.
+    pub const LIVE_SPAN: &str = "fix.live";
+    /// Declared, never recorded anywhere.
+    pub const DEAD_SPAN: &str = "fix.dead";
+    /// All declared names.
+    pub const ALL: &[&str] = &[LIVE_SPAN, DEAD_SPAN];
+}
+
+pub fn span(_name: &str) {}
+pub fn root_span(_name: &str) {}

@@ -252,6 +252,43 @@ fn wired_counters_and_matched_metrics_are_clean() {
     assert_eq!(of(&r, Lint::CounterDiscipline), Vec::<String>::new());
 }
 
+// ---- L7 span-discipline --------------------------------------------
+
+#[test]
+fn literal_and_dead_span_names_are_flagged() {
+    let obs = fixture("spans_obs.rs");
+    let bad = fixture("spans_bad.rs");
+    let r = run_ws(&[
+        ("crates/obs/src/trace.rs", &obs),
+        ("crates/store/src/lib.rs", &bad),
+    ]);
+    let hits = of(&r, Lint::SpanDiscipline);
+    assert_eq!(hits.len(), 3, "{hits:?}");
+    // A literal that duplicates a declared name points at the constant…
+    assert!(hits
+        .iter()
+        .any(|h| h.contains("fix.live") && h.contains("names::LIVE_SPAN")));
+    // … a literal nobody declared asks for a declaration …
+    assert!(hits
+        .iter()
+        .any(|h| h.contains("fix.rogue") && h.contains("not declared")));
+    // … and a declared name nothing records is dead schema.
+    assert!(hits
+        .iter()
+        .any(|h| h.contains("fix.dead") && h.contains("never recorded")));
+}
+
+#[test]
+fn constant_span_names_and_waived_literals_are_clean() {
+    let obs = fixture("spans_obs.rs");
+    let good = fixture("spans_good.rs");
+    let r = run_ws(&[
+        ("crates/obs/src/trace.rs", &obs),
+        ("crates/store/src/lib.rs", &good),
+    ]);
+    assert_eq!(of(&r, Lint::SpanDiscipline), Vec::<String>::new());
+}
+
 // ---- baseline ------------------------------------------------------
 
 #[test]

@@ -39,7 +39,7 @@ use std::str::FromStr;
 
 use stair_device::{BatchResult, BlockDevice, DeviceSpec, Instrumented, IoBatch, IoOp, OpResult};
 use stair_net::json::Json;
-use stair_net::{open_admin, open_device};
+use stair_net::{open_admin, open_device, Client, WireTrace};
 
 use crate::flags::{u64_flag, usize_flag, Flags};
 use crate::status_json;
@@ -55,11 +55,15 @@ pub const DEV_USAGE: &str = "usage:
   stair dev repair --dev SPEC [--threads T] [--json]
   stair dev flush  --dev SPEC
   stair dev metrics --dev SPEC [--json] [--from SCRIPT]
+  stair dev trace   --dev SPEC [--json] [--from SCRIPT]
   (SPEC: file:<dir> | shards:<root>[?n=K] | tcp:<host:port>[?lanes=L])
   (SCRIPT lines: `read <offset> <len>` | `write <offset> <hex-bytes>`;
    `#` comments and blank lines ignored; results print as JSON)
   (metrics --from replays a SCRIPT through the instrumented device
-   first, so per-op latency histograms are populated)";
+   first, so per-op latency histograms are populated)
+  (trace enables request tracing, replays the SCRIPT if given, then
+   prints this process's flight recorder — and the server's, pulled
+   over TRACE, when SPEC is tcp:)";
 
 /// Dispatches a `stair dev <verb> ...` invocation.
 pub fn run(verb: &str, flags: &Flags) -> Result<(), String> {
@@ -91,6 +95,7 @@ pub fn run_with_spec(
         "repair" => cmd_repair(flags, spec),
         "flush" => cmd_flush(spec),
         "metrics" => cmd_metrics(flags, spec),
+        "trace" => cmd_trace(flags, spec),
         _ => Err(format!("unknown {family} command `{verb}`\n{DEV_USAGE}")),
     }
 }
@@ -455,4 +460,93 @@ fn cmd_metrics(flags: &Flags, spec: &DeviceSpec) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// `stair dev trace`: turns on request tracing, optionally replays an
+/// op-script (`--from`, same grammar as `batch`) through an
+/// [`Instrumented`] device so every layer records spans, then prints
+/// this process's flight recorder — plus the server's, pulled over the
+/// TRACE opcode, when `spec` is `tcp:`. Output goes through the same
+/// serializer as `stair remote trace`, so the shapes cannot drift.
+fn cmd_trace(flags: &Flags, spec: &DeviceSpec) -> Result<(), String> {
+    stair_obs::trace::set_enabled(true);
+    let dev = Instrumented::new(open(spec)?);
+    if let Some(from) = flags.get("from").filter(|v| !v.is_empty()) {
+        let text = std::fs::read_to_string(from)
+            .map_err(|e| format!("cannot read op-script {from}: {e}"))?;
+        let batch = parse_op_script(&text)?;
+        dev.submit(&batch).map_err(|e| e.to_string())?;
+    }
+    let local = recorded_traces();
+    let server = match spec {
+        DeviceSpec::Tcp { addr, .. } => Client::connect(addr)
+            .and_then(|client| client.pull_traces())
+            .map_err(|e| e.to_string())?,
+        _ => Vec::new(),
+    };
+    if flags.contains_key("json") {
+        print!("{}", status_json::traces_json(&local, &server).to_text());
+        return Ok(());
+    }
+    if local.is_empty() && server.is_empty() {
+        println!("no traces recorded (pass --from SCRIPT to trace a replay)");
+        return Ok(());
+    }
+    for (origin, traces) in [("local", &local), ("server", &server)] {
+        for trace in traces {
+            println!(
+                "trace {:016x} ({origin}, {}us, {}{})",
+                trace.trace_id,
+                trace.duration_us,
+                if trace.ok { "ok" } else { "failed" },
+                if trace.slow { ", slow" } else { "" },
+            );
+            print_span_tree(&trace.spans, trace.root_span, 1);
+        }
+    }
+    Ok(())
+}
+
+/// Prints `span_id` and its descendants, indented by depth. Orphan
+/// spans (parent evicted past the per-trace cap) simply do not print —
+/// the JSON view still carries them.
+fn print_span_tree(spans: &[stair_net::WireSpan], span_id: u64, depth: usize) {
+    let Some(span) = spans.iter().find(|s| s.span_id == span_id) else {
+        return;
+    };
+    println!(
+        "{}{} {}us{}{}",
+        "  ".repeat(depth),
+        span.name,
+        span.duration_us,
+        if span.bytes > 0 {
+            format!(" {}B", span.bytes)
+        } else {
+            String::new()
+        },
+        if span.ok { "" } else { " FAILED" },
+    );
+    let mut children: Vec<&stair_net::WireSpan> =
+        spans.iter().filter(|s| s.parent_id == span_id).collect();
+    children.sort_by_key(|s| s.start_us);
+    for child in children {
+        print_span_tree(spans, child.span_id, depth + 1);
+    }
+}
+
+/// This process's flight recorder as wire traces: the completed ring
+/// plus any slow/errored captures the main ring has already evicted —
+/// the same merge the server performs for a TRACE pull.
+fn recorded_traces() -> Vec<WireTrace> {
+    let rec = stair_obs::trace::recorder();
+    let mut traces: Vec<WireTrace> = rec.traces().iter().map(WireTrace::from).collect();
+    let seen: std::collections::HashSet<(u64, u64)> =
+        traces.iter().map(|t| (t.trace_id, t.root_span)).collect();
+    traces.extend(
+        rec.slow_traces()
+            .iter()
+            .filter(|t| !seen.contains(&(t.trace_id, t.root_span)))
+            .map(WireTrace::from),
+    );
+    traces
 }

@@ -10,8 +10,8 @@
 //! stair corrupt --dir DIR (--device J | --device J --stripe I --sector K [--len L])
 //! stair store   (init|status|write|read|fail|scrub|repair|inject) ...
 //! stair serve   --dir ROOT --addr HOST:PORT [--shards K --code SPEC ...]
-//! stair remote  (status|read|write|fail|scrub|repair|flush|metrics|shutdown) --addr A ...
-//! stair dev     (status|read|write|batch|fail|scrub|repair|flush|metrics) --dev SPEC ...
+//! stair remote  (status|read|write|fail|scrub|repair|flush|metrics|trace|shutdown) --addr A ...
+//! stair dev     (status|read|write|batch|fail|scrub|repair|flush|metrics|trace) --dev SPEC ...
 //! ```
 //!
 //! `stair store init --code sd:6,4,1,2` (or `rs:n,r,m` / `stair:n,r,m,e`)
@@ -125,8 +125,8 @@ const USAGE: &str = "usage:
   stair corrupt --dir DIR --device J [--stripe I --sector K --len L]
   stair store   (init|status|write|read|fail|scrub|repair|inject) --dir DIR ...
   stair serve   --dir ROOT --addr HOST:PORT [--shards K --code SPEC ...]
-  stair remote  (status|read|write|fail|scrub|repair|flush|metrics|shutdown) --addr A ...
-  stair dev     (status|read|write|batch|fail|scrub|repair|flush|metrics) --dev SPEC ...";
+  stair remote  (status|read|write|fail|scrub|repair|flush|metrics|trace|shutdown) --addr A ...
+  stair dev     (status|read|write|batch|fail|scrub|repair|flush|metrics|trace) --dev SPEC ...";
 
 use flags::{dir_flag, usize_flag, Flags};
 

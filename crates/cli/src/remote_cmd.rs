@@ -32,6 +32,7 @@ pub const REMOTE_USAGE: &str = "usage:
   stair remote repair   --addr HOST:PORT [--threads T] [--json]
   stair remote flush    --addr HOST:PORT
   stair remote metrics  --addr HOST:PORT [--json]
+  stair remote trace    --addr HOST:PORT [--json] [--from SCRIPT]
   stair remote shutdown --addr HOST:PORT";
 
 /// Dispatches a `stair remote <verb> ...` invocation.
@@ -44,7 +45,8 @@ pub fn run(verb: &str, flags: &Flags) -> Result<(), String> {
             println!("server shutting down");
             Ok(())
         }
-        "status" | "read" | "write" | "fail" | "scrub" | "repair" | "flush" | "metrics" => {
+        "status" | "read" | "write" | "fail" | "scrub" | "repair" | "flush" | "metrics"
+        | "trace" => {
             // Remote fail requires an explicit shard (a server always
             // has one or more; defaulting silently would be a footgun).
             if verb == "fail" && !flags.contains_key("shard") {

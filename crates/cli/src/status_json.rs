@@ -6,6 +6,7 @@
 
 use stair_device::{DeviceStatus, RepairOutcome, ScrubOutcome, ShardHealth};
 use stair_net::json::Json;
+use stair_net::{WireSpan, WireTrace};
 use stair_obs::MetricsSnapshot;
 
 /// A metrics snapshot as a JSON object — the serializer `stair dev
@@ -63,6 +64,65 @@ pub fn scrub_json(outcome: &ScrubOutcome) -> Json {
         ),
         ("records_cleared", Json::int64(outcome.records_cleared)),
         ("clean", Json::Bool(outcome.clean())),
+    ])
+}
+
+/// A span/trace id as JSON. Ids are random u64s, so they print as hex
+/// strings — JSON numbers lose precision past 2^53. Id 0 (a span's
+/// `parent_id` when it is its process's root) stays the string "0".
+fn id_json(id: u64) -> Json {
+    if id == 0 {
+        Json::str("0")
+    } else {
+        Json::str(format!("{id:016x}"))
+    }
+}
+
+fn span_json(span: &WireSpan) -> Json {
+    Json::obj([
+        ("span_id", id_json(span.span_id)),
+        ("parent_id", id_json(span.parent_id)),
+        ("name", Json::str(span.name.clone())),
+        ("start_us", Json::int64(span.start_us)),
+        ("duration_us", Json::int64(span.duration_us)),
+        ("ok", Json::Bool(span.ok)),
+        ("bytes", Json::int64(span.bytes)),
+    ])
+}
+
+fn one_trace_json(trace: &WireTrace, origin: &str) -> Json {
+    Json::obj([
+        ("trace_id", id_json(trace.trace_id)),
+        ("root_span", id_json(trace.root_span)),
+        ("origin", Json::str(origin)),
+        ("duration_us", Json::int64(trace.duration_us)),
+        ("ok", Json::Bool(trace.ok)),
+        ("slow", Json::Bool(trace.slow)),
+        ("spans", Json::arr(trace.spans.iter().map(span_json))),
+    ])
+}
+
+/// Flight-recorder pulls as one JSON object — the serializer
+/// `stair dev trace` and `stair remote trace` share. `local` traces
+/// come from this process's recorder, `server` traces from a TRACE
+/// pull; each trace is tagged with its origin, and span timestamps are
+/// relative to the *originating* process's recorder epoch (the two
+/// clocks are not comparable — join traces by `trace_id` and parent
+/// span ids, not by `start_us`).
+pub fn traces_json(local: &[WireTrace], server: &[WireTrace]) -> Json {
+    Json::obj([
+        ("op", Json::str("trace")),
+        ("local_traces", Json::int(local.len())),
+        ("server_traces", Json::int(server.len())),
+        (
+            "traces",
+            Json::arr(
+                local
+                    .iter()
+                    .map(|t| one_trace_json(t, "local"))
+                    .chain(server.iter().map(|t| one_trace_json(t, "server"))),
+            ),
+        ),
     ])
 }
 

@@ -3,6 +3,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use stair_obs::trace::{self, names};
 use stair_obs::{Counter, Histogram, MetricsRegistry, MetricsSnapshot};
 
 use crate::{
@@ -91,18 +92,26 @@ impl<D: BlockDevice> Instrumented<D> {
 
     /// Times `f`, charging one op (and on failure one error) to
     /// `meter`, `bytes` moved to `bytes_counter`, and a journal event
-    /// of `kind`.
+    /// of `kind`. `span_name` opens a trace span over the op — a child
+    /// of the caller's span, or a fresh root when tracing is enabled
+    /// and this wrapper is the outermost traced layer.
     fn observe<T>(
         &self,
         meter: &OpMeter,
         kind: &str,
+        span_name: &'static str,
         f: impl FnOnce() -> Result<T, DeviceError>,
         bytes_of: impl FnOnce(&Result<T, DeviceError>) -> u64,
     ) -> Result<T, DeviceError> {
+        let mut span = trace::span_or_root(span_name);
         let t0 = Instant::now();
         let result = f();
         let elapsed = t0.elapsed();
         let bytes = bytes_of(&result);
+        span.set_bytes(bytes);
+        if result.is_err() {
+            span.fail();
+        }
         meter.ops.inc();
         meter.lat_us.record(elapsed.as_micros() as u64);
         if result.is_err() {
@@ -127,6 +136,7 @@ impl<D: BlockDevice> BlockDevice for Instrumented<D> {
         let result = self.observe(
             &self.read,
             "read",
+            names::DEV_READ,
             || self.inner.read_at(offset, len),
             |r| r.as_ref().map(|d| d.len() as u64).unwrap_or(0),
         );
@@ -140,6 +150,7 @@ impl<D: BlockDevice> BlockDevice for Instrumented<D> {
         let result = self.observe(
             &self.write,
             "write",
+            names::DEV_WRITE,
             || self.inner.write_at(offset, data),
             |_| data.len() as u64,
         );
@@ -160,6 +171,7 @@ impl<D: BlockDevice> BlockDevice for Instrumented<D> {
         let result = self.observe(
             &self.batch,
             "batch",
+            names::DEV_BATCH,
             || self.inner.submit(batch),
             |_| read_bytes + write_bytes,
         );
@@ -171,7 +183,13 @@ impl<D: BlockDevice> BlockDevice for Instrumented<D> {
     }
 
     fn flush(&self) -> Result<(), DeviceError> {
-        self.observe(&self.flush, "flush", || self.inner.flush(), |_| 0)
+        self.observe(
+            &self.flush,
+            "flush",
+            names::DEV_FLUSH,
+            || self.inner.flush(),
+            |_| 0,
+        )
     }
 
     fn status(&self) -> Result<DeviceStatus, DeviceError> {
@@ -179,11 +197,23 @@ impl<D: BlockDevice> BlockDevice for Instrumented<D> {
     }
 
     fn scrub(&self, threads: usize) -> Result<ScrubOutcome, DeviceError> {
-        self.observe(&self.scrub, "scrub", || self.inner.scrub(threads), |_| 0)
+        self.observe(
+            &self.scrub,
+            "scrub",
+            names::DEV_SCRUB,
+            || self.inner.scrub(threads),
+            |_| 0,
+        )
     }
 
     fn repair(&self, threads: usize) -> Result<RepairOutcome, DeviceError> {
-        self.observe(&self.repair, "repair", || self.inner.repair(threads), |_| 0)
+        self.observe(
+            &self.repair,
+            "repair",
+            names::DEV_REPAIR,
+            || self.inner.repair(threads),
+            |_| 0,
+        )
     }
 
     fn metrics(&self) -> Result<MetricsSnapshot, DeviceError> {

@@ -37,18 +37,23 @@ use std::sync::{Mutex, MutexGuard};
 
 use stair_code::CodecSpec;
 use stair_device::{seed_results, BatchResult, IoBatch, IoOp, OpResult};
+use stair_obs::trace::{self, names};
+use stair_obs::SpanCtx;
 use stair_store::StoreStatus;
 
 use crate::device_impl::write_outcome;
 use crate::protocol::{
-    ok_or_remote, read_response, write_request, BatchReply, RepairSummary, Request, Response,
-    ScrubSummary, ServerInfo, WireShardStatus, WriteSummary, MAX_BATCH_OPS, MAX_IO_BYTES,
-    PROTOCOL_VERSION,
+    ok_or_remote, read_response, write_request_traced, BatchReply, RepairSummary, Request,
+    Response, ScrubSummary, ServerInfo, WireShardStatus, WireTrace, WriteSummary, MAX_BATCH_OPS,
+    MAX_IO_BYTES, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use crate::NetError;
 
 /// Chunk requests in flight per connection during pipelined transfers.
 const PIPELINE_WINDOW: usize = 8;
+
+/// Protocol version that introduced trace-flagged frames.
+const TRACE_SINCE_VERSION: u32 = 3;
 
 /// Stitch-back map: per sub-op, `(global op index, byte offset of the
 /// fragment within that op's span)`.
@@ -67,15 +72,29 @@ type FrameMeta = (StitchMap, Vec<OpSpec>);
 struct Conn {
     stream: TcpStream,
     next_id: u64,
+    /// Protocol version agreed at HELLO; trace context is only sent to
+    /// peers that negotiated ≥ [`TRACE_SINCE_VERSION`].
+    version: u32,
 }
 
 impl Conn {
+    /// The span context to stamp on outgoing frames: the caller's
+    /// current span, if any, and only toward a trace-aware peer.
+    fn trace_ctx(&self) -> Option<SpanCtx> {
+        if self.version >= TRACE_SINCE_VERSION {
+            trace::current()
+        } else {
+            None
+        }
+    }
+
     /// One request, one response (server errors become
     /// [`NetError::Remote`]).
     fn call(&mut self, req: &Request) -> Result<Response, NetError> {
         let id = self.next_id;
         self.next_id += 1;
-        write_request(&mut self.stream, id, req)?;
+        let ctx = self.trace_ctx();
+        write_request_traced(&mut self.stream, id, req, ctx)?;
         let (rid, resp) = read_response(&mut self.stream)?;
         if rid != id {
             return Err(NetError::Protocol(format!(
@@ -102,7 +121,8 @@ impl Conn {
             while next < count && pending.len() < PIPELINE_WINDOW && first_err.is_none() {
                 let id = self.next_id;
                 self.next_id += 1;
-                match write_request(&mut self.stream, id, &make(next)) {
+                let ctx = self.trace_ctx();
+                match write_request_traced(&mut self.stream, id, &make(next), ctx) {
                     Ok(()) => {
                         pending.insert(id, next);
                         next += 1;
@@ -141,20 +161,36 @@ pub struct Client {
     addr: String,
     conn: Mutex<Option<Conn>>,
     info: ServerInfo,
+    /// Highest protocol version this client offers at HELLO (redials
+    /// re-offer the same, so the negotiated version is stable).
+    max_version: u32,
 }
 
 impl Client {
-    /// Connects and performs the HELLO handshake.
+    /// Connects and performs the HELLO handshake. The agreed protocol
+    /// version (`min` of both sides) is in [`Client::info`]; trace
+    /// context is only sent when it is ≥ 3.
     ///
     /// # Errors
     ///
     /// Connection failures, version mismatches, and protocol errors.
     pub fn connect(addr: &str) -> Result<Self, NetError> {
-        let (conn, info) = dial(addr)?;
+        Self::connect_with_version(addr, PROTOCOL_VERSION)
+    }
+
+    /// Connects offering at most `max_version` at HELLO — how a test
+    /// impersonates an older (e.g. v2, pre-tracing) client.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, version mismatches, and protocol errors.
+    pub fn connect_with_version(addr: &str, max_version: u32) -> Result<Self, NetError> {
+        let (conn, info) = dial(addr, max_version)?;
         Ok(Client {
             addr: addr.to_string(),
             conn: Mutex::new(Some(conn)),
             info,
+            max_version,
         })
     }
 
@@ -200,7 +236,7 @@ impl Client {
         let mut slot = self.slot();
         for attempt in 0..2 {
             if slot.is_none() {
-                let (conn, info) = dial(&self.addr)?;
+                let (conn, info) = dial(&self.addr, self.max_version)?;
                 if info.capacity != self.info.capacity || info.block_size != self.info.block_size {
                     return Err(NetError::Protocol(format!(
                         "server at {} changed shape across reconnect ({} bytes / {}-byte blocks, was {} / {})",
@@ -247,6 +283,8 @@ impl Client {
     ///
     /// Transport, checksum, and server failures.
     pub fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>, NetError> {
+        let mut op = trace::span_or_root(names::CLIENT_READ);
+        op.set_bytes(len as u64);
         let chunks = chunk_spans(offset, len);
         let mut out = vec![0u8; len];
         self.with_conn(true, |conn| {
@@ -271,7 +309,8 @@ impl Client {
                     }
                 },
             )
-        })?;
+        })
+        .inspect_err(|_| op.fail())?;
         Ok(out)
     }
 
@@ -284,6 +323,8 @@ impl Client {
     ///
     /// Transport, checksum, and server failures.
     pub fn write_at(&self, offset: u64, data: &[u8]) -> Result<WriteSummary, NetError> {
+        let mut op = trace::span_or_root(names::CLIENT_WRITE);
+        op.set_bytes(data.len() as u64);
         let chunks = chunk_spans(offset, data.len());
         let mut total = WriteSummary::default();
         self.with_conn(false, |conn| {
@@ -304,7 +345,8 @@ impl Client {
                     other => Err(unexpected("WRITE", &other)),
                 },
             )
-        })?;
+        })
+        .inspect_err(|_| op.fail())?;
         Ok(total)
     }
 
@@ -319,6 +361,8 @@ impl Client {
     /// Transport, checksum, and server failures; a failing op aborts
     /// the whole batch server-side.
     pub fn submit(&self, batch: &IoBatch) -> Result<BatchResult, NetError> {
+        let mut op = trace::span_or_root(names::CLIENT_SUBMIT);
+        op.set_bytes(batch.ops().iter().map(IoOp::byte_len).sum::<usize>() as u64);
         let frames = batch_frames(batch.ops());
         let mut results = seed_results(batch.ops());
         if frames.is_empty() {
@@ -359,7 +403,8 @@ impl Client {
                     apply_batch_response(&metas[i], resp, &mut results)
                 })
             }
-        })?;
+        })
+        .inspect_err(|_| op.fail())?;
         Ok(BatchResult::from_results(results))
     }
 
@@ -466,6 +511,20 @@ impl Client {
         }
     }
 
+    /// Pulls the server's flight recorder: completed traces plus the
+    /// slow/errored captures the main ring has already evicted.
+    ///
+    /// # Errors
+    ///
+    /// Transport or server failures, and [`NetError::Remote`] from a
+    /// pre-v3 server that does not know the TRACE opcode.
+    pub fn pull_traces(&self) -> Result<Vec<WireTrace>, NetError> {
+        match self.with_conn(true, |conn| conn.call(&Request::Trace))? {
+            Response::Traces(traces) => Ok(traces),
+            other => Err(unexpected("TRACE", &other)),
+        }
+    }
+
     /// Asks the server to shut down cleanly.
     ///
     /// # Errors
@@ -479,8 +538,10 @@ impl Client {
     }
 }
 
-/// Dials `addr` and performs the HELLO handshake.
-fn dial(addr: &str) -> Result<(Conn, ServerInfo), NetError> {
+/// Dials `addr` and performs the HELLO handshake, offering at most
+/// `ours`. The server replies with the agreed version — `min` of both
+/// sides — which must land in `MIN_PROTOCOL_VERSION..=ours`.
+fn dial(addr: &str, ours: u32) -> Result<(Conn, ServerInfo), NetError> {
     let stream = TcpStream::connect(addr).map_err(|e| {
         NetError::Io(std::io::Error::new(
             e.kind(),
@@ -488,17 +549,22 @@ fn dial(addr: &str) -> Result<(Conn, ServerInfo), NetError> {
         ))
     })?;
     let _ = stream.set_nodelay(true);
-    let mut conn = Conn { stream, next_id: 1 };
-    match conn.call(&Request::Hello {
-        version: PROTOCOL_VERSION,
-    })? {
+    let mut conn = Conn {
+        stream,
+        next_id: 1,
+        // Until HELLO agrees otherwise, speak the lowest common form:
+        // no trace context on the handshake itself.
+        version: MIN_PROTOCOL_VERSION,
+    };
+    match conn.call(&Request::Hello { version: ours })? {
         Response::Hello(info) => {
-            if info.version != PROTOCOL_VERSION {
+            if info.version < MIN_PROTOCOL_VERSION || info.version > ours {
                 return Err(NetError::Version {
-                    ours: PROTOCOL_VERSION,
+                    ours,
                     theirs: info.version,
                 });
             }
+            conn.version = info.version;
             Ok((conn, info))
         }
         other => Err(unexpected("HELLO", &other)),
@@ -651,6 +717,16 @@ impl StripedClient {
         self.lane0().metrics()
     }
 
+    /// Pulls the server's flight recorder down lane 0 (the recorder is
+    /// process-wide server-side, so one lane sees every trace).
+    ///
+    /// # Errors
+    ///
+    /// Transport or server failures.
+    pub fn pull_traces(&self) -> Result<Vec<WireTrace>, NetError> {
+        self.lane0().pull_traces()
+    }
+
     /// Splits `[0, len)` into one contiguous piece per lane.
     fn pieces(&self, len: usize) -> Vec<(usize, usize)> {
         let lanes = self.lanes.len();
@@ -683,12 +759,14 @@ impl StripedClient {
             chunks.push(head);
             rest = tail;
         }
+        let ctx = trace::current();
         let results: Vec<Result<(), NetError>> = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
             for ((lane, &(start, piece_len)), chunk) in
                 self.lanes.iter().zip(pieces.iter()).zip(chunks)
             {
                 handles.push(scope.spawn(move |_| {
+                    let _trace = trace::enter_ctx(ctx);
                     if piece_len == 0 {
                         return Ok(());
                     }
@@ -718,10 +796,12 @@ impl StripedClient {
     /// The first lane failure wins.
     pub fn write_at(&self, offset: u64, data: &[u8]) -> Result<WriteSummary, NetError> {
         let pieces = self.pieces(data.len());
+        let ctx = trace::current();
         let results: Vec<Result<WriteSummary, NetError>> = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (lane, &(start, piece_len)) in self.lanes.iter().zip(pieces.iter()) {
                 handles.push(scope.spawn(move |_| {
+                    let _trace = trace::enter_ctx(ctx);
                     if piece_len == 0 {
                         return Ok(WriteSummary::default());
                     }
@@ -785,11 +865,15 @@ impl StripedClient {
             let lane = &self.lanes[shard % self.lanes.len()];
             vec![(map, lane.submit(&IoBatch::from(ops)))]
         } else {
+            let ctx = trace::current();
             crossbeam::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for (shard, ops, map) in work {
                     let lane = &self.lanes[shard % self.lanes.len()];
-                    handles.push(scope.spawn(move |_| (map, lane.submit(&IoBatch::from(ops)))));
+                    handles.push(scope.spawn(move |_| {
+                        let _trace = trace::enter_ctx(ctx);
+                        (map, lane.submit(&IoBatch::from(ops)))
+                    }));
                 }
                 handles
                     .into_iter()

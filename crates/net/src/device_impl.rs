@@ -174,6 +174,7 @@ impl BlockDevice for ShardSet {
     /// touched stripe). Conflicting ops always share the shard their
     /// overlap lands on, where submission order is preserved.
     fn submit(&self, batch: &IoBatch) -> Result<BatchResult, DeviceError> {
+        let _split = stair_obs::trace::span(stair_obs::trace::names::SHARDS_SUBMIT);
         let groups = split_batch(self.placement(), batch.ops())?;
         let mut results = seed_results(batch.ops());
         let (maps, work): (Vec<_>, Vec<_>) = groups
@@ -187,11 +188,15 @@ impl BlockDevice for ShardSet {
             let (shard, ops) = work.into_iter().next().expect("one group");
             vec![(|| Ok(self.shard(shard)?.submit(&IoBatch::from(ops))?))()]
         } else {
+            // Shard threads inherit the submitting thread's span context
+            // so per-stripe store spans attach to this trace.
+            let ctx = stair_obs::trace::current();
             std::thread::scope(|scope| {
                 let handles: Vec<_> = work
                     .into_iter()
                     .map(|(shard, ops)| {
                         scope.spawn(move || -> Result<BatchResult, NetError> {
+                            let _trace = stair_obs::trace::enter_ctx(ctx);
                             Ok(self.shard(shard)?.submit(&IoBatch::from(ops))?)
                         })
                     })

@@ -69,5 +69,6 @@ pub use client::{Client, StripedClient};
 pub use device_impl::{open_admin, open_device};
 pub use error::NetError;
 pub use placement::{Placement, ShardSpan};
+pub use protocol::{WireSpan, WireTrace};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use shards::{shard_dir_name, wire_status, ShardSet};

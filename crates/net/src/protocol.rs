@@ -9,7 +9,12 @@
 //! [u32 len] [u64 request_id] [u8 opcode] [payload …]
 //! ```
 //!
-//! where `len` counts everything after itself (so `9 + payload`). A
+//! where `len` counts everything after itself (so `9 + payload`). The
+//! opcode byte's high bit is the **trace flag** ([`TRACE_FLAG`],
+//! protocol v3): when set, the payload begins with a 16-byte span
+//! context (`[u64 trace_id] [u64 span_id]`) naming the client span the
+//! server's work should nest under, and the real payload follows. A
+//! frame without the flag is byte-identical to protocol v2. A
 //! **response** frame is
 //!
 //! ```text
@@ -22,27 +27,42 @@
 //! and echoed verbatim; responses may arrive in any order, which is what
 //! makes pipelining across a shared connection possible.
 //!
-//! The HELLO exchange pins the protocol version: the client sends magic
-//! `b"STAIRNET"` plus its version, the server answers with its version
-//! and the store shape ([`ServerInfo`]); either side rejects a mismatch.
+//! The HELLO exchange *negotiates* the protocol version: the client
+//! sends magic `b"STAIRNET"` plus its version, the server answers with
+//! `min(client version, server version)` and the store shape
+//! ([`ServerInfo`]); either side rejects a peer older than
+//! [`MIN_PROTOCOL_VERSION`]. Both sides then speak the agreed version —
+//! in practice that only gates whether the client may set the trace
+//! flag, since every v2 frame is valid v3.
 //!
 //! Version history: v1 shipped the nine base opcodes; v2 added the
 //! [`Opcode::Batch`] frame (many ops in one request, one checksummed
 //! response) with every v1 opcode unchanged on the wire, and later
 //! grew the [`Opcode::Metrics`] frame (pull the server's metrics
 //! snapshot) the same way — additive, so the version number did not
-//! bump and older peers simply never send the new opcode.
+//! bump and older peers simply never send the new opcode. v3 added
+//! wire-propagated trace context (the opcode high bit, above) and the
+//! [`Opcode::Trace`] frame (pull the server's flight recorder); v2
+//! peers are still accepted, and a frame without the trace flag is
+//! byte-for-byte a v2 frame.
 
 use std::io::{Read, Write};
 
 use stair_device::IoOp;
-use stair_obs::{HistogramSnapshot, MetricsSnapshot, TraceEvent, BUCKETS};
+use stair_obs::{HistogramSnapshot, MetricsSnapshot, SpanCtx, TraceEvent, BUCKETS};
 use stair_store::checksum::fletcher32;
 
 use crate::NetError;
 
 /// Protocol version this build speaks.
-pub const PROTOCOL_VERSION: u32 = 2;
+pub const PROTOCOL_VERSION: u32 = 3;
+/// Oldest peer version still accepted at HELLO time; the negotiated
+/// session version is `min(client, server)`.
+pub const MIN_PROTOCOL_VERSION: u32 = 2;
+/// High bit of the request opcode byte (protocol v3): set when the
+/// payload is prefixed with a `[u64 trace_id][u64 span_id]` span
+/// context. Clear on every frame a v2 peer could send.
+pub const TRACE_FLAG: u8 = 0x80;
 /// Magic bytes opening a HELLO payload.
 pub const MAGIC: &[u8; 8] = b"STAIRNET";
 /// Upper bound on a frame body; anything larger is a protocol error
@@ -82,13 +102,15 @@ pub enum Opcode {
     Batch = 10,
     /// Pull the server's metrics snapshot (protocol v2, additive).
     Metrics = 11,
+    /// Pull the server's flight recorder (protocol v3).
+    Trace = 12,
 }
 
 impl Opcode {
     /// Every opcode, in discriminant order. Keep in sync with the enum
     /// — stair-check (wire-constants) and the density test below both
     /// fail the build if a variant is missing here.
-    pub const ALL: [Opcode; 11] = [
+    pub const ALL: [Opcode; 12] = [
         Opcode::Hello,
         Opcode::Status,
         Opcode::Read,
@@ -100,6 +122,7 @@ impl Opcode {
         Opcode::Shutdown,
         Opcode::Batch,
         Opcode::Metrics,
+        Opcode::Trace,
     ];
 
     /// The lowercase wire name, used as the metric-name suffix for
@@ -117,6 +140,7 @@ impl Opcode {
             Opcode::Shutdown => "shutdown",
             Opcode::Batch => "batch",
             Opcode::Metrics => "metrics",
+            Opcode::Trace => "trace",
         }
     }
 
@@ -133,6 +157,7 @@ impl Opcode {
             9 => Opcode::Shutdown,
             10 => Opcode::Batch,
             11 => Opcode::Metrics,
+            12 => Opcode::Trace,
             other => return Err(NetError::Protocol(format!("unknown opcode {other}"))),
         })
     }
@@ -209,6 +234,9 @@ pub enum Request {
     /// latency histograms, slow-op captures, plus the store's own
     /// counters aggregated across shards).
     Metrics,
+    /// Pull the server's flight recorder: recently completed traces
+    /// plus the slow/errored ones retained past the main ring's wrap.
+    Trace,
 }
 
 impl Request {
@@ -226,6 +254,74 @@ impl Request {
             Request::Shutdown => Opcode::Shutdown,
             Request::Batch { .. } => Opcode::Batch,
             Request::Metrics => Opcode::Metrics,
+            Request::Trace => Opcode::Trace,
+        }
+    }
+}
+
+/// One span of a pulled trace on the wire (the trace id lives on the
+/// enclosing [`WireTrace`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireSpan {
+    /// Span id (nonzero).
+    pub span_id: u64,
+    /// Parent span id; 0 for a freshly minted root. A server-side
+    /// process root carries the *client's* span id here, which is how
+    /// the two halves of a cross-process tree stitch together.
+    pub parent_id: u64,
+    /// Declared span name (`client.submit`, `srv.queue`, …).
+    pub name: String,
+    /// Start in microseconds since the *recording process'* epoch —
+    /// only comparable to other spans from the same process.
+    pub start_us: u64,
+    /// Duration in microseconds (epoch-free, comparable everywhere).
+    pub duration_us: u64,
+    /// Whether the spanned work succeeded.
+    pub ok: bool,
+    /// Bytes moved by the spanned work.
+    pub bytes: u64,
+}
+
+/// One completed trace pulled from a flight recorder.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireTrace {
+    /// Trace id shared by every span of the request, on both sides of
+    /// the wire.
+    pub trace_id: u64,
+    /// Span id of the recording process' root.
+    pub root_span: u64,
+    /// End-to-end duration of the root in microseconds.
+    pub duration_us: u64,
+    /// Whether the root succeeded.
+    pub ok: bool,
+    /// `true` when the recorder retained this trace in its
+    /// slow/errored ring.
+    pub slow: bool,
+    /// The spans, in completion order (root last).
+    pub spans: Vec<WireSpan>,
+}
+
+impl From<&stair_obs::TraceRecord> for WireTrace {
+    fn from(t: &stair_obs::TraceRecord) -> Self {
+        WireTrace {
+            trace_id: t.trace_id,
+            root_span: t.root_span,
+            duration_us: t.duration_us,
+            ok: t.ok,
+            slow: t.slow,
+            spans: t
+                .spans
+                .iter()
+                .map(|s| WireSpan {
+                    span_id: s.span_id,
+                    parent_id: s.parent_id,
+                    name: s.name.to_string(),
+                    start_us: s.start_us,
+                    duration_us: s.duration_us,
+                    ok: s.ok,
+                    bytes: s.bytes,
+                })
+                .collect(),
         }
     }
 }
@@ -418,6 +514,9 @@ pub enum Response {
     Batched(Vec<BatchReply>),
     /// METRICS answer: the server's snapshot at the time of the request.
     Metrics(MetricsSnapshot),
+    /// TRACE answer: completed traces (recent ring, then slow-ring
+    /// entries the recent ring has already dropped).
+    Traces(Vec<WireTrace>),
     /// SHUTDOWN answer (sent before the server exits).
     ShuttingDown,
     /// The request could not be executed.
@@ -522,7 +621,11 @@ fn encode_request_payload(req: &Request) -> Vec<u8> {
             e.bytes(MAGIC);
             e.u32(*version);
         }
-        Request::Status | Request::Flush | Request::Shutdown | Request::Metrics => {}
+        Request::Status
+        | Request::Flush
+        | Request::Shutdown
+        | Request::Metrics
+        | Request::Trace => {}
         Request::Read { offset, len } => {
             e.u64(*offset);
             e.u32(*len);
@@ -666,6 +769,7 @@ fn decode_request_payload(op: Opcode, payload: &[u8]) -> Result<Request, NetErro
             Request::Batch { ops }
         }
         Opcode::Metrics => Request::Metrics,
+        Opcode::Trace => Request::Trace,
     };
     d.finish()?;
     Ok(req)
@@ -676,6 +780,11 @@ fn decode_request_payload(op: Opcode, payload: &[u8]) -> Result<Request, NetErro
 const MAX_SLOW_OPS: u32 = 1024;
 /// Most named metrics of one kind a METRICS response may carry.
 const MAX_METRICS: u32 = 65_536;
+/// Most traces one TRACE response may carry (the recorder rings retain
+/// far fewer; this bounds hostile frames).
+const MAX_TRACES: u32 = 1024;
+/// Most spans one pulled trace may carry.
+const MAX_TRACE_SPANS: u32 = 4096;
 
 fn encode_metrics(e: &mut Enc, snap: &MetricsSnapshot) {
     e.u32(snap.counters.len() as u32);
@@ -774,6 +883,75 @@ fn decode_metrics(d: &mut Dec<'_>) -> Result<MetricsSnapshot, NetError> {
     Ok(snap)
 }
 
+fn encode_traces(e: &mut Enc, traces: &[WireTrace]) {
+    e.u32(traces.len() as u32);
+    for t in traces {
+        e.u64(t.trace_id);
+        e.u64(t.root_span);
+        e.u64(t.duration_us);
+        e.u8(t.ok as u8);
+        e.u8(t.slow as u8);
+        e.u32(t.spans.len() as u32);
+        for s in &t.spans {
+            e.u64(s.span_id);
+            e.u64(s.parent_id);
+            e.str(&s.name);
+            e.u64(s.start_us);
+            e.u64(s.duration_us);
+            e.u8(s.ok as u8);
+            e.u64(s.bytes);
+        }
+    }
+}
+
+fn decode_bool(d: &mut Dec<'_>, what: &str) -> Result<bool, NetError> {
+    match d.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        k => Err(NetError::Protocol(format!("bad {what} bool byte {k}"))),
+    }
+}
+
+fn decode_traces(d: &mut Dec<'_>) -> Result<Vec<WireTrace>, NetError> {
+    let count = d.u32()?;
+    if count > MAX_TRACES {
+        return Err(NetError::Protocol("trace list too long".into()));
+    }
+    let mut traces = Vec::with_capacity(count.min(256) as usize);
+    for _ in 0..count {
+        let trace_id = d.u64()?;
+        let root_span = d.u64()?;
+        let duration_us = d.u64()?;
+        let ok = decode_bool(d, "trace ok")?;
+        let slow = decode_bool(d, "trace slow")?;
+        let nspans = d.u32()?;
+        if nspans > MAX_TRACE_SPANS {
+            return Err(NetError::Protocol("trace span list too long".into()));
+        }
+        let mut spans = Vec::with_capacity(nspans.min(256) as usize);
+        for _ in 0..nspans {
+            spans.push(WireSpan {
+                span_id: d.u64()?,
+                parent_id: d.u64()?,
+                name: d.str()?,
+                start_us: d.u64()?,
+                duration_us: d.u64()?,
+                ok: decode_bool(d, "span ok")?,
+                bytes: d.u64()?,
+            });
+        }
+        traces.push(WireTrace {
+            trace_id,
+            root_span,
+            duration_us,
+            ok,
+            slow,
+            spans,
+        });
+    }
+    Ok(traces)
+}
+
 fn encode_response_payload(resp: &Response) -> (u8, Vec<u8>) {
     let mut e = Enc(Vec::new());
     let status = match resp {
@@ -844,6 +1022,10 @@ fn encode_response_payload(resp: &Response) -> (u8, Vec<u8>) {
         Response::Metrics(snap) => {
             encode_metrics(&mut e, snap);
             Opcode::Metrics as u8
+        }
+        Response::Traces(traces) => {
+            encode_traces(&mut e, traces);
+            Opcode::Trace as u8
         }
         Response::Scrubbed(s) => {
             e.u64(s.stripes_scanned);
@@ -940,6 +1122,7 @@ fn decode_response_payload(status: u8, payload: &[u8]) -> Result<Response, NetEr
             Response::Batched(replies)
         }
         Opcode::Metrics => Response::Metrics(decode_metrics(&mut d)?),
+        Opcode::Trace => Response::Traces(decode_traces(&mut d)?),
         Opcode::Scrub => Response::Scrubbed(ScrubSummary {
             stripes_scanned: d.u64()?,
             sectors_verified: d.u64()?,
@@ -977,35 +1160,91 @@ fn read_frame(stream: &mut impl Read) -> Result<Vec<u8>, NetError> {
     Ok(body)
 }
 
-/// Writes one request frame.
+/// Writes one request frame with no trace context — byte-identical to
+/// a protocol v2 frame.
 ///
 /// # Errors
 ///
 /// Propagates socket errors.
 pub fn write_request(stream: &mut impl Write, id: u64, req: &Request) -> Result<(), NetError> {
-    let payload = encode_request_payload(req);
-    let mut frame = Vec::with_capacity(4 + 9 + payload.len());
-    frame.extend_from_slice(&(9 + payload.len() as u32).to_le_bytes());
+    write_request_traced(stream, id, req, None)
+}
+
+/// Writes one request frame, optionally carrying span context (sets
+/// [`TRACE_FLAG`] on the opcode byte and prefixes the payload with
+/// `[u64 trace_id][u64 span_id]`). Only send context to a peer that
+/// negotiated protocol ≥ 3.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_request_traced(
+    stream: &mut impl Write,
+    id: u64,
+    req: &Request,
+    ctx: Option<SpanCtx>,
+) -> Result<(), NetError> {
+    // No-op unless the caller is inside a recorded span (only clients
+    // write requests, so this is the client-side serialization cost).
+    let payload = {
+        let _enc = stair_obs::trace::span(stair_obs::trace::names::CLIENT_ENCODE);
+        encode_request_payload(req)
+    };
+    let prefix = if ctx.is_some() { 16 } else { 0 };
+    let mut frame = Vec::with_capacity(4 + 9 + prefix + payload.len());
+    frame.extend_from_slice(&(9 + (prefix + payload.len()) as u32).to_le_bytes());
     frame.extend_from_slice(&id.to_le_bytes());
-    frame.push(req.opcode() as u8);
+    match ctx {
+        Some(ctx) => {
+            frame.push(req.opcode() as u8 | TRACE_FLAG);
+            frame.extend_from_slice(&ctx.trace_id.to_le_bytes());
+            frame.extend_from_slice(&ctx.span_id.to_le_bytes());
+        }
+        None => frame.push(req.opcode() as u8),
+    }
     frame.extend_from_slice(&payload);
     stream.write_all(&frame)?;
     Ok(())
 }
 
-/// Reads one request frame, returning `(request_id, request)`.
+/// Reads one request frame, returning `(request_id, request)` and
+/// discarding any trace context — for callers that do not trace.
 ///
 /// # Errors
 ///
 /// Socket errors, truncated frames, unknown opcodes, or oversized
 /// requests are all rejected.
 pub fn read_request(stream: &mut impl Read) -> Result<(u64, Request), NetError> {
+    let (id, req, _) = read_request_traced(stream)?;
+    Ok((id, req))
+}
+
+/// Reads one request frame, returning `(request_id, request,
+/// span context)` — the context is `Some` exactly when the sender set
+/// [`TRACE_FLAG`].
+///
+/// # Errors
+///
+/// Socket errors, truncated frames, unknown opcodes, or oversized
+/// requests are all rejected.
+pub fn read_request_traced(
+    stream: &mut impl Read,
+) -> Result<(u64, Request, Option<SpanCtx>), NetError> {
     let body = read_frame(stream)?;
     let mut d = Dec::new(&body);
     let id = d.u64()?;
-    let op = Opcode::from_u8(d.u8()?)?;
+    let op_byte = d.u8()?;
+    let op = Opcode::from_u8(op_byte & !TRACE_FLAG)?;
+    let ctx = if op_byte & TRACE_FLAG != 0 {
+        Some(SpanCtx {
+            trace_id: d.u64()?,
+            span_id: d.u64()?,
+        })
+    } else {
+        None
+    };
     let payload = &body[d.at..];
-    Ok((id, decode_request_payload(op, payload)?))
+    Ok((id, decode_request_payload(op, payload)?, ctx))
 }
 
 /// Writes one response frame (status byte + Fletcher-32 of the payload).
@@ -1059,6 +1298,9 @@ pub fn read_response(stream: &mut impl Read) -> Result<(u64, Response), NetError
     if actual != expected {
         return Err(NetError::Checksum { expected, actual });
     }
+    // Covers parsing only, not the socket wait above — a trace must not
+    // double-count the server's time under a client-side span.
+    let _dec = stair_obs::trace::span(stair_obs::trace::names::CLIENT_DECODE);
     Ok((id, decode_response_payload(status, payload)?))
 }
 
@@ -1126,6 +1368,143 @@ mod tests {
         });
         round_trip_request(Request::Batch { ops: vec![] });
         round_trip_request(Request::Metrics);
+        round_trip_request(Request::Trace);
+    }
+
+    #[test]
+    fn traced_frames_round_trip_their_span_context() {
+        let req = Request::Batch {
+            ops: vec![IoOp::Read { offset: 64, len: 8 }],
+        };
+        let ctx = SpanCtx {
+            trace_id: 0xDEAD_BEEF_0000_0001,
+            span_id: 0x1234_5678_9ABC_DEF0,
+        };
+        let mut wire = Vec::new();
+        write_request_traced(&mut wire, 55, &req, Some(ctx)).unwrap();
+        let (id, back, got) = read_request_traced(&mut wire.as_slice()).unwrap();
+        assert_eq!(id, 55);
+        assert_eq!(back, req);
+        assert_eq!(got, Some(ctx));
+    }
+
+    #[test]
+    fn untraced_frames_are_byte_identical_to_v2() {
+        // write_request (and write_request_traced with None) must emit
+        // exactly the v2 encoding: no flag bit, no context prefix.
+        let req = Request::Read {
+            offset: 0x0102_0304_0506_0708,
+            len: 4096,
+        };
+        let mut wire = Vec::new();
+        write_request(&mut wire, 0x0A0B_0C0D_0E0F_1011, &req).unwrap();
+        let mut expected = Vec::new();
+        expected.extend_from_slice(&21u32.to_le_bytes()); // 9 + 12
+        expected.extend_from_slice(&0x0A0B_0C0D_0E0F_1011u64.to_le_bytes());
+        expected.push(3); // Opcode::Read, high bit clear
+        expected.extend_from_slice(&0x0102_0304_0506_0708u64.to_le_bytes());
+        expected.extend_from_slice(&4096u32.to_le_bytes());
+        assert_eq!(wire, expected);
+
+        let mut traced_none = Vec::new();
+        write_request_traced(&mut traced_none, 0x0A0B_0C0D_0E0F_1011, &req, None).unwrap();
+        assert_eq!(traced_none, expected);
+
+        // And a v2-style reader (read_request) accepts it unchanged.
+        let (id, back) = read_request(&mut wire.as_slice()).unwrap();
+        assert_eq!((id, back), (0x0A0B_0C0D_0E0F_1011, req));
+    }
+
+    #[test]
+    fn trace_responses_round_trip() {
+        round_trip_response(Response::Traces(vec![]));
+        round_trip_response(Response::Traces(vec![
+            WireTrace {
+                trace_id: 7,
+                root_span: 11,
+                duration_us: 1234,
+                ok: true,
+                slow: false,
+                spans: vec![
+                    WireSpan {
+                        span_id: 12,
+                        parent_id: 11,
+                        name: "store.stripe".into(),
+                        start_us: 10,
+                        duration_us: 900,
+                        ok: true,
+                        bytes: 4096,
+                    },
+                    WireSpan {
+                        span_id: 11,
+                        parent_id: 0,
+                        name: "client.submit".into(),
+                        start_us: 0,
+                        duration_us: 1234,
+                        ok: true,
+                        bytes: 8192,
+                    },
+                ],
+            },
+            WireTrace {
+                trace_id: 8,
+                root_span: 21,
+                duration_us: 50_000,
+                ok: false,
+                slow: true,
+                spans: vec![WireSpan {
+                    span_id: 21,
+                    parent_id: 77,
+                    name: "srv.request".into(),
+                    start_us: 3,
+                    duration_us: 50_000,
+                    ok: false,
+                    bytes: 0,
+                }],
+            },
+        ]));
+    }
+
+    #[test]
+    fn trace_decode_caps_hostile_lengths() {
+        // A response claiming an absurd trace count is refused before
+        // any allocation happens.
+        let mut e = Enc(Vec::new());
+        e.u32(MAX_TRACES + 1);
+        let payload = e.0;
+        let sum = fletcher32(&payload);
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(13 + payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&5u64.to_le_bytes());
+        frame.push(Opcode::Trace as u8);
+        frame.extend_from_slice(&sum.to_le_bytes());
+        frame.extend_from_slice(&payload);
+        assert!(matches!(
+            read_response(&mut frame.as_slice()),
+            Err(NetError::Protocol(_))
+        ));
+
+        // Same for a hostile per-trace span count.
+        let mut e = Enc(Vec::new());
+        e.u32(1);
+        e.u64(1); // trace_id
+        e.u64(2); // root_span
+        e.u64(3); // duration
+        e.u8(1); // ok
+        e.u8(0); // slow
+        e.u32(MAX_TRACE_SPANS + 1);
+        let payload = e.0;
+        let sum = fletcher32(&payload);
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(13 + payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&5u64.to_le_bytes());
+        frame.push(Opcode::Trace as u8);
+        frame.extend_from_slice(&sum.to_le_bytes());
+        frame.extend_from_slice(&payload);
+        assert!(matches!(
+            read_response(&mut frame.as_slice()),
+            Err(NetError::Protocol(_))
+        ));
     }
 
     #[test]

@@ -31,11 +31,12 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use stair_device::{BlockDevice, IoBatch, IoOp, OpResult};
-use stair_obs::MetricsRegistry;
+use stair_obs::trace::{self, names};
+use stair_obs::{MetricsRegistry, SpanCtx};
 
 use crate::protocol::{
-    read_request, write_response, BatchReply, RepairSummary, Request, Response, ScrubSummary,
-    ServerInfo, WriteSummary, PROTOCOL_VERSION,
+    read_request_traced, write_response, BatchReply, RepairSummary, Request, Response,
+    ScrubSummary, ServerInfo, WireTrace, WriteSummary, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use crate::shards::{wire_status, ShardSet};
 use crate::NetError;
@@ -47,6 +48,11 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Most WRITE requests one worker batches into a single pass.
     pub write_batch: usize,
+    /// Highest protocol version this server speaks. HELLO negotiates
+    /// `min(client, max_version)`; clients older than
+    /// [`MIN_PROTOCOL_VERSION`] are rejected. Capping below
+    /// [`PROTOCOL_VERSION`] lets tests impersonate an older server.
+    pub max_version: u32,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +60,7 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: 4,
             write_batch: 32,
+            max_version: PROTOCOL_VERSION,
         }
     }
 }
@@ -63,6 +70,11 @@ struct Job {
     writer: Arc<ConnWriter>,
     id: u64,
     req: Request,
+    /// When the reader parsed the frame — the start of the server-side
+    /// span and the base of the queue-wait measurement.
+    received: Instant,
+    /// The trace context carried on the frame, if the client traced it.
+    ctx: Option<SpanCtx>,
 }
 
 /// The write half of a connection; workers serialize frames under the
@@ -210,10 +222,12 @@ impl Server {
         }
     }
 
-    /// The HELLO payload this server announces.
+    /// The HELLO payload this server announces. `version` is the
+    /// highest protocol this server speaks; HELLO replies carry
+    /// `min(client, server)` instead.
     pub fn info(&self) -> ServerInfo {
         ServerInfo {
-            version: PROTOCOL_VERSION,
+            version: self.config.max_version.min(PROTOCOL_VERSION),
             shards: self.shards.shard_count() as u32,
             capacity: self.shards.capacity(),
             block_size: self.shards.block_size() as u32,
@@ -299,7 +313,7 @@ fn reader_loop(stream: TcpStream, state: &State, info: &ServerInfo, addr: Socket
     });
     let mut stream = stream;
     loop {
-        let (id, req) = match read_request(&mut stream) {
+        let (id, req, ctx) = match read_request_traced(&mut stream) {
             Ok(x) => x,
             Err(NetError::Protocol(msg)) => {
                 // A malformed frame desynchronizes the stream; report and
@@ -309,20 +323,26 @@ fn reader_loop(stream: TcpStream, state: &State, info: &ServerInfo, addr: Socket
             }
             Err(_) => return, // EOF or socket error
         };
+        let received = Instant::now();
         match req {
             Request::Hello { version } => {
                 state.registry.counter("srv.req.hello").inc();
-                if version != PROTOCOL_VERSION {
+                if version < MIN_PROTOCOL_VERSION {
                     state.registry.counter("srv.errors.hello").inc();
                     writer.send(
                         id,
                         &Response::Error(format!(
-                            "version mismatch: server speaks v{PROTOCOL_VERSION}, client v{version}"
+                            "version mismatch: server speaks v{}..=v{}, client v{version}",
+                            MIN_PROTOCOL_VERSION, info.version
                         )),
                     );
                     return;
                 }
-                writer.send(id, &Response::Hello(info.clone()));
+                // Negotiate down to whichever side is older; a v2 client
+                // gets a v2 reply and never sees trace-flagged frames.
+                let mut agreed = info.clone();
+                agreed.version = version.min(info.version);
+                writer.send(id, &Response::Hello(agreed));
             }
             Request::Shutdown => {
                 state.registry.counter("srv.req.shutdown").inc();
@@ -334,6 +354,8 @@ fn reader_loop(stream: TcpStream, state: &State, info: &ServerInfo, addr: Socket
                 writer: Arc::clone(&writer),
                 id,
                 req,
+                received,
+                ctx,
             }),
         }
         if state.shutdown.load(Ordering::SeqCst) {
@@ -363,7 +385,14 @@ fn worker_loop(state: &State, shards: &ShardSet, info: &ServerInfo, batch: usize
             }
         };
         if let Request::Write { offset, data } = job.req {
-            let mut writes = vec![(job.writer, job.id, offset, data)];
+            let mut writes = vec![QueuedWrite {
+                writer: job.writer,
+                id: job.id,
+                offset,
+                data,
+                received: job.received,
+                ctx: job.ctx,
+            }];
             {
                 let mut queue = state
                     .queue
@@ -372,13 +401,26 @@ fn worker_loop(state: &State, shards: &ShardSet, info: &ServerInfo, batch: usize
                 let mut i = 0;
                 while i < queue.len() && writes.len() < batch {
                     if matches!(queue[i].req, Request::Write { .. }) {
-                        // check: panic-ok i < queue.len() is the loop condition; remove(i) cannot miss
-                        let Job { writer, id, req } = queue.remove(i).expect("index in range");
-                        let Request::Write { offset, data } = req else {
-                            // check: panic-ok the matches! guard two lines up admits only Request::Write
-                            unreachable!()
+                        let Some(Job {
+                            writer,
+                            id,
+                            req: Request::Write { offset, data },
+                            received,
+                            ctx,
+                        }) = queue.remove(i)
+                        else {
+                            // Guarded by the matches! above; bail rather
+                            // than panic if the queue mutates underfoot.
+                            break;
                         };
-                        writes.push((writer, id, offset, data));
+                        writes.push(QueuedWrite {
+                            writer,
+                            id,
+                            offset,
+                            data,
+                            received,
+                            ctx,
+                        });
                     } else {
                         i += 1;
                     }
@@ -389,12 +431,53 @@ fn worker_loop(state: &State, shards: &ShardSet, info: &ServerInfo, batch: usize
             let kind = job.req.opcode().name();
             let bytes = request_bytes(&job.req);
             let start = Instant::now();
-            let resp = execute(shards, info, &state.registry, job.req);
+            // A traced frame roots a server-side span tree: the root
+            // starts when the reader parsed the frame and joins the
+            // client's trace; the queue wait is recorded as the interval
+            // between parse and this worker popping the job.
+            let mut root = job.ctx.map(|ctx| {
+                let g = trace::wire_root_at(
+                    names::SRV_REQUEST,
+                    ctx.trace_id,
+                    ctx.span_id,
+                    job.received,
+                );
+                trace::span_at(
+                    names::SRV_QUEUE,
+                    job.received,
+                    start.saturating_duration_since(job.received),
+                );
+                g
+            });
+            let resp = {
+                let _exec = trace::span(names::SRV_EXEC);
+                execute(shards, info, &state.registry, job.req)
+            };
             let elapsed = start.elapsed();
             record_request(&state.registry, kind, bytes, elapsed, &resp);
+            if let Some(g) = root.as_mut() {
+                g.set_bytes(bytes);
+                if matches!(resp, Response::Error(_)) {
+                    g.fail();
+                }
+            }
             job.writer.send(job.id, &resp);
+            // The root closes only after the response frame is written,
+            // so the server span covers the write-back too.
+            drop(root);
         }
     }
+}
+
+/// One WRITE pulled off the queue for coalescing, with everything
+/// needed to answer and (if traced) span it.
+struct QueuedWrite {
+    writer: Arc<ConnWriter>,
+    id: u64,
+    offset: u64,
+    data: Vec<u8>,
+    received: Instant,
+    ctx: Option<SpanCtx>,
 }
 
 /// The byte count a request moves (write payloads plus requested read
@@ -437,25 +520,43 @@ fn record_request(
     registry.record_op(kind, 0, bytes, elapsed, ok);
 }
 
+/// Opens the server-side root and queue-wait spans for one traced
+/// WRITE: the root joins the client's trace starting at frame parse.
+fn traced_write_root(ctx: SpanCtx, received: Instant, bytes: u64) -> trace::SpanGuard {
+    let mut g = trace::wire_root_at(names::SRV_REQUEST, ctx.trace_id, ctx.span_id, received);
+    trace::span_at(names::SRV_QUEUE, received, received.elapsed());
+    g.set_bytes(bytes);
+    g
+}
+
 /// Executes a batch of WRITEs, merging adjacent spans into single store
 /// passes. Any overlap within the batch forces arrival order, unmerged.
-fn execute_write_batch(
-    shards: &ShardSet,
-    registry: &MetricsRegistry,
-    writes: Vec<(Arc<ConnWriter>, u64, u64, Vec<u8>)>,
-) {
+fn execute_write_batch(shards: &ShardSet, registry: &MetricsRegistry, writes: Vec<QueuedWrite>) {
     let mut order: Vec<usize> = (0..writes.len()).collect();
-    order.sort_by_key(|&i| writes[i].2);
+    order.sort_by_key(|&i| writes[i].offset);
     let overlapping = order.windows(2).any(|w| {
-        let (_, _, off_a, data_a) = &writes[w[0]];
-        off_a + data_a.len() as u64 > writes[w[1]].2
+        let a = &writes[w[0]];
+        a.offset + a.data.len() as u64 > writes[w[1]].offset
     });
     if overlapping {
-        for (writer, id, offset, data) in writes {
+        for w in writes {
             let start = Instant::now();
-            let resp = write_one(shards, offset, &data, 1);
-            record_request(registry, "write", data.len() as u64, start.elapsed(), &resp);
-            writer.send(id, &resp);
+            let mut root = w
+                .ctx
+                .map(|ctx| traced_write_root(ctx, w.received, w.data.len() as u64));
+            let resp = write_one(shards, w.offset, &w.data, 1);
+            record_request(
+                registry,
+                "write",
+                w.data.len() as u64,
+                start.elapsed(),
+                &resp,
+            );
+            if let (Some(g), Response::Error(_)) = (root.as_mut(), &resp) {
+                g.fail();
+            }
+            w.writer.send(w.id, &resp);
+            drop(root);
         }
         return;
     }
@@ -463,34 +564,56 @@ fn execute_write_batch(
     let mut at = 0;
     while at < order.len() {
         let mut members = vec![order[at]];
-        let run_offset = writes[order[at]].2;
-        let mut run: Vec<u8> = writes[order[at]].3.clone();
+        let run_offset = writes[order[at]].offset;
+        let mut run: Vec<u8> = writes[order[at]].data.clone();
         at += 1;
-        while at < order.len() && writes[order[at]].2 == run_offset + run.len() as u64 {
-            run.extend_from_slice(&writes[order[at]].3);
+        while at < order.len() && writes[order[at]].offset == run_offset + run.len() as u64 {
+            run.extend_from_slice(&writes[order[at]].data);
             members.push(order[at]);
             at += 1;
         }
         let coalesced = members.len() as u32;
+        // Every traced member of the run gets its own server root; they
+        // all span the shared store pass, which is the honest picture of
+        // coalescing (one pass serves N requests).
+        let mut roots: Vec<trace::SpanGuard> = members
+            .iter()
+            .filter_map(|&m| {
+                let w = &writes[m];
+                w.ctx
+                    .map(|ctx| traced_write_root(ctx, w.received, w.data.len() as u64))
+            })
+            .collect();
         let start = Instant::now();
         let resp = write_one(shards, run_offset, &run, coalesced);
         let elapsed = start.elapsed();
+        if matches!(resp, Response::Error(_)) {
+            for g in &mut roots {
+                g.fail();
+            }
+        }
         // Each coalesced member counts as its own request (with its own
         // byte count) but shares the run's store-pass latency.
         for &m in &members {
-            record_request(registry, "write", writes[m].3.len() as u64, elapsed, &resp);
+            record_request(
+                registry,
+                "write",
+                writes[m].data.len() as u64,
+                elapsed,
+                &resp,
+            );
         }
         // The store-pass counters are attributed to the run's first
         // member only; the rest report zeros (plus their own byte count),
         // so a client summing its chunk summaries gets exact totals
         // instead of the pass counted once per coalesced request.
         for (k, &m) in members.iter().enumerate() {
-            let (writer, id, _, data) = &writes[m];
+            let w = &writes[m];
             let resp = match &resp {
-                Response::Written(w) => Response::Written(WriteSummary {
-                    bytes: data.len() as u64,
+                Response::Written(ws) => Response::Written(WriteSummary {
+                    bytes: w.data.len() as u64,
                     ..if k == 0 {
-                        *w
+                        *ws
                     } else {
                         WriteSummary {
                             coalesced,
@@ -500,8 +623,10 @@ fn execute_write_batch(
                 }),
                 other => other.clone(),
             };
-            writer.send(*id, &resp);
+            w.writer.send(w.id, &resp);
         }
+        // Roots close after the member responses are written.
+        drop(roots);
     }
 }
 
@@ -538,6 +663,21 @@ fn execute(
                 let mut snap = registry.snapshot();
                 snap.merge(&shards.metrics());
                 Response::Metrics(snap)
+            }
+            // The flight recorder's completed ring plus any slow/errored
+            // traces the main ring has already evicted.
+            Request::Trace => {
+                let rec = trace::recorder();
+                let mut traces: Vec<WireTrace> = rec.traces().iter().map(WireTrace::from).collect();
+                let seen: std::collections::HashSet<(u64, u64)> =
+                    traces.iter().map(|t| (t.trace_id, t.root_span)).collect();
+                traces.extend(
+                    rec.slow_traces()
+                        .iter()
+                        .filter(|t| !seen.contains(&(t.trace_id, t.root_span)))
+                        .map(WireTrace::from),
+                );
+                Response::Traces(traces)
             }
             Request::Read { offset, len } => Response::Data(shards.read_at(offset, len as usize)?),
             Request::Write { .. } | Request::Shutdown => {

@@ -48,6 +48,7 @@ fn start_server(
         ServerConfig {
             workers,
             write_batch: 8,
+            ..ServerConfig::default()
         },
     )
     .expect("bind");

@@ -1,0 +1,116 @@
+//! Protocol version negotiation across releases: a v2 client against a
+//! v3 server and a v3 client against a v2 server must both settle on
+//! v2 at HELLO and run every v1/v2 opcode exactly as before — the v3
+//! trace extension is invisible until *both* ends speak it.
+
+use stair_device::IoBatch;
+use stair_net::{Client, Server, ServerConfig, ShardSet};
+use stair_store::StoreOptions;
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("stair-vers-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts() -> StoreOptions {
+    StoreOptions {
+        code: "stair:8,4,2,1-1-2".parse().unwrap(),
+        symbol: 64,
+        stripes: 4,
+    }
+}
+
+fn start_server(tag: &str, config: ServerConfig) -> (String, impl FnOnce()) {
+    let dir = tmpdir(tag);
+    let set = ShardSet::create(&dir, 2, &opts()).expect("create shards");
+    let server = Server::bind("127.0.0.1:0", set, config).expect("bind");
+    let addr = server.local_addr().to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    (addr, move || {
+        handle.shutdown();
+        join.join().expect("server thread").expect("server run");
+        std::fs::remove_dir_all(&dir).ok();
+    })
+}
+
+/// The full pre-v3 opcode surface against a connection that negotiated
+/// version 2 — every op must behave exactly as it did before tracing.
+fn exercise_v2_surface(client: &Client) {
+    assert_eq!(client.info().version, 2, "HELLO must agree on v2");
+
+    let block = client.block_size();
+    let payload: Vec<u8> = (0..2 * block).map(|i| i as u8).collect();
+    client.write_at(0, &payload).expect("WRITE");
+    assert_eq!(client.read_at(0, payload.len()).expect("READ"), payload);
+
+    let mut batch = IoBatch::new();
+    batch
+        .write((2 * block) as u64, vec![0x3C; block])
+        .read(0, block);
+    let results = client.submit(&batch).expect("BATCH");
+    assert_eq!(results.results.len(), 2);
+
+    client.flush().expect("FLUSH");
+    let status = client.status().expect("STATUS");
+    assert!(!status.is_empty());
+
+    client.fail_device(0, 3).expect("FAIL");
+    assert_eq!(
+        client.read_at(0, payload.len()).expect("degraded READ"),
+        payload
+    );
+    let scrub = client.scrub(1).expect("SCRUB");
+    assert_eq!(scrub.mismatches, 0);
+    let repair = client.repair(1).expect("REPAIR");
+    assert_eq!(repair.unrecoverable_stripes, 0);
+
+    let metrics = client.metrics().expect("METRICS");
+    assert!(!metrics.counters.is_empty());
+}
+
+#[test]
+fn v2_client_against_v3_server_settles_on_v2() {
+    let (addr, stop) = start_server("old-client", ServerConfig::default());
+    let client = Client::connect_with_version(&addr, 2).expect("connect v2");
+    exercise_v2_surface(&client);
+
+    // Tracing enabled on the client side changes nothing: the
+    // connection speaks v2, so span context is never put on the wire.
+    stair_obs::trace::set_enabled(true);
+    let readback = client
+        .read_at(0, client.block_size())
+        .expect("traced READ over v2");
+    assert_eq!(readback.len(), client.block_size());
+    stair_obs::trace::set_enabled(false);
+    stop();
+}
+
+#[test]
+fn v3_client_against_v2_server_settles_on_v2() {
+    let (addr, stop) = start_server(
+        "old-server",
+        ServerConfig {
+            max_version: 2,
+            ..ServerConfig::default()
+        },
+    );
+    let client = Client::connect(&addr).expect("connect v3");
+    exercise_v2_surface(&client);
+    stop();
+}
+
+#[test]
+fn v1_client_is_rejected_at_hello() {
+    let (addr, stop) = start_server("too-old", ServerConfig::default());
+    let Err(err) = Client::connect_with_version(&addr, 1) else {
+        panic!("v1 must be refused")
+    };
+    let msg = err.to_string();
+    assert!(
+        msg.contains("version"),
+        "rejection should name the version mismatch, got: {msg}"
+    );
+    stop();
+}

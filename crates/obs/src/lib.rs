@@ -12,6 +12,11 @@
 //!   duration exceeds a configurable threshold are retained in their own
 //!   ring with full context, so the outliers survive long after the
 //!   main ring has wrapped.
+//! * **[`trace`]** — request-scoped span trees: every layer of one
+//!   operation opens a named, timed span, context crosses threads and
+//!   (via protocol v3) the wire, and completed traces land in a
+//!   per-process [`FlightRecorder`] whose slow/errored ring survives
+//!   the main ring's wrap — the journal's slow-op idiom, one level up.
 //! * **[`MetricsSnapshot`]** — a point-in-time, plain-data copy of
 //!   everything above. Snapshots merge (counters sum, histograms add
 //!   bucket-wise), which is how per-shard and per-layer views fold into
@@ -31,8 +36,10 @@ mod hist;
 mod journal;
 mod registry;
 mod snapshot;
+pub mod trace;
 
 pub use hist::{bucket_upper_bound, Histogram, HistogramSnapshot, BUCKETS};
 pub use journal::{Journal, TraceEvent, DEFAULT_SLOW_THRESHOLD_US};
 pub use registry::{Counter, Gauge, MetricsRegistry};
 pub use snapshot::MetricsSnapshot;
+pub use trace::{FlightRecorder, SpanCtx, SpanRecord, TraceRecord};

@@ -86,6 +86,7 @@ impl StripeStore {
             wrote |= self.submit_stripe(*stripe, frags, batch, &mut results)?;
         }
         if wrote {
+            let _persist = stair_obs::trace::span(stair_obs::trace::names::STORE_PERSIST);
             self.shared.integrity.persist()?;
         }
         Ok(BatchResult::from_results(results))
@@ -119,7 +120,11 @@ impl StripeStore {
         let sh = &self.shared;
         let sym = self.block_size();
         let per = self.blocks_per_stripe();
-        let _guard = self.lock_stripe(stripe_idx);
+        let _stripe = stair_obs::trace::span(stair_obs::trace::names::STORE_STRIPE);
+        let _guard = {
+            let _lock = stair_obs::trace::span(stair_obs::trace::names::STORE_LOCK);
+            self.lock_stripe(stripe_idx)
+        };
 
         let mut write_bytes = 0u64;
         let mut first_write: Option<usize> = None;
@@ -166,7 +171,10 @@ impl StripeStore {
                 w.bytes += self.fragment_bytes(&batch.ops()[f.op], &f.blocks);
                 w.blocks_written += f.blocks.len() as u64;
             }
-            sh.codec.encode(&mut stripe)?;
+            {
+                let _encode = stair_obs::trace::span(stair_obs::trace::names::STORE_ENCODE);
+                sh.codec.encode(&mut stripe)?;
+            }
             sh.counters.count_encode();
             self.write_back_cells(stripe_idx, &stripe, None)?;
             let w = write_slot(results, first_write);
@@ -177,6 +185,7 @@ impl StripeStore {
 
         // Partial: load + restore once, patch every dirty cell, serve
         // reads from the restored buffer, write back once.
+        let _delta = stair_obs::trace::span(stair_obs::trace::names::STORE_DELTA);
         let (mut stripe, erased) = self.load_stripe_restored(stripe_idx)?;
         let mut touched: BTreeSet<CellIdx> = BTreeSet::new();
         for f in frags {

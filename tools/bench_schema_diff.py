@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Schema diff for bench JSON reports.
+
+Usage: bench_schema_diff.py BASELINE.json FRESH.json
+
+Compares the *shape* of a freshly produced bench report against the
+committed baseline: the same nested key sets and the same scalar kinds
+(all numbers are one kind — throughput obviously varies run to run).
+List elements are folded into one merged element shape; `null` and
+empty lists act as wildcards, since optional fields (per-op latency
+percentiles) and sometimes-empty arrays (slow-op captures) depend on
+the run. Exits non-zero when the schema drifted, so a field rename or
+a dropped section fails CI instead of silently invalidating every
+downstream consumer of the report.
+"""
+
+import json
+import sys
+
+
+def shape(v):
+    """A report's shape: dicts keep keys, lists fold to one merged
+    element, scalars become kind-sets (empty set = null wildcard)."""
+    if isinstance(v, dict):
+        return {k: shape(x) for k, x in v.items()}
+    if isinstance(v, list):
+        merged = None
+        for x in v:
+            merged = merge(merged, shape(x))
+        return [merged]
+    if v is None:
+        return set()
+    if isinstance(v, bool):
+        return {"bool"}
+    if isinstance(v, (int, float)):
+        return {"number"}
+    return {type(v).__name__}
+
+
+def merge(a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if isinstance(a, dict) and isinstance(b, dict):
+        return {k: merge(a.get(k), b.get(k)) for k in set(a) | set(b)}
+    if isinstance(a, list) and isinstance(b, list):
+        return [merge(a[0], b[0])]
+    if isinstance(a, set) and isinstance(b, set):
+        return a | b
+    raise SystemExit(f"cannot merge shapes {render(a)} and {render(b)}")
+
+
+def render(s):
+    if isinstance(s, dict):
+        return {k: render(v) for k, v in sorted(s.items())}
+    if isinstance(s, list):
+        return [render(s[0])] if s and s[0] is not None else []
+    if isinstance(s, set):
+        return "|".join(sorted(s)) or "null"
+    return "empty-list"
+
+
+def compare(a, b, path, drift):
+    if isinstance(a, dict) and isinstance(b, dict):
+        if set(a) != set(b):
+            only_a = sorted(set(a) - set(b))
+            only_b = sorted(set(b) - set(a))
+            drift.append(f"{path}: keys differ (baseline-only {only_a}, fresh-only {only_b})")
+            return
+        for k in a:
+            compare(a[k], b[k], f"{path}.{k}", drift)
+    elif isinstance(a, list) and isinstance(b, list):
+        if a[0] is not None and b[0] is not None:
+            compare(a[0], b[0], f"{path}[]", drift)
+    elif isinstance(a, set) and isinstance(b, set):
+        if a and b and a != b:
+            drift.append(f"{path}: kind {render(a)} vs {render(b)}")
+    elif a is not None and b is not None:
+        drift.append(f"{path}: {render(a)} vs {render(b)}")
+
+
+def main():
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__)
+    baseline_path, fresh_path = sys.argv[1], sys.argv[2]
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+    if baseline.get("harness") != fresh.get("harness"):
+        raise SystemExit(
+            f"harness mismatch: baseline {baseline.get('harness')!r} "
+            f"vs fresh {fresh.get('harness')!r}"
+        )
+    drift = []
+    compare(shape(baseline), shape(fresh), "$", drift)
+    if drift:
+        for d in drift:
+            print(d)
+        raise SystemExit(
+            f"{fresh_path}: schema drifted from committed baseline {baseline_path}"
+        )
+    print(f"schema OK: {fresh_path} matches {baseline_path}")
+
+
+if __name__ == "__main__":
+    main()
