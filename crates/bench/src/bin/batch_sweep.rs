@@ -15,11 +15,17 @@
 //! one per op); read req/s grows mainly on `tcp:` (locally the clean
 //! read path was already cheap).
 //!
+//! Every `(backend, batch)` cell is measured twice — journal on and
+//! journal off (`STAIR_JOURNAL` toggled around store creation) — so
+//! the write-ahead journal's overhead is a measured column, not a
+//! guess. Reads are unaffected by the journal (no append on the read
+//! path); writes pay one record append + fsync per touched stripe.
+//!
 //! Flags: `--json <path>` writes the machine-readable report
 //! documented in `EXPERIMENTS.md`.
 //!
 //! Environment knobs: `STAIR_BATCH_MB` (logical capacity, default 2),
-//! `STAIR_BATCH_SIZES` (comma list, default `1,4,16,64`),
+//! `STAIR_BATCH_SIZES` (comma list, default `1,4,16,64,256`),
 //! `STAIR_BATCH_BACKENDS` (comma list of `file,shards,tcp`, default all
 //! three), `STAIR_BATCH_CODE` (codec spec, default `stair:8,16,2,1-2`),
 //! `STAIR_BATCH_SHARDS` (shard count for shards/tcp, default 2).
@@ -42,6 +48,7 @@ struct Measurement {
     backend: &'static str,
     op: &'static str,
     batch: usize,
+    journal: bool,
     timing: DevMeasurement,
 }
 
@@ -55,7 +62,7 @@ fn main() {
         .parse()
         .expect("bad STAIR_BATCH_CODE spec");
     let sizes: Vec<usize> = std::env::var("STAIR_BATCH_SIZES")
-        .unwrap_or_else(|_| "1,4,16,64".into())
+        .unwrap_or_else(|_| "1,4,16,64,256".into())
         .split(',')
         .map(|s| s.trim().parse().expect("bad STAIR_BATCH_SIZES entry"))
         .collect();
@@ -88,83 +95,102 @@ fn main() {
     );
     let mut results: Vec<Measurement> = Vec::new();
     let mut metrics: Vec<Json> = Vec::new();
-    for backend in &backends {
-        match backend.as_str() {
-            "file" => {
-                let stripes = (mb << 20).div_ceil(per_stripe).max(2);
-                let dir = root.join("file");
-                let store = StripeStore::create(
-                    &dir,
-                    &StoreOptions {
-                        code: code.clone(),
-                        symbol,
-                        stripes,
-                    },
-                )
-                .expect("create store");
-                sweep("file", &store, &sizes, &mut results, &mut metrics);
-                std::fs::remove_dir_all(&dir).expect("cleanup file");
+    // Journal on first (the shipping default), then off: the journal's
+    // enabled flag is read once per store open, so each axis point gets
+    // a fresh store created under the right `STAIR_JOURNAL` value.
+    for journal in [true, false] {
+        std::env::set_var("STAIR_JOURNAL", if journal { "1" } else { "0" });
+        for backend in &backends {
+            match backend.as_str() {
+                "file" => {
+                    let stripes = (mb << 20).div_ceil(per_stripe).max(2);
+                    let dir = root.join(format!("file-j{}", journal as u8));
+                    let store = StripeStore::create(
+                        &dir,
+                        &StoreOptions {
+                            code: code.clone(),
+                            symbol,
+                            stripes,
+                        },
+                    )
+                    .expect("create store");
+                    sweep("file", &store, &sizes, journal, &mut results, &mut metrics);
+                    std::fs::remove_dir_all(&dir).expect("cleanup file");
+                }
+                "shards" => {
+                    let stripes = (mb << 20).div_ceil(per_stripe * shards).max(2);
+                    let dir = root.join(format!("shards-j{}", journal as u8));
+                    let set = ShardSet::create(
+                        &dir,
+                        shards,
+                        &StoreOptions {
+                            code: code.clone(),
+                            symbol,
+                            stripes,
+                        },
+                    )
+                    .expect("create shards");
+                    sweep("shards", &set, &sizes, journal, &mut results, &mut metrics);
+                    std::fs::remove_dir_all(&dir).expect("cleanup shards");
+                }
+                "tcp" => {
+                    let stripes = (mb << 20).div_ceil(per_stripe * shards).max(2);
+                    let dir = root.join(format!("tcp-j{}", journal as u8));
+                    let set = ShardSet::create(
+                        &dir,
+                        shards,
+                        &StoreOptions {
+                            code: code.clone(),
+                            symbol,
+                            stripes,
+                        },
+                    )
+                    .expect("create shards");
+                    let server =
+                        Server::bind("127.0.0.1:0", set, ServerConfig::default()).expect("bind");
+                    let addr = server.local_addr().to_string();
+                    let handle = server.handle();
+                    let running = std::thread::spawn(move || server.run());
+                    let client = Client::connect(&addr).expect("connect");
+                    sweep("tcp", &client, &sizes, journal, &mut results, &mut metrics);
+                    handle.shutdown();
+                    running.join().expect("server thread").expect("server run");
+                    std::fs::remove_dir_all(&dir).expect("cleanup tcp");
+                }
+                other => panic!("unknown STAIR_BATCH_BACKENDS entry `{other}`"),
             }
-            "shards" => {
-                let stripes = (mb << 20).div_ceil(per_stripe * shards).max(2);
-                let dir = root.join("shards");
-                let set = ShardSet::create(
-                    &dir,
-                    shards,
-                    &StoreOptions {
-                        code: code.clone(),
-                        symbol,
-                        stripes,
-                    },
-                )
-                .expect("create shards");
-                sweep("shards", &set, &sizes, &mut results, &mut metrics);
-                std::fs::remove_dir_all(&dir).expect("cleanup shards");
-            }
-            "tcp" => {
-                let stripes = (mb << 20).div_ceil(per_stripe * shards).max(2);
-                let dir = root.join("tcp");
-                let set = ShardSet::create(
-                    &dir,
-                    shards,
-                    &StoreOptions {
-                        code: code.clone(),
-                        symbol,
-                        stripes,
-                    },
-                )
-                .expect("create shards");
-                let server =
-                    Server::bind("127.0.0.1:0", set, ServerConfig::default()).expect("bind");
-                let addr = server.local_addr().to_string();
-                let handle = server.handle();
-                let running = std::thread::spawn(move || server.run());
-                let client = Client::connect(&addr).expect("connect");
-                sweep("tcp", &client, &sizes, &mut results, &mut metrics);
-                handle.shutdown();
-                running.join().expect("server thread").expect("server run");
-                std::fs::remove_dir_all(&dir).expect("cleanup tcp");
-            }
-            other => panic!("unknown STAIR_BATCH_BACKENDS entry `{other}`"),
         }
     }
+    std::env::remove_var("STAIR_JOURNAL");
 
     // The headline claim must hold on every backend that ran both ends
-    // of the axis: batched writes beat single-op submission on req/s.
+    // of the axis: batched writes beat single-op submission on req/s
+    // (with the journal on — the shipping configuration). The second
+    // line is the journal's measured cost at the batched end.
     for backend in &backends {
-        let rate = |batch: usize| {
+        let rate = |batch: usize, journal: bool| {
             results
                 .iter()
-                .find(|m| m.backend == backend.as_str() && m.op == "write" && m.batch == batch)
+                .find(|m| {
+                    m.backend == backend.as_str()
+                        && m.op == "write"
+                        && m.batch == batch
+                        && m.journal == journal
+                })
                 .map(|m| m.timing.req_per_s())
         };
-        if let (Some(single), Some(batched)) = (rate(sizes[0]), sizes.last().and_then(|&b| rate(b)))
-        {
+        let last = sizes.last().copied().unwrap_or(sizes[0]);
+        if let (Some(single), Some(batched)) = (rate(sizes[0], true), rate(last, true)) {
             println!(
-                "-- {backend}: write req/s x{:.1} at batch={} vs {}",
+                "-- {backend}: write req/s x{:.1} at batch={last} vs {} (journal on)",
                 batched / single,
-                sizes.last().unwrap(),
                 sizes[0]
+            );
+        }
+        if let (Some(on), Some(off)) = (rate(last, true), rate(last, false)) {
+            println!(
+                "-- {backend}: journaled writes retain {:.0}% of un-journaled req/s at batch={last}",
+                100.0 * on / off
             );
         }
     }
@@ -181,16 +207,24 @@ fn sweep(
     backend: &'static str,
     dev: &dyn BlockDevice,
     sizes: &[usize],
+    journal: bool,
     results: &mut Vec<Measurement>,
     metrics: &mut Vec<Json>,
 ) {
     let capacity = dev.capacity() as usize;
     let block = dev.block_size();
+    let jtag = if journal { "jrnl+" } else { "jrnl-" };
     for &batch in sizes {
+        // One walk of the block space is capacity/block/batch submit
+        // calls — 16 at batch=256 on the default 2 MiB, where a single
+        // checkpoint stall would swing the mean by tens of percent. Do
+        // enough passes that every cell times ≥256 submissions.
+        let per_pass = (capacity / block).div_ceil(batch).max(1);
+        let passes = 256usize.div_ceil(per_pass);
         for (op, write) in [("write", true), ("read", false)] {
-            let timing = measure_batched(&[dev], write, capacity, block, batch, 1);
+            let timing = measure_batched(&[dev], write, capacity, block, batch, passes);
             println!(
-                "{backend:<7} {op:<5} batch={batch:<3} req/s={:>9.0}  MB/s={:>7.1}  p50={:>7.0}us  p99={:>7.0}us",
+                "{backend:<7} {jtag} {op:<5} batch={batch:<3} req/s={:>9.0}  MB/s={:>7.1}  p50={:>7.0}us  p99={:>7.0}us",
                 timing.req_per_s(),
                 timing.mb_per_s(),
                 timing.lat_p50_us,
@@ -200,6 +234,7 @@ fn sweep(
                 backend,
                 op,
                 batch,
+                journal,
                 timing,
             });
         }
@@ -210,6 +245,7 @@ fn sweep(
     let snap = dev.metrics().expect("backend metrics");
     metrics.push(Json::obj([
         ("backend", Json::str(backend)),
+        ("journal", Json::Bool(journal)),
         ("metrics", metrics_json(&snap)),
     ]));
 }
@@ -247,6 +283,10 @@ fn json_report(
                     "batch_sizes",
                     Json::arr(sizes.iter().map(|&b| Json::int(b))),
                 ),
+                (
+                    "journal_axis",
+                    Json::arr([Json::Bool(true), Json::Bool(false)]),
+                ),
             ]),
         ),
         (
@@ -256,6 +296,7 @@ fn json_report(
                     ("backend", Json::str(m.backend)),
                     ("op", Json::str(m.op)),
                     ("batch", Json::int(m.batch)),
+                    ("journal", Json::Bool(m.journal)),
                     ("req_per_s", Json::Num(m.timing.req_per_s())),
                     ("mb_per_s", Json::Num(m.timing.mb_per_s())),
                     ("lat_p50_us", Json::Num(m.timing.lat_p50_us)),

@@ -7,6 +7,7 @@ pub mod doc_drift;
 pub mod error_conv;
 pub mod lock_poison;
 pub mod no_panic;
+pub mod persist_ordering;
 pub mod spans;
 pub mod wire;
 
@@ -24,4 +25,5 @@ pub fn run_all(ws: &Workspace, out: &mut Vec<crate::findings::Finding>) {
     doc_drift::run(ws, out);
     counters::run(ws, out);
     spans::run(ws, out);
+    persist_ordering::run(ws, out);
 }

@@ -28,12 +28,15 @@ pub enum Lint {
     /// L7: span names recorded outside the declared `stair-obs` set,
     /// or declared span names nothing ever records.
     SpanDiscipline,
+    /// L8: an in-place stripe write-back (`.write_sector(…)`) in
+    /// `crates/store` outside the journaled commit path.
+    PersistOrdering,
     /// A baseline entry that no current finding matches.
     StaleBaseline,
 }
 
 /// Every lint, in reporting order.
-pub const ALL_LINTS: [Lint; 9] = [
+pub const ALL_LINTS: [Lint; 10] = [
     Lint::LockPoison,
     Lint::NoPanicInLib,
     Lint::IndexInLib,
@@ -42,6 +45,7 @@ pub const ALL_LINTS: [Lint; 9] = [
     Lint::DocDrift,
     Lint::CounterDiscipline,
     Lint::SpanDiscipline,
+    Lint::PersistOrdering,
     Lint::StaleBaseline,
 ];
 
@@ -57,6 +61,7 @@ impl Lint {
             Lint::DocDrift => "doc-drift",
             Lint::CounterDiscipline => "counter-discipline",
             Lint::SpanDiscipline => "span-discipline",
+            Lint::PersistOrdering => "persist-ordering",
             Lint::StaleBaseline => "stale-baseline",
         }
     }
@@ -70,6 +75,7 @@ impl Lint {
             Lint::IndexInLib => Some("index-ok"),
             Lint::CounterDiscipline => Some("metric-ok"),
             Lint::SpanDiscipline => Some("span-ok"),
+            Lint::PersistOrdering => Some("persist-ok"),
             // Wire/doc/error coherence and baseline freshness are
             // workspace-level facts; a site comment cannot waive them.
             Lint::WireConstants | Lint::ErrorConversions | Lint::DocDrift | Lint::StaleBaseline => {
@@ -98,6 +104,10 @@ impl Lint {
             Lint::SpanDiscipline => {
                 "span names live in stair-obs `names`: record only declared names, declare only \
                  recorded ones"
+            }
+            Lint::PersistOrdering => {
+                "in crates/store, sectors are written in place only from the journaled commit \
+                 path (write_back_cells / apply_write_back / replay_journal)"
             }
             Lint::StaleBaseline => "check.allow entries must match a current finding",
         }

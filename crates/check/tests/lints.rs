@@ -289,6 +289,42 @@ fn constant_span_names_and_waived_literals_are_clean() {
     assert_eq!(of(&r, Lint::SpanDiscipline), Vec::<String>::new());
 }
 
+// ---- L8 persist-ordering -------------------------------------------
+
+#[test]
+fn unjournaled_sector_writes_are_flagged() {
+    let bad = fixture("persist_bad.rs");
+    let r = run_ws(&[("crates/store/src/store.rs", &bad)]);
+    let hits = of(&r, Lint::PersistOrdering);
+    assert_eq!(hits.len(), 2, "{hits:?}");
+    assert!(hits.iter().any(|h| h.contains("sneaky_overwrite")));
+    assert!(hits.iter().any(|h| h.contains("flush_cache_line")));
+    assert_ne!(r.exit_code(), 0);
+}
+
+#[test]
+fn persist_ordering_scope_is_store_lib_only() {
+    let bad = fixture("persist_bad.rs");
+    // The same call sites in the defining module, another crate, a
+    // store binary, and an integration test are all out of scope.
+    let r = run_ws(&[
+        ("crates/store/src/device.rs", &bad),
+        ("crates/net/src/lib.rs", &bad),
+        ("crates/store/src/main.rs", &bad),
+        ("crates/store/tests/crash.rs", &bad),
+    ]);
+    assert_eq!(of(&r, Lint::PersistOrdering), Vec::<String>::new());
+}
+
+#[test]
+fn journaled_waived_and_test_writes_stay_clean() {
+    let ok = fixture("persist_near_miss.rs");
+    let r = run_ws(&[("crates/store/src/store.rs", &ok)]);
+    assert_eq!(of(&r, Lint::PersistOrdering), Vec::<String>::new());
+    // The deliberate bypass shows up in the waiver audit trail.
+    assert!(r.waivers.iter().any(|w| w.key == "persist-ok"));
+}
+
 // ---- baseline ------------------------------------------------------
 
 #[test]

@@ -139,15 +139,32 @@ fn cmd_status(flags: &Flags, spec: &DeviceSpec) -> Result<(), String> {
         println!("  failed devices    : {:?}", first.failed_devices);
         println!("  rebuilding devices: {:?}", first.rebuilding_devices);
         println!("  known bad sectors : {}", first.known_bad_sectors);
+        println!(
+            "  last shutdown     : {}",
+            shutdown_summary(first.clean_shutdown, first.replayed_records)
+        );
     } else {
         for (i, s) in status.shards.iter().enumerate() {
             println!(
-                "  shard {i}: failed {:?}, rebuilding {:?}, {} known bad sector(s)",
-                s.failed_devices, s.rebuilding_devices, s.known_bad_sectors
+                "  shard {i}: failed {:?}, rebuilding {:?}, {} known bad sector(s), {}",
+                s.failed_devices,
+                s.rebuilding_devices,
+                s.known_bad_sectors,
+                shutdown_summary(s.clean_shutdown, s.replayed_records)
             );
         }
     }
     Ok(())
+}
+
+/// One-line journal verdict for the human status view: clean close,
+/// or the crash recovery the open performed.
+fn shutdown_summary(clean: bool, replayed: u64) -> String {
+    if clean {
+        "clean (journal checkpointed)".to_string()
+    } else {
+        format!("unclean (replayed {replayed} journal record(s))")
+    }
 }
 
 /// Data fraction from the codec spec (`data blocks / (n·r)`); `None`

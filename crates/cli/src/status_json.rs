@@ -31,6 +31,8 @@ fn shard_json(shard: &ShardHealth) -> Json {
         ("failed_devices", devs(&shard.failed_devices)),
         ("rebuilding_devices", devs(&shard.rebuilding_devices)),
         ("known_bad_sectors", Json::int(shard.known_bad_sectors)),
+        ("clean_shutdown", Json::Bool(shard.clean_shutdown)),
+        ("replayed_records", Json::int64(shard.replayed_records)),
         ("healthy", Json::Bool(shard.healthy())),
     ])
 }

@@ -10,6 +10,7 @@
 //! stair store scrub  --dir DIR [--threads T] [--json]
 //! stair store repair --dir DIR [--threads T] [--json]
 //! stair store flush  --dir DIR
+//! stair store recover --dir DIR [--json]
 //! stair store inject --dir DIR --p-sec P [--seed S] [--burst B1,ALPHA]
 //! ```
 //!
@@ -18,16 +19,23 @@
 //! paper compares. The legacy `--n/--r/--m/--e` flags still work and
 //! build a STAIR spec.
 //!
-//! Only `init` and `inject` are store-specific; every data-path verb is
-//! a thin alias for `stair dev … --dev file:DIR` (see
+//! Only `init`, `inject`, and `recover` are store-specific; every
+//! data-path verb is a thin alias for `stair dev … --dev file:DIR` (see
 //! [`crate::device_cmd`]), so the local, sharded, and remote backends
 //! share one implementation.
+//!
+//! `recover` is the operator's post-crash front door: opening the store
+//! replays any journal tail left by an unclean shutdown, then a scrub
+//! verifies every sector, then a clean close checkpoints the journal —
+//! so a successful `recover` leaves the store provably consistent and
+//! marked `clean_shutdown`.
 
 use std::str::FromStr;
 
 use stair_arraysim::FailureInjector;
 use stair_code::CodecSpec;
 use stair_device::DeviceSpec;
+use stair_net::json::Json;
 use stair_reliability::BurstModel;
 use stair_store::{StoreOptions, StripeStore};
 
@@ -45,6 +53,7 @@ pub const STORE_USAGE: &str = "usage:
   stair store scrub  --dir DIR [--threads T] [--json]
   stair store repair --dir DIR [--threads T] [--json]
   stair store flush  --dir DIR
+  stair store recover --dir DIR [--json] [--threads T]
   stair store inject --dir DIR --p-sec P [--seed S] [--burst B1,ALPHA]";
 
 /// Dispatches a `stair store <verb> ...` invocation.
@@ -52,6 +61,7 @@ pub fn run(verb: &str, flags: &Flags) -> Result<(), String> {
     match verb {
         "init" => cmd_init(flags),
         "inject" => cmd_inject(flags),
+        "recover" => cmd_recover(flags),
         "status" | "read" | "write" | "fail" | "scrub" | "repair" | "flush" => {
             let spec = DeviceSpec::File {
                 dir: dir_flag(flags)?,
@@ -110,6 +120,66 @@ fn cmd_init(flags: &Flags) -> Result<(), String> {
         store.geometry().n
     );
     Ok(())
+}
+
+/// `stair store recover`: open (replaying any journal tail a crash
+/// left), scrub every sector, and close cleanly (checkpointing the
+/// journal). Exits non-zero when the scrub still finds damage — then
+/// the journal alone was not enough and `stair store repair` is needed.
+fn cmd_recover(flags: &Flags) -> Result<(), String> {
+    let store = open(flags)?;
+    let status = store.status();
+    let threads = usize_flag(flags, "threads", 4)?;
+    let outcome = store.scrub(threads).map_err(|e| e.to_string())?;
+    // A clean close writes `clean_shutdown 1`; do it before reporting
+    // so the verdict below describes the on-disk state we leave behind.
+    drop(store);
+    if flags.contains_key("json") {
+        let json = Json::obj([
+            ("op", Json::str("recover")),
+            ("was_clean_shutdown", Json::Bool(status.clean_shutdown)),
+            ("replayed_records", Json::int64(status.replayed_records)),
+            (
+                "scrub",
+                Json::obj([
+                    ("stripes_scanned", Json::int(outcome.stripes_scanned)),
+                    ("sectors_verified", Json::int(outcome.sectors_verified)),
+                    ("mismatches", Json::int(outcome.mismatches.len())),
+                    (
+                        "unavailable_devices",
+                        Json::arr(outcome.unavailable_devices.iter().map(|&d| Json::int(d))),
+                    ),
+                    ("records_cleared", Json::int(outcome.records_cleared)),
+                ]),
+            ),
+            ("clean", Json::Bool(outcome.clean())),
+        ]);
+        print!("{}", json.to_text());
+    } else {
+        if status.clean_shutdown {
+            println!("previous shutdown was clean: nothing to replay");
+        } else {
+            println!(
+                "unclean shutdown detected: replayed {} journal record(s)",
+                status.replayed_records
+            );
+        }
+        println!(
+            "scrubbed {} stripes, verified {} sectors: {} mismatches, {} unavailable device(s)",
+            outcome.stripes_scanned,
+            outcome.sectors_verified,
+            outcome.mismatches.len(),
+            outcome.unavailable_devices.len()
+        );
+    }
+    if outcome.clean() {
+        if !flags.contains_key("json") {
+            println!("store consistent; journal checkpointed");
+        }
+        Ok(())
+    } else {
+        Err("scrub found damage the journal could not cover: run `stair store repair`".into())
+    }
 }
 
 fn cmd_inject(flags: &Flags) -> Result<(), String> {

@@ -177,6 +177,8 @@ fn store_and_remote_status_json_share_one_shape() {
         "\"failed_devices\":[]",
         "\"rebuilding_devices\":[]",
         "\"known_bad_sectors\":0",
+        "\"clean_shutdown\":true",
+        "\"replayed_records\":0",
         "\"healthy\":true",
     ] {
         assert!(local.contains(key), "local missing {key}: {local}");

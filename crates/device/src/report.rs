@@ -32,6 +32,12 @@ pub struct ShardHealth {
     pub rebuilding_devices: Vec<usize>,
     /// Known-damaged sectors awaiting repair.
     pub known_bad_sectors: usize,
+    /// Whether the shard's previous close checkpointed its journal
+    /// (`false` after a crash until the next clean shutdown).
+    pub clean_shutdown: bool,
+    /// Journal records replayed when the shard opened (0 after a clean
+    /// shutdown).
+    pub replayed_records: u64,
 }
 
 impl ShardHealth {

@@ -43,9 +43,9 @@ use stair_store::StoreStatus;
 
 use crate::device_impl::write_outcome;
 use crate::protocol::{
-    ok_or_remote, read_response, write_request_traced, BatchReply, RepairSummary, Request,
-    Response, ScrubSummary, ServerInfo, WireShardStatus, WireTrace, WriteSummary, MAX_BATCH_OPS,
-    MAX_IO_BYTES, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+    ok_or_remote, read_response_v, write_request_traced_v, BatchReply, RepairSummary, Request,
+    Response, ScrubSummary, ServerInfo, WireShardStatus, WireTrace, WriteSummary,
+    JOURNAL_SINCE_VERSION, MAX_BATCH_OPS, MAX_IO_BYTES, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use crate::NetError;
 
@@ -94,8 +94,8 @@ impl Conn {
         let id = self.next_id;
         self.next_id += 1;
         let ctx = self.trace_ctx();
-        write_request_traced(&mut self.stream, id, req, ctx)?;
-        let (rid, resp) = read_response(&mut self.stream)?;
+        write_request_traced_v(&mut self.stream, id, req, ctx, self.version)?;
+        let (rid, resp) = read_response_v(&mut self.stream, self.version)?;
         if rid != id {
             return Err(NetError::Protocol(format!(
                 "response for request {rid} while awaiting {id}"
@@ -122,7 +122,7 @@ impl Conn {
                 let id = self.next_id;
                 self.next_id += 1;
                 let ctx = self.trace_ctx();
-                match write_request_traced(&mut self.stream, id, &make(next), ctx) {
+                match write_request_traced_v(&mut self.stream, id, &make(next), ctx, self.version) {
                     Ok(()) => {
                         pending.insert(id, next);
                         next += 1;
@@ -136,7 +136,7 @@ impl Conn {
             if pending.is_empty() {
                 break;
             }
-            let (rid, resp) = match read_response(&mut self.stream) {
+            let (rid, resp) = match read_response_v(&mut self.stream, self.version) {
                 Ok(x) => x,
                 // The stream is broken; outstanding responses are lost.
                 Err(e) => return Err(first_err.unwrap_or(e)),
@@ -352,9 +352,17 @@ impl Client {
 
     /// Submits a scatter-gather batch: every op travels in one BATCH
     /// frame (several frames only past the per-request caps), so N
-    /// small ops cost one round trip instead of N. Read-only batches
-    /// are idempotent and retry once over a fresh connection; batches
-    /// containing writes do not.
+    /// small ops cost one round trip instead of N.
+    ///
+    /// **Retry semantics.** Read-only batches are idempotent and retry
+    /// once over a fresh connection. On a session that negotiated
+    /// protocol ≥ 4, batches containing writes retry too: each frame
+    /// carries a client-chosen batch id that is *reissued unchanged*
+    /// on the retry, and re-applying the writes is safe because ops
+    /// are absolute post-images and the server's stores journal them
+    /// (a frame that half-landed before the socket died is completed
+    /// or repeated, never torn). On an older session, write batches
+    /// surface transport errors to the caller as before.
     ///
     /// # Errors
     ///
@@ -368,7 +376,12 @@ impl Client {
         if frames.is_empty() {
             return Ok(BatchResult::from_results(results));
         }
-        let idempotent = batch.ops().iter().all(|op| !op.is_write());
+        let read_only = batch.ops().iter().all(|op| !op.is_write());
+        // The negotiated version is stable across redials (dial
+        // re-offers the same max), so the initial HELLO's answer
+        // decides retryability for the connection's whole life.
+        let journaled_peer = self.info.version >= JOURNAL_SINCE_VERSION;
+        let retryable = read_only || journaled_peer;
         // Conflicting ops must take effect in submission order. Within
         // one frame the server guarantees it (one submit call); across
         // frames the worker pool may execute pipelined requests out of
@@ -376,17 +389,23 @@ impl Client {
         // frame completes before the next is sent.
         let ordered = frames.len() > 1 && batch.has_conflicts();
         // Split each frame into its payload and the metadata needed to
-        // fold the response back. Write payloads *move* into requests
-        // (writes are never retried, so the second copy would be pure
-        // waste); read-only batches may be resent on retry, and read
-        // ops carry no data, so recreating them by clone is free.
+        // fold the response back. Retryable frames may be resent over a
+        // fresh connection, so their payloads are cloned per send;
+        // non-retryable write payloads *move* into requests (the second
+        // copy would be pure waste). Each frame's batch id is minted
+        // once, before any send, so a retry reissues the same id.
         let (metas, mut payloads): (Vec<FrameMeta>, Vec<Vec<IoOp>>) = frames
             .into_iter()
             .map(|f| ((f.map, f.specs), f.ops))
             .unzip();
-        self.with_conn(idempotent, |conn| {
+        let batch_ids: Vec<u64> = payloads
+            .iter()
+            .map(|_| if journaled_peer { next_batch_id() } else { 0 })
+            .collect();
+        self.with_conn(retryable, |conn| {
             let mut request = |i: usize| Request::Batch {
-                ops: if idempotent {
+                batch_id: batch_ids[i],
+                ops: if retryable {
                     payloads[i].clone()
                 } else {
                     std::mem::take(&mut payloads[i])
@@ -891,6 +910,13 @@ impl StripedClient {
     }
 }
 
+/// Mints a process-unique nonzero batch id (0 means "unassigned" on
+/// the wire, so the counter starts at 1).
+fn next_batch_id() -> u64 {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+    NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
 fn unexpected(what: &str, got: &Response) -> NetError {
     NetError::Protocol(format!("unexpected response to {what}: {got:?}"))
 }
@@ -920,6 +946,8 @@ fn store_status(w: &WireShardStatus) -> Result<StoreStatus, NetError> {
         failed_devices: w.failed_devices.iter().map(|&d| d as usize).collect(),
         rebuilding_devices: w.rebuilding_devices.iter().map(|&d| d as usize).collect(),
         known_bad_sectors: w.known_bad_sectors as usize,
+        clean_shutdown: w.clean_shutdown,
+        replayed_records: w.replayed_records,
     })
 }
 

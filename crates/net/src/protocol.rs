@@ -44,7 +44,15 @@
 //! wire-propagated trace context (the opcode high bit, above) and the
 //! [`Opcode::Trace`] frame (pull the server's flight recorder); v2
 //! peers are still accepted, and a frame without the trace flag is
-//! byte-for-byte a v2 frame.
+//! byte-for-byte a v2 frame. v4 (the journal protocol) extends two
+//! existing frames *for sessions that negotiated ≥ 4 only*: a BATCH
+//! request opens with a client-chosen `[u64 batch_id]` (so a batch
+//! reissued after a redial is identifiable server-side; journal replay
+//! makes re-application safe), and each STATUS response shard carries
+//! a trailing `[u8 clean_shutdown] [u64 replayed_records]`. On a v2/v3
+//! session both frames keep their old byte layout, which is why the
+//! encode/decode helpers below take the negotiated session version
+//! (`*_v` variants; the unsuffixed forms assume [`PROTOCOL_VERSION`]).
 
 use std::io::{Read, Write};
 
@@ -55,7 +63,10 @@ use stair_store::checksum::fletcher32;
 use crate::NetError;
 
 /// Protocol version this build speaks.
-pub const PROTOCOL_VERSION: u32 = 3;
+pub const PROTOCOL_VERSION: u32 = 4;
+/// Protocol version that introduced BATCH ids and the STATUS
+/// crash-recovery fields (`clean_shutdown` / `replayed_records`).
+pub const JOURNAL_SINCE_VERSION: u32 = 4;
 /// Oldest peer version still accepted at HELLO time; the negotiated
 /// session version is `min(client, server)`.
 pub const MIN_PROTOCOL_VERSION: u32 = 2;
@@ -225,6 +236,13 @@ pub enum Request {
     /// Execute `ops` as one scatter-gather batch; the response carries
     /// one reply per op, in submission order.
     Batch {
+        /// Client-chosen batch id (protocol v4; 0 = unassigned, the
+        /// only value a v2/v3 frame can carry). A client that redials
+        /// mid-batch reissues the frame under the *same* id, so the
+        /// server can count duplicate deliveries; re-applying the
+        /// writes is safe regardless, because the store journals
+        /// absolute post-images.
+        batch_id: u64,
         /// The ops, in submission order, offsets in the global block
         /// space. Per-op spans and the combined byte budget are capped
         /// at [`MAX_IO_BYTES`], the count at [`MAX_BATCH_OPS`].
@@ -400,6 +418,12 @@ pub struct WireShardStatus {
     pub rebuilding_devices: Vec<u32>,
     /// Known-damaged sectors awaiting repair.
     pub known_bad_sectors: u32,
+    /// Whether the shard's previous close checkpointed its journal
+    /// (protocol v4; a v2/v3 peer reports `true` vacuously).
+    pub clean_shutdown: bool,
+    /// Journal records replayed when the shard opened (protocol v4;
+    /// a v2/v3 peer reports 0).
+    pub replayed_records: u64,
 }
 
 /// Summary of a server-side write (mirrors [`stair_store::WriteReport`],
@@ -614,7 +638,7 @@ impl<'a> Dec<'a> {
     }
 }
 
-fn encode_request_payload(req: &Request) -> Vec<u8> {
+fn encode_request_payload(req: &Request, version: u32) -> Vec<u8> {
     let mut e = Enc(Vec::new());
     match req {
         Request::Hello { version } => {
@@ -655,7 +679,10 @@ fn encode_request_payload(req: &Request) -> Vec<u8> {
             e.u32(*len);
         }
         Request::Scrub { threads } | Request::Repair { threads } => e.u32(*threads),
-        Request::Batch { ops } => {
+        Request::Batch { batch_id, ops } => {
+            if version >= JOURNAL_SINCE_VERSION {
+                e.u64(*batch_id);
+            }
             e.u32(ops.len() as u32);
             for op in ops {
                 match op {
@@ -677,7 +704,7 @@ fn encode_request_payload(req: &Request) -> Vec<u8> {
     e.0
 }
 
-fn decode_request_payload(op: Opcode, payload: &[u8]) -> Result<Request, NetError> {
+fn decode_request_payload(op: Opcode, payload: &[u8], version: u32) -> Result<Request, NetError> {
     let mut d = Dec::new(payload);
     let req = match op {
         Opcode::Hello => {
@@ -728,6 +755,11 @@ fn decode_request_payload(op: Opcode, payload: &[u8]) -> Result<Request, NetErro
         Opcode::Repair => Request::Repair { threads: d.u32()? },
         Opcode::Shutdown => Request::Shutdown,
         Opcode::Batch => {
+            let batch_id = if version >= JOURNAL_SINCE_VERSION {
+                d.u64()?
+            } else {
+                0
+            };
             let count = d.u32()?;
             if count > MAX_BATCH_OPS {
                 return Err(NetError::Protocol(format!(
@@ -766,7 +798,7 @@ fn decode_request_payload(op: Opcode, payload: &[u8]) -> Result<Request, NetErro
                     k => return Err(NetError::Protocol(format!("unknown batch op kind {k}"))),
                 });
             }
-            Request::Batch { ops }
+            Request::Batch { batch_id, ops }
         }
         Opcode::Metrics => Request::Metrics,
         Opcode::Trace => Request::Trace,
@@ -952,7 +984,7 @@ fn decode_traces(d: &mut Dec<'_>) -> Result<Vec<WireTrace>, NetError> {
     Ok(traces)
 }
 
-fn encode_response_payload(resp: &Response) -> (u8, Vec<u8>) {
+fn encode_response_payload(resp: &Response, version: u32) -> (u8, Vec<u8>) {
     let mut e = Enc(Vec::new());
     let status = match resp {
         Response::Error(msg) => {
@@ -979,6 +1011,10 @@ fn encode_response_payload(resp: &Response) -> (u8, Vec<u8>) {
                 e.u32s(&s.failed_devices);
                 e.u32s(&s.rebuilding_devices);
                 e.u32(s.known_bad_sectors);
+                if version >= JOURNAL_SINCE_VERSION {
+                    e.u8(s.clean_shutdown as u8);
+                    e.u64(s.replayed_records);
+                }
             }
             Opcode::Status as u8
         }
@@ -1047,7 +1083,7 @@ fn encode_response_payload(resp: &Response) -> (u8, Vec<u8>) {
     (status, e.0)
 }
 
-fn decode_response_payload(status: u8, payload: &[u8]) -> Result<Response, NetError> {
+fn decode_response_payload(status: u8, payload: &[u8], version: u32) -> Result<Response, NetError> {
     if status == 0 {
         return Ok(Response::Error(
             String::from_utf8_lossy(payload).into_owned(),
@@ -1067,7 +1103,7 @@ fn decode_response_payload(status: u8, payload: &[u8]) -> Result<Response, NetEr
             let count = d.u32()? as usize;
             let mut shards = Vec::with_capacity(count.min(1024));
             for _ in 0..count {
-                shards.push(WireShardStatus {
+                let mut s = WireShardStatus {
                     codec: d.str()?,
                     capacity: d.u64()?,
                     block_size: d.u32()?,
@@ -1076,7 +1112,16 @@ fn decode_response_payload(status: u8, payload: &[u8]) -> Result<Response, NetEr
                     failed_devices: d.u32s()?,
                     rebuilding_devices: d.u32s()?,
                     known_bad_sectors: d.u32()?,
-                });
+                    // A pre-journal peer has nothing to report:
+                    // vacuously clean, nothing replayed.
+                    clean_shutdown: true,
+                    replayed_records: 0,
+                };
+                if version >= JOURNAL_SINCE_VERSION {
+                    s.clean_shutdown = decode_bool(&mut d, "clean_shutdown")?;
+                    s.replayed_records = d.u64()?;
+                }
+                shards.push(s);
             }
             Response::Status(shards)
         }
@@ -1160,20 +1205,21 @@ fn read_frame(stream: &mut impl Read) -> Result<Vec<u8>, NetError> {
     Ok(body)
 }
 
-/// Writes one request frame with no trace context — byte-identical to
-/// a protocol v2 frame.
+/// Writes one request frame with no trace context at the current
+/// [`PROTOCOL_VERSION`] — byte-identical to a protocol v2 frame for
+/// every request except a BATCH carrying an id.
 ///
 /// # Errors
 ///
 /// Propagates socket errors.
 pub fn write_request(stream: &mut impl Write, id: u64, req: &Request) -> Result<(), NetError> {
-    write_request_traced(stream, id, req, None)
+    write_request_traced_v(stream, id, req, None, PROTOCOL_VERSION)
 }
 
-/// Writes one request frame, optionally carrying span context (sets
-/// [`TRACE_FLAG`] on the opcode byte and prefixes the payload with
-/// `[u64 trace_id][u64 span_id]`). Only send context to a peer that
-/// negotiated protocol ≥ 3.
+/// Writes one request frame at the current [`PROTOCOL_VERSION`],
+/// optionally carrying span context (sets [`TRACE_FLAG`] on the opcode
+/// byte and prefixes the payload with `[u64 trace_id][u64 span_id]`).
+/// Only send context to a peer that negotiated protocol ≥ 3.
 ///
 /// # Errors
 ///
@@ -1184,11 +1230,28 @@ pub fn write_request_traced(
     req: &Request,
     ctx: Option<SpanCtx>,
 ) -> Result<(), NetError> {
+    write_request_traced_v(stream, id, req, ctx, PROTOCOL_VERSION)
+}
+
+/// [`write_request_traced`] at an explicit negotiated session version
+/// — what a client holding a v2/v3 session uses so its BATCH frames
+/// keep the pre-v4 layout.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_request_traced_v(
+    stream: &mut impl Write,
+    id: u64,
+    req: &Request,
+    ctx: Option<SpanCtx>,
+    version: u32,
+) -> Result<(), NetError> {
     // No-op unless the caller is inside a recorded span (only clients
     // write requests, so this is the client-side serialization cost).
     let payload = {
         let _enc = stair_obs::trace::span(stair_obs::trace::names::CLIENT_ENCODE);
-        encode_request_payload(req)
+        encode_request_payload(req, version)
     };
     let prefix = if ctx.is_some() { 16 } else { 0 };
     let mut frame = Vec::with_capacity(4 + 9 + prefix + payload.len());
@@ -1219,9 +1282,9 @@ pub fn read_request(stream: &mut impl Read) -> Result<(u64, Request), NetError> 
     Ok((id, req))
 }
 
-/// Reads one request frame, returning `(request_id, request,
-/// span context)` — the context is `Some` exactly when the sender set
-/// [`TRACE_FLAG`].
+/// Reads one request frame at the current [`PROTOCOL_VERSION`],
+/// returning `(request_id, request, span context)` — the context is
+/// `Some` exactly when the sender set [`TRACE_FLAG`].
 ///
 /// # Errors
 ///
@@ -1229,6 +1292,21 @@ pub fn read_request(stream: &mut impl Read) -> Result<(u64, Request), NetError> 
 /// requests are all rejected.
 pub fn read_request_traced(
     stream: &mut impl Read,
+) -> Result<(u64, Request, Option<SpanCtx>), NetError> {
+    read_request_traced_v(stream, PROTOCOL_VERSION)
+}
+
+/// [`read_request_traced`] at an explicit negotiated session version —
+/// what the server's reader uses after HELLO so a v2/v3 peer's BATCH
+/// frames parse under their original layout.
+///
+/// # Errors
+///
+/// Socket errors, truncated frames, unknown opcodes, or oversized
+/// requests are all rejected.
+pub fn read_request_traced_v(
+    stream: &mut impl Read,
+    version: u32,
 ) -> Result<(u64, Request, Option<SpanCtx>), NetError> {
     let body = read_frame(stream)?;
     let mut d = Dec::new(&body);
@@ -1244,16 +1322,33 @@ pub fn read_request_traced(
         None
     };
     let payload = &body[d.at..];
-    Ok((id, decode_request_payload(op, payload)?, ctx))
+    Ok((id, decode_request_payload(op, payload, version)?, ctx))
 }
 
-/// Writes one response frame (status byte + Fletcher-32 of the payload).
+/// Writes one response frame (status byte + Fletcher-32 of the
+/// payload) at the current [`PROTOCOL_VERSION`].
 ///
 /// # Errors
 ///
 /// Propagates socket errors.
 pub fn write_response(stream: &mut impl Write, id: u64, resp: &Response) -> Result<(), NetError> {
-    let (status, payload) = encode_response_payload(resp);
+    write_response_v(stream, id, resp, PROTOCOL_VERSION)
+}
+
+/// [`write_response`] at an explicit negotiated session version — what
+/// the server uses so a v2/v3 peer receives STATUS shards without the
+/// v4 trailing fields.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_response_v(
+    stream: &mut impl Write,
+    id: u64,
+    resp: &Response,
+    version: u32,
+) -> Result<(), NetError> {
+    let (status, payload) = encode_response_payload(resp, version);
     let sum = fletcher32(&payload);
     let mut frame = Vec::with_capacity(4 + 13 + payload.len());
     frame.extend_from_slice(&(13 + payload.len() as u32).to_le_bytes());
@@ -1281,13 +1376,24 @@ pub fn ok_or_remote(resp: Response) -> Result<Response, NetError> {
     }
 }
 
-/// Reads one response frame, verifying the payload checksum. Returns
-/// `(request_id, response)`.
+/// Reads one response frame at the current [`PROTOCOL_VERSION`],
+/// verifying the payload checksum. Returns `(request_id, response)`.
 ///
 /// # Errors
 ///
 /// Socket errors, malformed frames, and checksum mismatches.
 pub fn read_response(stream: &mut impl Read) -> Result<(u64, Response), NetError> {
+    read_response_v(stream, PROTOCOL_VERSION)
+}
+
+/// [`read_response`] at an explicit negotiated session version — what
+/// a client holding a v2/v3 session uses to parse STATUS responses
+/// under their original layout.
+///
+/// # Errors
+///
+/// Socket errors, malformed frames, and checksum mismatches.
+pub fn read_response_v(stream: &mut impl Read, version: u32) -> Result<(u64, Response), NetError> {
     let body = read_frame(stream)?;
     let mut d = Dec::new(&body);
     let id = d.u64()?;
@@ -1301,7 +1407,7 @@ pub fn read_response(stream: &mut impl Read) -> Result<(u64, Response), NetError
     // Covers parsing only, not the socket wait above — a trace must not
     // double-count the server's time under a client-side span.
     let _dec = stair_obs::trace::span(stair_obs::trace::names::CLIENT_DECODE);
-    Ok((id, decode_response_payload(status, payload)?))
+    Ok((id, decode_response_payload(status, payload, version)?))
 }
 
 #[cfg(test)]
@@ -1354,6 +1460,7 @@ mod tests {
         round_trip_request(Request::Repair { threads: 2 });
         round_trip_request(Request::Shutdown);
         round_trip_request(Request::Batch {
+            batch_id: 0xFEED_F00D_0000_0042,
             ops: vec![
                 IoOp::Read {
                     offset: 512,
@@ -1366,7 +1473,10 @@ mod tests {
                 IoOp::Read { offset: 9, len: 0 },
             ],
         });
-        round_trip_request(Request::Batch { ops: vec![] });
+        round_trip_request(Request::Batch {
+            batch_id: 0,
+            ops: vec![],
+        });
         round_trip_request(Request::Metrics);
         round_trip_request(Request::Trace);
     }
@@ -1374,6 +1484,7 @@ mod tests {
     #[test]
     fn traced_frames_round_trip_their_span_context() {
         let req = Request::Batch {
+            batch_id: 3,
             ops: vec![IoOp::Read { offset: 64, len: 8 }],
         };
         let ctx = SpanCtx {
@@ -1570,7 +1681,7 @@ mod tests {
         // Op count over the cap.
         let ops = vec![IoOp::Read { offset: 0, len: 1 }; MAX_BATCH_OPS as usize + 1];
         let mut wire = Vec::new();
-        write_request(&mut wire, 1, &Request::Batch { ops }).unwrap();
+        write_request(&mut wire, 1, &Request::Batch { batch_id: 0, ops }).unwrap();
         assert!(matches!(
             read_request(&mut wire.as_slice()),
             Err(NetError::Protocol(_))
@@ -1585,7 +1696,7 @@ mod tests {
             2
         ];
         let mut wire = Vec::new();
-        write_request(&mut wire, 1, &Request::Batch { ops }).unwrap();
+        write_request(&mut wire, 1, &Request::Batch { batch_id: 0, ops }).unwrap();
         assert!(matches!(
             read_request(&mut wire.as_slice()),
             Err(NetError::Protocol(_))
@@ -1611,6 +1722,8 @@ mod tests {
             failed_devices: vec![1, 5],
             rebuilding_devices: vec![],
             known_bad_sectors: 2,
+            clean_shutdown: false,
+            replayed_records: 31,
         }]));
         round_trip_response(Response::Data(vec![0xAB; 1000]));
         round_trip_response(Response::Written(WriteSummary {
@@ -1651,6 +1764,77 @@ mod tests {
         round_trip_response(Response::Batched(vec![]));
         round_trip_response(Response::ShuttingDown);
         round_trip_response(Response::Error("it broke".into()));
+    }
+
+    #[test]
+    fn v3_sessions_keep_the_pre_journal_batch_and_status_layout() {
+        // A BATCH written at session version 3 carries no batch id and
+        // is byte-identical to what a v3 build produced; decoding it at
+        // v3 yields batch_id 0.
+        let req = Request::Batch {
+            batch_id: 77, // dropped on the wire at v3
+            ops: vec![IoOp::Read {
+                offset: 512,
+                len: 8,
+            }],
+        };
+        let mut v3_wire = Vec::new();
+        write_request_traced_v(&mut v3_wire, 9, &req, None, 3).unwrap();
+        let mut legacy = Vec::new();
+        legacy.extend_from_slice(&(9 + 4 + 13u32).to_le_bytes()); // count + one read op
+        legacy.extend_from_slice(&9u64.to_le_bytes());
+        legacy.push(Opcode::Batch as u8);
+        legacy.extend_from_slice(&1u32.to_le_bytes());
+        legacy.push(0); // read
+        legacy.extend_from_slice(&512u64.to_le_bytes());
+        legacy.extend_from_slice(&8u32.to_le_bytes());
+        assert_eq!(v3_wire, legacy);
+        let (_, back, _) = read_request_traced_v(&mut v3_wire.as_slice(), 3).unwrap();
+        assert_eq!(
+            back,
+            Request::Batch {
+                batch_id: 0,
+                ops: vec![IoOp::Read {
+                    offset: 512,
+                    len: 8
+                }],
+            }
+        );
+        // At v4 the same request round-trips its id.
+        let mut v4_wire = Vec::new();
+        write_request_traced_v(&mut v4_wire, 9, &req, None, 4).unwrap();
+        assert_eq!(v4_wire.len(), v3_wire.len() + 8);
+        let (_, back, _) = read_request_traced_v(&mut v4_wire.as_slice(), 4).unwrap();
+        assert_eq!(back, req);
+
+        // A STATUS response written at v3 drops the journal fields and
+        // decodes to the vacuous defaults (clean, nothing replayed).
+        let shard = WireShardStatus {
+            codec: "rs:6,4,2".into(),
+            capacity: 4096,
+            block_size: 64,
+            stripes: 4,
+            blocks_per_stripe: 16,
+            failed_devices: vec![],
+            rebuilding_devices: vec![],
+            known_bad_sectors: 0,
+            clean_shutdown: false,
+            replayed_records: 12,
+        };
+        let mut wire = Vec::new();
+        write_response_v(&mut wire, 5, &Response::Status(vec![shard.clone()]), 3).unwrap();
+        let (_, back) = read_response_v(&mut wire.as_slice(), 3).unwrap();
+        let expected = WireShardStatus {
+            clean_shutdown: true,
+            replayed_records: 0,
+            ..shard.clone()
+        };
+        assert_eq!(back, Response::Status(vec![expected]));
+        // And at v4 the crash-recovery fields survive the trip.
+        let mut wire = Vec::new();
+        write_response_v(&mut wire, 5, &Response::Status(vec![shard.clone()]), 4).unwrap();
+        let (_, back) = read_response_v(&mut wire.as_slice(), 4).unwrap();
+        assert_eq!(back, Response::Status(vec![shard]));
     }
 
     #[test]

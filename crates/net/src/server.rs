@@ -26,7 +26,7 @@
 use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -35,7 +35,7 @@ use stair_obs::trace::{self, names};
 use stair_obs::{MetricsRegistry, SpanCtx};
 
 use crate::protocol::{
-    read_request_traced, write_response, BatchReply, RepairSummary, Request, Response,
+    read_request_traced_v, write_response_v, BatchReply, RepairSummary, Request, Response,
     ScrubSummary, ServerInfo, WireTrace, WriteSummary, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use crate::shards::{wire_status, ShardSet};
@@ -77,11 +77,23 @@ struct Job {
     ctx: Option<SpanCtx>,
 }
 
+/// Most recently-seen BATCH ids remembered per connection for
+/// duplicate-delivery accounting.
+const RECENT_BATCH_IDS: usize = 64;
+
 /// The write half of a connection; workers serialize frames under the
 /// lock. A send to a dead peer is ignored — the reader thread notices
 /// the hangup and retires the connection.
 struct ConnWriter {
     stream: Mutex<TcpStream>,
+    /// Protocol version negotiated at HELLO; responses are encoded at
+    /// this version so a v2/v3 peer never sees v4 fields. Before HELLO
+    /// it holds [`MIN_PROTOCOL_VERSION`], the lowest common form.
+    version: AtomicU32,
+    /// Ring of recent nonzero BATCH ids (v4 clients stamp retried
+    /// batches with the same id; a repeat here means the client
+    /// redelivered after a redial).
+    recent_batches: Mutex<VecDeque<u64>>,
 }
 
 impl ConnWriter {
@@ -92,7 +104,24 @@ impl ConnWriter {
             .stream
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let _ = write_response(&mut *stream, id, resp);
+        let _ = write_response_v(&mut *stream, id, resp, self.version.load(Ordering::Acquire));
+    }
+
+    /// Records `batch_id` and reports whether it was already seen on
+    /// this connection (a duplicate delivery of a retried batch).
+    fn batch_seen_before(&self, batch_id: u64) -> bool {
+        let mut recent = self
+            .recent_batches
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if recent.contains(&batch_id) {
+            return true;
+        }
+        if recent.len() >= RECENT_BATCH_IDS {
+            recent.pop_front();
+        }
+        recent.push_back(batch_id);
+        false
     }
 }
 
@@ -310,10 +339,13 @@ fn reader_loop(stream: TcpStream, state: &State, info: &ServerInfo, addr: Socket
             Ok(s) => Mutex::new(s),
             Err(_) => return,
         },
+        version: AtomicU32::new(MIN_PROTOCOL_VERSION),
+        recent_batches: Mutex::new(VecDeque::new()),
     });
     let mut stream = stream;
     loop {
-        let (id, req, ctx) = match read_request_traced(&mut stream) {
+        let session = writer.version.load(Ordering::Acquire);
+        let (id, req, ctx) = match read_request_traced_v(&mut stream, session) {
             Ok(x) => x,
             Err(NetError::Protocol(msg)) => {
                 // A malformed frame desynchronizes the stream; report and
@@ -339,9 +371,12 @@ fn reader_loop(stream: TcpStream, state: &State, info: &ServerInfo, addr: Socket
                     return;
                 }
                 // Negotiate down to whichever side is older; a v2 client
-                // gets a v2 reply and never sees trace-flagged frames.
+                // gets a v2 reply and never sees trace-flagged frames,
+                // and every later frame on this connection is encoded
+                // and decoded at the agreed version.
                 let mut agreed = info.clone();
                 agreed.version = version.min(info.version);
+                writer.version.store(agreed.version, Ordering::Release);
                 writer.send(id, &Response::Hello(agreed));
             }
             Request::Shutdown => {
@@ -350,13 +385,24 @@ fn reader_loop(stream: TcpStream, state: &State, info: &ServerInfo, addr: Socket
                 begin_shutdown(state, addr);
                 return;
             }
-            req => state.push(Job {
-                writer: Arc::clone(&writer),
-                id,
-                req,
-                received,
-                ctx,
-            }),
+            req => {
+                // Duplicate-batch accounting (protocol v4): a nonzero
+                // id seen twice on one connection means the client
+                // redelivered a batch after a redial; the journal makes
+                // re-applying it safe, the counter makes it observable.
+                if let Request::Batch { batch_id, .. } = &req {
+                    if *batch_id != 0 && writer.batch_seen_before(*batch_id) {
+                        state.registry.counter("srv.batch.redelivered").inc();
+                    }
+                }
+                state.push(Job {
+                    writer: Arc::clone(&writer),
+                    id,
+                    req,
+                    received,
+                    ctx,
+                });
+            }
         }
         if state.shutdown.load(Ordering::SeqCst) {
             return;
@@ -486,7 +532,7 @@ fn request_bytes(req: &Request) -> u64 {
     match req {
         Request::Read { len, .. } => u64::from(*len),
         Request::Write { data, .. } => data.len() as u64,
-        Request::Batch { ops } => ops
+        Request::Batch { ops, .. } => ops
             .iter()
             .map(|op| match op {
                 IoOp::Read { len, .. } => *len as u64,
@@ -687,7 +733,7 @@ fn execute(
             // A BATCH executes as one unit through the shard set's
             // native submit: split by placement, shards in parallel,
             // one stripe lock + one codec decision per touched stripe.
-            Request::Batch { ops } => match shards.submit(&IoBatch::from(ops)) {
+            Request::Batch { ops, .. } => match shards.submit(&IoBatch::from(ops)) {
                 Ok(result) => Response::Batched(
                     result
                         .results

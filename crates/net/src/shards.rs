@@ -292,6 +292,8 @@ pub fn wire_status(status: &StoreStatus) -> WireShardStatus {
             .map(|&d| d as u32)
             .collect(),
         known_bad_sectors: status.known_bad_sectors as u32,
+        clean_shutdown: status.clean_shutdown,
+        replayed_records: status.replayed_records,
     }
 }
 

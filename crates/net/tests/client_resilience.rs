@@ -1,7 +1,9 @@
 //! Client resilience regression tests: a connection killed between ops
 //! must not surface as a hard error on idempotent requests — the
-//! client reconnects and retries once. Writes never auto-retry, but
-//! the dropped connection still heals on the next call.
+//! client reconnects and retries once. Plain writes never auto-retry;
+//! *batched* writes on a protocol ≥ 4 session do (the frame carries a
+//! batch id and the server journals the post-images, so redelivery is
+//! safe). The dropped connection always heals on the next call.
 
 use std::path::PathBuf;
 
@@ -76,6 +78,72 @@ fn idempotent_ops_survive_a_killed_connection_writes_do_not_retry() {
     expected[..64].copy_from_slice(&pattern(64, 9));
     assert_eq!(client.read_at(0, 500).expect("verify"), expected[..500]);
 
+    client.shutdown_server().expect("shutdown");
+    running.join().expect("server thread").expect("run");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn write_batches_retry_over_a_killed_connection_on_v4_sessions() {
+    let dir = tmpdir("batchretry");
+    let set = ShardSet::create(
+        &dir,
+        2,
+        &StoreOptions {
+            code: "stair:8,4,2,1-1-2".parse().unwrap(),
+            symbol: 64,
+            stripes: 4,
+        },
+    )
+    .expect("create shards");
+    let server = Server::bind("127.0.0.1:0", set, ServerConfig::default()).expect("bind");
+    let addr = server.local_addr().to_string();
+    let handle = server.handle();
+    let running = std::thread::spawn(move || server.run());
+
+    let client = Client::connect(&addr).expect("connect");
+    assert!(client.info().version >= 4, "fresh peers negotiate v4");
+    let capacity = client.capacity() as usize;
+    let base = pattern(capacity, 7);
+    client.write_at(0, &base).expect("base write");
+
+    // Kill the connection, then submit a batch *containing writes*:
+    // on a v4 session the client reconnects and reissues the frames
+    // (same batch ids), so the caller never sees the dead socket.
+    handle.disconnect_all();
+    let w1 = pattern(64, 21);
+    let w2 = pattern(64, 22);
+    let mut batch = stair_device::IoBatch::new();
+    batch
+        .write(0, w1.clone())
+        .write(640, w2.clone())
+        .read(0, 64);
+    let result = client.submit(&batch).expect("write batch after kill");
+    assert_eq!(result.results.len(), 3);
+    let mut expected = base.clone();
+    expected[..64].copy_from_slice(&w1);
+    expected[640..704].copy_from_slice(&w2);
+    assert_eq!(
+        client.read_at(0, 704).expect("verify"),
+        expected[..704],
+        "acknowledged batch writes must be durable after the retry"
+    );
+
+    // An impersonated v3 client keeps the old contract: batched writes
+    // surface the transport error instead of retrying.
+    let old = Client::connect_with_version(&addr, 3).expect("v3 connect");
+    assert_eq!(old.info().version, 3);
+    handle.disconnect_all();
+    let mut batch = stair_device::IoBatch::new();
+    batch.write(0, pattern(64, 30));
+    match old.submit(&batch) {
+        Err(NetError::Io(_)) => {}
+        other => panic!("expected a transport error for the v3 write batch, got {other:?}"),
+    }
+
+    // Heal the main client's connection (the second kill severed it
+    // too) before asking for an orderly shutdown.
+    client.read_at(0, 64).expect("heal");
     client.shutdown_server().expect("shutdown");
     running.join().expect("server thread").expect("run");
     std::fs::remove_dir_all(&dir).expect("cleanup");

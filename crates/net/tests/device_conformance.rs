@@ -75,6 +75,15 @@ fn exercise(dev: &dyn BlockDevice) {
         status.shards.iter().map(|s| s.capacity).sum::<u64>()
     );
     assert!(status.healthy(), "fresh device must be healthy: {status:?}");
+    // Journal recovery fields must read identically across backends: a
+    // freshly created store has a clean history and replayed nothing.
+    for (i, s) in status.shards.iter().enumerate() {
+        assert!(
+            s.clean_shutdown,
+            "shard {i}: a fresh store's previous close is clean"
+        );
+        assert_eq!(s.replayed_records, 0, "shard {i}: nothing to replay");
+    }
 
     let scrub = dev.scrub(2).expect("scrub");
     assert!(scrub.clean(), "{scrub:?}");

@@ -39,6 +39,7 @@ fn sample_requests() -> Vec<Vec<u8>> {
         },
         Request::Scrub { threads: 2 },
         Request::Batch {
+            batch_id: 42,
             ops: vec![
                 IoOp::Read {
                     offset: 0,

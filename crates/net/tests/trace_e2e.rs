@@ -146,22 +146,28 @@ fn traced_batch_yields_a_contained_four_layer_span_tree() {
     assert_contained(queue, request);
     assert_contained(exec, request);
 
-    // Layer 4: the shard split, then the store's stripe path with its
-    // codec pass — encode (full cover) or delta (partial), plus the
-    // batch-level persist.
+    // Layer 4: the shard split, then the store's batched path — one
+    // up-front lock acquisition for every touched stripe (two-phase
+    // submit: locks are batch-level, taken before any stripe stages),
+    // then per-stripe spans with their codec pass — encode (full
+    // cover) or delta (partial).
     let shards_submit = find(&spans, names::SHARDS_SUBMIT);
     assert_eq!(shards_submit.parent_id, exec.span_id);
     assert_contained(shards_submit, exec);
+    let lock = find(&spans, names::STORE_LOCK);
+    assert_contained(lock, shards_submit);
     let stripe = find(&spans, names::STORE_STRIPE);
     assert_contained(stripe, shards_submit);
+    assert_eq!(
+        lock.parent_id, stripe.parent_id,
+        "the batch lock is a sibling of the stripe spans, not their parent"
+    );
     let codec = spans
         .iter()
         .find(|s| s.name == names::STORE_ENCODE || s.name == names::STORE_DELTA)
         .expect("a codec pass span (encode or delta)");
     assert_eq!(codec.parent_id, stripe.span_id);
     assert_contained(codec, stripe);
-    let lock = find(&spans, names::STORE_LOCK);
-    assert_eq!(lock.parent_id, stripe.span_id);
 
     // Self-times: for every span in the tree, its direct children's
     // durations sum to no more than its own duration (plus rounding

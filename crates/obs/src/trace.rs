@@ -82,6 +82,10 @@ pub mod names {
     pub const DEV_REPAIR: &str = "dev.repair";
     /// One timed submission in the bench driver.
     pub const BENCH_SUBMIT: &str = "bench.submit";
+    /// Appending (and fsyncing) one intent record to the stripe journal.
+    pub const JRNL_APPEND: &str = "jrnl.append";
+    /// Replaying journal records at store open.
+    pub const JRNL_REPLAY: &str = "jrnl.replay";
 
     /// Every declared span name (the lint checks recording sites
     /// against this set, and the TRACE consumers can validate names).
@@ -107,6 +111,8 @@ pub mod names {
         DEV_SCRUB,
         DEV_REPAIR,
         BENCH_SUBMIT,
+        JRNL_APPEND,
+        JRNL_REPLAY,
     ];
 }
 

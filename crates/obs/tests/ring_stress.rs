@@ -35,7 +35,11 @@ fn journal_ring_wraps_without_tearing_under_concurrent_writers() {
                 for seq in 0..per_writer {
                     // kind and bytes both derive from (writer, seq): a
                     // torn event would disagree with itself.
-                    let kind = if seq.is_multiple_of(2) { "read" } else { "write" };
+                    let kind = if seq.is_multiple_of(2) {
+                        "read"
+                    } else {
+                        "write"
+                    };
                     journal.record(
                         kind,
                         w as u32,
@@ -55,7 +59,11 @@ fn journal_ring_wraps_without_tearing_under_concurrent_writers() {
         assert!(w < WRITERS as u64, "shard field is a writer id");
         let seq = event.bytes - fingerprint(w, 0);
         assert!(seq < per_writer, "bytes fingerprint matches its writer");
-        let expected_kind = if seq.is_multiple_of(2) { "read" } else { "write" };
+        let expected_kind = if seq.is_multiple_of(2) {
+            "read"
+        } else {
+            "write"
+        };
         assert_eq!(
             event.kind, expected_kind,
             "kind agrees with the bytes fingerprint — the event is not torn"

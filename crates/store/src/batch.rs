@@ -35,6 +35,17 @@ struct Fragment {
     blocks: Range<usize>,
 }
 
+/// A stripe staged in memory (encoded, results recorded) whose
+/// write-back is deferred to the batch's group commit: all records are
+/// journaled under one fsync, then every stripe persists in place.
+struct StagedWrite {
+    stripe_idx: usize,
+    stripe: StripeBuf,
+    /// Cells to persist — `None` persists the full stripe (a whole
+    /// -stripe re-encode), `Some` only the patched set.
+    touched: Option<BTreeSet<CellIdx>>,
+}
+
 impl StripeStore {
     /// Submits a scatter-gather batch, grouping ops per stripe so every
     /// touched stripe is locked once and pays a single
@@ -81,15 +92,63 @@ impl StripeStore {
                 block = stripe_end;
             }
         }
-        let mut wrote = false;
+        // Locks for every touched stripe are held from staging through
+        // the group commit — the pool dedupes shared slots and orders
+        // them, see `lock_stripes`.
+        let stripes: Vec<usize> = groups.iter().map(|(s, _)| *s).collect();
+        let _guards = {
+            let _lock = stair_obs::trace::span(stair_obs::trace::names::STORE_LOCK);
+            self.lock_stripes(&stripes)
+        };
+        let mut staged: Vec<StagedWrite> = Vec::new();
         for (stripe, frags) in &groups {
-            wrote |= self.submit_stripe(*stripe, frags, batch, &mut results)?;
+            if let Some(stage) = self.stage_stripe(*stripe, frags, batch, &mut results)? {
+                staged.push(stage);
+            }
         }
-        if wrote {
+        if !staged.is_empty() {
+            self.group_commit(&staged)?;
             let _persist = stair_obs::trace::span(stair_obs::trace::names::STORE_PERSIST);
             self.shared.integrity.persist()?;
         }
         Ok(BatchResult::from_results(results))
+    }
+
+    /// The batch's single durability point: every staged stripe's
+    /// record lands in the journal under **one** fsync (group commit),
+    /// then every stripe is persisted in place. The guard spans all
+    /// the in-place writes, so a checkpoint can never rewind a record
+    /// whose sector writes are still in flight.
+    fn group_commit(&self, staged: &[StagedWrite]) -> Result<(), Error> {
+        let sh = &self.shared;
+        let targets: Vec<Vec<(CellIdx, &[u8])>> = staged
+            .iter()
+            .map(|s| self.write_back_targets(&s.stripe, s.touched.as_ref()))
+            .collect();
+        // Journal payloads diverge from the write-back lists for
+        // full-stripe stages: those journal a data image (parity
+        // recomputed at replay) while still persisting every cell.
+        let records: Vec<(Vec<(CellIdx, &[u8])>, bool)> = staged
+            .iter()
+            .map(|s| self.journal_cells(&s.stripe, s.touched.as_ref()))
+            .collect();
+        let reserve: Vec<usize> = records.iter().map(|(cells, _)| cells.len()).collect();
+        let mut guard = sh.journal.begin(&reserve, || {
+            sh.devices.sync()?;
+            sh.integrity.persist()
+        })?;
+        if let Some(g) = guard.as_mut() {
+            let _span = stair_obs::trace::span(stair_obs::trace::names::JRNL_APPEND);
+            for (stage, (cells, encode)) in staged.iter().zip(&records) {
+                g.append(stage.stripe_idx, cells, *encode)?;
+            }
+            g.sync()?;
+        }
+        for (stage, cells) in staged.iter().zip(&targets) {
+            self.apply_write_back(stage.stripe_idx, cells)?;
+        }
+        drop(guard);
+        Ok(())
     }
 
     /// The conflict fallback: ops one at a time, in submission order,
@@ -108,23 +167,21 @@ impl StripeStore {
         Ok(BatchResult::from_results(results))
     }
 
-    /// Executes every fragment landing in one stripe under a single
-    /// lock acquisition. Returns whether anything was written.
-    fn submit_stripe(
+    /// Executes every fragment landing in one stripe (the caller holds
+    /// the stripe's lock slot for the whole batch). Reads are served
+    /// immediately; a written stripe is encoded in memory and returned
+    /// for the batch's group commit.
+    fn stage_stripe(
         &self,
         stripe_idx: usize,
         frags: &[Fragment],
         batch: &IoBatch,
         results: &mut [OpResult],
-    ) -> Result<bool, Error> {
+    ) -> Result<Option<StagedWrite>, Error> {
         let sh = &self.shared;
         let sym = self.block_size();
         let per = self.blocks_per_stripe();
         let _stripe = stair_obs::trace::span(stair_obs::trace::names::STORE_STRIPE);
-        let _guard = {
-            let _lock = stair_obs::trace::span(stair_obs::trace::names::STORE_LOCK);
-            self.lock_stripe(stripe_idx)
-        };
 
         let mut write_bytes = 0u64;
         let mut first_write: Option<usize> = None;
@@ -145,7 +202,7 @@ impl StripeStore {
                 };
                 self.read_stripe_blocks_locked(stripe_idx, f.blocks.clone(), offset, out)?;
             }
-            return Ok(false);
+            return Ok(None);
         };
 
         // One re-encode-vs-parity-delta decision for the whole stripe.
@@ -176,11 +233,14 @@ impl StripeStore {
                 sh.codec.encode(&mut stripe)?;
             }
             sh.counters.count_encode();
-            self.write_back_cells(stripe_idx, &stripe, None)?;
             let w = write_slot(results, first_write);
             w.stripes_touched += 1;
             w.full_stripe_encodes += 1;
-            return Ok(true);
+            return Ok(Some(StagedWrite {
+                stripe_idx,
+                stripe,
+                touched: None,
+            }));
         }
 
         // Partial: load + restore once, patch every dirty cell, serve
@@ -226,9 +286,12 @@ impl StripeStore {
         // Erased cells were reconstructed by the restore; rewriting
         // them heals latent damage on writable devices for free.
         touched.extend(erased.iter());
-        self.write_back_cells(stripe_idx, &stripe, Some(&touched))?;
         write_slot(results, first_write).stripes_touched += 1;
-        Ok(true)
+        Ok(Some(StagedWrite {
+            stripe_idx,
+            stripe,
+            touched: Some(touched),
+        }))
     }
 
     /// Bytes of `op` that fall inside the fragment's block range.

@@ -34,6 +34,8 @@ pub fn shard_health(status: &StoreStatus) -> ShardHealth {
         failed_devices: status.failed_devices.clone(),
         rebuilding_devices: status.rebuilding_devices.clone(),
         known_bad_sectors: status.known_bad_sectors,
+        clean_shutdown: status.clean_shutdown,
+        replayed_records: status.replayed_records,
     }
 }
 

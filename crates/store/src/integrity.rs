@@ -127,7 +127,10 @@ impl Health {
     }
 }
 
-fn write_atomic(dir: &Path, name: &str, contents: &[u8]) -> Result<(), Error> {
+/// Writes `dir/name` via a temp file + rename, so readers never see a
+/// half-written file (used for every small metadata file the store
+/// rewrites in place: health, superblock).
+pub(crate) fn write_atomic(dir: &Path, name: &str, contents: &[u8]) -> Result<(), Error> {
     let tmp = dir.join(format!("{name}.tmp"));
     fs::write(&tmp, contents)?;
     fs::rename(&tmp, dir.join(name))?;

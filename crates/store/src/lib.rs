@@ -68,6 +68,7 @@ mod device_impl;
 mod error;
 mod inject;
 mod integrity;
+pub mod journal;
 mod layout;
 mod meta;
 mod repair;
@@ -79,6 +80,7 @@ pub use device_impl::{gf_metrics, repair_outcome, scrub_outcome, shard_health, w
 pub use error::Error;
 pub use inject::InjectionOutcome;
 pub use integrity::{BadSector, DeviceState, Health};
+pub use journal::{Journal, DEFAULT_JOURNAL_SEGMENT, JOURNAL_FILE};
 pub use layout::{BlockLocation, BlockMap};
 pub use meta::StoreMeta;
 pub use repair::RepairReport;

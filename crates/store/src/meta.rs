@@ -2,11 +2,15 @@
 //! descriptor, sector size, and stripe count that every other on-disk
 //! structure is interpreted against.
 //!
-//! The superblock is versioned. `v2` records the codec as a
-//! [`CodecSpec`] string, so [`crate::StripeStore::open`] can rebuild any
-//! supported erasure code; legacy `v1` superblocks (which spelled out the
-//! STAIR parameters as separate `n`/`r`/`m`/`e` keys) still parse and map
-//! onto a `stair:` spec.
+//! The superblock is versioned. `v3` adds crash-consistency state: the
+//! journal segment capacity and a `clean_shutdown` flag that records
+//! whether the last close checkpointed the journal. `v2` records the
+//! codec as a [`CodecSpec`] string, so [`crate::StripeStore::open`] can
+//! rebuild any supported erasure code; legacy `v1` superblocks (which
+//! spelled out the STAIR parameters as separate `n`/`r`/`m`/`e` keys)
+//! still parse and map onto a `stair:` spec. Both older versions load
+//! with journal defaults (and `clean_shutdown = true`: a pre-journal
+//! store has no journal to have left dirty).
 
 use std::fs;
 use std::path::Path;
@@ -14,16 +18,20 @@ use std::str::FromStr;
 
 use stair_code::CodecSpec;
 
+use crate::journal::DEFAULT_JOURNAL_SEGMENT;
 use crate::Error;
 
 /// File name of the superblock inside a store directory.
 pub const META_FILE: &str = "store.meta";
 /// Magic first line; bump the version when the layout changes.
-pub const META_MAGIC: &str = "stair-store v2";
+pub const META_MAGIC: &str = "stair-store v3";
 /// Previous superblock version, still accepted on load.
+pub const META_MAGIC_V2: &str = "stair-store v2";
+/// Oldest superblock version, still accepted on load.
 pub const META_MAGIC_V1: &str = "stair-store v1";
 
-/// The immutable shape of a store.
+/// The immutable shape of a store (plus the two mutable
+/// crash-consistency fields the v3 superblock tracks).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StoreMeta {
     /// Which erasure code protects the stripes.
@@ -32,6 +40,11 @@ pub struct StoreMeta {
     pub symbol: usize,
     /// Number of stripes in the store.
     pub stripes: usize,
+    /// Capacity of the write-ahead journal segment in bytes.
+    pub journal_segment: u64,
+    /// Whether the last close checkpointed the journal (rewritten to
+    /// `false` while the store is open, `true` on clean shutdown).
+    pub clean_shutdown: bool,
 }
 
 impl StoreMeta {
@@ -48,11 +61,16 @@ impl StoreMeta {
         Ok(())
     }
 
-    /// Serializes to the superblock text format.
+    /// Serializes to the superblock text format (always the current
+    /// `v3` layout; older versions are read-compatible only).
     pub fn to_text(&self) -> String {
         format!(
-            "{META_MAGIC}\ncodec {}\nsymbol {}\nstripes {}\n",
-            self.codec, self.symbol, self.stripes
+            "{META_MAGIC}\ncodec {}\nsymbol {}\nstripes {}\njournal_segment {}\nclean_shutdown {}\n",
+            self.codec,
+            self.symbol,
+            self.stripes,
+            self.journal_segment,
+            u8::from(self.clean_shutdown),
         )
     }
 
@@ -78,10 +96,12 @@ impl StoreMeta {
         let mut lines = text.lines();
         let magic = lines.next().unwrap_or_default();
         let meta = match magic {
-            META_MAGIC => Self::parse_v2(lines),
+            META_MAGIC => Self::parse_v2v3(lines, true),
+            META_MAGIC_V2 => Self::parse_v2v3(lines, false),
             META_MAGIC_V1 => Self::parse_v1(lines),
             other => Err(Error::Meta(format!(
-                "bad magic `{other}`, expected `{META_MAGIC}` (or legacy `{META_MAGIC_V1}`)"
+                "bad magic `{other}`, expected `{META_MAGIC}` (or legacy `{META_MAGIC_V2}` / \
+                 `{META_MAGIC_V1}`)"
             ))),
         }?;
         meta.validate()?;
@@ -89,10 +109,15 @@ impl StoreMeta {
         Ok((meta, codec))
     }
 
-    fn parse_v2<'a>(lines: impl Iterator<Item = &'a str>) -> Result<Self, Error> {
+    /// Shared v2/v3 body parser: v3 accepts (and defaults) the journal
+    /// keys, v2 rejects them — a v2 superblock with journal state is a
+    /// version-tagging bug, not a store to guess about.
+    fn parse_v2v3<'a>(lines: impl Iterator<Item = &'a str>, v3: bool) -> Result<Self, Error> {
         let mut codec = None;
         let mut symbol = None;
         let mut stripes = None;
+        let mut journal_segment = None;
+        let mut clean_shutdown = None;
         for (key, value) in fields(lines)? {
             match key.as_str() {
                 "codec" => {
@@ -100,6 +125,20 @@ impl StoreMeta {
                 }
                 "symbol" => symbol = Some(parse_usize(&key, &value)?),
                 "stripes" => stripes = Some(parse_usize(&key, &value)?),
+                "journal_segment" if v3 => {
+                    journal_segment = Some(parse_usize(&key, &value)? as u64);
+                }
+                "clean_shutdown" if v3 => {
+                    clean_shutdown = Some(match value.as_str() {
+                        "0" => false,
+                        "1" => true,
+                        other => {
+                            return Err(Error::Meta(format!(
+                                "bad flag `{other}` for `clean_shutdown` (want 0 or 1)"
+                            )))
+                        }
+                    });
+                }
                 _ => return Err(Error::Meta(format!("unknown key `{key}`"))),
             }
         }
@@ -107,6 +146,8 @@ impl StoreMeta {
             codec: codec.ok_or_else(|| missing("codec"))?,
             symbol: symbol.ok_or_else(|| missing("symbol"))?,
             stripes: stripes.ok_or_else(|| missing("stripes"))?,
+            journal_segment: journal_segment.unwrap_or(DEFAULT_JOURNAL_SEGMENT),
+            clean_shutdown: clean_shutdown.unwrap_or(true),
         })
     }
 
@@ -144,12 +185,16 @@ impl StoreMeta {
             },
             symbol: symbol.ok_or_else(|| missing("symbol"))?,
             stripes: stripes.ok_or_else(|| missing("stripes"))?,
+            journal_segment: DEFAULT_JOURNAL_SEGMENT,
+            clean_shutdown: true,
         })
     }
 
-    /// Writes the superblock into `dir`.
+    /// Writes the superblock into `dir` — atomically (temp file +
+    /// rename), because v3 rewrites it on every open/close transition
+    /// and a torn superblock would brick the store.
     pub fn save(&self, dir: &Path) -> Result<(), Error> {
-        fs::write(dir.join(META_FILE), self.to_text()).map_err(Error::from)
+        crate::integrity::write_atomic(dir, META_FILE, self.to_text().as_bytes())
     }
 
     /// Loads and validates the superblock from `dir`.
@@ -208,6 +253,8 @@ mod tests {
             },
             symbol: 512,
             stripes: 16,
+            journal_segment: DEFAULT_JOURNAL_SEGMENT,
+            clean_shutdown: true,
         }
     }
 
@@ -226,6 +273,34 @@ mod tests {
     fn legacy_v1_superblocks_parse_as_stair() {
         let text = "stair-store v1\nn 8\nr 4\nm 2\ne 1,1,2\nsymbol 512\nstripes 16\n";
         assert_eq!(StoreMeta::parse(text).unwrap(), meta());
+    }
+
+    #[test]
+    fn v2_superblocks_parse_with_journal_defaults() {
+        let text = "stair-store v2\ncodec stair:8,4,2,1-1-2\nsymbol 512\nstripes 16\n";
+        assert_eq!(StoreMeta::parse(text).unwrap(), meta());
+        // The journal keys are a v3 invention; a v2 superblock carrying
+        // them is mis-tagged and must be rejected, not guessed at.
+        let mixed = "stair-store v2\ncodec stair:8,4,2,1-1-2\nsymbol 512\nstripes 16\n\
+                     clean_shutdown 1\n";
+        assert!(StoreMeta::parse(mixed).is_err());
+    }
+
+    #[test]
+    fn v3_journal_fields_round_trip() {
+        let m = StoreMeta {
+            journal_segment: 123_456,
+            clean_shutdown: false,
+            ..meta()
+        };
+        let text = m.to_text();
+        assert!(text.starts_with("stair-store v3\n"));
+        assert!(text.contains("journal_segment 123456\n"));
+        assert!(text.contains("clean_shutdown 0\n"));
+        assert_eq!(StoreMeta::parse(&text).unwrap(), m);
+        // Bad flag values are rejected.
+        let bad = text.replace("clean_shutdown 0", "clean_shutdown yes");
+        assert!(StoreMeta::parse(&bad).is_err());
     }
 
     #[test]

@@ -187,6 +187,7 @@ impl StripeStore {
                 continue; // still no backing file
             }
             let cell = stripe.cell((row, dev));
+            // check: persist-ok repair rewrites cells already recorded erased: a torn repair write stays erased and is re-repaired
             sh.devices.write_sector(dev, stripe_idx, row, cell)?;
             sh.integrity.record(stripe_idx, row, dev, cell);
             cleared.push((stripe_idx, row, dev));

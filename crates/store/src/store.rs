@@ -34,6 +34,7 @@ use stair_code::{CellIdx, CodeError, CodecSpec, ErasureCode, ErasureSet, Geometr
 use crate::codec::build_codec;
 use crate::device::{DeviceSet, SectorRead};
 use crate::integrity::{DeviceState, Integrity};
+use crate::journal::{env_journal_segment, Journal};
 use crate::layout::BlockMap;
 use crate::meta::StoreMeta;
 use crate::Error;
@@ -103,6 +104,12 @@ pub struct StoreStatus {
     pub rebuilding_devices: Vec<usize>,
     /// Known-damaged sectors awaiting repair.
     pub known_bad_sectors: usize,
+    /// Whether the previous close checkpointed the journal (a fresh
+    /// store reports `true`; after a crash, `false` until the next
+    /// clean shutdown).
+    pub clean_shutdown: bool,
+    /// Journal records replayed when this store handle opened.
+    pub replayed_records: u64,
 }
 
 /// A point-in-time snapshot of the store's data-path instrumentation:
@@ -143,6 +150,8 @@ pub(crate) struct Counters {
     /// Progress gauge: stripes completed by the current (or last)
     /// repair pass.
     pub(crate) repair_stripes_done: AtomicU64,
+    /// Journal records replayed at open (0 after a clean shutdown).
+    pub(crate) journal_replayed: AtomicU64,
 }
 
 impl Counters {
@@ -166,7 +175,34 @@ pub(crate) struct Shared {
     pub(crate) devices: DeviceSet,
     pub(crate) integrity: Integrity,
     pub(crate) counters: Counters,
+    pub(crate) journal: Journal,
+    /// Sticky: whether the superblock said the *previous* close was
+    /// clean, as read when this handle family opened.
+    pub(crate) clean_shutdown: bool,
     stripe_locks: Vec<Mutex<()>>,
+}
+
+impl Drop for Shared {
+    /// Best-effort clean shutdown on the last handle: make everything
+    /// durable, truncate the journal, and mark the superblock clean. A
+    /// crash (the whole point of the journal) simply never runs this —
+    /// the superblock then still says `clean_shutdown 0` and the next
+    /// open replays. Errors are ignored: failing to mark clean only
+    /// costs the next open a (correct, idempotent) replay.
+    fn drop(&mut self) {
+        let ok = self
+            .journal
+            .checkpoint(|| {
+                self.devices.sync()?;
+                self.integrity.persist()
+            })
+            .is_ok();
+        if ok {
+            let mut meta = self.meta.clone();
+            meta.clean_shutdown = true;
+            let _ = meta.save(&self.dir);
+        }
+    }
 }
 
 /// The stripe-store engine. Cheap to clone (`Arc` inside); clones share
@@ -194,6 +230,9 @@ impl StripeStore {
             codec: opts.code.clone(),
             symbol: opts.symbol,
             stripes: opts.stripes,
+            journal_segment: env_journal_segment(),
+            // The store is live from here until a clean close.
+            clean_shutdown: false,
         };
         // The same checks `open` applies when parsing the superblock, so a
         // store that creates is always a store that reopens.
@@ -206,8 +245,11 @@ impl StripeStore {
         // a failed init never clobbers an existing store's metadata.
         let devices = DeviceSet::create(dir, geometry.n, geometry.r, meta.symbol, meta.stripes)?;
         let integrity = Integrity::create(dir, geometry.n, geometry.r, meta.symbol, meta.stripes)?;
+        let journal = Journal::open_or_create(dir, meta.symbol, meta.journal_segment)?;
         meta.save(dir)?;
-        Self::assemble(dir, meta, codec, devices, integrity)
+        // A fresh store has nothing to recover: report the previous
+        // shutdown (vacuously) clean.
+        Self::assemble(dir, meta, codec, devices, integrity, journal, true)
     }
 
     /// Opens an existing store, rebuilding whichever codec the superblock
@@ -221,7 +263,7 @@ impl StripeStore {
     ///
     /// Fails on absent/corrupt metadata or unreadable integrity state.
     pub fn open(dir: &Path) -> Result<Self, Error> {
-        let (meta, codec) = StoreMeta::load_with_codec(dir)?;
+        let (mut meta, codec) = StoreMeta::load_with_codec(dir)?;
         let geometry = codec.geometry();
         let devices = DeviceSet::open(dir, geometry.n, geometry.r, meta.symbol, meta.stripes);
         let integrity = Integrity::load(dir, geometry.n, geometry.r, meta.stripes)?;
@@ -234,7 +276,108 @@ impl StripeStore {
                 });
             }
         }
-        Self::assemble(dir, meta, codec, devices, integrity)
+        let journal = Journal::open_or_create(dir, meta.symbol, meta.journal_segment)?;
+        let was_clean = meta.clean_shutdown;
+        meta.clean_shutdown = false;
+        let store = Self::assemble(dir, meta, codec, devices, integrity, journal, was_clean)?;
+        // Finish any commit a crash interrupted, then mark the store
+        // live (also upgrades v1/v2 superblocks to v3 in place).
+        store.replay_journal()?;
+        store.shared.meta.save(dir)?;
+        Ok(store)
+    }
+
+    /// [`StripeStore::open`] if `dir` holds a store (a superblock is
+    /// present), else [`StripeStore::create`] with `opts` — the
+    /// recovery-or-bootstrap entry point servers use, with the replay
+    /// semantics of `open`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates whichever of the two paths ran.
+    pub fn open_or_create(dir: &Path, opts: &StoreOptions) -> Result<Self, Error> {
+        if dir.join(crate::meta::META_FILE).exists() {
+            Self::open(dir)
+        } else {
+            Self::create(dir, opts)
+        }
+    }
+
+    /// Replays every whole journal record — rewriting the recorded
+    /// post-image cells *and* their checksums (after a crash the
+    /// on-disk checksum table is stale relative to any in-place writes
+    /// that raced it) — then checkpoints, leaving the store scrub-clean
+    /// and the journal empty. Idempotent: records are absolute post-
+    /// images applied in append order.
+    fn replay_journal(&self) -> Result<u64, Error> {
+        let sh = &self.shared;
+        let replayed = sh.journal.replay(|rec| {
+            if rec.stripe >= sh.meta.stripes {
+                // A record for a stripe this store cannot hold is not
+                // replayable damage worth wedging the open over.
+                return Ok(());
+            }
+            let _guard = self.lock_stripe(rec.stripe);
+            if rec.encode {
+                return self.replay_data_image(rec);
+            }
+            let devices = sh.integrity.device_states();
+            let mut healed: Vec<(usize, usize, usize)> = Vec::new();
+            for &((row, dev), data) in &rec.cells {
+                if row >= sh.geometry.r || dev >= sh.geometry.n {
+                    continue;
+                }
+                if devices[dev] == DeviceState::Failed {
+                    continue; // lives on implicitly through parity
+                }
+                sh.devices.write_sector(dev, rec.stripe, row, data)?;
+                sh.integrity.record(rec.stripe, row, dev, data);
+                healed.push((rec.stripe, row, dev));
+            }
+            sh.integrity.update_health(|h| {
+                for key in &healed {
+                    h.bad_sectors.remove(key);
+                }
+            });
+            Ok(())
+        })?;
+        sh.counters
+            .journal_replayed
+            .store(replayed, Ordering::Relaxed);
+        // Make the replayed state durable and truncate the journal.
+        sh.journal.checkpoint(|| {
+            sh.devices.sync()?;
+            sh.integrity.persist()
+        })?;
+        Ok(replayed)
+    }
+
+    /// Replays one data-image record (caller holds the stripe lock):
+    /// rebuilds the stripe from the journaled data cells, recomputes
+    /// parity, and persists every writable cell. The writer always
+    /// journals the complete data-cell set; should a record somehow
+    /// miss one, the current on-disk bytes stand in (best effort — an
+    /// unreadable sector stays zero), keeping replay total.
+    fn replay_data_image(&self, rec: &crate::journal::ReplayRecord<'_>) -> Result<(), Error> {
+        let sh = &self.shared;
+        let geom = &sh.geometry;
+        let mut stripe = StripeBuf::new(geom.r, geom.n, sh.meta.symbol)?;
+        let mut have: std::collections::BTreeMap<CellIdx, &[u8]> =
+            rec.cells.iter().copied().collect();
+        for &cell in &geom.data_cells {
+            if let Some(data) = have.remove(&cell) {
+                stripe.set_cell(cell, data);
+            } else {
+                let (row, dev) = cell;
+                let _ = sh
+                    .devices
+                    .read_sector(dev, rec.stripe, row, stripe.cell_mut(cell))?;
+            }
+        }
+        sh.codec.encode(&mut stripe)?;
+        let targets = self.write_back_targets(&stripe, None);
+        self.apply_write_back(rec.stripe, &targets)?;
+        Ok(())
     }
 
     fn assemble(
@@ -243,6 +386,8 @@ impl StripeStore {
         codec: Box<dyn ErasureCode>,
         devices: DeviceSet,
         integrity: Integrity,
+        journal: Journal,
+        clean_shutdown: bool,
     ) -> Result<Self, Error> {
         let geometry = codec.geometry();
         let blocks = BlockMap::new(geometry.data_cells.clone(), meta.symbol, meta.stripes);
@@ -259,6 +404,8 @@ impl StripeStore {
                 devices,
                 integrity,
                 counters: Counters::default(),
+                journal,
+                clean_shutdown,
                 stripe_locks,
             }),
         })
@@ -325,17 +472,28 @@ impl StripeStore {
             failed_devices: by_state(DeviceState::Failed),
             rebuilding_devices: by_state(DeviceState::Rebuilding),
             known_bad_sectors: health.bad_sectors.len(),
+            clean_shutdown: self.shared.clean_shutdown,
+            replayed_records: self
+                .shared
+                .counters
+                .journal_replayed
+                .load(Ordering::Relaxed),
         }
     }
 
-    /// Persists the checksum table, health record, and device data.
+    /// Persists the checksum table, health record, and device data,
+    /// then truncates the journal — a full checkpoint: after `flush`
+    /// returns, nothing depends on the journal any more.
     ///
     /// # Errors
     ///
     /// Propagates file-system errors.
     pub fn flush(&self) -> Result<(), Error> {
-        self.shared.devices.sync()?;
-        self.shared.integrity.persist()
+        let sh = &self.shared;
+        sh.journal.checkpoint(|| {
+            sh.devices.sync()?;
+            sh.integrity.persist()
+        })
     }
 
     // Stripe locks guard no data (`Mutex<()>` taken for mutual exclusion
@@ -353,6 +511,31 @@ impl StripeStore {
         locks[stripe % locks.len()]
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Locks every pool slot covering `stripes` at once, for a batch
+    /// that holds its stripes from staging through group commit. The
+    /// pool maps stripes by modulo, so two stripes can share a slot —
+    /// slots are deduplicated and taken in ascending order (the one
+    /// global order, making concurrent batches deadlock-free; single
+    /// -stripe paths hold at most one slot and cannot form a cycle).
+    pub(crate) fn lock_stripes(&self, stripes: &[usize]) -> Vec<MutexGuard<'_, ()>> {
+        let locks = &self.shared.stripe_locks;
+        let mut slots: Vec<usize> = stripes.iter().map(|s| s % locks.len()).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        self.shared
+            .counters
+            .stripe_locks
+            .fetch_add(slots.len() as u64, Ordering::Relaxed);
+        slots
+            .into_iter()
+            .map(|s| {
+                locks[s]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+            })
+            .collect()
     }
 
     /// Snapshot of the cumulative data-path instrumentation counters.
@@ -391,6 +574,19 @@ impl StripeStore {
             c.repair_stripes_done.load(Ordering::Relaxed) as i64,
         );
         snap.add_gauge("store.stripes", self.stripe_count() as i64);
+        snap.add_counter("store.jrnl.appends", self.shared.journal.append_count());
+        snap.add_counter(
+            "store.jrnl.checkpoints",
+            self.shared.journal.checkpoint_count(),
+        );
+        snap.add_counter(
+            "store.jrnl.replayed",
+            c.journal_replayed.load(Ordering::Relaxed),
+        );
+        snap.add_gauge(
+            "store.jrnl.used_bytes",
+            self.shared.journal.used_bytes() as i64,
+        );
         snap
     }
 
@@ -472,6 +668,7 @@ impl StripeStore {
             for b in buf.iter_mut() {
                 *b ^= 0xA5;
             }
+            // check: persist-ok fault injection: deliberately un-journaled damage
             self.shared.devices.write_sector(dev, stripe, k, &buf)?;
         }
         Ok(())
@@ -785,6 +982,15 @@ impl StripeStore {
     /// written, otherwise a write landing on a stripe the repair pass has
     /// already rebuilt would be lost when the device is promoted back to
     /// healthy. Rewritten cells are removed from the bad-sector map.
+    ///
+    /// This is the journaled commit path: the post-image of every cell
+    /// about to be written is appended (and by default fsync'd) to the
+    /// write-ahead journal **before** the first in-place sector write,
+    /// and the commit guard is held until the last one — so a crash at
+    /// any instant leaves either an un-started commit (old stripe
+    /// intact) or a replayable record. Every other in-place stripe
+    /// write in this crate must route through here (enforced by the
+    /// `persist-ordering` lint).
     pub(crate) fn write_back_cells(
         &self,
         stripe_idx: usize,
@@ -792,8 +998,54 @@ impl StripeStore {
         only: Option<&std::collections::BTreeSet<CellIdx>>,
     ) -> Result<std::collections::BTreeSet<CellIdx>, Error> {
         let sh = &self.shared;
+        let targets = self.write_back_targets(stripe, only);
+        let (record, encode) = self.journal_cells(stripe, only);
+        // Journal-first: intent durable before any in-place mutation.
+        let _commit = sh.journal.commit(stripe_idx, &record, encode, || {
+            sh.devices.sync()?;
+            sh.integrity.persist()
+        })?;
+        self.apply_write_back(stripe_idx, &targets)
+    }
+
+    /// The journal payload of one stripe commit. A partial commit
+    /// journals its exact write-back targets as literal post-images. A
+    /// full-stripe commit (`only == None`) journals a **data image** —
+    /// only the data cells, parity recomputed at replay — cutting the
+    /// record to `k/n` of the stripe and with it the bytes the commit
+    /// fsync has to flush. Data cells on `Failed` devices are included
+    /// (the in-memory stripe knows their contents even when no disk
+    /// does), so replay re-encodes from a complete image.
+    pub(crate) fn journal_cells<'s>(
+        &self,
+        stripe: &'s StripeBuf,
+        only: Option<&std::collections::BTreeSet<CellIdx>>,
+    ) -> (Vec<(CellIdx, &'s [u8])>, bool) {
+        if only.is_some() {
+            return (self.write_back_targets(stripe, only), false);
+        }
+        let cells = self
+            .shared
+            .geometry
+            .data_cells
+            .iter()
+            .map(|&cell| (cell, stripe.cell(cell)))
+            .collect();
+        (cells, true)
+    }
+
+    /// The cells one stripe commit will persist: every non-`Failed`
+    /// device's cell, optionally restricted to `only`. This is both
+    /// the journal record's payload and the write-back's work list —
+    /// computed once so the two can never disagree.
+    pub(crate) fn write_back_targets<'s>(
+        &self,
+        stripe: &'s StripeBuf,
+        only: Option<&std::collections::BTreeSet<CellIdx>>,
+    ) -> Vec<(CellIdx, &'s [u8])> {
+        let sh = &self.shared;
         let devices = sh.integrity.device_states();
-        let mut written: std::collections::BTreeSet<CellIdx> = std::collections::BTreeSet::new();
+        let mut targets: Vec<(CellIdx, &[u8])> = Vec::new();
         for row in 0..sh.geometry.r {
             for (dev, &state) in devices.iter().enumerate() {
                 if let Some(set) = only {
@@ -804,11 +1056,27 @@ impl StripeStore {
                 if state == DeviceState::Failed {
                     continue;
                 }
-                let cell = stripe.cell((row, dev));
-                sh.devices.write_sector(dev, stripe_idx, row, cell)?;
-                sh.integrity.record(stripe_idx, row, dev, cell);
-                written.insert((row, dev));
+                targets.push(((row, dev), stripe.cell((row, dev))));
             }
+        }
+        targets
+    }
+
+    /// The in-place leg of a commit: raw sector writes plus checksum
+    /// recording, after the journal record covering `targets` is
+    /// durable. Callers arrive here only through [`Self::write_back_cells`]
+    /// or the batch group commit (both journal-first).
+    pub(crate) fn apply_write_back(
+        &self,
+        stripe_idx: usize,
+        targets: &[(CellIdx, &[u8])],
+    ) -> Result<std::collections::BTreeSet<CellIdx>, Error> {
+        let sh = &self.shared;
+        let mut written: std::collections::BTreeSet<CellIdx> = std::collections::BTreeSet::new();
+        for &((row, dev), cell) in targets {
+            sh.devices.write_sector(dev, stripe_idx, row, cell)?;
+            sh.integrity.record(stripe_idx, row, dev, cell);
+            written.insert((row, dev));
         }
         sh.integrity.update_health(|h| {
             for &(row, dev) in &written {

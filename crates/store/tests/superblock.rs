@@ -1,17 +1,19 @@
 //! Superblock versioning, exercised end to end through the store —
 //! previously only covered implicitly by unit tests in `meta.rs`.
 //!
-//! * a freshly created store writes a v2 `codec <spec>` superblock that
-//!   round-trips through `open` for every codec family;
-//! * a hand-written legacy v1 superblock (separate `n`/`r`/`m`/`e`
-//!   keys, as PR 1 stores wrote them) still opens, maps onto the
-//!   equivalent `stair:` spec, and serves the data beneath it;
+//! * a freshly created store writes a v3 superblock (codec spec +
+//!   journal geometry + `clean_shutdown`) that round-trips through
+//!   `open` for every codec family;
+//! * hand-written v1 and v2 fixtures (exactly as PR 1 / PR 2 stores
+//!   wrote them) still open end to end, adopt journal defaults, and
+//!   are upgraded to v3 in place on first open;
+//! * the `clean_shutdown` flag follows the open/close lifecycle;
 //! * malformed superblocks are rejected with a metadata error rather
 //!   than a panic or a misconfigured store.
 
 use std::path::PathBuf;
 
-use stair_store::{Error, StoreMeta, StoreOptions, StripeStore};
+use stair_store::{Error, StoreMeta, StoreOptions, StripeStore, DEFAULT_JOURNAL_SEGMENT};
 
 fn tmpdir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("stair-superblock-{tag}-{}", std::process::id()));
@@ -26,9 +28,9 @@ fn pattern(len: usize, seed: u8) -> Vec<u8> {
 }
 
 #[test]
-fn v2_superblock_round_trips_for_every_codec_family() {
+fn v3_superblock_round_trips_for_every_codec_family() {
     for spec in ["stair:8,4,2,1-1-2", "sd:8,4,2,3", "rs:6,4,2"] {
-        let dir = tmpdir(&format!("v2-{}", spec.split(':').next().unwrap()));
+        let dir = tmpdir(&format!("v3-{}", spec.split(':').next().unwrap()));
         let opts = StoreOptions {
             code: spec.parse().unwrap(),
             symbol: 64,
@@ -37,45 +39,101 @@ fn v2_superblock_round_trips_for_every_codec_family() {
         let store = StripeStore::create(&dir, &opts).unwrap();
         let payload = pattern(store.capacity() as usize, 5);
         store.write_at(0, &payload).unwrap();
+        // While open, the on-disk superblock is v3 and marked live.
+        let text = std::fs::read_to_string(dir.join("store.meta")).unwrap();
+        assert!(text.starts_with("stair-store v3\n"), "{text}");
+        assert!(text.contains(&format!("codec {spec}")), "{text}");
+        assert!(text.contains("journal_segment "), "{text}");
+        assert!(text.contains("clean_shutdown 0\n"), "{text}");
         drop(store);
 
-        // The superblock on disk is v2 and names the codec spec.
+        // A clean close flips the flag on disk.
         let text = std::fs::read_to_string(dir.join("store.meta")).unwrap();
-        assert!(text.starts_with("stair-store v2\n"), "{text}");
-        assert!(text.contains(&format!("codec {spec}")), "{text}");
+        assert!(text.contains("clean_shutdown 1\n"), "{text}");
 
-        // Reopen: same codec, same data.
+        // Reopen: same codec, same data, clean shutdown observed.
         let store = StripeStore::open(&dir).unwrap();
         assert_eq!(store.codec_spec().to_string(), spec);
         assert_eq!(store.read_at(0, payload.len()).unwrap(), payload);
+        let status = store.status();
+        assert!(status.clean_shutdown);
+        assert_eq!(status.replayed_records, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// The cross-version matrix: every historical superblock version opens
+/// the same underlying store end to end and upgrades to v3 in place.
+#[test]
+fn superblock_version_matrix_opens_end_to_end() {
+    let v1 = "stair-store v1\nn 8\nr 4\nm 2\ne 1,1,2\nsymbol 64\nstripes 6\n";
+    let v2 = "stair-store v2\ncodec stair:8,4,2,1-1-2\nsymbol 64\nstripes 6\n";
+    let v3 = "stair-store v3\ncodec stair:8,4,2,1-1-2\nsymbol 64\nstripes 6\n\
+              journal_segment 1048576\nclean_shutdown 1\n";
+    for (version, fixture) in [("v1", v1), ("v2", v2), ("v3", v3)] {
+        let dir = tmpdir(&format!("matrix-{version}"));
+        let opts = StoreOptions {
+            code: "stair:8,4,2,1-1-2".parse().unwrap(),
+            symbol: 64,
+            stripes: 6,
+        };
+        let store = StripeStore::create(&dir, &opts).unwrap();
+        let payload = pattern(store.capacity() as usize, 11);
+        store.write_at(0, &payload).unwrap();
+        drop(store);
+
+        // Swap in the hand-written fixture and open through it.
+        std::fs::write(dir.join("store.meta"), fixture).unwrap();
+        let store = StripeStore::open(&dir).unwrap();
+        assert_eq!(store.codec_spec().to_string(), "stair:8,4,2,1-1-2");
+        assert_eq!(store.read_at(0, payload.len()).unwrap(), payload);
+        let status = store.status();
+        // v1/v2 predate the journal: vacuously clean. The v3 fixture
+        // says clean explicitly.
+        assert!(status.clean_shutdown, "{version}");
+        assert_eq!(status.replayed_records, 0, "{version}");
+        // Legacy stores keep working degraded, too.
+        store.fail_device(3).unwrap();
+        assert_eq!(store.read_at(0, payload.len()).unwrap(), payload);
+        drop(store);
+
+        // First open rewrote the superblock as v3 (journal defaults
+        // adopted for v1/v2, fixture capacity kept for v3).
+        let meta = StoreMeta::load(&dir).unwrap();
+        let text = std::fs::read_to_string(dir.join("store.meta")).unwrap();
+        assert!(text.starts_with("stair-store v3\n"), "{version}: {text}");
+        match version {
+            "v3" => assert_eq!(meta.journal_segment, 1_048_576),
+            _ => assert_eq!(meta.journal_segment, DEFAULT_JOURNAL_SEGMENT),
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }
 
 #[test]
-fn handwritten_legacy_v1_superblock_opens_as_stair() {
-    // Build a store whose geometry matches the fixture, then swap in a
-    // hand-written v1 superblock exactly as PR 1 serialized it.
-    let dir = tmpdir("v1");
+fn crash_marked_superblock_reports_unclean_until_next_close() {
+    let dir = tmpdir("unclean");
     let opts = StoreOptions {
-        code: "stair:8,4,2,1-1-2".parse().unwrap(),
+        code: "rs:6,4,2".parse().unwrap(),
         symbol: 64,
-        stripes: 6,
+        stripes: 4,
     };
     let store = StripeStore::create(&dir, &opts).unwrap();
-    let payload = pattern(store.capacity() as usize, 11);
-    store.write_at(0, &payload).unwrap();
+    store.write_at(0, &pattern(256, 9)).unwrap();
+    // Simulate a crash: capture the live (clean_shutdown 0) superblock
+    // and restore it after the clean drop.
+    let live = std::fs::read_to_string(dir.join("store.meta")).unwrap();
+    assert!(live.contains("clean_shutdown 0\n"));
     drop(store);
-
-    let v1 = "stair-store v1\nn 8\nr 4\nm 2\ne 1,1,2\nsymbol 64\nstripes 6\n";
-    std::fs::write(dir.join("store.meta"), v1).unwrap();
+    std::fs::write(dir.join("store.meta"), &live).unwrap();
 
     let store = StripeStore::open(&dir).unwrap();
-    assert_eq!(store.codec_spec().to_string(), "stair:8,4,2,1-1-2");
-    assert_eq!(store.read_at(0, payload.len()).unwrap(), payload);
-    // A legacy store keeps working end to end: degrade it and read back.
-    store.fail_device(3).unwrap();
-    assert_eq!(store.read_at(0, payload.len()).unwrap(), payload);
+    assert!(!store.status().clean_shutdown, "crash must be observed");
+    drop(store);
+
+    // The clean close re-marks it; the next open sees a clean store.
+    let store = StripeStore::open(&dir).unwrap();
+    assert!(store.status().clean_shutdown);
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -85,8 +143,10 @@ fn v1_fixture_parses_with_field_reordering_and_blank_lines() {
     let meta = StoreMeta::parse(text).unwrap();
     assert_eq!(meta.codec.to_string(), "stair:8,4,2,1-1-2");
     assert_eq!((meta.symbol, meta.stripes), (64, 6));
-    // And it re-serializes as v2.
-    assert!(meta.to_text().starts_with("stair-store v2\n"));
+    assert_eq!(meta.journal_segment, DEFAULT_JOURNAL_SEGMENT);
+    assert!(meta.clean_shutdown);
+    // And it re-serializes as v3.
+    assert!(meta.to_text().starts_with("stair-store v3\n"));
 }
 
 #[test]
@@ -100,6 +160,10 @@ fn malformed_superblocks_are_rejected_not_panicked() {
         "stair-store v2\ncodec stair:8,4,2,100\nsymbol 64\nstripes 6\n",
         // v2 with a garbage integer.
         "stair-store v2\ncodec rs:6,4,2\nsymbol sixty-four\nstripes 6\n",
+        // v2 carrying v3-only journal keys (mis-tagged version).
+        "stair-store v2\ncodec rs:6,4,2\nsymbol 64\nstripes 6\njournal_segment 4096\n",
+        // v3 with a garbage clean_shutdown flag.
+        "stair-store v3\ncodec rs:6,4,2\nsymbol 64\nstripes 6\nclean_shutdown maybe\n",
         // Unknown version.
         "stair-store v9\ncodec rs:6,4,2\nsymbol 64\nstripes 6\n",
         // Empty file.
