@@ -21,6 +21,17 @@
 //! guess. Reads are unaffected by the journal (no append on the read
 //! path); writes pay one record append + fsync per touched stripe.
 //!
+//! Two more axes ride along. The **skew axis** re-runs every cell with
+//! offsets drawn from a seeded distribution (`seq` is the consecutive
+//! baseline, `zipf:1.0` the hot-set shape real traffic has) — same op
+//! count, same blocks, different order. The **write-back phase**
+//! measures what the `cache:` tier's group commit buys at `batch = 1`:
+//! the same single-block write workload through a plain store and
+//! through `CachedDevice` with `wb=on`, comparing
+//! `store.encode_passes` per stripe (the store pays one codec pass per
+//! touched stripe per submission, so coalescing N hot writes into one
+//! drain divides the encode work by N).
+//!
 //! Flags: `--json <path>` writes the machine-readable report
 //! documented in `EXPERIMENTS.md`.
 //!
@@ -28,14 +39,22 @@
 //! `STAIR_BATCH_SIZES` (comma list, default `1,4,16,64,256`),
 //! `STAIR_BATCH_BACKENDS` (comma list of `file,shards,tcp`, default all
 //! three), `STAIR_BATCH_CODE` (codec spec, default `stair:8,16,2,1-2`),
-//! `STAIR_BATCH_SHARDS` (shard count for shards/tcp, default 2).
+//! `STAIR_BATCH_SHARDS` (shard count for shards/tcp, default 2),
+//! `STAIR_BATCH_DIST` (comma list of `seq|uniform|zipf:<theta>`,
+//! default `seq,zipf:1.0`).
 
-use stair_bench::driver::{measure_batched, DevMeasurement};
+use stair_bench::driver::{measure_batched_with, DevMeasurement};
+use stair_bench::zipf::Dist;
+use stair_cache::{CacheConfig, CachedDevice};
 use stair_code::CodecSpec;
 use stair_device::BlockDevice;
 use stair_net::json::{metrics_json, Json};
 use stair_net::{Client, Server, ServerConfig, ShardSet};
 use stair_store::{StoreOptions, StripeStore};
+
+/// Seed for the skewed-offset samplers (per-thread offsets derive from
+/// it), fixed so regenerated baselines replay the same workload.
+const DIST_SEED: u64 = 0x5EED_CAFE;
 
 fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key)
@@ -49,6 +68,7 @@ struct Measurement {
     op: &'static str,
     batch: usize,
     journal: bool,
+    dist: Dist,
     timing: DevMeasurement,
 }
 
@@ -70,6 +90,11 @@ fn main() {
         .unwrap_or_else(|_| "file,shards,tcp".into())
         .split(',')
         .map(|s| s.trim().to_string())
+        .collect();
+    let dists: Vec<Dist> = std::env::var("STAIR_BATCH_DIST")
+        .unwrap_or_else(|_| "seq,zipf:1.0".into())
+        .split(',')
+        .map(|s| s.trim().parse().expect("bad STAIR_BATCH_DIST entry"))
         .collect();
     let symbol = 512usize;
 
@@ -114,7 +139,15 @@ fn main() {
                         },
                     )
                     .expect("create store");
-                    sweep("file", &store, &sizes, journal, &mut results, &mut metrics);
+                    sweep(
+                        "file",
+                        &store,
+                        &sizes,
+                        &dists,
+                        journal,
+                        &mut results,
+                        &mut metrics,
+                    );
                     std::fs::remove_dir_all(&dir).expect("cleanup file");
                 }
                 "shards" => {
@@ -130,7 +163,15 @@ fn main() {
                         },
                     )
                     .expect("create shards");
-                    sweep("shards", &set, &sizes, journal, &mut results, &mut metrics);
+                    sweep(
+                        "shards",
+                        &set,
+                        &sizes,
+                        &dists,
+                        journal,
+                        &mut results,
+                        &mut metrics,
+                    );
                     std::fs::remove_dir_all(&dir).expect("cleanup shards");
                 }
                 "tcp" => {
@@ -152,7 +193,15 @@ fn main() {
                     let handle = server.handle();
                     let running = std::thread::spawn(move || server.run());
                     let client = Client::connect(&addr).expect("connect");
-                    sweep("tcp", &client, &sizes, journal, &mut results, &mut metrics);
+                    sweep(
+                        "tcp",
+                        &client,
+                        &sizes,
+                        &dists,
+                        journal,
+                        &mut results,
+                        &mut metrics,
+                    );
                     handle.shutdown();
                     running.join().expect("server thread").expect("server run");
                     std::fs::remove_dir_all(&dir).expect("cleanup tcp");
@@ -162,6 +211,11 @@ fn main() {
         }
     }
     std::env::remove_var("STAIR_JOURNAL");
+
+    // The write-back phase: what the cache tier's group commit does to
+    // the codec bill at batch=1 (the un-batched client the wrapper is
+    // for).
+    let write_back = measure_write_back(&root, &code, symbol, per_stripe, mb);
 
     // The headline claim must hold on every backend that ran both ends
     // of the axis: batched writes beat single-op submission on req/s
@@ -176,6 +230,7 @@ fn main() {
                         && m.op == "write"
                         && m.batch == batch
                         && m.journal == journal
+                        && m.dist == Dist::Seq
                 })
                 .map(|m| m.timing.req_per_s())
         };
@@ -196,17 +251,96 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        let report = json_report(&code, symbol, shards, &sizes, &results, metrics);
+        let report = json_report(
+            &code, symbol, shards, &sizes, &dists, &results, write_back, metrics,
+        );
         std::fs::write(&path, report.to_text()).expect("write --json report");
         println!("wrote JSON report to {path}");
     }
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// Runs the identical batch=1 single-block write workload twice — once
+/// straight into a fresh store, once through `CachedDevice` with the
+/// write tier on (1 MiB budget, pressure-drained, final `flush()`) —
+/// and compares `store.encode_passes`. Write-through pays one codec
+/// pass per block write; the drain coalesces each contiguous run into
+/// one `IoBatch`, so the store pays ~one pass per touched stripe per
+/// drain.
+fn measure_write_back(
+    root: &std::path::Path,
+    code: &CodecSpec,
+    symbol: usize,
+    per_stripe: usize,
+    mb: usize,
+) -> Vec<Json> {
+    let stripes = (mb << 20).div_ceil(per_stripe).max(2);
+    let opts = StoreOptions {
+        code: code.clone(),
+        symbol,
+        stripes,
+    };
+    let mut rows = Vec::new();
+    for (mode, wb) in [("write_through", false), ("write_back", true)] {
+        let dir = root.join(format!("wb-{mode}"));
+        let store = StripeStore::create(&dir, &opts).expect("create wb store");
+        let capacity = store.capacity() as usize;
+        let block = store.block_size();
+        let blocks = capacity / block;
+        let dev: Box<dyn BlockDevice> = if wb {
+            Box::new(CachedDevice::new(store, CacheConfig::from_spec(1, true, 0)))
+        } else {
+            Box::new(store)
+        };
+        let payload = vec![0xB7u8; block];
+        let grab = |dev: &dyn BlockDevice| {
+            let snap = dev.metrics().expect("wb metrics");
+            let c = |name: &str| snap.counter(name).unwrap_or(0);
+            (
+                c("store.encode_passes"),
+                c("store.delta_update_calls"),
+                c("store.stripe_locks"),
+            )
+        };
+        let before = grab(dev.as_ref());
+        for slot in 0..blocks {
+            dev.write_at((slot * block) as u64, &payload)
+                .expect("wb write");
+        }
+        dev.flush().expect("wb flush");
+        let after = grab(dev.as_ref());
+        let (encodes, deltas, locks) = (after.0 - before.0, after.1 - before.1, after.2 - before.2);
+        // The codec bill: every write costs either a full-stripe encode
+        // or per-cell parity-delta updates. Write-through at batch=1
+        // pays one delta call per block; the drain coalesces each
+        // stripe's blocks into one submission, whose full-stripe commit
+        // is a single encode pass.
+        let codec_per_stripe = (encodes + deltas) as f64 / stripes as f64;
+        println!(
+            "-- write_back: {mode:<13} {blocks} block writes over {stripes} stripes -> \
+             {encodes} encodes + {deltas} deltas ({codec_per_stripe:.2} codec passes/stripe), {locks} stripe locks"
+        );
+        rows.push(Json::obj([
+            ("mode", Json::str(mode)),
+            ("batch", Json::int(1)),
+            ("blocks_written", Json::int(blocks)),
+            ("stripes", Json::int(stripes)),
+            ("encode_passes", Json::int(encodes as usize)),
+            ("delta_update_calls", Json::int(deltas as usize)),
+            ("stripe_locks", Json::int(locks as usize)),
+            ("codec_passes_per_stripe", Json::Num(codec_per_stripe)),
+        ]));
+        drop(dev);
+        std::fs::remove_dir_all(&dir).expect("cleanup wb");
+    }
+    rows
+}
+
 fn sweep(
     backend: &'static str,
     dev: &dyn BlockDevice,
     sizes: &[usize],
+    dists: &[Dist],
     journal: bool,
     results: &mut Vec<Measurement>,
     metrics: &mut Vec<Json>,
@@ -214,29 +348,42 @@ fn sweep(
     let capacity = dev.capacity() as usize;
     let block = dev.block_size();
     let jtag = if journal { "jrnl+" } else { "jrnl-" };
-    for &batch in sizes {
-        // One walk of the block space is capacity/block/batch submit
-        // calls — 16 at batch=256 on the default 2 MiB, where a single
-        // checkpoint stall would swing the mean by tens of percent. Do
-        // enough passes that every cell times ≥256 submissions.
-        let per_pass = (capacity / block).div_ceil(batch).max(1);
-        let passes = 256usize.div_ceil(per_pass);
-        for (op, write) in [("write", true), ("read", false)] {
-            let timing = measure_batched(&[dev], write, capacity, block, batch, passes);
-            println!(
-                "{backend:<7} {jtag} {op:<5} batch={batch:<3} req/s={:>9.0}  MB/s={:>7.1}  p50={:>7.0}us  p99={:>7.0}us",
-                timing.req_per_s(),
-                timing.mb_per_s(),
-                timing.lat_p50_us,
-                timing.lat_p99_us
-            );
-            results.push(Measurement {
-                backend,
-                op,
-                batch,
-                journal,
-                timing,
-            });
+    for &dist in dists {
+        for &batch in sizes {
+            // One walk of the block space is capacity/block/batch submit
+            // calls — 16 at batch=256 on the default 2 MiB, where a single
+            // checkpoint stall would swing the mean by tens of percent. Do
+            // enough passes that every cell times ≥256 submissions.
+            let per_pass = (capacity / block).div_ceil(batch).max(1);
+            let passes = 256usize.div_ceil(per_pass);
+            for (op, write) in [("write", true), ("read", false)] {
+                let timing = measure_batched_with(
+                    &[dev],
+                    write,
+                    capacity,
+                    block,
+                    batch,
+                    passes,
+                    dist,
+                    DIST_SEED,
+                );
+                println!(
+                    "{backend:<7} {jtag} {:<8} {op:<5} batch={batch:<3} req/s={:>9.0}  MB/s={:>7.1}  p50={:>7.0}us  p99={:>7.0}us",
+                    dist.to_string(),
+                    timing.req_per_s(),
+                    timing.mb_per_s(),
+                    timing.lat_p50_us,
+                    timing.lat_p99_us
+                );
+                results.push(Measurement {
+                    backend,
+                    op,
+                    batch,
+                    journal,
+                    dist,
+                    timing,
+                });
+            }
         }
     }
     // The backend's own registry view of the sweep, in the same shape
@@ -263,12 +410,15 @@ fn parse_json_flag() -> Option<String> {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn json_report(
     code: &CodecSpec,
     symbol: usize,
     shards: usize,
     sizes: &[usize],
+    dists: &[Dist],
     results: &[Measurement],
+    write_back: Vec<Json>,
     metrics: Vec<Json>,
 ) -> Json {
     Json::obj([
@@ -287,6 +437,11 @@ fn json_report(
                     "journal_axis",
                     Json::arr([Json::Bool(true), Json::Bool(false)]),
                 ),
+                (
+                    "dist_axis",
+                    Json::arr(dists.iter().map(|d| Json::str(d.to_string()))),
+                ),
+                ("dist_seed", Json::int(DIST_SEED as usize)),
             ]),
         ),
         (
@@ -297,6 +452,7 @@ fn json_report(
                     ("op", Json::str(m.op)),
                     ("batch", Json::int(m.batch)),
                     ("journal", Json::Bool(m.journal)),
+                    ("dist", Json::str(m.dist.to_string())),
                     ("req_per_s", Json::Num(m.timing.req_per_s())),
                     ("mb_per_s", Json::Num(m.timing.mb_per_s())),
                     ("lat_p50_us", Json::Num(m.timing.lat_p50_us)),
@@ -308,6 +464,7 @@ fn json_report(
                 ])
             })),
         ),
+        ("write_back", Json::arr(write_back)),
         ("metrics", Json::arr(metrics)),
     ])
 }

@@ -25,8 +25,10 @@
 //!
 //! Flags: `--json <path>` writes a machine-readable report.
 //! Environment: `STAIR_CHAOS_ITERS` (iterations per backend, default
-//! 25), `STAIR_CHAOS_BACKENDS` (comma list of `file,shards`, default
-//! both), `STAIR_CHAOS_SEED` (base seed, default 9).
+//! 25), `STAIR_CHAOS_BACKENDS` (comma list of `file,shards,cache`,
+//! default all three — `cache` is a write-through `cache:file:` tier,
+//! whose acks are the store's own and must therefore survive exactly
+//! like `file:`'s), `STAIR_CHAOS_SEED` (base seed, default 9).
 
 use std::collections::BTreeSet;
 use std::io::Write as _;
@@ -158,7 +160,7 @@ fn parent(args: &[String]) -> ! {
         .and_then(|v| v.parse().ok())
         .unwrap_or(9);
     let backends: Vec<String> = std::env::var("STAIR_CHAOS_BACKENDS")
-        .unwrap_or_else(|_| "file,shards".into())
+        .unwrap_or_else(|_| "file,shards,cache".into())
         .split(',')
         .map(|s| s.trim().to_string())
         .collect();
@@ -236,6 +238,15 @@ fn run_iteration(
         "shards" => {
             ShardSet::create(&dir, SHARDS, &opts()).map_err(|e| format!("create: {e}"))?;
             format!("shards:{}?n={SHARDS}", dir.display())
+        }
+        // Write-through cache over a file store: the wrapper forwards
+        // every submit before acking, so a kill must lose nothing the
+        // child acked — the same bar as the bare store. (Write-back
+        // acks are volatile by contract; the chaos bar applies to the
+        // shipping default.)
+        "cache" => {
+            StripeStore::create(&dir, &opts()).map_err(|e| format!("create: {e}"))?;
+            format!("cache:file:{}?mb=1", dir.display())
         }
         other => return Err(format!("unknown STAIR_CHAOS_BACKENDS entry `{other}`")),
     };

@@ -22,17 +22,22 @@
 //! default `stair:8,16,2,1-2`), `STAIR_NET_THREADS` (comma list,
 //! default `1,2,4`), `STAIR_NET_WORKERS` (server workers, default 4).
 
-use stair_bench::driver::{measure_devices, DevMeasurement, DevOp, IoShape};
+use stair_bench::driver::{measure_devices, measure_sampled_reads, DevMeasurement, DevOp, IoShape};
+use stair_bench::zipf::{Dist, Sampler};
 use stair_code::CodecSpec;
-use stair_device::BlockDevice;
+use stair_device::{BlockDevice, DeviceSpec};
 use stair_net::json::{metrics_json, Json};
-use stair_net::{Client, Server, ServerConfig, ShardSet};
+use stair_net::{open_device, Client, Server, ServerConfig, ShardSet};
 use stair_store::{StoreOptions, StripeStore};
 
 /// Sequential transfers go in 64 KiB requests; random ones in single
 /// blocks (the small-write / small-read shape that exercises the
 /// parity-delta path).
 const SEQ_IO: usize = 64 * 1024;
+
+/// Seed for the zipfian cache-phase sampler — fixed so the cached and
+/// uncached runs replay the identical offset sequence.
+const CACHE_SEED: u64 = 0x00C0_FFEE;
 
 fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key)
@@ -114,8 +119,15 @@ fn main() {
         rand_io: symbol,
     };
     let mut results: Vec<Measurement> = Vec::new();
+    let mut cache_summary = Json::Null;
     for phase in ["clean", "degraded"] {
         if phase == "degraded" {
+            // The cache phase runs on the still-clean store (between
+            // the two phases): the same zipfian single-block read
+            // sequence against a plain `tcp:` client and a
+            // `cache:tcp:` wrapper, bytes compared, hit rate pulled
+            // from the cache's own counters.
+            cache_summary = cache_phase(&addr, capacity, symbol, &mut results);
             // One whole device lost on shard 0: reads through that shard
             // reconstruct, writes keep flowing around it.
             let admin = Client::connect(&addr).expect("admin connect");
@@ -184,11 +196,88 @@ fn main() {
             capacity,
             workers,
             &results,
+            cache_summary,
             &server_metrics,
         );
         std::fs::write(&path, report.to_text()).expect("write --json report");
         println!("wrote JSON report to {path}");
     }
+}
+
+/// The cache-tier phase: the identical seeded zipfian single-block
+/// read workload against a plain `tcp:` client and a `cache:tcp:`
+/// wrapper over the same server. Returns the JSON summary (hit rate,
+/// speedup, byte-equality) and pushes both timings into `results`.
+fn cache_phase(addr: &str, capacity: usize, block: usize, results: &mut Vec<Measurement>) -> Json {
+    let dist = Dist::Zipf(1.0);
+    let slots = capacity / block;
+    let ops = (slots * 2).max(2048);
+
+    let plain = Client::connect(addr).expect("cache-phase plain client");
+    let uncached = measure_sampled_reads(&plain, capacity, block, dist, CACHE_SEED, ops, 2);
+
+    let spec: DeviceSpec = format!("cache:tcp:{addr}?mb=64")
+        .parse()
+        .expect("cache spec");
+    let cached_dev = open_device(&spec).expect("open cache:tcp:");
+    let cached = measure_sampled_reads(
+        cached_dev.as_ref(),
+        capacity,
+        block,
+        dist,
+        CACHE_SEED,
+        ops,
+        2,
+    );
+
+    // Correctness before speed: the cached device must return the very
+    // bytes the server holds, over the same sampled sequence.
+    let mut sampler = Sampler::new(dist, slots, CACHE_SEED);
+    for _ in 0..ops.min(512) {
+        let at = (sampler.next_slot() * block) as u64;
+        let want = plain.read_at(at, block).expect("uncached read");
+        let got = cached_dev.read_at(at, block).expect("cached read");
+        assert_eq!(want, got, "cache:tcp: returned different bytes at {at}");
+    }
+
+    let snap = cached_dev.metrics().expect("cache metrics");
+    let hits = snap
+        .counter(stair_obs::metric_names::CACHE_HIT)
+        .unwrap_or(0);
+    let misses = snap
+        .counter(stair_obs::metric_names::CACHE_MISS)
+        .unwrap_or(0);
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    let speedup = cached.req_per_s() / uncached.req_per_s().max(1e-9);
+    println!(
+        "-- cache: {dist} single-block reads  tcp:={:>9.0} req/s  cache:tcp:={:>9.0} req/s  x{speedup:.1}  hit rate {:.1}%",
+        uncached.req_per_s(),
+        cached.req_per_s(),
+        100.0 * hit_rate
+    );
+    results.push(Measurement {
+        phase: "cache",
+        op: "zipf_read",
+        threads: 1,
+        timing: uncached,
+    });
+    results.push(Measurement {
+        phase: "cache",
+        op: "zipf_read_cached",
+        threads: 1,
+        timing: cached,
+    });
+    Json::obj([
+        ("dist", Json::str(dist.to_string())),
+        ("seed", Json::int(CACHE_SEED as usize)),
+        ("ops_per_pass", Json::int(ops)),
+        ("cache_mb", Json::int(64)),
+        ("hits", Json::int(hits as usize)),
+        ("misses", Json::int(misses as usize)),
+        ("hit_rate", Json::Num(hit_rate)),
+        ("speedup_vs_uncached", Json::Num(speedup)),
+        ("bytes_identical", Json::Bool(true)),
+    ])
 }
 
 /// `--json <path>` from argv (the only flag this harness takes).
@@ -213,6 +302,7 @@ fn json_report(
     capacity: usize,
     workers: usize,
     results: &[Measurement],
+    cache_summary: Json,
     server_metrics: &stair_obs::MetricsSnapshot,
 ) -> Json {
     Json::obj([
@@ -248,6 +338,7 @@ fn json_report(
                 ])
             })),
         ),
+        ("cache", cache_summary),
         ("metrics", metrics_json(server_metrics)),
     ])
 }

@@ -20,6 +20,8 @@ use stair_device::{BlockDevice, IoBatch};
 use stair_obs::trace::{self, names};
 use stair_obs::{Histogram, HistogramSnapshot};
 
+use crate::zipf::{Dist, Sampler};
+
 /// A workload shape. Sequential ops stream `seq_io`-byte transfers;
 /// random ops issue single `rand_io`-byte transfers at uniformly
 /// pseudo-random aligned offsets (the small-I/O shape that exercises
@@ -179,6 +181,26 @@ pub fn measure_batched(
     batch: usize,
     passes: usize,
 ) -> DevMeasurement {
+    measure_batched_with(devs, write, capacity, block, batch, passes, Dist::Seq, 0)
+}
+
+/// [`measure_batched`] with an explicit offset distribution: `Seq`
+/// walks each region in consecutive blocks (the coalescing-friendly
+/// baseline), `Uniform`/`Zipf` draw the same number of single-block
+/// ops from a seeded [`Sampler`] instead — the skew axis. Identical
+/// `(dist, seed)` replay identical offset sequences, so two backends
+/// can be measured over the very same workload.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_batched_with(
+    devs: &[&dyn BlockDevice],
+    write: bool,
+    capacity: usize,
+    block: usize,
+    batch: usize,
+    passes: usize,
+    dist: Dist,
+    seed: u64,
+) -> DevMeasurement {
     assert!(!devs.is_empty(), "need at least one device handle");
     let region = capacity / devs.len() / block * block;
     assert!(
@@ -191,9 +213,9 @@ pub fn measure_batched(
             let mut handles = Vec::new();
             for (c, dev) in devs.iter().enumerate() {
                 let lat = lat_us.clone();
-                handles.push(
-                    scope.spawn(move || run_batched(*dev, write, c, region, block, batch, &lat)),
-                );
+                handles.push(scope.spawn(move || {
+                    run_batched(*dev, write, c, region, block, batch, dist, seed, &lat)
+                }));
             }
             handles
                 .into_iter()
@@ -216,6 +238,7 @@ pub fn measure_batched(
 }
 
 /// The per-thread batched workload body.
+#[allow(clippy::too_many_arguments)]
 fn run_batched(
     dev: &dyn BlockDevice,
     write: bool,
@@ -223,16 +246,22 @@ fn run_batched(
     region: usize,
     block: usize,
     batch: usize,
+    dist: Dist,
+    seed: u64,
     lat_us: &Histogram,
 ) -> (usize, usize) {
     let base = (c * region) as u64;
     let slots = region / block;
+    // A `Seq` sampler walks `0, 1, 2, …` — exactly the consecutive
+    // layout the original loop issued; skewed dists draw the same op
+    // count from their seeded sequence instead.
+    let mut sampler = Sampler::new(dist, slots, seed.wrapping_add(c as u64));
     let payload = pattern(block, c as u64 + 11);
     let mut bytes = 0usize;
     let mut requests = 0usize;
-    let mut slot = 0usize;
-    while slot < slots {
-        let group = batch.max(1).min(slots - slot);
+    let mut issued = 0usize;
+    while issued < slots {
+        let group = batch.max(1).min(slots - issued);
         let t0 = Instant::now();
         // One trace root per measured submission (no-op unless tracing
         // is enabled), so its duration is the same interval the latency
@@ -240,7 +269,7 @@ fn run_batched(
         let mut tag = trace::root_span(names::BENCH_SUBMIT);
         tag.set_bytes((group * block) as u64);
         if batch <= 1 {
-            let at = base + (slot * block) as u64;
+            let at = base + (sampler.next_slot() * block) as u64;
             if write {
                 dev.write_at(at, &payload).expect("bench write");
             } else {
@@ -249,8 +278,8 @@ fn run_batched(
             }
         } else {
             let mut ops = IoBatch::new();
-            for k in 0..group {
-                let at = base + ((slot + k) * block) as u64;
+            for _ in 0..group {
+                let at = base + (sampler.next_slot() * block) as u64;
                 if write {
                     ops.write(at, payload.clone());
                 } else {
@@ -264,9 +293,57 @@ fn run_batched(
         lat_us.record(t0.elapsed().as_micros() as u64);
         bytes += group * block;
         requests += group;
-        slot += group;
+        issued += group;
     }
     (bytes, requests)
+}
+
+/// Times single-block reads drawn from a seeded [`Sampler`] against
+/// one device handle — the cache-tier hit-rate measurement. The warmup
+/// pass replays the *same* sequence as the timed passes (the sampler
+/// is rebuilt per pass from the same seed), so a cache tier in front
+/// of the device is warm exactly as a steady-state hot set would have
+/// left it.
+pub fn measure_sampled_reads(
+    dev: &dyn BlockDevice,
+    capacity: usize,
+    block: usize,
+    dist: Dist,
+    seed: u64,
+    ops: usize,
+    passes: usize,
+) -> DevMeasurement {
+    let slots = capacity / block;
+    assert!(
+        slots > 0,
+        "capacity {capacity} below one {block}-byte block"
+    );
+    let pass = |lat_us: &Histogram| -> (usize, usize) {
+        let mut sampler = Sampler::new(dist, slots, seed);
+        for _ in 0..ops {
+            let at = (sampler.next_slot() * block) as u64;
+            let t0 = Instant::now();
+            let mut tag = trace::root_span(names::BENCH_SUBMIT);
+            tag.set_bytes(block as u64);
+            let got = dev.read_at(at, block).expect("sampled read");
+            tag.finish();
+            lat_us.record(t0.elapsed().as_micros() as u64);
+            assert_eq!(got.len(), block);
+        }
+        (ops * block, ops)
+    };
+    pass(&Histogram::new()); // warmup (fills any cache tier)
+    let lat_us = Histogram::new();
+    let start = Instant::now();
+    let mut bytes = 0;
+    let mut requests = 0;
+    for _ in 0..passes.max(1) {
+        let (b, r) = pass(&lat_us);
+        bytes += b;
+        requests += r;
+    }
+    let seconds = start.elapsed().as_secs_f64().max(1e-9);
+    DevMeasurement::from_totals(bytes, requests, seconds, &lat_us)
 }
 
 /// The per-thread workload body shared by warmup and timed passes.

@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 
 pub mod driver;
+pub mod zipf;
 
 use std::time::Instant;
 

@@ -1,0 +1,239 @@
+//! Seeded key-distribution generators for the workload harnesses.
+//!
+//! Real traffic is skewed — a few hot stripes absorb most reads — and
+//! the cache tier's whole value proposition lives in that skew, so the
+//! bench axes need a deterministic zipfian sampler next to the uniform
+//! one. Determinism matters twice: the same seed must replay the same
+//! offset sequence on a cached and an uncached device (so byte-level
+//! equality is checkable), and regenerated `BENCH_*.json` baselines
+//! must be comparable run over run.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// How offsets are drawn across the block space.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Dist {
+    /// Consecutive slots in submission order (the batching baseline).
+    Seq,
+    /// Independent uniform draws.
+    Uniform,
+    /// Zipfian draws with the given exponent (`zipf:1.0` is the
+    /// classic harmonic skew: rank `k` drawn ∝ `1/k^θ`).
+    Zipf(f64),
+}
+
+impl fmt::Display for Dist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dist::Seq => write!(f, "seq"),
+            Dist::Uniform => write!(f, "uniform"),
+            Dist::Zipf(theta) => write!(f, "zipf:{theta}"),
+        }
+    }
+}
+
+impl FromStr for Dist {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "seq" => Ok(Dist::Seq),
+            "uniform" => Ok(Dist::Uniform),
+            _ => match s.strip_prefix("zipf:") {
+                Some(theta) => {
+                    let theta: f64 = theta
+                        .parse()
+                        .map_err(|_| format!("bad zipf exponent in `{s}`"))?;
+                    if !(theta.is_finite() && theta > 0.0) {
+                        return Err(format!("zipf exponent must be finite and > 0, got `{s}`"));
+                    }
+                    Ok(Dist::Zipf(theta))
+                }
+                None => Err(format!(
+                    "unknown distribution `{s}` (want seq, uniform, or zipf:<theta>)"
+                )),
+            },
+        }
+    }
+}
+
+/// A deterministic slot sampler over `[0, slots)`.
+///
+/// The RNG is the same 64-bit LCG the other harness loops use; zipf
+/// draws invert a precomputed CDF by binary search, and ranks are
+/// scattered over the slot space by a coprime stride so the hot set
+/// does not collapse onto one stripe.
+pub struct Sampler {
+    dist: Dist,
+    slots: usize,
+    state: u64,
+    at: usize,
+    /// `cdf[k]` = P(rank ≤ k), strictly increasing to 1.0.
+    cdf: Vec<f64>,
+    /// Rank → slot stride (coprime with `slots`).
+    stride: usize,
+}
+
+impl Sampler {
+    /// Builds a sampler over `slots` slots. Identical `(dist, slots,
+    /// seed)` always produce the identical sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots == 0`.
+    pub fn new(dist: Dist, slots: usize, seed: u64) -> Self {
+        assert!(slots > 0, "sampler needs at least one slot");
+        let cdf = match dist {
+            Dist::Zipf(theta) => {
+                let mut weights: Vec<f64> =
+                    (1..=slots).map(|k| 1.0 / (k as f64).powf(theta)).collect();
+                let total: f64 = weights.iter().sum();
+                let mut acc = 0.0;
+                for w in &mut weights {
+                    acc += *w / total;
+                    *w = acc;
+                }
+                if let Some(last) = weights.last_mut() {
+                    *last = 1.0; // guard the tail against rounding
+                }
+                weights
+            }
+            Dist::Seq | Dist::Uniform => Vec::new(),
+        };
+        // A golden-ratio-ish odd stride, stepped until coprime, keeps
+        // adjacent ranks on distant slots (and distinct stripes).
+        let mut stride = 0x9E37_79B9usize % slots;
+        while slots > 1 && (stride < 2 || gcd(stride, slots) != 1) {
+            stride += 1;
+        }
+        if slots == 1 {
+            stride = 0;
+        }
+        Sampler {
+            dist,
+            slots,
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            at: 0,
+            cdf,
+            stride,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.state
+    }
+
+    /// The next slot index in `[0, slots)`.
+    pub fn next_slot(&mut self) -> usize {
+        match self.dist {
+            Dist::Seq => {
+                let slot = self.at;
+                self.at = (self.at + 1) % self.slots;
+                slot
+            }
+            Dist::Uniform => (self.next_u64() >> 16) as usize % self.slots,
+            Dist::Zipf(_) => {
+                // 53 random bits → u ∈ [0, 1); invert the CDF.
+                let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let rank = self.cdf.partition_point(|&p| p <= u);
+                rank.min(self.slots - 1).wrapping_mul(self.stride) % self.slots
+            }
+        }
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_strings_round_trip() {
+        for s in ["seq", "uniform", "zipf:1.0", "zipf:0.75"] {
+            let d: Dist = s.parse().unwrap();
+            let d2: Dist = d.to_string().parse().unwrap();
+            assert_eq!(d, d2, "{s}");
+        }
+        for s in ["", "zipf", "zipf:", "zipf:0", "zipf:-1", "zipf:x", "pareto"] {
+            assert!(s.parse::<Dist>().is_err(), "`{s}` must be rejected");
+        }
+    }
+
+    #[test]
+    fn identical_seeds_replay_identical_sequences() {
+        for dist in [Dist::Seq, Dist::Uniform, Dist::Zipf(1.0)] {
+            let mut a = Sampler::new(dist, 1024, 42);
+            let mut b = Sampler::new(dist, 1024, 42);
+            let seq_a: Vec<usize> = (0..512).map(|_| a.next_slot()).collect();
+            let seq_b: Vec<usize> = (0..512).map(|_| b.next_slot()).collect();
+            assert_eq!(seq_a, seq_b, "{dist}");
+            let mut c = Sampler::new(dist, 1024, 43);
+            let seq_c: Vec<usize> = (0..512).map(|_| c.next_slot()).collect();
+            if dist != Dist::Seq {
+                assert_ne!(seq_a, seq_c, "{dist} must depend on the seed");
+            }
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_bounds() {
+        for dist in [Dist::Seq, Dist::Uniform, Dist::Zipf(1.0)] {
+            for slots in [1usize, 2, 7, 1024] {
+                let mut s = Sampler::new(dist, slots, 7);
+                assert!(
+                    (0..4096).all(|_| s.next_slot() < slots),
+                    "{dist} slots={slots}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_concentrates_and_uniform_does_not() {
+        let slots = 4096usize;
+        let draws = 100_000usize;
+        let hot = |dist: Dist| -> f64 {
+            let mut s = Sampler::new(dist, slots, 1);
+            let mut counts = vec![0u32; slots];
+            for _ in 0..draws {
+                counts[s.next_slot()] += 1;
+            }
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            let top = slots / 100; // hottest 1% of slots
+            counts[..top].iter().map(|&c| c as f64).sum::<f64>() / draws as f64
+        };
+        let zipf = hot(Dist::Zipf(1.0));
+        let uniform = hot(Dist::Uniform);
+        // Zipf(1.0) over 4096 ranks puts ~44% of draws on the top 1%;
+        // uniform puts ~1% there (plus sampling noise).
+        assert!(zipf > 0.35, "zipf hot-1% share {zipf}");
+        assert!(uniform < 0.05, "uniform hot-1% share {uniform}");
+    }
+
+    #[test]
+    fn zipf_ranks_scatter_across_the_slot_space() {
+        // The two hottest ranks must not be adjacent slots (they would
+        // otherwise share a stripe and overstate coalescing wins).
+        let mut s = Sampler::new(Dist::Zipf(1.0), 4096, 9);
+        let mut counts = vec![0u32; 4096];
+        for _ in 0..50_000 {
+            counts[s.next_slot()] += 1;
+        }
+        let mut by_heat: Vec<usize> = (0..4096).collect();
+        by_heat.sort_unstable_by_key(|&i| std::cmp::Reverse(counts[i]));
+        let (a, b) = (by_heat[0], by_heat[1]);
+        assert!(a.abs_diff(b) > 8, "hottest slots {a} and {b} are adjacent");
+    }
+}

@@ -10,7 +10,13 @@
 //!    across code and docs — a name seen exactly once has no consumer
 //!    (or is a typo of one that does). `format!("dev.ops.{kind}")`
 //!    patterns and README `dev.ops.<kind>` placeholders unify via a
-//!    one-segment wildcard.
+//!    one-segment wildcard;
+//! 3. cache-tier counters (`cache.*` / `wb.*` — any name whose prefix
+//!    the obs registry's `metric_names` module reserves) are the
+//!    span-name rule one module over: declared exactly once as
+//!    constants, registered through those constants (a literal at a
+//!    sink is a fork of the schema), and documented — a declared name
+//!    no code registers or no doc explains is drift.
 
 use std::collections::BTreeMap;
 
@@ -18,8 +24,13 @@ use crate::findings::{Finding, Lint};
 use crate::lexer::{str_contents, TokKind};
 use crate::workspace::{SourceFile, Workspace};
 
+use super::spans::declared_names;
+
 /// Where the store's hard counters live.
 const STORE_RS: &str = "crates/store/src/store.rs";
+
+/// Where the reserved metric-name schema (`metric_names`) lives.
+const OBS_REGISTRY_RS: &str = "crates/obs/src/registry.rs";
 
 /// Call names that make a string literal a metric-name mention.
 const SINKS: &[&str] = &[
@@ -50,8 +61,14 @@ struct Mention {
 
 /// Appends counter-discipline findings.
 pub fn run(ws: &Workspace, out: &mut Vec<Finding>) {
+    let declared = ws
+        .file(OBS_REGISTRY_RS)
+        .map(declared_names)
+        .unwrap_or_default();
     check_atomic_counters(ws, out);
-    check_named_metrics(ws, out);
+    check_named_metrics(ws, &declared, out);
+    check_reserved_literals(ws, &declared, out);
+    check_declared_metric_names(ws, &declared, out);
 }
 
 // ---- part 1: the Counters struct ----------------------------------
@@ -145,10 +162,22 @@ fn has_member_call(f: &SourceFile, field: &str, methods: &[&str]) -> bool {
 
 // ---- part 2: string-named metrics ---------------------------------
 
-fn check_named_metrics(ws: &Workspace, out: &mut Vec<Finding>) {
+fn check_named_metrics(
+    ws: &Workspace,
+    declared: &BTreeMap<String, (String, u32)>,
+    out: &mut Vec<Finding>,
+) {
+    // A sink call through a declared constant
+    // (`registry.counter(metric_names::CACHE_HIT)`) mentions that
+    // constant's name, not a literal — resolve idents so declared
+    // metrics don't read as "documented but never produced".
+    let by_ident: BTreeMap<&str, &str> = declared
+        .iter()
+        .map(|(name, (ident, _))| (ident.as_str(), name.as_str()))
+        .collect();
     let mut mentions: Vec<Mention> = Vec::new();
     for f in &ws.files {
-        collect_code_mentions(f, &mut mentions);
+        collect_code_mentions(f, &by_ident, &mut mentions);
     }
     // Doc mentions only count for prefixes the code actually produces
     // (`protocol.rs` in a README backtick is not a metric).
@@ -243,8 +272,9 @@ fn names_match(a: &str, b: &str) -> bool {
 }
 
 /// Walks the code tokens of `f` with a stack of enclosing call names;
-/// a string literal inside a metric sink call is a mention.
-fn collect_code_mentions(f: &SourceFile, out: &mut Vec<Mention>) {
+/// a string literal — or an ident resolving to a declared metric
+/// constant — inside a metric sink call is a mention.
+fn collect_code_mentions(f: &SourceFile, by_ident: &BTreeMap<&str, &str>, out: &mut Vec<Mention>) {
     let tf = &f.tf;
     let mut stack: Vec<Option<String>> = Vec::new();
     for ci in 0..tf.code.len() {
@@ -283,7 +313,166 @@ fn collect_code_mentions(f: &SourceFile, out: &mut Vec<Mention>) {
                     });
                 }
             }
+            _ if t.kind == TokKind::Ident => {
+                // `counter(metric_names::CACHE_HIT)` — the constant is
+                // the mention. A callee ident sits *before* its `(`,
+                // so it is never on the stack for itself.
+                let in_sink = stack.iter().flatten().any(|c| SINKS.contains(&c.as_str()));
+                if !in_sink {
+                    continue;
+                }
+                if let Some(name) = by_ident.get(tf.ctext(ci)) {
+                    out.push(Mention {
+                        name: (*name).to_string(),
+                        file: f.rel.clone(),
+                        line: t.line,
+                        col: t.col,
+                        from_doc: false,
+                        from_test: f.is_test_like() || f.in_test_span(t.start),
+                    });
+                }
+            }
             _ => {}
+        }
+    }
+}
+
+// ---- part 3: the reserved metric-name schema ----------------------
+
+/// Check 3a: a string literal at a metric sink whose leading segment
+/// the `metric_names` module reserves, anywhere but the declaring
+/// file. Mirrors the span-discipline literal rule: matching a declared
+/// name means "use the constant", not matching means the name forked
+/// the schema.
+fn check_reserved_literals(
+    ws: &Workspace,
+    declared: &BTreeMap<String, (String, u32)>,
+    out: &mut Vec<Finding>,
+) {
+    let reserved: Vec<&str> = {
+        let mut p: Vec<&str> = declared
+            .keys()
+            .filter_map(|n| n.split('.').next())
+            .collect();
+        p.sort();
+        p.dedup();
+        p
+    };
+    if reserved.is_empty() {
+        return;
+    }
+    for f in &ws.files {
+        if f.rel == OBS_REGISTRY_RS {
+            continue; // declarations and their unit tests
+        }
+        let tf = &f.tf;
+        let mut stack: Vec<Option<String>> = Vec::new();
+        for ci in 0..tf.code.len() {
+            let t = tf.ctok(ci);
+            match tf.ctext(ci) {
+                "(" => {
+                    let callee = if ci >= 1 && tf.ctok(ci - 1).kind == TokKind::Ident {
+                        Some(tf.ctext(ci - 1).to_string())
+                    } else {
+                        None
+                    };
+                    stack.push(callee);
+                }
+                ")" => {
+                    stack.pop();
+                }
+                _ if t.kind == TokKind::Str => {
+                    let in_sink = stack.iter().flatten().any(|c| SINKS.contains(&c.as_str()));
+                    if !in_sink || f.waived("metric-ok", t.line) {
+                        continue;
+                    }
+                    let Some(name) = normalize(str_contents(tf.ctext(ci)), '{', '}') else {
+                        continue;
+                    };
+                    if !name
+                        .split('.')
+                        .next()
+                        .is_some_and(|p| reserved.contains(&p))
+                    {
+                        continue;
+                    }
+                    let fix = match declared.get(&name) {
+                        Some((ident, _)) => {
+                            format!("use `stair_obs::metric_names::{ident}` instead")
+                        }
+                        None => format!(
+                            "`{name}` is not declared in stair-obs `metric_names`; add it there \
+                             and register it through the constant"
+                        ),
+                    };
+                    out.push(Finding::new(
+                        Lint::CounterDiscipline,
+                        &f.rel,
+                        t.line,
+                        t.col,
+                        format!(
+                            "reserved metric prefix registered under a string literal `{name}` — \
+                             cache-tier names are declared once in stair-obs; {fix} (waive with \
+                             `// check: metric-ok <reason>`)"
+                        ),
+                        &format!("reserved metric literal {name}"),
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Check 3b: every declared metric constant must be registered by some
+/// other file *and* documented — dead schema and undocumented
+/// counters are both drift.
+fn check_declared_metric_names(
+    ws: &Workspace,
+    declared: &BTreeMap<String, (String, u32)>,
+    out: &mut Vec<Finding>,
+) {
+    let Some(registry) = ws.file(OBS_REGISTRY_RS) else {
+        return;
+    };
+    for (name, (ident, line)) in declared {
+        if registry.waived("metric-ok", *line) {
+            continue;
+        }
+        let used = ws.files.iter().any(|f| {
+            f.rel != OBS_REGISTRY_RS && (0..f.tf.code.len()).any(|ci| f.tf.is_ident(ci, ident))
+        });
+        if !used {
+            out.push(Finding::new(
+                Lint::CounterDiscipline,
+                OBS_REGISTRY_RS,
+                *line,
+                1,
+                format!(
+                    "declared metric name `{name}` (`metric_names::{ident}`) is never registered \
+                     anywhere; delete it or wire up the counter it was meant for (waive with \
+                     `// check: metric-ok <reason>`)"
+                ),
+                &format!("dead metric name {name}"),
+            ));
+        }
+        let documented = ws
+            .docs
+            .iter()
+            .any(|(_, text)| text.contains(&format!("`{name}`")));
+        if !documented {
+            out.push(Finding::new(
+                Lint::CounterDiscipline,
+                OBS_REGISTRY_RS,
+                *line,
+                1,
+                format!(
+                    "declared metric name `{name}` (`metric_names::{ident}`) is undocumented; \
+                     add it (backticked) to README.md or EXPERIMENTS.md so operators can find it \
+                     (waive with `// check: metric-ok <reason>`)"
+                ),
+                &format!("undocumented metric name {name}"),
+            ));
         }
     }
 }

@@ -14,7 +14,7 @@ pub mod wire;
 use crate::workspace::Workspace;
 
 /// Library crates under the no-panic policy (ISSUE 7 zone list).
-pub const PANIC_FREE_CRATES: &[&str] = &["code", "store", "net", "device", "obs", "gf"];
+pub const PANIC_FREE_CRATES: &[&str] = &["code", "store", "net", "device", "obs", "gf", "cache"];
 
 /// Runs every analyzer over the workspace.
 pub fn run_all(ws: &Workspace, out: &mut Vec<crate::findings::Finding>) {

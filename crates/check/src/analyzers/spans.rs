@@ -43,8 +43,10 @@ pub fn run(ws: &Workspace, out: &mut Vec<Finding>) {
 }
 
 /// `name string → (const ident, line)` for every
-/// `pub const IDENT: &str = "…"` in the trace module.
-fn declared_names(f: &SourceFile) -> BTreeMap<String, (String, u32)> {
+/// `pub const IDENT: &str = "…"` in a schema module — shared with the
+/// counter-discipline analyzer, which applies the same declared-once
+/// rule to the `metric_names` module in the obs registry.
+pub(crate) fn declared_names(f: &SourceFile) -> BTreeMap<String, (String, u32)> {
     let tf = &f.tf;
     let n = tf.code.len();
     let mut out = BTreeMap::new();

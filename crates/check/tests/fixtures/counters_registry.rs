@@ -1,0 +1,19 @@
+// Fixture: the reserved metric-name schema as stair-obs declares it —
+// a `metric_names` module of string constants, mirroring the span-name
+// schema one module over. `FIX_DEAD` is declared but nothing in the
+// bad fixture workspace registers it.
+pub mod metric_names {
+    /// Reads served from a resident fixture frame.
+    pub const FIX_HIT: &str = "fixcache.hit";
+    /// Declared; only the good fixture registers it.
+    pub const FIX_DEAD: &str = "fixcache.dead";
+    /// All declared names.
+    pub const ALL: &[&str] = &[FIX_HIT, FIX_DEAD];
+}
+
+pub struct Registry;
+
+impl Registry {
+    pub fn counter(&self, _name: &str) {}
+    pub fn gauge(&self, _name: &str) {}
+}

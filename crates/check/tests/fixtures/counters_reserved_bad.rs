@@ -1,0 +1,11 @@
+// Fixture: true positives for the reserved metric-name checks. One
+// sink literal duplicating a declared name (should use the constant),
+// one literal forking the reserved prefix with a name the schema has
+// never heard of — and `FIX_DEAD` left unregistered by anything.
+use crate::registry::{metric_names, Registry};
+
+pub fn register(registry: &Registry) {
+    registry.counter("fixcache.hit");
+    registry.counter("fixcache.rogue");
+    registry.counter(metric_names::FIX_HIT);
+}

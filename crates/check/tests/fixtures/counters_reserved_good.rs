@@ -1,0 +1,15 @@
+// Fixture: near-miss negatives for the reserved metric-name checks.
+// Every registration goes through a declared constant; a reserved
+// string appears only in a non-sink call and a waived sink call.
+use crate::registry::{metric_names, Registry};
+
+pub fn register(registry: &Registry) {
+    registry.counter(metric_names::FIX_HIT);
+    registry.gauge(metric_names::FIX_DEAD);
+    // A reserved string in a non-sink call is not a registration.
+    log("fixcache.hit");
+    // check: metric-ok fixture demonstrates the waiver comment
+    registry.counter("fixcache.waived");
+}
+
+fn log(_msg: &str) {}

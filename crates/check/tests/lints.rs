@@ -252,6 +252,53 @@ fn wired_counters_and_matched_metrics_are_clean() {
     assert_eq!(of(&r, Lint::CounterDiscipline), Vec::<String>::new());
 }
 
+#[test]
+fn reserved_metric_literals_and_dead_declared_names_are_flagged() {
+    let registry = fixture("counters_registry.rs");
+    let bad = fixture("counters_reserved_bad.rs");
+    let doc = fixture("counters_reserved_doc.md");
+    let r = run_ws(&[
+        ("crates/obs/src/registry.rs", &registry),
+        ("crates/cache/src/lib.rs", &bad),
+        ("README.md", &doc),
+    ]);
+    let hits = of(&r, Lint::CounterDiscipline);
+    assert_eq!(hits.len(), 5, "{hits:?}");
+    // A literal that duplicates a declared name points at the constant…
+    assert!(hits
+        .iter()
+        .any(|h| h.contains("`fixcache.hit`") && h.contains("metric_names::FIX_HIT")));
+    // … a literal nobody declared asks for a declaration …
+    assert!(hits
+        .iter()
+        .any(|h| h.contains("`fixcache.rogue`") && h.contains("not declared")));
+    // … a declared name nothing registers is dead schema …
+    assert!(hits
+        .iter()
+        .any(|h| h.contains("`fixcache.dead`") && h.contains("never registered")));
+    // … and the check-2 consequences: the rogue fork has no second
+    // mention, and the dead name's doc line points at nothing.
+    assert!(hits
+        .iter()
+        .any(|h| h.contains("fixcache.rogue") && h.contains("exactly once")));
+    assert!(hits
+        .iter()
+        .any(|h| h.contains("fixcache.dead") && h.contains("never produced")));
+}
+
+#[test]
+fn constant_metric_registrations_and_waived_literals_are_clean() {
+    let registry = fixture("counters_registry.rs");
+    let good = fixture("counters_reserved_good.rs");
+    let doc = fixture("counters_reserved_doc.md");
+    let r = run_ws(&[
+        ("crates/obs/src/registry.rs", &registry),
+        ("crates/cache/src/lib.rs", &good),
+        ("README.md", &doc),
+    ]);
+    assert_eq!(of(&r, Lint::CounterDiscipline), Vec::<String>::new());
+}
+
 // ---- L7 span-discipline --------------------------------------------
 
 #[test]

@@ -56,7 +56,8 @@ pub const DEV_USAGE: &str = "usage:
   stair dev flush  --dev SPEC
   stair dev metrics --dev SPEC [--json] [--from SCRIPT]
   stair dev trace   --dev SPEC [--json] [--from SCRIPT]
-  (SPEC: file:<dir> | shards:<root>[?n=K] | tcp:<host:port>[?lanes=L])
+  (SPEC: file:<dir> | shards:<root>[?n=K] | tcp:<host:port>[?lanes=L]
+         | cache:<inner>[?mb=M&wb=on|off&interval_ms=T])
   (SCRIPT lines: `read <offset> <len>` | `write <offset> <hex-bytes>`;
    `#` comments and blank lines ignored; results print as JSON)
   (metrics --from replays a SCRIPT through the instrumented device

@@ -4,7 +4,7 @@
 //! apart: `--dev file:…` and `--dev tcp:…` produce byte-identical
 //! shapes.
 
-use stair_device::{DeviceStatus, RepairOutcome, ScrubOutcome, ShardHealth};
+use stair_device::{CacheTierStatus, DeviceStatus, RepairOutcome, ScrubOutcome, ShardHealth};
 use stair_net::json::Json;
 use stair_net::{WireSpan, WireTrace};
 use stair_obs::MetricsSnapshot;
@@ -37,10 +37,25 @@ fn shard_json(shard: &ShardHealth) -> Json {
     ])
 }
 
+/// A cache tier's state as a JSON object (present only for `cache:`
+/// devices, so uncached status shapes are unchanged).
+fn cache_json(tier: &CacheTierStatus) -> Json {
+    Json::obj([
+        ("budget_bytes", Json::int64(tier.budget_bytes)),
+        ("frames", Json::int(tier.frames)),
+        ("resident_blocks", Json::int(tier.resident_blocks)),
+        ("generation", Json::int64(tier.generation)),
+        ("write_back", Json::Bool(tier.write_back)),
+        ("wb_buffered_blocks", Json::int(tier.wb_buffered_blocks)),
+        ("hits", Json::int64(tier.hits)),
+        ("misses", Json::int64(tier.misses)),
+    ])
+}
+
 /// A device's unified status as a JSON object — the same shape for
 /// every backend (a local store is simply a device with one shard).
 pub fn device_status_json(status: &DeviceStatus) -> Json {
-    Json::obj([
+    let mut fields = vec![
         ("backend", Json::str(status.backend.clone())),
         ("shards", Json::int(status.shards.len())),
         ("total_capacity_bytes", Json::int64(status.capacity)),
@@ -50,7 +65,11 @@ pub fn device_status_json(status: &DeviceStatus) -> Json {
             "shard_status",
             Json::arr(status.shards.iter().map(shard_json)),
         ),
-    ])
+    ];
+    if let Some(tier) = &status.cache {
+        fields.push(("cache", cache_json(tier)));
+    }
+    Json::obj(fields)
 }
 
 /// A scrub outcome as a JSON object.

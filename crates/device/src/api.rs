@@ -168,6 +168,54 @@ impl BlockDevice for Box<dyn BlockDevice> {
     }
 }
 
+/// Forwarding impl so a boxed **admin** device is itself a device —
+/// what lets generic wrappers (e.g. a cache tier) sit in front of
+/// whatever `open_admin()` returned while keeping the fault verbs
+/// reachable. Paired with the [`FaultAdmin`] forwarding impl below,
+/// the blanket [`AdminDevice`] impl then covers
+/// `Box<dyn AdminDevice>` too.
+impl BlockDevice for Box<dyn AdminDevice> {
+    fn capacity(&self) -> u64 {
+        (**self).capacity()
+    }
+
+    fn block_size(&self) -> usize {
+        (**self).block_size()
+    }
+
+    fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>, DeviceError> {
+        (**self).read_at(offset, len)
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<WriteOutcome, DeviceError> {
+        (**self).write_at(offset, data)
+    }
+
+    fn submit(&self, batch: &IoBatch) -> Result<BatchResult, DeviceError> {
+        (**self).submit(batch)
+    }
+
+    fn flush(&self) -> Result<(), DeviceError> {
+        (**self).flush()
+    }
+
+    fn status(&self) -> Result<DeviceStatus, DeviceError> {
+        (**self).status()
+    }
+
+    fn scrub(&self, threads: usize) -> Result<ScrubOutcome, DeviceError> {
+        (**self).scrub(threads)
+    }
+
+    fn repair(&self, threads: usize) -> Result<RepairOutcome, DeviceError> {
+        (**self).repair(threads)
+    }
+
+    fn metrics(&self) -> Result<MetricsSnapshot, DeviceError> {
+        (**self).metrics()
+    }
+}
+
 /// Fault administration, split from [`BlockDevice`] because not every
 /// deployment exposes it — a production remote endpoint may refuse
 /// these with [`DeviceError::Unsupported`] while still serving the full
@@ -195,6 +243,24 @@ pub trait FaultAdmin {
         row: usize,
         len: usize,
     ) -> Result<(), DeviceError>;
+}
+
+/// Forwarding impl paired with the `BlockDevice` one above.
+impl FaultAdmin for Box<dyn AdminDevice> {
+    fn fail_device(&self, shard: usize, device: usize) -> Result<(), DeviceError> {
+        (**self).fail_device(shard, device)
+    }
+
+    fn corrupt_sectors(
+        &self,
+        shard: usize,
+        device: usize,
+        stripe: usize,
+        row: usize,
+        len: usize,
+    ) -> Result<(), DeviceError> {
+        (**self).corrupt_sectors(shard, device, stripe, row, len)
+    }
 }
 
 /// A device that also accepts fault administration — what the CLI's

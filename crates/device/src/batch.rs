@@ -272,6 +272,74 @@ mod tests {
     }
 
     #[test]
+    fn conflict_sweep_matches_pairwise_reference_at_4096_ops() {
+        // The sweep must agree with the obvious O(n²) pairwise check on
+        // a large adversarial batch: deterministic pseudo-random spans
+        // (some zero-length, some overlapping, read/write mixed) over a
+        // small offset range so collisions are common.
+        let overlaps = |a: &IoOp, b: &IoOp| {
+            a.byte_len() > 0 && b.byte_len() > 0 && a.offset() < b.end() && b.offset() < a.end()
+        };
+        let pairwise = |ops: &[IoOp]| {
+            for (i, a) in ops.iter().enumerate() {
+                for b in &ops[i + 1..] {
+                    if overlaps(a, b) && (a.is_write() || b.is_write()) {
+                        return true;
+                    }
+                }
+            }
+            false
+        };
+
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+
+        // Dense case: 4096 ops crammed into a small range — almost
+        // certainly conflicting, but verify against the reference
+        // rather than assuming.
+        let mut dense = IoBatch::new();
+        for _ in 0..4096 {
+            let offset = next() % (1 << 16);
+            let len = (next() % 64) as usize;
+            if next() % 2 == 0 {
+                dense.read(offset, len);
+            } else {
+                dense.write(offset, vec![0u8; len]);
+            }
+        }
+        assert_eq!(dense.has_conflicts(), pairwise(dense.ops()));
+
+        // Sparse case: 4096 disjoint one-byte writes in shuffled order
+        // must come back clean (the sweep sorts internally).
+        let mut lanes: Vec<u64> = (0..4096u64).collect();
+        for i in (1..lanes.len()).rev() {
+            lanes.swap(i, (next() % (i as u64 + 1)) as usize);
+        }
+        let mut sparse = IoBatch::new();
+        for lane in lanes {
+            sparse.write(lane * 2, vec![0u8]);
+        }
+        assert_eq!(sparse.len(), 4096);
+        assert!(!sparse.has_conflicts());
+        assert!(!pairwise(sparse.ops()));
+
+        // Flip exactly one lane onto a neighbour: now conflicting.
+        let mut ops = sparse.into_ops();
+        ops[77] = IoOp::Write {
+            offset: ops[78].offset(),
+            data: vec![0u8],
+        };
+        let bumped = IoBatch::from(ops);
+        assert!(bumped.has_conflicts());
+        assert!(pairwise(bumped.ops()));
+    }
+
+    #[test]
     fn batch_result_aggregates_write_outcomes() {
         let result = BatchResult::from_results(vec![
             OpResult::Read(vec![1, 2, 3]),

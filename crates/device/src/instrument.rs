@@ -302,6 +302,7 @@ mod tests {
                 capacity: self.capacity(),
                 block_size: 16,
                 shards: Vec::new(),
+                cache: None,
             })
         }
 

@@ -56,5 +56,7 @@ pub use api::{AdminDevice, BlockDevice, FaultAdmin};
 pub use batch::{seed_results, BatchResult, IoBatch, IoOp, OpResult};
 pub use error::DeviceError;
 pub use instrument::Instrumented;
-pub use report::{DeviceStatus, RepairOutcome, ScrubOutcome, ShardHealth, WriteOutcome};
-pub use spec::DeviceSpec;
+pub use report::{
+    CacheTierStatus, DeviceStatus, RepairOutcome, ScrubOutcome, ShardHealth, WriteOutcome,
+};
+pub use spec::{DeviceSpec, CACHE_DEFAULT_INTERVAL_MS, CACHE_DEFAULT_MB};

@@ -49,11 +49,35 @@ impl ShardHealth {
     }
 }
 
+/// Point-in-time state of a cache tier sitting in front of a device —
+/// reported by `cache:` devices inside [`DeviceStatus`] so `stair dev
+/// status --json` shows the tier next to the shard health it fronts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheTierStatus {
+    /// Read-tier byte budget.
+    pub budget_bytes: u64,
+    /// Block frames the budget buys.
+    pub frames: usize,
+    /// Frames currently holding a live block of the current generation.
+    pub resident_blocks: usize,
+    /// Coherence generation; scrub/repair/fault bumps drop every frame.
+    pub generation: u64,
+    /// Whether the write-back tier is enabled (`false` = write-through).
+    pub write_back: bool,
+    /// Dirty blocks buffered by the write-back tier, awaiting a drain.
+    pub wb_buffered_blocks: usize,
+    /// Reads served from the tier since open.
+    pub hits: u64,
+    /// Reads that had to fill from the inner device since open.
+    pub misses: u64,
+}
+
 /// A whole device's health snapshot: the backend kind plus one
 /// [`ShardHealth`] per shard.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DeviceStatus {
-    /// Backend scheme name (`"file"`, `"shards"`, or `"tcp"`).
+    /// Backend scheme name (`"file"`, `"shards"`, `"tcp"`, or
+    /// `"cache"` for a tiered wrapper).
     pub backend: String,
     /// Total logical capacity in bytes across all shards.
     pub capacity: u64,
@@ -61,6 +85,10 @@ pub struct DeviceStatus {
     pub block_size: usize,
     /// Per-shard health, in shard order (never empty).
     pub shards: Vec<ShardHealth>,
+    /// Cache-tier state when this device is a `cache:` wrapper; `None`
+    /// for plain backends (and absent from their JSON, so uncached
+    /// status shapes are unchanged).
+    pub cache: Option<CacheTierStatus>,
 }
 
 impl DeviceStatus {
@@ -201,6 +229,7 @@ mod tests {
             capacity: 0,
             block_size: 0,
             shards: vec![ShardHealth::default(), shard],
+            cache: None,
         };
         assert!(!status.healthy());
 

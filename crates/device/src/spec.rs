@@ -16,7 +16,15 @@ use crate::DeviceError;
 /// shards:<root>[?n=<k>]   a sharded set under <root> (n asserts the count)
 /// tcp:<host:port>[?lanes=<l>]   a remote server (lanes > 1 stripes the
 ///                               transfer over that many connections)
+/// cache:<inner>[?mb=<m>&wb=on|off&interval_ms=<t>]
+///                         a tiered cache in front of any inner spec
 /// ```
+///
+/// `cache:` wraps another spec; its own keys (`mb` — read budget in
+/// MiB, `wb` — write-back on/off, `interval_ms` — group-commit
+/// interval) and the inner spec's keys share one query string, split
+/// by key (so `cache:tcp:h:p?lanes=2&mb=8` gives the lanes to `tcp:`
+/// and the budget to the cache). Nested `cache:` specs are rejected.
 ///
 /// # Example
 ///
@@ -51,15 +59,36 @@ pub enum DeviceSpec {
         /// Connections to stripe transfers over (≥ 1).
         lanes: usize,
     },
+    /// A tiered cache (block-granular CLOCK read tier plus an optional
+    /// write-back tier) in front of another backend.
+    Cache {
+        /// The backend being fronted (never itself `Cache`).
+        inner: Box<DeviceSpec>,
+        /// Read-tier budget in MiB (≥ 1).
+        mb: usize,
+        /// Write-back tier enabled (`wb=on`); the default is
+        /// write-through — the safe choice, especially over `tcp:`.
+        wb: bool,
+        /// Group-commit interval in milliseconds for the write-back
+        /// drain thread; 0 disables the timer (drains happen only on
+        /// pressure or `flush()`).
+        interval_ms: u64,
+    },
 }
 
+/// Default read-tier budget in MiB for `cache:` specs.
+pub const CACHE_DEFAULT_MB: usize = 64;
+/// Default group-commit interval in milliseconds for `cache:` specs.
+pub const CACHE_DEFAULT_INTERVAL_MS: u64 = 50;
+
 impl DeviceSpec {
-    /// The scheme name (`"file"`, `"shards"`, or `"tcp"`).
+    /// The scheme name (`"file"`, `"shards"`, `"tcp"`, or `"cache"`).
     pub fn scheme(&self) -> &'static str {
         match self {
             DeviceSpec::File { .. } => "file",
             DeviceSpec::Shards { .. } => "shards",
             DeviceSpec::Tcp { .. } => "tcp",
+            DeviceSpec::Cache { .. } => "cache",
         }
     }
 }
@@ -79,6 +108,33 @@ impl fmt::Display for DeviceSpec {
                 write!(f, "tcp:{addr}")?;
                 if *lanes > 1 {
                     write!(f, "?lanes={lanes}")?;
+                }
+                Ok(())
+            }
+            DeviceSpec::Cache {
+                inner,
+                mb,
+                wb,
+                interval_ms,
+            } => {
+                // The inner spec renders first (with its own query, if
+                // any); cache keys append to the shared query string.
+                let rendered = inner.to_string();
+                let mut sep = if rendered.contains('?') { '&' } else { '?' };
+                write!(f, "cache:{rendered}")?;
+                let mut kv = |f: &mut fmt::Formatter<'_>, key: &str, val: String| {
+                    let r = write!(f, "{sep}{key}={val}");
+                    sep = '&';
+                    r
+                };
+                if *mb != CACHE_DEFAULT_MB {
+                    kv(f, "mb", mb.to_string())?;
+                }
+                if *wb {
+                    kv(f, "wb", "on".into())?;
+                }
+                if *interval_ms != CACHE_DEFAULT_INTERVAL_MS {
+                    kv(f, "interval_ms", interval_ms.to_string())?;
                 }
                 Ok(())
             }
@@ -118,7 +174,7 @@ impl FromStr for DeviceSpec {
         let bad = |msg: &str| DeviceError::Spec(format!("device spec `{text}`: {msg}"));
         let (scheme, rest) = text
             .split_once(':')
-            .ok_or_else(|| bad("expected `scheme:target` (file:, shards:, or tcp:)"))?;
+            .ok_or_else(|| bad("expected `scheme:target` (file:, shards:, tcp:, or cache:)"))?;
         let int = |key: &str, v: &str| {
             v.parse::<usize>()
                 .map_err(|_| bad(&format!("{key} expects an integer, got `{v}`")))
@@ -185,8 +241,72 @@ impl FromStr for DeviceSpec {
                     lanes,
                 })
             }
+            "cache" => {
+                // Cache keys and inner-spec keys share one query
+                // string; split by key, then hand the rest back to the
+                // inner parse so `cache:tcp:h:p?lanes=2&mb=8` works.
+                let (target, params) = split_query(rest, &bad)?;
+                if target.is_empty() {
+                    return Err(bad(
+                        "cache expects an inner spec, e.g. cache:file:/srv/store",
+                    ));
+                }
+                let mut mb = CACHE_DEFAULT_MB;
+                let mut wb = false;
+                let mut interval_ms = CACHE_DEFAULT_INTERVAL_MS;
+                let (mut seen_mb, mut seen_wb, mut seen_iv) = (false, false, false);
+                let mut inner_params: Vec<(&str, &str)> = Vec::new();
+                for (key, value) in params {
+                    match key {
+                        "mb" if !seen_mb => {
+                            mb = int("mb", value)?;
+                            if mb == 0 {
+                                return Err(bad("mb must be at least 1"));
+                            }
+                            seen_mb = true;
+                        }
+                        "wb" if !seen_wb => {
+                            wb = match value {
+                                "on" => true,
+                                "off" => false,
+                                other => {
+                                    return Err(bad(&format!(
+                                        "wb expects on or off, got `{other}`"
+                                    )))
+                                }
+                            };
+                            seen_wb = true;
+                        }
+                        "interval_ms" if !seen_iv => {
+                            interval_ms = int("interval_ms", value)? as u64;
+                            seen_iv = true;
+                        }
+                        "mb" | "wb" | "interval_ms" => {
+                            return Err(bad(&format!("duplicate query parameter {key}")))
+                        }
+                        _ => inner_params.push((key, value)),
+                    }
+                }
+                let mut inner_text = target.to_string();
+                for (i, (key, value)) in inner_params.iter().enumerate() {
+                    inner_text.push(if i == 0 { '?' } else { '&' });
+                    inner_text.push_str(key);
+                    inner_text.push('=');
+                    inner_text.push_str(value);
+                }
+                let inner: DeviceSpec = inner_text.parse()?;
+                if matches!(inner, DeviceSpec::Cache { .. }) {
+                    return Err(bad("cache specs do not nest"));
+                }
+                Ok(DeviceSpec::Cache {
+                    inner: Box::new(inner),
+                    mb,
+                    wb,
+                    interval_ms,
+                })
+            }
             other => Err(bad(&format!(
-                "unknown scheme `{other}` (expected file, shards, or tcp)"
+                "unknown scheme `{other}` (expected file, shards, tcp, or cache)"
             ))),
         }
     }
@@ -206,6 +326,11 @@ mod tests {
             "tcp:127.0.0.1:7070",
             "tcp:127.0.0.1:7070?lanes=4",
             "tcp:example.net:9",
+            "cache:file:/srv/store",
+            "cache:file:/srv/store?mb=8",
+            "cache:shards:/srv/stair?n=4&mb=8",
+            "cache:tcp:127.0.0.1:7070?lanes=2&mb=8&wb=on&interval_ms=25",
+            "cache:tcp:h:1?wb=on",
         ] {
             let spec: DeviceSpec = text.parse().unwrap();
             assert_eq!(spec.to_string(), text, "round trip of `{text}`");
@@ -235,6 +360,42 @@ mod tests {
                 lanes: 1
             }
         );
+        // cache splits its shared query string by key: lanes goes to
+        // the inner tcp spec, mb/wb/interval_ms stay with the cache.
+        assert_eq!(
+            "cache:tcp:h:1?lanes=2&mb=8&wb=on&interval_ms=25"
+                .parse::<DeviceSpec>()
+                .unwrap(),
+            DeviceSpec::Cache {
+                inner: Box::new(DeviceSpec::Tcp {
+                    addr: "h:1".into(),
+                    lanes: 2
+                }),
+                mb: 8,
+                wb: true,
+                interval_ms: 25,
+            }
+        );
+        assert_eq!(
+            "cache:file:/a/b".parse::<DeviceSpec>().unwrap(),
+            DeviceSpec::Cache {
+                inner: Box::new(DeviceSpec::File {
+                    dir: PathBuf::from("/a/b")
+                }),
+                mb: CACHE_DEFAULT_MB,
+                wb: false,
+                interval_ms: CACHE_DEFAULT_INTERVAL_MS,
+            }
+        );
+    }
+
+    #[test]
+    fn cache_defaults_render_bare() {
+        let spec: DeviceSpec = "cache:file:/x?mb=64&wb=off&interval_ms=50".parse().unwrap();
+        assert_eq!(spec.to_string(), "cache:file:/x");
+        // Inner query params survive even when cache keys are default.
+        let spec: DeviceSpec = "cache:shards:/x?n=2&mb=64".parse().unwrap();
+        assert_eq!(spec.to_string(), "cache:shards:/x?n=2");
     }
 
     #[test]
@@ -270,6 +431,16 @@ mod tests {
             "tcp:h:1?lanes=a",
             "tcp:h:1?lanes=2&lanes=3",
             "tcp:h:1?window=8",
+            "cache:",
+            "cache:file:/x?mb=0",
+            "cache:file:/x?mb=big",
+            "cache:file:/x?wb=maybe",
+            "cache:file:/x?mb=8&mb=9",
+            "cache:file:/x?wb=on&wb=off",
+            "cache:file:/x?interval_ms=1&interval_ms=2",
+            "cache:file:/x?bogus=1",
+            "cache:cache:file:/x",
+            "cache:nfs:/x",
         ] {
             let err = text.parse::<DeviceSpec>().unwrap_err();
             assert!(

@@ -58,6 +58,18 @@ pub fn open_admin(spec: &DeviceSpec) -> Result<Box<dyn stair_device::AdminDevice
                 Box::new(StripedClient::connect(addr, *lanes)?)
             }
         }
+        DeviceSpec::Cache {
+            inner,
+            mb,
+            wb,
+            interval_ms,
+        } => {
+            let inner = open_admin(inner)?;
+            Box::new(stair_cache::CachedDevice::new(
+                inner,
+                stair_cache::CacheConfig::from_spec(*mb, *wb, *interval_ms),
+            ))
+        }
     })
 }
 
@@ -76,6 +88,7 @@ fn device_status(backend: &str, statuses: &[StoreStatus]) -> Result<DeviceStatus
         capacity: shards.iter().map(|s| s.capacity).sum(),
         block_size: first.block_size,
         shards,
+        cache: None,
     })
 }
 

@@ -199,6 +199,99 @@ fn striped_tcp_backend_conforms() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// The cache tier must be invisible to the conformance scripts: the
+/// same clean-path and fault scripts run unchanged over `cache:file:`.
+/// The fault script in particular proves coherence — degraded,
+/// post-scrub, and post-repair reads must never serve a stale frame.
+#[test]
+fn cache_file_backend_conforms() {
+    let dir = tmpdir("cache-file");
+    StripeStore::create(&dir, &opts()).expect("create store");
+    let spec: DeviceSpec = format!("cache:file:{}?mb=1", dir.display())
+        .parse()
+        .unwrap();
+    let dev = open_device(&spec).expect("open cached file device");
+    exercise(dev.as_ref());
+    drop(dev);
+    let admin = open_admin(&spec).expect("open cached file admin");
+    exercise_faults(admin.as_ref(), admin.as_ref(), 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Same over the wire: `cache:tcp:` composes the tier over a remote
+/// client, and the fault scripts still see exact bytes.
+#[test]
+fn cache_tcp_backend_conforms() {
+    let (addr, handle, dir) = start_server("cache-tcp", 2);
+    let spec: DeviceSpec = format!("cache:tcp:{addr}?mb=1").parse().unwrap();
+    let admin = open_admin(&spec).expect("open cached tcp device");
+    exercise(admin.as_ref());
+    exercise_faults(admin.as_ref(), admin.as_ref(), 1);
+    drop(admin);
+    shutdown(&addr, handle);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Repair-then-read staleness: warm the cache, damage the device,
+/// repair it, and verify the read tier never serves the frames it
+/// cached before the repair (the generation bump must drop them).
+#[test]
+fn cache_never_serves_stale_frames_after_repair() {
+    let dir = tmpdir("cache-stale");
+    StripeStore::create(&dir, &opts()).expect("create store");
+    let spec: DeviceSpec = format!("cache:file:{}?mb=1", dir.display())
+        .parse()
+        .unwrap();
+    let admin = open_admin(&spec).expect("open cached admin");
+    let capacity = admin.capacity() as usize;
+
+    let payload = pattern(capacity, 41);
+    admin.write_at(0, &payload).expect("seed");
+    // Warm every frame the budget allows, then fault the device.
+    assert_eq!(admin.read_at(0, capacity).expect("warm"), payload);
+    admin.fail_device(0, 3).expect("fail");
+    admin.corrupt_sectors(0, 5, 2, 1, 2).expect("corrupt");
+    // Degraded reads reconstruct — and must not be the warm frames
+    // blindly replayed (the fault bumped the generation, so these are
+    // fresh fills through the degraded path).
+    let tier_before = admin.status().expect("status").cache.expect("cache tier");
+    assert_eq!(admin.read_at(0, capacity).expect("degraded"), payload);
+    admin.repair(2).expect("repair");
+    let tier_after = admin.status().expect("status").cache.expect("cache tier");
+    assert!(
+        tier_after.generation > tier_before.generation,
+        "repair must advance the cache generation ({tier_before:?} -> {tier_after:?})"
+    );
+    assert_eq!(admin.read_at(0, capacity).expect("repaired"), payload);
+    let scrub = admin.scrub(2).expect("scrub");
+    assert!(scrub.clean(), "{scrub:?}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Write-back over the wire: absorbed writes ack volatile, a flush
+/// makes them durable, and bytes stay identical to the uncached view.
+#[test]
+fn cache_write_back_tcp_round_trips_after_flush() {
+    let (addr, handle, dir) = start_server("cache-wb", 2);
+    let spec: DeviceSpec = format!("cache:tcp:{addr}?mb=1&wb=on&interval_ms=0")
+        .parse()
+        .unwrap();
+    let dev = open_device(&spec).expect("open wb cached device");
+    let capacity = dev.capacity() as usize;
+    let payload = pattern(capacity, 57);
+    dev.write_at(0, &payload).expect("absorbed write");
+    // Read-your-write before any drain.
+    assert_eq!(dev.read_at(0, capacity).expect("staged read"), payload);
+    dev.flush().expect("drain + flush");
+    drop(dev);
+    // A second, uncached client sees the identical bytes.
+    let plain = open_device(&format!("tcp:{addr}").parse().unwrap()).expect("plain client");
+    assert_eq!(plain.read_at(0, capacity).expect("uncached read"), payload);
+    drop(plain);
+    shutdown(&addr, handle);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// A span crossing the placement wrap boundary — the end of shard k-1's
 /// first range into shard 0's second range — must read and write
 /// identically through the trait, both in-process and over the wire.

@@ -40,6 +40,6 @@ pub mod trace;
 
 pub use hist::{bucket_upper_bound, Histogram, HistogramSnapshot, BUCKETS};
 pub use journal::{Journal, TraceEvent, DEFAULT_SLOW_THRESHOLD_US};
-pub use registry::{Counter, Gauge, MetricsRegistry};
+pub use registry::{metric_names, Counter, Gauge, MetricsRegistry};
 pub use snapshot::MetricsSnapshot;
 pub use trace::{FlightRecorder, SpanCtx, SpanRecord, TraceRecord};

@@ -9,6 +9,49 @@ use crate::hist::Histogram;
 use crate::journal::Journal;
 use crate::snapshot::MetricsSnapshot;
 
+/// Reserved metric names, declared once.
+///
+/// Most metric names are free-form (the counter-discipline lint only
+/// asks that each one has a consumer), but the cache tier's `cache.*`
+/// and `wb.*` families are part of the documented interface: CI smokes
+/// assert on them and dashboards key on them, so a typo'd name is a
+/// silent hole. Registration sites reference these constants — the
+/// `counter-discipline` lint rejects a `cache.*`/`wb.*` string literal
+/// at a metric sink outside this file, exactly as `span-discipline`
+/// does for span names.
+pub mod metric_names {
+    /// Read served from a cached frame (or the write-back buffer).
+    pub const CACHE_HIT: &str = "cache.hit";
+    /// Read block absent (or stale) in the cache.
+    pub const CACHE_MISS: &str = "cache.miss";
+    /// Block filled into the cache from the inner device.
+    pub const CACHE_FILL: &str = "cache.fill";
+    /// Live frame evicted by the CLOCK hand to make room.
+    pub const CACHE_EVICT: &str = "cache.evict";
+    /// Cached block updated or dropped by a write, or a whole-cache
+    /// generation bump (scrub/repair/fault).
+    pub const CACHE_INVALIDATE: &str = "cache.invalidate";
+    /// Write op absorbed into the write-back buffer (volatile ack).
+    pub const WB_ABSORBED: &str = "wb.absorbed";
+    /// Write-back drains (group-commit tick, pressure, or `flush()`).
+    pub const WB_FLUSHED: &str = "wb.flushed";
+    /// Coalesced write ops submitted by write-back drains.
+    pub const WB_COALESCED: &str = "wb.coalesced_ops";
+
+    /// Every reserved metric name (the lint checks literals against
+    /// the `cache.`/`wb.` prefixes of this set).
+    pub const ALL: &[&str] = &[
+        CACHE_HIT,
+        CACHE_MISS,
+        CACHE_FILL,
+        CACHE_EVICT,
+        CACHE_INVALIDATE,
+        WB_ABSORBED,
+        WB_FLUSHED,
+        WB_COALESCED,
+    ];
+}
+
 /// A monotonically increasing counter handle. Clones share the cell.
 #[derive(Clone, Default)]
 pub struct Counter(Arc<AtomicU64>);

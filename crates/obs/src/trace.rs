@@ -86,6 +86,10 @@ pub mod names {
     pub const JRNL_APPEND: &str = "jrnl.append";
     /// Replaying journal records at store open.
     pub const JRNL_REPLAY: &str = "jrnl.replay";
+    /// Filling read-cache frames from the inner device on a miss.
+    pub const CACHE_FILL: &str = "cache.fill";
+    /// Draining the write-back buffer as one coalesced batch.
+    pub const WB_FLUSH: &str = "wb.flush";
 
     /// Every declared span name (the lint checks recording sites
     /// against this set, and the TRACE consumers can validate names).
@@ -113,6 +117,8 @@ pub mod names {
         BENCH_SUBMIT,
         JRNL_APPEND,
         JRNL_REPLAY,
+        CACHE_FILL,
+        WB_FLUSH,
     ];
 }
 

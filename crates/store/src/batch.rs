@@ -29,6 +29,10 @@ use stair_device::{seed_results, BatchResult, IoBatch, IoOp, OpResult, WriteOutc
 use crate::device_impl::write_outcome;
 use crate::{Error, StripeStore};
 
+/// A stripe's journal payload: the cells to record, and whether they
+/// form a full-stripe data image (parity recomputed at replay).
+type JournalRecord<'a> = (Vec<(CellIdx, &'a [u8])>, bool);
+
 /// One op's piece of a single stripe: which op, and which global blocks.
 struct Fragment {
     op: usize,
@@ -128,7 +132,7 @@ impl StripeStore {
         // Journal payloads diverge from the write-back lists for
         // full-stripe stages: those journal a data image (parity
         // recomputed at replay) while still persisting every cell.
-        let records: Vec<(Vec<(CellIdx, &[u8])>, bool)> = staged
+        let records: Vec<JournalRecord> = staged
             .iter()
             .map(|s| self.journal_cells(&s.stripe, s.touched.as_ref()))
             .collect();

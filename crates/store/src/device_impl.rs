@@ -120,6 +120,7 @@ impl BlockDevice for StripeStore {
             capacity: status.capacity,
             block_size: status.block_size,
             shards: vec![shard_health(&status)],
+            cache: None,
         })
     }
 
